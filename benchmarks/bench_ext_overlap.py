@@ -1,0 +1,32 @@
+"""Extension — MAE conditioned on the true overlap size (beyond the paper).
+
+Shape assertions: the unbiased estimators' absolute errors stay within a
+small factor across overlap strata (variance depends on degrees, not C2),
+and CentralDP remains the lower envelope in every stratum.
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.ext_overlap import run_ext_overlap
+
+
+def test_ext_overlap_strata(benchmark, config, emit):
+    panel = run_once(
+        benchmark,
+        run_ext_overlap,
+        dataset="RM",
+        epsilon=config.epsilon,
+        num_pairs=max(20, config.num_pairs // 2),
+        max_edges=config.max_edges,
+        rng=config.seed,
+    )
+    emit("ext_overlap", panel.to_text())
+
+    for name in ("oner", "multir-ss", "multir-ds"):
+        values = panel.series[name]
+        assert max(values) < 6 * max(min(values), 1e-3), name
+    for i in range(len(panel.x_values)):
+        assert panel.series["central-dp"][i] < panel.series["multir-ds"][i] * 2
+        assert panel.series["multir-ds"][i] < panel.series["oner"][i]

@@ -1,0 +1,49 @@
+"""Fig. 2 — estimate distributions on rmwiki (ε = 1, imbalanced pair).
+
+Shape assertions (paper §1): Naive is biased far right of the true count;
+OneR is unbiased but fat-tailed; MultiR-SS is much tighter; MultiR-DS is
+unbiased and at least as tight as OneR despite the extreme imbalance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchutil import run_once
+
+from repro.experiments.fig2_distribution import run_fig2
+
+
+def test_fig2_distribution(benchmark, config, emit):
+    result = run_once(
+        benchmark,
+        run_fig2,
+        dataset="RM",
+        epsilon=1.0,
+        trials=config.trials,
+        max_edges=config.max_edges,
+        rng=config.seed,
+    )
+    emit("fig02_distribution", result.to_text(histogram=True))
+
+    naive = result.samples["naive"]
+    oner = result.samples["oner"]
+    ss = result.samples["multir-ss"]
+    ds = result.samples["multir-ds"]
+    true = result.true_count
+
+    # Naive overcounts by many standard errors (the dense noisy graph).
+    naive_se = naive.std(ddof=1) / math.sqrt(naive.size)
+    assert naive.mean() - true > 5 * naive_se
+
+    # The unbiased estimators straddle the truth.
+    for samples in (oner, ss, ds):
+        se = samples.std(ddof=1) / math.sqrt(samples.size)
+        assert abs(samples.mean() - true) < 6 * se
+
+    # Concentration ordering: the multiple-round estimators are tighter
+    # than OneR, and MultiR-DS handles the imbalanced pair at least as
+    # well as the single-source estimator anchored at the heavy vertex.
+    assert ss.std() < oner.std()
+    assert ds.std() < oner.std()
+    assert ds.std() < ss.std() * 1.25

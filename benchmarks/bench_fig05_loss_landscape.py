@@ -1,0 +1,42 @@
+"""Fig. 5 — analytic L2-loss landscape of the double-source estimator.
+
+Shape assertions: the jointly optimized global minimum sits at or below
+every fixed-α curve on both panels; the plain average nearly attains it
+for mildly imbalanced degrees (du=5, dw=10) while the low-degree
+single-source curve wins under strong imbalance (du=5, dw=100).
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.fig5_loss_landscape import run_fig5
+
+
+def test_fig5_loss_landscape(benchmark, emit):
+    panels = run_once(benchmark, run_fig5, num_points=21)
+    emit("fig05_loss_landscape", "\n\n".join(p.to_text() for p in panels))
+
+    balanced, imbalanced = panels
+    assert balanced.deg_w == 10
+    assert imbalanced.deg_w == 100
+
+    for panel in panels:
+        for label, values in panel.panel.series.items():
+            if label == "global minimum":
+                continue
+            assert panel.global_minimum <= min(values) + 1e-9
+
+    # du=5, dw=10: averaging is near-optimal (within 15% of the optimum).
+    avg_best = min(balanced.panel.series["alpha=0.5 (average)"])
+    assert avg_best <= balanced.global_minimum * 1.15
+
+    # du=5, dw=100: the light single-source curve beats the average and
+    # comes close to the optimum, as in the paper's right panel.
+    fu_best = min(imbalanced.panel.series["alpha=1 (f_u)"])
+    avg_best = min(imbalanced.panel.series["alpha=0.5 (average)"])
+    assert fu_best < avg_best
+    assert fu_best <= imbalanced.global_minimum * 1.25
+
+    # The optimizer leans toward the low-degree vertex under imbalance.
+    assert imbalanced.optimal_alpha > 0.5

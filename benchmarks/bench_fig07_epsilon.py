@@ -1,0 +1,45 @@
+"""Fig. 7 — mean absolute error vs privacy budget ε on 8 large datasets.
+
+Shape assertions: every algorithm's error falls as ε grows; the
+multiple-round algorithms dominate Naive/OneR at every ε; CentralDP is the
+lower envelope.
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.fig7_epsilon import FIG7_DATASETS, run_fig7
+
+EPSILONS = (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def test_fig7_epsilon_sweep(benchmark, config, emit):
+    panels = run_once(
+        benchmark,
+        run_fig7,
+        datasets=FIG7_DATASETS,
+        epsilons=EPSILONS,
+        num_pairs=config.num_pairs,
+        max_edges=config.max_edges,
+        rng=config.seed,
+    )
+    emit("fig07_epsilon", "\n\n".join(p.to_text() for p in panels))
+
+    assert len(panels) == len(FIG7_DATASETS)
+    for panel, key in zip(panels, FIG7_DATASETS):
+        naive = panel.series["naive"]
+        oner = panel.series["oner"]
+        ds = panel.series["multir-ds"]
+        central = panel.series["central-dp"]
+
+        # Errors fall from eps=1 to eps=3 for the noisy-graph algorithms.
+        assert naive[0] > naive[-1], key
+        assert oner[0] > oner[-1], key
+        assert ds[0] > ds[-1], key
+
+        # At every eps: multiple-round beats one-round; central beats all.
+        for i in range(len(EPSILONS)):
+            assert ds[i] < oner[i], (key, EPSILONS[i])
+            assert ds[i] < naive[i], (key, EPSILONS[i])
+            assert central[i] < ds[i], (key, EPSILONS[i])

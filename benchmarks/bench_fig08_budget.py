@@ -1,0 +1,38 @@
+"""Fig. 8 — effectiveness of the privacy-budget allocation optimization.
+
+Shape assertions: no single fixed ε1 wins on every dataset, and MultiR-DS
+(which optimizes ε1 and α per query) lands close to — or below — the best
+fixed allocation of MultiR-DS-Basic on each dataset.
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.fig8_budget import DEFAULT_FRACTIONS, FIG8_DATASETS, run_fig8
+
+
+def test_fig8_budget_allocation(benchmark, config, emit):
+    panels = run_once(
+        benchmark,
+        run_fig8,
+        datasets=FIG8_DATASETS,
+        fractions=DEFAULT_FRACTIONS,
+        epsilon=config.epsilon,
+        num_pairs=config.num_pairs,
+        max_edges=config.max_edges,
+        rng=config.seed,
+    )
+    emit("fig08_budget", "\n\n".join(p.to_text() for p in panels))
+
+    assert len(panels) == len(FIG8_DATASETS)
+    for panel, key in zip(panels, FIG8_DATASETS):
+        basic = panel.series["multir-ds-basic"]
+        ds_line = panel.series["multir-ds (optimized)"][0]
+
+        # The optimized algorithm tracks the best fixed allocation
+        # (sampling noise allowed for: within 60% of the per-dataset best,
+        # the paper's "close to or even smaller").
+        assert ds_line <= min(basic) * 1.6, key
+        # And it clearly beats the worst fixed allocation.
+        assert ds_line < max(basic), key

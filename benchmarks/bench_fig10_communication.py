@@ -1,0 +1,49 @@
+"""Fig. 10 — communication cost (MB per query) as ε varies.
+
+Shape assertions: Naive and OneR move essentially the same bytes (same RR
+round at full budget); MultiR-SS adds the download leg and runs RR at
+ε1 = ε/2, so it costs more; MultiR-DS adds the degree round and the second
+direction and costs the most; every curve decreases in ε (sparser noisy
+lists).
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.fig10_communication import (
+    FIG10_DATASETS,
+    run_fig10,
+)
+
+EPSILONS = (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def test_fig10_communication(benchmark, config, emit):
+    panels = run_once(
+        benchmark,
+        run_fig10,
+        datasets=FIG10_DATASETS,
+        epsilons=EPSILONS,
+        num_pairs=max(10, config.num_pairs // 3),
+        max_edges=config.max_edges,
+        rng=config.seed,
+    )
+    emit("fig10_communication", "\n\n".join(p.to_text() for p in panels))
+
+    for panel, key in zip(panels, FIG10_DATASETS):
+        naive = panel.series["naive"]
+        oner = panel.series["oner"]
+        ss = panel.series["multir-ss"]
+        ds = panel.series["multir-ds"]
+
+        for i in range(len(EPSILONS)):
+            # Naive and OneR use the identical RR round.
+            assert abs(naive[i] - oner[i]) / max(naive[i], 1e-12) < 0.15, key
+            # The multiple-round framework pays more communication.
+            assert ss[i] > naive[i], key
+            assert ds[i] > ss[i], key
+
+        # Costs fall as epsilon grows for every algorithm.
+        for series in (naive, oner, ss, ds):
+            assert series[0] > series[-1], key

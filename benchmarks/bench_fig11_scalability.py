@@ -1,0 +1,45 @@
+"""Fig. 11 — effect of the number of vertices (vertex-sampled subgraphs).
+
+Shape assertions: Naive's and OneR's errors grow with the graph size
+(their losses carry n1² / n1 factors); MultiR-SS, MultiR-DS and CentralDP
+stay flat (degree-only dependence).
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.fig11_scalability import (
+    DEFAULT_FRACTIONS,
+    FIG11_DATASETS,
+    run_fig11,
+)
+
+
+def test_fig11_scalability(benchmark, config, emit):
+    panels = run_once(
+        benchmark,
+        run_fig11,
+        datasets=FIG11_DATASETS,
+        fractions=DEFAULT_FRACTIONS,
+        epsilon=config.epsilon,
+        num_pairs=config.num_pairs,
+        max_edges=config.max_edges,
+        rng=config.seed,
+    )
+    emit("fig11_scalability", "\n\n".join(p.to_text() for p in panels))
+
+    for panel, key in zip(panels, FIG11_DATASETS):
+        naive = panel.series["naive"]
+        oner = panel.series["oner"]
+        ds = panel.series["multir-ds"]
+        central = panel.series["central-dp"]
+
+        # One-round algorithms degrade as the candidate pool grows.
+        assert naive[-1] > 1.5 * naive[0], key
+        assert oner[-1] > 1.2 * oner[0], key
+
+        # MultiR-DS and CentralDP are insensitive to the graph size
+        # (bounded ratio across the whole sweep).
+        assert max(ds) < 5 * max(min(ds), 1e-3), key
+        assert max(central) < 5 * max(min(central), 1e-3), key

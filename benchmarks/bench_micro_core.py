@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the library's hot paths (classic pytest-benchmark).
+
+Not a paper figure — these track the substrate costs that every experiment
+is built from: adjacency intersection, randomized response (dense and
+sparse), the end-to-end estimators in both execution modes, and the budget
+optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.optimizer import optimize_double_source
+from repro.estimators.registry import get_estimator
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.privacy.mechanisms import RandomizedResponse
+from repro.protocol.session import ExecutionMode
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_bipartite(2_000, 10_000, 120_000, rng=5)
+
+
+def test_common_neighbor_query(benchmark, graph):
+    benchmark(graph.count_common_neighbors, Layer.UPPER, 10, 20)
+
+
+def test_rr_dense_row(benchmark):
+    rr = RandomizedResponse(2.0)
+    row = np.zeros(100_000, dtype=np.int8)
+    row[np.arange(0, 100_000, 97)] = 1
+    rng = np.random.default_rng(1)
+    benchmark(rr.perturb_bits, row, rng)
+
+
+def test_rr_sparse_list(benchmark):
+    rr = RandomizedResponse(2.0)
+    neighbors = np.arange(0, 100_000, 97, dtype=np.int64)
+    rng = np.random.default_rng(2)
+    benchmark(rr.perturb_neighbor_list, neighbors, 100_000, rng)
+
+
+@pytest.mark.parametrize("name", ["naive", "oner", "multir-ss", "multir-ds"])
+def test_estimator_sketch_mode(benchmark, graph, name):
+    estimator = get_estimator(name)
+    rng = np.random.default_rng(3)
+    benchmark(
+        estimator.estimate, graph, Layer.UPPER, 3, 9, 2.0,
+        rng=rng, mode=ExecutionMode.SKETCH,
+    )
+
+
+@pytest.mark.parametrize("name", ["oner", "multir-ds"])
+def test_estimator_materialize_mode(benchmark, graph, name):
+    estimator = get_estimator(name)
+    rng = np.random.default_rng(4)
+    benchmark(
+        estimator.estimate, graph, Layer.UPPER, 3, 9, 2.0,
+        rng=rng, mode=ExecutionMode.MATERIALIZE,
+    )
+
+
+def test_budget_optimizer(benchmark):
+    benchmark(optimize_double_source, 2.0, 37.0, 412.0, 0.1)

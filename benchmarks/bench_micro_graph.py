@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the graph substrate (construction, I/O, motifs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import (
+    chung_lu_bipartite,
+    power_law_degrees,
+    random_bipartite,
+)
+from repro.graph.io import load_npz, save_npz
+from repro.graph.motifs import count_butterflies
+from repro.graph.sampling import sample_query_pairs, sample_vertex_fraction
+from repro.graph.stats import summarize_graph
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return random_bipartite(5_000, 8_000, 200_000, rng=3).edges
+
+
+@pytest.fixture(scope="module")
+def graph(edges):
+    return BipartiteGraph(5_000, 8_000, edges)
+
+
+def test_graph_construction(benchmark, edges):
+    benchmark(BipartiteGraph, 5_000, 8_000, edges)
+
+
+def test_generator_gnm(benchmark):
+    benchmark(random_bipartite, 3_000, 4_000, 100_000, 7)
+
+
+def test_generator_chung_lu(benchmark):
+    w_u = power_law_degrees(3_000, rng=1).astype(float)
+    w_l = power_law_degrees(4_000, rng=2).astype(float)
+    benchmark(chung_lu_bipartite, w_u, w_l, 60_000, 3)
+
+
+def test_npz_round_trip(benchmark, graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.npz"
+
+    def round_trip():
+        save_npz(graph, path)
+        return load_npz(path)
+
+    benchmark(round_trip)
+
+
+def test_induced_subgraph(benchmark, graph):
+    rng = np.random.default_rng(4)
+    upper = rng.choice(graph.num_upper, 2_500, replace=False)
+    lower = rng.choice(graph.num_lower, 4_000, replace=False)
+    benchmark(graph.induced_subgraph, upper, lower)
+
+
+def test_vertex_fraction_sampling(benchmark, graph):
+    benchmark(sample_vertex_fraction, graph, 0.5, 5)
+
+
+def test_pair_sampling(benchmark, graph):
+    benchmark(sample_query_pairs, graph, Layer.UPPER, 100, 6)
+
+
+def test_summary(benchmark, graph):
+    benchmark(summarize_graph, graph)
+
+
+def test_butterfly_counting(benchmark):
+    small = random_bipartite(400, 300, 6_000, rng=8)
+    benchmark(count_butterflies, small)

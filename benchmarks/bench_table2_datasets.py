@@ -1,0 +1,31 @@
+"""Table 2 — dataset statistics (published vs synthesized analogues).
+
+Shape assertions: all 15 datasets build; un-scaled datasets match the
+published |U|, |L|, |E| exactly; scaled datasets preserve density.
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.table2_datasets import run_table2, table2_text
+
+
+def test_table2_datasets(benchmark, config, emit):
+    rows = run_once(benchmark, run_table2, max_edges=config.max_edges)
+    emit("table2_datasets", table2_text(rows))
+
+    assert len(rows) == 15
+    for row in rows:
+        assert row.synth_edges > 0
+        if row.vertex_fraction == 1.0:
+            assert row.synth_edges == row.paper_edges
+            assert row.synth_upper == row.paper_upper
+            assert row.synth_lower == row.paper_lower
+        else:
+            paper_density = row.paper_edges / (row.paper_upper * row.paper_lower)
+            synth_density = row.synth_edges / (row.synth_upper * row.synth_lower)
+            assert abs(synth_density - paper_density) / paper_density < 0.2
+        # Heavy-tailed degree structure survived synthesis.
+        mean_upper = row.synth_edges / row.synth_upper
+        assert row.synth_max_degree_upper > 2 * mean_upper

@@ -1,0 +1,39 @@
+"""Table 3 — closed-form expected L2 losses verified empirically.
+
+Shape assertions: empirical L2 matches the analytic value for every
+algorithm with a fixed allocation; Naive is biased upward, everything else
+unbiased; the loss hierarchy CentralDP < MultiR < OneR holds.
+"""
+
+from __future__ import annotations
+
+from benchutil import run_once
+
+from repro.experiments.table3_summary import run_table3
+
+
+def test_table3_summary(benchmark, config, emit):
+    result = run_once(
+        benchmark, run_table3, epsilon=config.epsilon,
+        trials=max(config.trials * 5, 2000), rng=config.seed,
+    )
+    emit("table3_summary", result.to_text())
+
+    rows = {r.algorithm: r for r in result.rows}
+
+    # Analytic vs empirical agreement for deterministic allocations.
+    for name in ("naive", "oner", "multir-ss", "multir-ds-basic", "multir-ds-star", "central-dp"):
+        row = rows[name]
+        assert row.empirical_l2 == row.analytic_l2 or (
+            abs(row.empirical_l2 - row.analytic_l2) / max(row.analytic_l2, 1e-9) < 0.35
+        ), name
+
+    # Naive biased upward; unbiased algorithms close to the truth.
+    assert rows["naive"].empirical_mean > result.true_count
+    for name in ("oner", "multir-ss", "multir-ds", "central-dp"):
+        spread = max(rows[name].analytic_l2, 1.0) ** 0.5
+        assert abs(rows[name].empirical_mean - result.true_count) < spread
+
+    # Loss hierarchy from the paper's summary table.
+    assert rows["central-dp"].empirical_l2 < rows["multir-ds-star"].empirical_l2
+    assert rows["multir-ds-star"].empirical_l2 <= rows["multir-ss"].empirical_l2 * 1.2

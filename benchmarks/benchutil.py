@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The figure harnesses are deterministic given their seed, so a single
+    round both times the full reproduction and returns its result for the
+    shape assertions.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Shared configuration for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+series (visible with ``pytest -s``), persists them under
+``benchmarks/results/``, and asserts the paper's qualitative shape.
+
+Workload knobs (environment variables):
+
+* ``REPRO_BENCH_MAX_EDGES`` — edge budget per synthesized dataset
+  (default 150000; raise for fuller-scale runs).
+* ``REPRO_BENCH_PAIRS`` — query pairs per (dataset, configuration) cell
+  (default 60; the paper uses 100).
+* ``REPRO_BENCH_TRIALS`` — repetitions for distribution experiments
+  (default 400; the paper uses 1000).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    max_edges: int
+    num_pairs: int
+    trials: int
+    epsilon: float = 2.0
+    seed: int = 20250622
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return int(raw)
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    return BenchConfig(
+        max_edges=_env_int("REPRO_BENCH_MAX_EDGES", 150_000),
+        num_pairs=_env_int("REPRO_BENCH_PAIRS", 60),
+        trials=_env_int("REPRO_BENCH_TRIALS", 400),
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

@@ -1,0 +1,60 @@
+"""Private butterfly ((2,2)-biclique) counting.
+
+The paper motivates common-neighborhood estimation as the primitive behind
+biclique counting; this example builds the base case on top of the
+library: an unbiased estimate of the number of butterflies containing a
+pair of users, with the plug-in bias removed via the closed-form variance
+of the single-source estimator (see repro/applications/butterfly.py for
+the derivation), plus a sampled estimate of the global butterfly count.
+
+Run:  python examples/butterfly_counting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import Layer
+from repro.applications import estimate_butterflies_between, estimate_global_butterflies
+from repro.graph.motifs import butterflies_between, count_butterflies
+
+
+def main() -> None:
+    graph = repro.random_bipartite(120, 90, 1700, rng=6)
+    print(f"graph: {graph}; exact global butterflies = {count_butterflies(graph)}")
+
+    # Pick the pair with the largest overlap for a visible signal.
+    pairs = repro.sample_query_pairs(graph, Layer.UPPER, 300, rng=7)
+    pair = max(pairs, key=lambda p: graph.count_common_neighbors(p.layer, p.a, p.b))
+    truth = butterflies_between(graph, Layer.UPPER, pair.a, pair.b)
+    c2 = graph.count_common_neighbors(Layer.UPPER, pair.a, pair.b)
+    print(f"\nquery pair ({pair.a}, {pair.b}): C2 = {c2}, "
+          f"butterflies containing both = {truth}")
+
+    epsilon = 2.0
+    trials = 400
+    estimates = [
+        estimate_butterflies_between(
+            graph, Layer.UPPER, pair.a, pair.b, epsilon, rng=1000 + t
+        )
+        for t in range(trials)
+    ]
+    values = np.array([e.value for e in estimates])
+    naive_plugin = np.array(
+        [e.c2_estimate * (e.c2_estimate - 1) / 2 for e in estimates]
+    )
+    print(f"\nover {trials} runs at eps={epsilon:g}:")
+    print(f"  de-biased estimator : mean {values.mean():8.2f}  (truth {truth})")
+    print(f"  naive plug-in C(f,2): mean {naive_plugin.mean():8.2f}  "
+          f"(biased up by ~Var(f)/2 = {estimates[0].variance_correction / 2:.1f})")
+
+    global_est = estimate_global_butterflies(
+        graph, Layer.UPPER, epsilon=2.0, num_samples=150, rng=9
+    )
+    print(f"\nsampled global estimate: {global_est:,.0f} "
+          f"(exact {count_butterflies(graph):,}; high sampling variance expected)")
+
+
+if __name__ == "__main__":
+    main()

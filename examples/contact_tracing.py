@@ -1,0 +1,73 @@
+"""Private co-location analysis (contact-tracing scenario).
+
+People–location bipartite graphs are a motivating application in the paper
+(§1): two people's common locations reveal their movements, so the overlap
+must be estimated privately. This example scores person pairs by how
+*surprisingly large* their privately-estimated co-location count is versus
+a degree-based null model — the anomaly view of neighborhood formation —
+and checks that genuinely co-moving pairs surface at the top.
+
+Run:  python examples/contact_tracing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import Layer
+from repro.applications import rank_pairs
+from repro.graph.sampling import QueryPair
+
+
+def build_people_location_graph(rng_seed: int = 5):
+    """600 people x 250 locations, with three planted co-moving pairs."""
+    rng = np.random.default_rng(rng_seed)
+    base = repro.chung_lu_bipartite(
+        repro.graph.power_law_degrees(600, exponent=2.3, d_min=2, d_max=60, rng=rng),
+        repro.graph.power_law_degrees(250, exponent=2.3, d_min=1, d_max=200, rng=rng),
+        num_edges=7000,
+        rng=rng,
+    )
+    # Plant co-moving pairs: each pair visits 15 shared locations.
+    edges = [tuple(e) for e in base.edges]
+    planted = [(0, 1), (2, 3), (4, 5)]
+    for a, b in planted:
+        shared = rng.choice(250, size=15, replace=False)
+        for loc in shared:
+            edges.append((a, int(loc)))
+            edges.append((b, int(loc)))
+    graph = repro.BipartiteGraph(600, 250, np.asarray(edges))
+    return graph, planted
+
+
+def main() -> None:
+    graph, planted = build_people_location_graph()
+    print(f"people-location graph: {graph}; planted co-moving pairs: {planted}")
+
+    # Candidate pairs: the planted ones hidden among random pairs.
+    pairs = [QueryPair(Layer.UPPER, a, b) for a, b in planted]
+    pairs += repro.sample_query_pairs(graph, Layer.UPPER, 27, rng=11)
+
+    epsilon = 2.0
+    scores = rank_pairs(graph, Layer.UPPER, pairs, epsilon, rng=13)
+
+    print(f"\ntop 8 most anomalous pairs (eps={epsilon:g}):")
+    print(f"{'pair':>12} {'C2 (LDP)':>9} {'null E[C2]':>10} {'score':>8} {'true C2':>8}")
+    for s in scores[:8]:
+        true = graph.count_common_neighbors(Layer.UPPER, s.u, s.w)
+        marker = "  <-- planted" if (s.u, s.w) in planted or (s.w, s.u) in planted else ""
+        print(
+            f"({s.u:>4},{s.w:>5}) {s.c2_estimate:>9.2f} {s.expected_null:>10.2f} "
+            f"{s.score:>8.2f} {true:>8}{marker}"
+        )
+
+    top = {(s.u, s.w) for s in scores[:8]}
+    top |= {(b, a) for a, b in top}
+    found = sum(1 for p in planted if p in top)
+    print(f"\nplanted pairs surfaced in the top-8: {found}/{len(planted)} "
+          f"(noise at eps=2 blurs exact ranks but keeps them visible)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Per-query protocols vs a one-shot noisy-graph release.
+
+The paper's related work contrasts problem-specific protocols (its
+contribution) with general-purpose synthetic/noisy graph release. This
+example makes the trade-off concrete: a single ε-release answers unlimited
+C2 queries for free but each answer carries the full O(n1) candidate-pool
+error, while MultiR-DS pays a fresh budget per query and answers with
+degree-bounded error.
+
+Run:  python examples/release_vs_queries.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import Layer
+from repro.protocol import release_noisy_graph, released_common_neighbors
+
+
+def main() -> None:
+    graph = repro.load_dataset("RM", max_edges=60_000)
+    epsilon = 2.0
+    pairs = repro.sample_query_pairs(graph, Layer.UPPER, 40, rng=3)
+    truths = [graph.count_common_neighbors(p.layer, p.a, p.b) for p in pairs]
+
+    # Paradigm 1: one eps-release, every query is post-processing.
+    release = release_noisy_graph(graph, epsilon, rng=4)
+    release_err = [
+        abs(released_common_neighbors(release, p.layer, p.a, p.b) - t)
+        for p, t in zip(pairs, truths)
+    ]
+
+    # Paradigm 2: a fresh eps per query through MultiR-DS.
+    estimator = repro.MultiRoundDoubleSource()
+    query_err = []
+    query_bytes = 0
+    for i, (p, t) in enumerate(zip(pairs, truths)):
+        result = estimator.estimate(graph, p.layer, p.a, p.b, epsilon, rng=100 + i)
+        query_err.append(abs(result.value - t))
+        query_bytes += result.communication_bytes
+
+    print(f"dataset RM analogue: {graph}; eps = {epsilon:g}; {len(pairs)} queries\n")
+    print(f"{'paradigm':<28} {'MAE':>8} {'bytes moved':>14} {'eps per vertex':>15}")
+    print("-" * 70)
+    print(
+        f"{'noisy-graph release':<28} {np.mean(release_err):>8.2f} "
+        f"{release.upload_bytes:>14,} {epsilon:>15.2f}"
+    )
+    print(
+        f"{'MultiR-DS per query':<28} {np.mean(query_err):>8.2f} "
+        f"{query_bytes:>14,} {epsilon:>15.2f}"
+    )
+    print(
+        "\nThe release amortizes cost over unlimited queries but its error "
+        "carries the\nfull candidate pool; the per-query protocol is "
+        f"{np.mean(release_err) / max(np.mean(query_err), 1e-9):.0f}x more "
+        "accurate at the same per-vertex budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Private similarity search on a user–item graph (e-commerce scenario).
+
+The paper's introduction motivates common-neighbor estimation with vertex
+similarity on shopping graphs: revealing which items two users share is a
+privacy breach, so similarity must be computed from private estimates.
+This example ranks candidate users by privately-estimated Jaccard
+similarity to a target user and compares the private ranking with the
+exact one, then builds a thresholded LDP projection graph.
+
+Run:  python examples/similarity_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import Layer
+from repro.applications import estimate_jaccard, exact_projection, ldp_projection
+
+
+def main() -> None:
+    graph = repro.load_dataset("RM", max_edges=60_000)
+    print(f"dataset RM (rmwiki analogue): {graph}")
+
+    degrees = graph.degrees(Layer.UPPER)
+    target = int(np.argsort(degrees)[-5])  # an active but not extreme user
+    candidates = [int(v) for v in np.argsort(degrees)[-30:] if int(v) != target][:12]
+    print(f"target user {target} (degree {degrees[target]}), "
+          f"{len(candidates)} candidates\n")
+
+    epsilon = 2.0
+    rows = []
+    for i, cand in enumerate(candidates):
+        estimate = estimate_jaccard(
+            graph, Layer.UPPER, target, cand, epsilon, method="multir-ds",
+            rng=1000 + i,
+        )
+        exact = graph.jaccard(Layer.UPPER, target, cand)
+        rows.append((cand, estimate.value, exact))
+
+    rows.sort(key=lambda r: r[1], reverse=True)
+    print(f"{'candidate':>9} {'jaccard (LDP)':>14} {'jaccard (true)':>15}")
+    for cand, private, exact in rows:
+        print(f"{cand:>9} {private:>14.4f} {exact:>15.4f}")
+
+    private_top3 = {r[0] for r in rows[:3]}
+    exact_top3 = {r[0] for r in sorted(rows, key=lambda r: r[2], reverse=True)[:3]}
+    print(f"\ntop-3 overlap (private vs exact): "
+          f"{len(private_top3 & exact_top3)}/3")
+
+    # Build a small LDP projection graph over the most active users.
+    group = candidates[:8] + [target]
+    noisy_projection = ldp_projection(
+        graph, Layer.UPPER, group, epsilon, threshold=2.0, rng=7
+    )
+    reference = exact_projection(graph, Layer.UPPER, group)
+    print(f"\nLDP projection: {noisy_projection.number_of_edges()} edges "
+          f"(exact projection with weight>2: "
+          f"{sum(1 for *_, d in reference.edges(data=True) if d['weight'] > 2)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Top-k similar users under one analyst budget.
+
+The similarity search from the paper's introduction, with honest
+cross-query accounting: the analyst holds ONE total budget for the whole
+search, split across candidate comparisons by the QueryBudgetManager —
+so the target user's cumulative privacy loss is bounded no matter how
+many candidates are screened.
+
+Run:  python examples/top_k_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import Layer
+from repro.applications import top_k_similar
+
+
+def main() -> None:
+    graph = repro.load_dataset("RM", max_edges=60_000)
+    degrees = graph.degrees(Layer.UPPER)
+    target = int(np.argsort(degrees)[-8])
+    candidates = [int(v) for v in np.argsort(degrees)[-40:] if int(v) != target]
+    print(f"dataset: {graph}")
+    print(f"target user {target} (degree {degrees[target]}); "
+          f"screening {len(candidates)} candidates\n")
+
+    for total_epsilon in (8.0, 40.0, 200.0):
+        per_query = total_epsilon / len(candidates)
+        top = top_k_similar(
+            graph, Layer.UPPER, target, candidates, k=5,
+            total_epsilon=total_epsilon, kind="jaccard", rng=17,
+        )
+        # Exact ranking for comparison (non-private, evaluation only).
+        exact = sorted(
+            candidates,
+            key=lambda c: graph.jaccard(Layer.UPPER, target, c),
+            reverse=True,
+        )[:5]
+        hits = len({v for v, _ in top} & set(exact))
+        print(f"analyst budget {total_epsilon:6.1f} "
+              f"(= {per_query:.3f} per comparison): "
+              f"top-5 overlap with exact ranking {hits}/5")
+
+    print("\nWith a fixed total budget, screening more candidates means less "
+          "budget per\ncomparison — the utility cost of honest sequential "
+          "composition.")
+
+
+if __name__ == "__main__":
+    main()

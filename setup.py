@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+Configuration lives in pyproject.toml; this file only enables the legacy
+`pip install -e . --no-use-pep517` editable path offline.
+"""
+
+from setuptools import setup
+
+setup()

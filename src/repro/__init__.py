@@ -1,0 +1,152 @@
+"""repro — Common Neighborhood Estimation over Bipartite Graphs under Edge LDP.
+
+A full reproduction of the SIGMOD paper "Common Neighborhood Estimation
+over Bipartite Graphs under Local Differential Privacy": the bipartite
+substrate, the edge-LDP protocol, all estimation algorithms (Naive, OneR,
+MultiR-SS, MultiR-DS and variants, CentralDP), the analytic loss models
+and budget optimizer, the 15-dataset registry, and the experiment harness
+that regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    graph = repro.load_dataset("RM")
+    result = repro.estimate_common_neighbors(
+        graph, repro.Layer.UPPER, u=3, w=7, epsilon=2.0, method="multir-ds",
+        rng=42,
+    )
+    print(result.value, result.transcript.rounds)
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    Allocation,
+    confidence_interval,
+    double_source_variance,
+    mean_absolute_error,
+    naive_l2_loss,
+    oner_variance,
+    optimize_double_source,
+    single_source_variance,
+    summarize_errors,
+)
+from repro.datasets import dataset_keys, load_dataset, synthesize
+from repro.errors import (
+    BudgetExceededError,
+    DatasetError,
+    GraphError,
+    OptimizationError,
+    PrivacyError,
+    ProtocolError,
+    ReproError,
+)
+from repro.estimators import (
+    CentralDPEstimator,
+    CommonNeighborEstimator,
+    EstimateResult,
+    ExactCounter,
+    MultiRoundDoubleSource,
+    MultiRoundDoubleSourceBasic,
+    MultiRoundDoubleSourceStar,
+    MultiRoundSingleSource,
+    NaiveEstimator,
+    OneRoundEstimator,
+    available_estimators,
+    get_estimator,
+)
+from repro.graph import (
+    BipartiteGraph,
+    GraphBuilder,
+    Layer,
+    QueryPair,
+    chung_lu_bipartite,
+    random_bipartite,
+    read_edge_list,
+    sample_imbalanced_pairs,
+    sample_query_pairs,
+)
+from repro.privacy import BudgetSplit, LaplaceMechanism, RandomizedResponse
+from repro.protocol import ExecutionMode, ProtocolSession, ProtocolTranscript
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "BipartiteGraph",
+    "Layer",
+    "GraphBuilder",
+    "QueryPair",
+    "random_bipartite",
+    "chung_lu_bipartite",
+    "read_edge_list",
+    "sample_query_pairs",
+    "sample_imbalanced_pairs",
+    # privacy / protocol
+    "BudgetSplit",
+    "RandomizedResponse",
+    "LaplaceMechanism",
+    "ExecutionMode",
+    "ProtocolSession",
+    "ProtocolTranscript",
+    # estimators
+    "CommonNeighborEstimator",
+    "EstimateResult",
+    "ExactCounter",
+    "NaiveEstimator",
+    "OneRoundEstimator",
+    "MultiRoundSingleSource",
+    "MultiRoundDoubleSourceBasic",
+    "MultiRoundDoubleSource",
+    "MultiRoundDoubleSourceStar",
+    "CentralDPEstimator",
+    "available_estimators",
+    "get_estimator",
+    "estimate_common_neighbors",
+    # analysis
+    "Allocation",
+    "optimize_double_source",
+    "single_source_variance",
+    "double_source_variance",
+    "oner_variance",
+    "naive_l2_loss",
+    "mean_absolute_error",
+    "summarize_errors",
+    "confidence_interval",
+    # datasets
+    "dataset_keys",
+    "load_dataset",
+    "synthesize",
+    # errors
+    "ReproError",
+    "GraphError",
+    "DatasetError",
+    "PrivacyError",
+    "BudgetExceededError",
+    "ProtocolError",
+    "OptimizationError",
+]
+
+
+def estimate_common_neighbors(
+    graph: BipartiteGraph,
+    layer: Layer,
+    u: int,
+    w: int,
+    epsilon: float,
+    method: str = "multir-ds",
+    *,
+    rng=None,
+    mode: ExecutionMode = ExecutionMode.AUTO,
+    **estimator_kwargs,
+) -> EstimateResult:
+    """One-call front door: estimate ``C2(u, w)`` under ``epsilon``-edge LDP.
+
+    ``method`` is any registered estimator name (see
+    :func:`available_estimators`); extra keyword arguments configure the
+    estimator (e.g. ``graph_fraction=0.3`` for ``"multir-ss"``).
+    """
+    estimator = get_estimator(method, **estimator_kwargs)
+    return estimator.estimate(graph, layer, u, w, epsilon, rng=rng, mode=mode)

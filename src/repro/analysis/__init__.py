@@ -1,0 +1,92 @@
+"""Analytic error models, budget optimization, metrics, and bounds."""
+
+from repro.analysis.chebyshev import (
+    confidence_interval,
+    deviation_for_confidence,
+    tail_probability,
+)
+from repro.analysis.communication import (
+    expected_bytes_multir_ds,
+    expected_bytes_multir_ss,
+    expected_bytes_naive,
+    expected_bytes_oner,
+    expected_noisy_list_size,
+)
+from repro.analysis.intervals import interval_for_result, predicted_variance
+from repro.analysis.loss import (
+    central_dp_variance,
+    double_source_variance,
+    laplace_noise_coefficient,
+    naive_expectation,
+    naive_l2_loss,
+    naive_variance,
+    oner_l2_loss,
+    oner_variance,
+    rr_noise_coefficient,
+    single_source_variance,
+)
+from repro.analysis.metrics import (
+    ErrorSummary,
+    absolute_errors,
+    bias,
+    empirical_l2_loss,
+    mean_absolute_error,
+    mean_relative_error,
+    summarize_errors,
+)
+from repro.analysis.planner import (
+    epsilon_for_target_loss,
+    epsilon_for_target_mae,
+    predicted_loss_at,
+)
+from repro.analysis.optimizer import (
+    Allocation,
+    golden_section,
+    joint_newton,
+    newton_minimize_scalar,
+    optimal_alpha,
+    optimize_double_source,
+    optimize_single_source,
+    profile_loss,
+)
+
+__all__ = [
+    "confidence_interval",
+    "deviation_for_confidence",
+    "tail_probability",
+    "expected_bytes_multir_ds",
+    "expected_bytes_multir_ss",
+    "expected_bytes_naive",
+    "expected_bytes_oner",
+    "expected_noisy_list_size",
+    "interval_for_result",
+    "predicted_variance",
+    "central_dp_variance",
+    "double_source_variance",
+    "laplace_noise_coefficient",
+    "naive_expectation",
+    "naive_l2_loss",
+    "naive_variance",
+    "oner_l2_loss",
+    "oner_variance",
+    "rr_noise_coefficient",
+    "single_source_variance",
+    "ErrorSummary",
+    "absolute_errors",
+    "bias",
+    "empirical_l2_loss",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "summarize_errors",
+    "epsilon_for_target_loss",
+    "epsilon_for_target_mae",
+    "predicted_loss_at",
+    "Allocation",
+    "golden_section",
+    "joint_newton",
+    "newton_minimize_scalar",
+    "optimal_alpha",
+    "optimize_double_source",
+    "optimize_single_source",
+    "profile_loss",
+]

@@ -1,0 +1,46 @@
+"""Chebyshev deviation bounds for the unbiased estimators.
+
+The paper (§4.2, "Summary of the expected L2 losses") notes that for the
+unbiased estimators (OneR, MultiR-SS, MultiR-DS) the expected L2 loss
+equals the variance, so Chebyshev's inequality
+
+    P(|f - C2| >= k * sqrt(Var)) <= 1 / k²
+
+yields distribution-free confidence intervals. These helpers turn the
+closed-form variances of :mod:`repro.analysis.loss` into usable bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["tail_probability", "deviation_for_confidence", "confidence_interval"]
+
+
+def tail_probability(variance: float, deviation: float) -> float:
+    """Chebyshev bound on ``P(|f - C2| >= deviation)`` (capped at 1)."""
+    if variance < 0:
+        raise ValueError(f"variance must be >= 0, got {variance}")
+    if deviation <= 0:
+        raise ValueError(f"deviation must be positive, got {deviation}")
+    if variance == 0:
+        return 0.0
+    return min(1.0, variance / deviation**2)
+
+
+def deviation_for_confidence(variance: float, confidence: float) -> float:
+    """Half-width ``k·σ`` with ``1/k² = 1 - confidence``."""
+    if variance < 0:
+        raise ValueError(f"variance must be >= 0, got {variance}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    k = 1.0 / math.sqrt(1.0 - confidence)
+    return k * math.sqrt(variance)
+
+
+def confidence_interval(
+    estimate: float, variance: float, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Distribution-free interval containing C2 with ≥ ``confidence`` prob."""
+    half = deviation_for_confidence(variance, confidence)
+    return estimate - half, estimate + half

@@ -1,0 +1,77 @@
+"""Closed-form communication-cost model (the paper's Table 3, last column).
+
+The paper reports asymptotic communication costs; this module provides
+the *exact expected byte counts* under the repository's message model
+(8 bytes per vertex id / scalar), per algorithm:
+
+* Naive / OneR — two noisy-list uploads at the full budget;
+* MultiR-SS — two uploads at ε1, one download, one scalar release;
+* MultiR-DS — a layer-wide degree round, two uploads and two downloads
+  at ε1, two scalar releases.
+
+The protocol's measured transfers converge to these expectations — an
+executable check of the paper's cost analysis
+(``tests/test_analysis_communication.py``).
+"""
+
+from __future__ import annotations
+
+from repro.privacy.mechanisms import flip_probability
+from repro.protocol.messages import FLOAT_BYTES, ID_BYTES
+
+__all__ = [
+    "expected_noisy_list_size",
+    "expected_bytes_naive",
+    "expected_bytes_oner",
+    "expected_bytes_multir_ss",
+    "expected_bytes_multir_ds",
+]
+
+
+def expected_noisy_list_size(epsilon: float, degree: int, domain: int) -> float:
+    """``E|noisy list| = d(1-p) + (n-d)p`` with ``p = 1/(1+e^eps)``."""
+    p = flip_probability(epsilon)
+    return degree * (1.0 - p) + (domain - degree) * p
+
+
+def expected_bytes_naive(
+    epsilon: float, deg_u: int, deg_w: int, n_opposite: int
+) -> float:
+    """Naive: both query vertices upload a full-budget noisy list."""
+    lists = expected_noisy_list_size(epsilon, deg_u, n_opposite) + (
+        expected_noisy_list_size(epsilon, deg_w, n_opposite)
+    )
+    return lists * ID_BYTES
+
+
+def expected_bytes_oner(
+    epsilon: float, deg_u: int, deg_w: int, n_opposite: int
+) -> float:
+    """OneR moves exactly the same messages as Naive."""
+    return expected_bytes_naive(epsilon, deg_u, deg_w, n_opposite)
+
+
+def expected_bytes_multir_ss(
+    eps1: float, deg_u: int, deg_w: int, n_opposite: int
+) -> float:
+    """MultiR-SS: two ε1 uploads + the source's download + one scalar."""
+    up = expected_noisy_list_size(eps1, deg_u, n_opposite) + (
+        expected_noisy_list_size(eps1, deg_w, n_opposite)
+    )
+    down = expected_noisy_list_size(eps1, deg_w, n_opposite)
+    return (up + down) * ID_BYTES + FLOAT_BYTES
+
+
+def expected_bytes_multir_ds(
+    eps1: float, deg_u: int, deg_w: int, n_opposite: int, layer_size: int
+) -> float:
+    """MultiR-DS: degree round + both directions at ε1 + two scalars."""
+    up = expected_noisy_list_size(eps1, deg_u, n_opposite) + (
+        expected_noisy_list_size(eps1, deg_w, n_opposite)
+    )
+    down = up  # each query vertex downloads the other's list
+    return (
+        layer_size * FLOAT_BYTES
+        + (up + down) * ID_BYTES
+        + 2 * FLOAT_BYTES
+    )

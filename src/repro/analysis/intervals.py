@@ -1,0 +1,69 @@
+"""Confidence intervals for estimator outputs (evaluation utility).
+
+For the unbiased estimators the expected L2 loss equals the variance, so
+Chebyshev's inequality turns the closed forms of
+:mod:`repro.analysis.loss` into distribution-free intervals (paper §4.2's
+"Summary" discussion). Computing those variances needs the query degrees
+and pool size, which are private — so this module is an *evaluation*
+utility (it reads the true graph), used to check coverage and to size
+experiments, not something a real curator could run verbatim. A deployed
+system would substitute the noisy degrees from MultiR-DS's first round.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.chebyshev import confidence_interval
+from repro.analysis.loss import (
+    central_dp_variance,
+    double_source_variance,
+    oner_variance,
+    single_source_variance,
+)
+from repro.errors import ReproError
+from repro.estimators.base import EstimateResult
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["predicted_variance", "interval_for_result"]
+
+
+def predicted_variance(result: EstimateResult, graph: BipartiteGraph) -> float:
+    """Closed-form variance of the algorithm run recorded in ``result``.
+
+    Supported algorithms: ``oner``, ``multir-ss``, ``multir-ds-basic``,
+    ``multir-ds``, ``multir-ds-star``, ``central-dp``. ``naive`` is biased
+    (an interval around its value would not cover C2) and ``exact`` is
+    noiseless; both raise :class:`ReproError`.
+    """
+    layer = result.layer
+    deg_u = graph.degree(layer, result.u)
+    deg_w = graph.degree(layer, result.w)
+    details = result.details
+
+    if result.algorithm == "oner":
+        pool = graph.layer_size(layer.opposite())
+        return oner_variance(result.epsilon, pool, deg_u, deg_w)
+    if result.algorithm == "multir-ss":
+        source_degree = deg_u if details.get("source", "u") == "u" else deg_w
+        return single_source_variance(
+            details["eps1"], details["eps2"], source_degree
+        )
+    if result.algorithm in ("multir-ds-basic", "multir-ds", "multir-ds-star"):
+        return double_source_variance(
+            details["eps1"], details["eps2"], details["alpha"], deg_u, deg_w
+        )
+    if result.algorithm == "central-dp":
+        return central_dp_variance(result.epsilon)
+    raise ReproError(
+        f"no variance model for algorithm {result.algorithm!r} "
+        "(naive is biased; exact is noiseless)"
+    )
+
+
+def interval_for_result(
+    result: EstimateResult,
+    graph: BipartiteGraph,
+    confidence: float = 0.95,
+) -> tuple[float, float]:
+    """Chebyshev interval containing ``C2`` with ≥ ``confidence``."""
+    variance = predicted_variance(result, graph)
+    return confidence_interval(result.value, variance, confidence)

@@ -1,0 +1,135 @@
+"""Closed-form error analysis of every estimator (the paper's Table 3).
+
+All formulas are *exact* means/variances (not just the O(·) bounds quoted in
+the paper's table), derived in the paper's proofs:
+
+* Naive (Theorem 1 setting): each candidate ``v`` contributes a Bernoulli
+  product ``A'[u,v]·A'[v,w]``; the estimator is biased.
+* OneR (Theorem 4 proof): ``Var = p²(1-p)²·n1/(1-2p)⁴ + p(1-p)(du+dw)/(1-2p)²``.
+* MultiR-SS (Theorem 6): ``Var = du·p(1-p)/(1-2p)² + 2(1-p)²/((1-2p)²ε2²)``.
+* MultiR-DS (Theorem 8): weighted combination with weights ``α, 1-α``.
+* CentralDP: pure Laplace noise with sensitivity 1.
+
+These functions drive the MultiR-DS budget optimizer and the analytic
+figures (Fig. 5, Table 3 verification).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PrivacyError
+from repro.privacy.mechanisms import flip_probability
+
+__all__ = [
+    "rr_noise_coefficient",
+    "laplace_noise_coefficient",
+    "naive_expectation",
+    "naive_variance",
+    "naive_l2_loss",
+    "oner_variance",
+    "oner_l2_loss",
+    "single_source_variance",
+    "double_source_variance",
+    "central_dp_variance",
+]
+
+
+def rr_noise_coefficient(epsilon_rr: float) -> float:
+    """``g(ε1) = p(1-p)/(1-2p)²`` — per-neighbor RR variance (Eq. 1)."""
+    p = flip_probability(epsilon_rr)
+    return p * (1.0 - p) / (1.0 - 2.0 * p) ** 2
+
+
+def laplace_noise_coefficient(epsilon_rr: float) -> float:
+    """``h(ε1) = (1-p)²/(1-2p)²`` — squared single-source sensitivity."""
+    p = flip_probability(epsilon_rr)
+    return (1.0 - p) ** 2 / (1.0 - 2.0 * p) ** 2
+
+
+# ----------------------------------------------------------------------
+# Naive (Algorithm 1) — biased
+# ----------------------------------------------------------------------
+def _naive_category_probs(epsilon: float) -> tuple[float, float, float]:
+    p = flip_probability(epsilon)
+    return (1.0 - p) ** 2, p * (1.0 - p), p * p
+
+
+def naive_expectation(
+    epsilon: float, n_opposite: int, deg_u: int, deg_w: int, c2: int
+) -> float:
+    """Exact ``E[f̃1]`` of the Naive noisy-graph intersection count."""
+    q_both, q_one, q_none = _naive_category_probs(epsilon)
+    one_side = deg_u + deg_w - 2 * c2
+    neither = n_opposite - deg_u - deg_w + c2
+    return c2 * q_both + one_side * q_one + neither * q_none
+
+
+def naive_variance(
+    epsilon: float, n_opposite: int, deg_u: int, deg_w: int, c2: int
+) -> float:
+    """Exact ``Var[f̃1]`` — a sum of independent Bernoulli variances."""
+    q_both, q_one, q_none = _naive_category_probs(epsilon)
+    one_side = deg_u + deg_w - 2 * c2
+    neither = n_opposite - deg_u - deg_w + c2
+    return (
+        c2 * q_both * (1 - q_both)
+        + one_side * q_one * (1 - q_one)
+        + neither * q_none * (1 - q_none)
+    )
+
+
+def naive_l2_loss(
+    epsilon: float, n_opposite: int, deg_u: int, deg_w: int, c2: int
+) -> float:
+    """Exact expected L2 loss: variance plus squared bias."""
+    mean = naive_expectation(epsilon, n_opposite, deg_u, deg_w, c2)
+    var = naive_variance(epsilon, n_opposite, deg_u, deg_w, c2)
+    return var + (mean - c2) ** 2
+
+
+# ----------------------------------------------------------------------
+# OneR (Algorithm 2) — unbiased
+# ----------------------------------------------------------------------
+def oner_variance(epsilon: float, n_opposite: int, deg_u: int, deg_w: int) -> float:
+    """Exact ``Var[f̃2]`` (Theorem 4 proof, before the O(·) relaxation)."""
+    p = flip_probability(epsilon)
+    quartic = p**2 * (1.0 - p) ** 2 / (1.0 - 2.0 * p) ** 4
+    return quartic * n_opposite + rr_noise_coefficient(epsilon) * (deg_u + deg_w)
+
+
+def oner_l2_loss(epsilon: float, n_opposite: int, deg_u: int, deg_w: int) -> float:
+    """OneR is unbiased, so its L2 loss equals its variance."""
+    return oner_variance(epsilon, n_opposite, deg_u, deg_w)
+
+
+# ----------------------------------------------------------------------
+# Multiple-round estimators — unbiased
+# ----------------------------------------------------------------------
+def single_source_variance(eps1: float, eps2: float, deg_source: int) -> float:
+    """Exact ``Var[f̃u]`` (Theorem 6): RR term plus Laplace term."""
+    if eps2 <= 0:
+        raise PrivacyError(f"estimator budget eps2 must be positive, got {eps2}")
+    rr_term = rr_noise_coefficient(eps1) * deg_source
+    laplace_term = 2.0 * laplace_noise_coefficient(eps1) / eps2**2
+    return rr_term + laplace_term
+
+
+def double_source_variance(
+    eps1: float, eps2: float, alpha: float, deg_u: int, deg_w: int
+) -> float:
+    """Exact ``Var[f*] = α²Var[f̃u] + (1-α)²Var[f̃w]`` (Theorem 8)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise PrivacyError(f"alpha must lie in [0, 1], got {alpha}")
+    if eps2 <= 0:
+        raise PrivacyError(f"estimator budget eps2 must be positive, got {eps2}")
+    g = rr_noise_coefficient(eps1)
+    h = laplace_noise_coefficient(eps1)
+    rr_term = g * (alpha**2 * deg_u + (1.0 - alpha) ** 2 * deg_w)
+    laplace_term = 2.0 * h * (alpha**2 + (1.0 - alpha) ** 2) / eps2**2
+    return rr_term + laplace_term
+
+
+def central_dp_variance(epsilon: float) -> float:
+    """``Var[C2 + Lap(1/ε)] = 2/ε²`` — the central-model baseline."""
+    if epsilon <= 0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+    return 2.0 / epsilon**2

@@ -1,0 +1,99 @@
+"""Error metrics used in the paper's evaluation.
+
+The headline metric of Figs. 6–11 is the **mean absolute error** over the
+sampled query pairs; the contribution list also speaks of mean *relative*
+error, and L2 (squared) loss is the quantity the theory bounds. All three
+are provided, plus bias (to separate Naive's systematic over-count from
+pure noise) and a compact summary container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "absolute_errors",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "empirical_l2_loss",
+    "bias",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def _paired(true_values, estimates) -> tuple[np.ndarray, np.ndarray]:
+    true_arr = np.asarray(true_values, dtype=np.float64)
+    est_arr = np.asarray(estimates, dtype=np.float64)
+    if true_arr.shape != est_arr.shape:
+        raise ValueError(
+            f"shape mismatch: true {true_arr.shape} vs estimates {est_arr.shape}"
+        )
+    if true_arr.size == 0:
+        raise ValueError("need at least one (true, estimate) pair")
+    return true_arr, est_arr
+
+
+def absolute_errors(true_values, estimates) -> np.ndarray:
+    """Per-pair absolute errors ``|estimate - true|``."""
+    true_arr, est_arr = _paired(true_values, estimates)
+    return np.abs(est_arr - true_arr)
+
+
+def mean_absolute_error(true_values, estimates) -> float:
+    """The paper's headline metric (Figs. 6–11)."""
+    return float(absolute_errors(true_values, estimates).mean())
+
+
+def mean_relative_error(true_values, estimates, floor: float = 1.0) -> float:
+    """Mean of ``|est - true| / max(true, floor)``.
+
+    ``floor`` guards pairs with zero common neighbors, which are common in
+    sparse graphs and would otherwise make relative error undefined.
+    """
+    true_arr, est_arr = _paired(true_values, estimates)
+    denom = np.maximum(true_arr, floor)
+    return float((np.abs(est_arr - true_arr) / denom).mean())
+
+
+def empirical_l2_loss(true_values, estimates) -> float:
+    """Mean squared error — the empirical analogue of the expected L2 loss."""
+    true_arr, est_arr = _paired(true_values, estimates)
+    return float(((est_arr - true_arr) ** 2).mean())
+
+
+def bias(true_values, estimates) -> float:
+    """Mean signed error ``mean(est - true)`` (Naive's over-count shows here)."""
+    true_arr, est_arr = _paired(true_values, estimates)
+    return float((est_arr - true_arr).mean())
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """All headline metrics for one (algorithm, configuration) cell."""
+
+    count: int
+    mae: float
+    mre: float
+    l2: float
+    bias: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mae={self.mae:.4g} mre={self.mre:.4g} "
+            f"l2={self.l2:.4g} bias={self.bias:+.4g}"
+        )
+
+
+def summarize_errors(true_values, estimates) -> ErrorSummary:
+    """Compute every metric at once."""
+    true_arr, est_arr = _paired(true_values, estimates)
+    return ErrorSummary(
+        count=int(true_arr.size),
+        mae=mean_absolute_error(true_arr, est_arr),
+        mre=mean_relative_error(true_arr, est_arr),
+        l2=empirical_l2_loss(true_arr, est_arr),
+        bias=bias(true_arr, est_arr),
+    )

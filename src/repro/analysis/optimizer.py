@@ -1,0 +1,285 @@
+"""Privacy-budget allocation optimization for the multiple-round algorithms.
+
+MultiR-DS (paper §4.2) chooses ``(ε1, α)`` to minimize the double-source
+loss ``F(ε1, α)`` subject to ``ε1 + ε2 = ε - ε0``. The inner problem is a
+weighted-average quadratic in ``α`` with the closed-form minimizer
+
+    α*(ε1) = B / (A + B),   A = g·du + 2h/ε2²,   B = g·dw + 2h/ε2²,
+
+giving the profile objective ``F(ε1, α*) = A·B / (A + B)``. The outer 1-D
+problem has no analytic solution (the paper notes the stationarity system
+is transcendental and resorts to Newton's method); we implement a
+safeguarded Newton iteration on the profile derivative with a
+golden-section fallback, plus a joint 2-D damped Newton used as a
+cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.loss import (
+    double_source_variance,
+    laplace_noise_coefficient,
+    rr_noise_coefficient,
+    single_source_variance,
+)
+from repro.errors import OptimizationError, PrivacyError
+
+__all__ = [
+    "Allocation",
+    "optimal_alpha",
+    "profile_loss",
+    "newton_minimize_scalar",
+    "golden_section",
+    "optimize_double_source",
+    "optimize_single_source",
+    "joint_newton",
+]
+
+# Keep allocations away from the degenerate boundary: both the RR round and
+# the Laplace round must retain a usable share of the remaining budget.
+_MIN_FRACTION = 0.05
+_MAX_FRACTION = 0.95
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An optimized budget allocation and its predicted loss."""
+
+    eps0: float
+    eps1: float
+    eps2: float
+    alpha: float
+    predicted_loss: float
+
+    @property
+    def total(self) -> float:
+        return self.eps0 + self.eps1 + self.eps2
+
+
+def optimal_alpha(eps1: float, eps2: float, deg_u: float, deg_w: float) -> float:
+    """Closed-form minimizer of ``F`` over α for a fixed split."""
+    g = rr_noise_coefficient(eps1)
+    h = laplace_noise_coefficient(eps1)
+    a = g * deg_u + 2.0 * h / eps2**2
+    b = g * deg_w + 2.0 * h / eps2**2
+    return b / (a + b)
+
+
+def profile_loss(eps1: float, eps_remaining: float, deg_u: float, deg_w: float) -> float:
+    """``min_α F(ε1, α)`` with ``ε2 = eps_remaining - ε1``: equals AB/(A+B)."""
+    eps2 = eps_remaining - eps1
+    if eps1 <= 0 or eps2 <= 0:
+        raise PrivacyError("eps1 must lie strictly inside (0, eps_remaining)")
+    g = rr_noise_coefficient(eps1)
+    h = laplace_noise_coefficient(eps1)
+    a = g * deg_u + 2.0 * h / eps2**2
+    b = g * deg_w + 2.0 * h / eps2**2
+    return a * b / (a + b)
+
+
+# ----------------------------------------------------------------------
+# Generic 1-D minimizers
+# ----------------------------------------------------------------------
+def golden_section(
+    f: Callable[[float], float], lo: float, hi: float, tol: float = 1e-10
+) -> float:
+    """Golden-section search for the minimizer of a unimodal ``f``."""
+    if not lo < hi:
+        raise OptimizationError(f"invalid bracket [{lo}, {hi}]")
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = f(c), f(d)
+    while b - a > tol * max(1.0, abs(a) + abs(b)):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = f(d)
+    return (a + b) / 2.0
+
+
+def newton_minimize_scalar(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    x0: float | None = None,
+    max_iter: int = 60,
+    tol: float = 1e-12,
+) -> float:
+    """Safeguarded Newton minimization of smooth ``f`` on ``[lo, hi]``.
+
+    Newton steps target ``f'(x) = 0`` using central finite differences;
+    steps leaving the bracket, or taken where ``f'' <= 0``, trigger a
+    golden-section fallback. The better of the Newton fixed point and the
+    fallback (by objective value) is returned, so the routine is robust to
+    non-convexity at the bracket edges.
+    """
+    if not lo < hi:
+        raise OptimizationError(f"invalid bracket [{lo}, {hi}]")
+    span = hi - lo
+    h = max(span * 1e-6, 1e-12)
+    x = x0 if x0 is not None else (lo + hi) / 2.0
+    x = min(max(x, lo + h), hi - h)
+
+    converged = False
+    for _ in range(max_iter):
+        d1 = (f(x + h) - f(x - h)) / (2.0 * h)
+        d2 = (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+        if not math.isfinite(d1) or not math.isfinite(d2) or d2 <= 0.0:
+            break
+        step = d1 / d2
+        new_x = min(max(x - step, lo + h), hi - h)
+        if abs(new_x - x) <= tol * max(1.0, abs(x)):
+            x = new_x
+            converged = True
+            break
+        x = new_x
+    if not converged:
+        fallback = golden_section(f, lo, hi)
+        if f(fallback) < f(x):
+            x = fallback
+    return x
+
+
+# ----------------------------------------------------------------------
+# Paper-facing optimizers
+# ----------------------------------------------------------------------
+def optimize_double_source(
+    epsilon: float,
+    deg_u: float,
+    deg_w: float,
+    eps0: float = 0.0,
+) -> Allocation:
+    """Find ``(ε1, α)`` minimizing the MultiR-DS loss (paper §4.2).
+
+    ``deg_u`` / ``deg_w`` may be noisy estimates (already corrected to be
+    positive); ``eps0`` is the budget consumed by the degree round and is
+    excluded from the optimization.
+    """
+    eps_remaining = epsilon - eps0
+    if eps_remaining <= 0:
+        raise PrivacyError("degree round consumed the whole budget")
+    deg_u = max(float(deg_u), 1.0)
+    deg_w = max(float(deg_w), 1.0)
+    lo = _MIN_FRACTION * eps_remaining
+    hi = _MAX_FRACTION * eps_remaining
+
+    def objective(eps1: float) -> float:
+        return profile_loss(eps1, eps_remaining, deg_u, deg_w)
+
+    eps1 = newton_minimize_scalar(objective, lo, hi)
+    eps2 = eps_remaining - eps1
+    alpha = optimal_alpha(eps1, eps2, deg_u, deg_w)
+    loss = double_source_variance(eps1, eps2, alpha, deg_u, deg_w)
+    return Allocation(eps0=eps0, eps1=eps1, eps2=eps2, alpha=alpha, predicted_loss=loss)
+
+
+def optimize_single_source(
+    epsilon: float,
+    deg_source: float,
+    eps0: float = 0.0,
+) -> Allocation:
+    """Optimize the (ε1, ε2) split for MultiR-SS (the α = 1 special case)."""
+    eps_remaining = epsilon - eps0
+    if eps_remaining <= 0:
+        raise PrivacyError("degree round consumed the whole budget")
+    deg_source = max(float(deg_source), 1.0)
+    lo = _MIN_FRACTION * eps_remaining
+    hi = _MAX_FRACTION * eps_remaining
+
+    def objective(eps1: float) -> float:
+        return single_source_variance(eps1, eps_remaining - eps1, deg_source)
+
+    eps1 = newton_minimize_scalar(objective, lo, hi)
+    eps2 = eps_remaining - eps1
+    loss = single_source_variance(eps1, eps2, deg_source)
+    return Allocation(eps0=eps0, eps1=eps1, eps2=eps2, alpha=1.0, predicted_loss=loss)
+
+
+def joint_newton(
+    epsilon: float,
+    deg_u: float,
+    deg_w: float,
+    eps0: float = 0.0,
+    max_iter: int = 100,
+) -> Allocation:
+    """Damped 2-D Newton on ``(ε1, α)`` jointly (cross-check implementation).
+
+    Solves the same problem as :func:`optimize_double_source` by iterating
+    on the full gradient/Hessian of ``F(ε1, α)`` with numeric derivatives
+    and backtracking line search. Used in tests to confirm the profile
+    method reaches the same optimum.
+    """
+    eps_remaining = epsilon - eps0
+    if eps_remaining <= 0:
+        raise PrivacyError("degree round consumed the whole budget")
+    deg_u = max(float(deg_u), 1.0)
+    deg_w = max(float(deg_w), 1.0)
+    lo = _MIN_FRACTION * eps_remaining
+    hi = _MAX_FRACTION * eps_remaining
+
+    def objective(eps1: float, alpha: float) -> float:
+        alpha = min(max(alpha, 0.0), 1.0)
+        return double_source_variance(eps1, eps_remaining - eps1, alpha, deg_u, deg_w)
+
+    mid = (lo + hi) / 2.0
+    x = [mid, optimal_alpha(mid, eps_remaining - mid, deg_u, deg_w)]
+    h1 = (hi - lo) * 1e-6
+    h2 = 1e-7
+    for _ in range(max_iter):
+        e1, al = x
+        f0 = objective(e1, al)
+        g1 = (objective(e1 + h1, al) - objective(e1 - h1, al)) / (2 * h1)
+        g2 = (objective(e1, al + h2) - objective(e1, al - h2)) / (2 * h2)
+        h11 = (objective(e1 + h1, al) - 2 * f0 + objective(e1 - h1, al)) / h1**2
+        h22 = (objective(e1, al + h2) - 2 * f0 + objective(e1, al - h2)) / h2**2
+        h12 = (
+            objective(e1 + h1, al + h2)
+            - objective(e1 + h1, al - h2)
+            - objective(e1 - h1, al + h2)
+            + objective(e1 - h1, al - h2)
+        ) / (4 * h1 * h2)
+        det = h11 * h22 - h12 * h12
+        if det <= 0 or h11 <= 0:
+            break
+        step1 = (h22 * g1 - h12 * g2) / det
+        step2 = (h11 * g2 - h12 * g1) / det
+        scale = 1.0
+        improved = False
+        while scale > 1e-6:
+            cand1 = min(max(e1 - scale * step1, lo), hi)
+            cand2 = min(max(al - scale * step2, 0.0), 1.0)
+            if objective(cand1, cand2) < f0:
+                x = [cand1, cand2]
+                improved = True
+                break
+            scale /= 2.0
+        if not improved or (abs(x[0] - e1) < 1e-12 and abs(x[1] - al) < 1e-12):
+            break
+
+    # Coordinate-descent polish: alternate the closed-form alpha with a 1-D
+    # Newton step on eps1. This guards against the joint Hessian going
+    # indefinite near the boundary for strongly imbalanced degrees.
+    for _ in range(8):
+        e1_prev, al_prev = x
+        alpha_new = optimal_alpha(e1_prev, eps_remaining - e1_prev, deg_u, deg_w)
+        eps1_new = newton_minimize_scalar(
+            lambda t: objective(t, alpha_new), lo, hi, x0=e1_prev, max_iter=20
+        )
+        x = [eps1_new, alpha_new]
+        if abs(eps1_new - e1_prev) < 1e-10 and abs(alpha_new - al_prev) < 1e-10:
+            break
+
+    eps1, alpha = x
+    eps2 = eps_remaining - eps1
+    loss = objective(eps1, alpha)
+    return Allocation(eps0=eps0, eps1=eps1, eps2=eps2, alpha=alpha, predicted_loss=loss)

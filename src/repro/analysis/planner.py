@@ -1,0 +1,104 @@
+"""Budget planning — inverting the loss model.
+
+Deployments ask the loss model's question backwards: *what budget do I
+need for a target accuracy?* The closed forms of
+:mod:`repro.analysis.loss` are monotone decreasing in ε, so the inverse
+is a bisection away. Answers are planning estimates under the same
+assumptions as the forward model (known/estimated degrees and pool size).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loss import (
+    central_dp_variance,
+    oner_variance,
+    single_source_variance,
+)
+from repro.analysis.optimizer import optimize_double_source
+from repro.errors import OptimizationError, ReproError
+
+__all__ = ["predicted_loss_at", "epsilon_for_target_loss", "epsilon_for_target_mae"]
+
+_EPS_LO = 1e-3
+_EPS_HI = 64.0
+
+
+def predicted_loss_at(
+    epsilon: float,
+    algorithm: str,
+    deg_u: float,
+    deg_w: float,
+    n_opposite: int,
+) -> float:
+    """Forward model: expected L2 loss of ``algorithm`` at budget ε."""
+    if algorithm == "oner":
+        return oner_variance(epsilon, n_opposite, deg_u, deg_w)
+    if algorithm == "multir-ss":
+        return single_source_variance(epsilon / 2, epsilon / 2, deg_u)
+    if algorithm == "multir-ds":
+        alloc = optimize_double_source(epsilon, deg_u, deg_w, eps0=0.05 * epsilon)
+        return alloc.predicted_loss
+    if algorithm == "central-dp":
+        return central_dp_variance(epsilon)
+    raise ReproError(
+        f"no invertible loss model for {algorithm!r} "
+        "(naive is biased; exact is noiseless)"
+    )
+
+
+def epsilon_for_target_loss(
+    target_l2: float,
+    algorithm: str,
+    deg_u: float,
+    deg_w: float,
+    n_opposite: int,
+    tolerance: float = 1e-6,
+) -> float:
+    """Smallest ε whose predicted L2 loss is at or below ``target_l2``.
+
+    Raises :class:`OptimizationError` when even ε = 64 cannot reach the
+    target (e.g. OneR on a huge pool: its loss floors at ~0 only as
+    ε → ∞, but numerically the flip probability underflows first).
+    """
+    if target_l2 <= 0:
+        raise OptimizationError("target_l2 must be positive")
+
+    def loss(eps: float) -> float:
+        return predicted_loss_at(eps, algorithm, deg_u, deg_w, n_opposite)
+
+    if loss(_EPS_HI) > target_l2:
+        raise OptimizationError(
+            f"{algorithm} cannot reach L2 <= {target_l2:g} for this query "
+            f"even at eps = {_EPS_HI:g}"
+        )
+    lo, hi = _EPS_LO, _EPS_HI
+    if loss(lo) <= target_l2:
+        return lo
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        if loss(mid) <= target_l2:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def epsilon_for_target_mae(
+    target_mae: float,
+    algorithm: str,
+    deg_u: float,
+    deg_w: float,
+    n_opposite: int,
+) -> float:
+    """Budget for a target *absolute* error.
+
+    For a centered error with variance σ², the MAE is cσ with
+    c ∈ [sqrt(2/pi) ≈ 0.80 (normal), 1/sqrt(2) ≈ 0.71 (Laplace)]; we plan
+    with the conservative c = 0.8, i.e. target variance (MAE / 0.8)².
+    """
+    if target_mae <= 0:
+        raise OptimizationError("target_mae must be positive")
+    target_l2 = (target_mae / 0.8) ** 2
+    return epsilon_for_target_loss(
+        target_l2, algorithm, deg_u, deg_w, n_opposite
+    )

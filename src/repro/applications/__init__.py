@@ -1,0 +1,66 @@
+"""Downstream applications built on the edge-LDP estimators."""
+
+from repro.applications.anomaly import (
+    AnomalyScore,
+    expected_null_c2,
+    rank_pairs,
+    score_pair,
+)
+from repro.applications.butterfly import (
+    ButterflyEstimate,
+    estimate_butterflies_between,
+    estimate_global_butterflies,
+)
+from repro.applications.community import (
+    detect_communities,
+    ldp_communities,
+    pairwise_rand_index,
+)
+from repro.applications.degrees import (
+    DegreePublication,
+    noisy_degree_histogram,
+    publish_noisy_degrees,
+)
+from repro.applications.ingredients import PairIngredients, private_pair_ingredients
+from repro.applications.jaccard import JaccardEstimate, estimate_jaccard
+from repro.applications.recommendation import Recommendation, recommend_items
+from repro.applications.projection import (
+    exact_projection,
+    ldp_projection,
+    ldp_projection_with_total_budget,
+)
+from repro.applications.similarity import (
+    SIMILARITY_KINDS,
+    SimilarityEstimate,
+    estimate_similarity,
+    top_k_similar,
+)
+
+__all__ = [
+    "AnomalyScore",
+    "expected_null_c2",
+    "rank_pairs",
+    "score_pair",
+    "ButterflyEstimate",
+    "estimate_butterflies_between",
+    "estimate_global_butterflies",
+    "detect_communities",
+    "ldp_communities",
+    "pairwise_rand_index",
+    "Recommendation",
+    "recommend_items",
+    "DegreePublication",
+    "noisy_degree_histogram",
+    "publish_noisy_degrees",
+    "PairIngredients",
+    "private_pair_ingredients",
+    "JaccardEstimate",
+    "estimate_jaccard",
+    "exact_projection",
+    "ldp_projection",
+    "ldp_projection_with_total_budget",
+    "SIMILARITY_KINDS",
+    "SimilarityEstimate",
+    "estimate_similarity",
+    "top_k_similar",
+]

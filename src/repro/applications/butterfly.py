@@ -1,0 +1,135 @@
+"""Butterfly ((2,2)-biclique) counting under edge LDP.
+
+The paper motivates common-neighborhood estimation as the primitive for
+(p,q)-biclique counting; the base case is the butterfly, whose count
+between two same-layer vertices is ``B(u,w) = C(C2(u,w), 2)``.
+
+A plug-in ``C(f, 2)`` of an unbiased estimate ``f`` is biased upward by
+``Var(f)/2``. For the single-source estimator the variance is known in
+closed form (Theorem 6), ``Var = g(ε1)·du + 2h(ε1)/ε2²``, and is *linear*
+in the source degree — so substituting an independent unbiased noisy
+degree ``d̃u`` keeps the correction unbiased:
+
+    B̂ = ( f² − ĝVar − f ) / 2,   ĝVar = g(ε1)·d̃u + 2h(ε1)/ε2²
+    E[B̂] = ( C2² + Var − Var − C2 ) / 2 = C(C2, 2).
+
+Everything the curator combines here is already-released data, so the
+correction is pure post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PrivacyError
+from repro.estimators.multir_ss import MultiRoundSingleSource
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import sample_query_pairs
+from repro.analysis.loss import laplace_noise_coefficient, rr_noise_coefficient
+from repro.privacy.mechanisms import LaplaceMechanism
+from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
+from repro.privacy.sensitivity import degree_sensitivity
+from repro.protocol.session import ExecutionMode
+
+__all__ = [
+    "ButterflyEstimate",
+    "estimate_butterflies_between",
+    "estimate_global_butterflies",
+]
+
+
+@dataclass(frozen=True)
+class ButterflyEstimate:
+    """A private butterfly-count estimate and its de-biasing ingredients."""
+
+    value: float
+    c2_estimate: float
+    variance_correction: float
+    noisy_degree: float
+    epsilon: float
+
+
+def estimate_butterflies_between(
+    graph: BipartiteGraph,
+    layer: Layer,
+    u: int,
+    w: int,
+    epsilon: float,
+    degree_fraction: float = 0.2,
+    *,
+    rng: RngLike = None,
+    mode: ExecutionMode = ExecutionMode.AUTO,
+) -> ButterflyEstimate:
+    """Unbiased estimate of ``C(C2(u,w), 2)`` under ``epsilon``-edge LDP.
+
+    ``degree_fraction`` of the budget funds the noisy source degree used
+    by the variance correction; the rest funds a single-source C2
+    estimate (even ε1/ε2 split, source ``u``).
+    """
+    if not 0.0 < degree_fraction < 1.0:
+        raise PrivacyError("degree_fraction must be in (0, 1)")
+    rng = ensure_rng(rng)
+    eps_deg = epsilon * degree_fraction
+    eps_c2 = epsilon - eps_deg
+
+    mech = LaplaceMechanism(eps_deg, degree_sensitivity())
+    noisy_du = mech.release(graph.degree(layer, u), rng)
+
+    estimator = MultiRoundSingleSource(source="u")
+    result = estimator.estimate(graph, layer, u, w, eps_c2, rng=rng, mode=mode)
+    f = result.value
+    eps1 = result.details["eps1"]
+    eps2 = result.details["eps2"]
+
+    variance = (
+        rr_noise_coefficient(eps1) * noisy_du
+        + 2.0 * laplace_noise_coefficient(eps1) / eps2**2
+    )
+    value = (f * f - variance - f) / 2.0
+    return ButterflyEstimate(
+        value=value,
+        c2_estimate=f,
+        variance_correction=variance,
+        noisy_degree=noisy_du,
+        epsilon=epsilon,
+    )
+
+
+def estimate_global_butterflies(
+    graph: BipartiteGraph,
+    layer: Layer,
+    epsilon: float,
+    num_samples: int = 100,
+    *,
+    rng: RngLike = None,
+    mode: ExecutionMode = ExecutionMode.AUTO,
+) -> float:
+    """Horvitz–Thompson estimate of the total butterfly count on ``layer``.
+
+    Samples ``num_samples`` uniform same-layer pairs, estimates each
+    pair's butterflies with a fresh per-query budget (the paper's query
+    model), and rescales by the number of pairs. Unbiased over the joint
+    sampling + privacy randomness; the sampling variance dominates for
+    small ``num_samples`` — this is a substrate demonstration, not a
+    low-variance global counter.
+    """
+    if num_samples <= 0:
+        raise PrivacyError(f"num_samples must be positive, got {num_samples}")
+    size = graph.layer_size(layer)
+    if size < 2:
+        return 0.0
+    parent = ensure_rng(rng)
+    # min_degree=0: global estimation must sample from *all* pairs to stay
+    # unbiased, including pairs with isolated endpoints.
+    pairs = sample_query_pairs(
+        graph, layer, num_samples, rng=parent, min_degree=0
+    )
+    rngs = spawn_rngs(parent, len(pairs))
+    total_pairs = size * (size - 1) / 2.0
+    estimates = [
+        estimate_butterflies_between(
+            graph, layer, pair.a, pair.b, epsilon, rng=child, mode=mode
+        ).value
+        for pair, child in zip(pairs, rngs)
+    ]
+    return total_pairs * float(sum(estimates)) / len(estimates)

@@ -1,0 +1,76 @@
+"""Shared plumbing for applications that combine degrees with C2 estimates.
+
+Jaccard / cosine / Dice / overlap similarity and the anomaly score all
+need the same three privately released quantities for a pair: noisy
+degrees of both query vertices (Laplace) and an estimated common-neighbor
+count (any registered estimator). This module releases them under one
+budget split so every application composes identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PrivacyError
+from repro.estimators.registry import get_estimator
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.mechanisms import LaplaceMechanism
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.privacy.sensitivity import degree_sensitivity
+from repro.protocol.session import ExecutionMode
+
+__all__ = ["PairIngredients", "private_pair_ingredients"]
+
+
+@dataclass(frozen=True)
+class PairIngredients:
+    """Privately released per-pair quantities and their budget split."""
+
+    c2_estimate: float
+    noisy_degree_u: float
+    noisy_degree_w: float
+    epsilon: float
+    epsilon_degrees: float
+    epsilon_c2: float
+
+
+def private_pair_ingredients(
+    graph: BipartiteGraph,
+    layer: Layer,
+    u: int,
+    w: int,
+    epsilon: float,
+    method: str = "multir-ds",
+    degree_fraction: float = 0.2,
+    *,
+    rng: RngLike = None,
+    mode: ExecutionMode = ExecutionMode.AUTO,
+    **estimator_kwargs,
+) -> PairIngredients:
+    """Release noisy degrees and a C2 estimate within one budget.
+
+    ``degree_fraction`` of ``epsilon`` funds the two Laplace degree
+    releases; the rest funds the C2 estimator. Per query vertex the
+    sequential composition is ``epsilon``.
+    """
+    if not 0.0 < degree_fraction < 1.0:
+        raise PrivacyError("degree_fraction must be in (0, 1)")
+    rng = ensure_rng(rng)
+    eps_deg = epsilon * degree_fraction
+    eps_c2 = epsilon - eps_deg
+
+    mech = LaplaceMechanism(eps_deg, degree_sensitivity())
+    noisy_du = mech.release(graph.degree(layer, u), rng)
+    noisy_dw = mech.release(graph.degree(layer, w), rng)
+
+    estimator = get_estimator(method, **estimator_kwargs)
+    c2 = estimator.estimate(graph, layer, u, w, eps_c2, rng=rng, mode=mode).value
+
+    return PairIngredients(
+        c2_estimate=c2,
+        noisy_degree_u=noisy_du,
+        noisy_degree_w=noisy_dw,
+        epsilon=epsilon,
+        epsilon_degrees=eps_deg,
+        epsilon_c2=eps_c2,
+    )

@@ -1,0 +1,309 @@
+"""Command-line interface: ``repro-cne`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``datasets`` — list the registry (optionally synthesizing to show
+  realized sizes).
+* ``estimate`` — run one estimator on one query pair of a dataset.
+* ``jaccard`` — private similarity (jaccard/cosine/dice/overlap) of a pair.
+* ``optimize`` — print the MultiR-DS budget allocation for given degrees.
+* ``experiment`` — regenerate a paper table/figure as text (``--out`` to
+  also save machine-readable series).
+* ``generate`` — synthesize a dataset analogue and write it as a TSV
+  edge list.
+* ``summary`` — degree statistics of a dataset (both layers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.optimizer import optimize_double_source
+from repro.datasets.registry import dataset_keys, get_spec, scaled_spec
+from repro.estimators.registry import available_estimators, get_estimator
+from repro.graph.bipartite import Layer
+
+__all__ = ["build_parser", "main"]
+
+_EXPERIMENTS = (
+    "fig2",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "table3",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cne",
+        description=(
+            "Common neighborhood estimation over bipartite graphs under "
+            "edge local differential privacy (SIGMOD reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="list the dataset registry")
+    p_datasets.add_argument(
+        "--max-edges", type=int, default=None, help="edge budget for scaling"
+    )
+
+    p_est = sub.add_parser("estimate", help="estimate C2 for one query pair")
+    p_est.add_argument("--dataset", required=True, help="dataset key or name")
+    p_est.add_argument("-u", type=int, required=True, help="first query vertex")
+    p_est.add_argument("-w", type=int, required=True, help="second query vertex")
+    p_est.add_argument(
+        "--layer", choices=("upper", "lower"), default="upper",
+        help="layer holding the query vertices",
+    )
+    p_est.add_argument("--eps", type=float, default=2.0, help="privacy budget")
+    p_est.add_argument(
+        "--method", default="multir-ds", choices=available_estimators(),
+    )
+    p_est.add_argument("--seed", type=int, default=None)
+    p_est.add_argument("--max-edges", type=int, default=None)
+    p_est.add_argument(
+        "--show-true", action="store_true",
+        help="also print the true count (breaks privacy; for evaluation)",
+    )
+
+    p_jac = sub.add_parser("jaccard", help="private pairwise similarity")
+    p_jac.add_argument("--dataset", required=True)
+    p_jac.add_argument("-u", type=int, required=True)
+    p_jac.add_argument("-w", type=int, required=True)
+    p_jac.add_argument(
+        "--layer", choices=("upper", "lower"), default="upper",
+    )
+    p_jac.add_argument("--eps", type=float, default=2.0)
+    p_jac.add_argument(
+        "--kind", choices=("jaccard", "cosine", "dice", "overlap"),
+        default="jaccard",
+    )
+    p_jac.add_argument("--seed", type=int, default=None)
+    p_jac.add_argument("--max-edges", type=int, default=None)
+    p_jac.add_argument("--show-true", action="store_true")
+
+    p_opt = sub.add_parser("optimize", help="show the MultiR-DS allocation")
+    p_opt.add_argument("--eps", type=float, default=2.0)
+    p_opt.add_argument("--du", type=float, required=True)
+    p_opt.add_argument("--dw", type=float, required=True)
+    p_opt.add_argument("--eps0-fraction", type=float, default=0.05)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("name", choices=_EXPERIMENTS)
+    p_exp.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads (fewer pairs/trials, smaller graphs)",
+    )
+    p_exp.add_argument("--seed", type=int, default=None)
+    p_exp.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also save the series as JSON/CSV under DIR",
+    )
+
+    p_gen = sub.add_parser(
+        "generate", help="synthesize a dataset analogue as a TSV edge list"
+    )
+    p_gen.add_argument("--dataset", required=True)
+    p_gen.add_argument("--out", required=True, metavar="FILE")
+    p_gen.add_argument("--max-edges", type=int, default=None)
+
+    p_sum = sub.add_parser("summary", help="degree statistics of a dataset")
+    p_sum.add_argument("--dataset", required=True)
+    p_sum.add_argument("--max-edges", type=int, default=None)
+
+    p_plan = sub.add_parser(
+        "plan", help="budget needed for a target accuracy (inverse loss model)"
+    )
+    p_plan.add_argument("--target-mae", type=float, required=True)
+    p_plan.add_argument("--du", type=float, required=True)
+    p_plan.add_argument("--dw", type=float, required=True)
+    p_plan.add_argument("--pool", type=int, required=True,
+                        help="opposite-layer size n1")
+    p_plan.add_argument(
+        "--method", default="multir-ds",
+        choices=("oner", "multir-ss", "multir-ds", "central-dp"),
+    )
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for key in dataset_keys():
+        spec = get_spec(key)
+        scaled = scaled_spec(spec, args.max_edges)
+        rows.append(
+            f"{spec.key:>4}  {spec.name:<14} {spec.upper_entity}/{spec.lower_entity:<11} "
+            f"paper |E|={spec.paper_edges:>11,}  synth |E|={scaled.num_edges:>9,} "
+            f"|U|={scaled.n_upper:>9,} |L|={scaled.n_lower:>9,}"
+        )
+    print("\n".join(rows))
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.datasets.cache import load_dataset
+
+    graph = load_dataset(args.dataset, args.max_edges)
+    layer = Layer.UPPER if args.layer == "upper" else Layer.LOWER
+    estimator = get_estimator(args.method)
+    result = estimator.estimate(graph, layer, args.u, args.w, args.eps, rng=args.seed)
+    print(f"estimate  : {result.value:.4f}")
+    print(f"algorithm : {result.algorithm}")
+    print(f"epsilon   : {result.epsilon:g}")
+    if result.transcript:
+        print(f"rounds    : {result.transcript.rounds}")
+        print(f"comm      : {result.transcript.total_bytes:,} bytes")
+        print(f"eps spent : {result.transcript.max_epsilon_spent:.4f} (max per vertex)")
+    if args.show_true:
+        true = graph.count_common_neighbors(layer, args.u, args.w)
+        print(f"true C2   : {true}")
+    return 0
+
+
+def _cmd_jaccard(args) -> int:
+    from repro.applications.similarity import estimate_similarity
+    from repro.datasets.cache import load_dataset
+
+    graph = load_dataset(args.dataset, args.max_edges)
+    layer = Layer.UPPER if args.layer == "upper" else Layer.LOWER
+    estimate = estimate_similarity(
+        graph, layer, args.u, args.w, args.eps, kind=args.kind, rng=args.seed
+    )
+    print(f"{args.kind:<9}: {estimate.value:.4f}")
+    print(f"C2 est.  : {estimate.ingredients.c2_estimate:.3f}")
+    print(
+        f"deg est. : ({estimate.ingredients.noisy_degree_u:.1f}, "
+        f"{estimate.ingredients.noisy_degree_w:.1f})"
+    )
+    if args.show_true:
+        exact = {
+            "jaccard": graph.jaccard(layer, args.u, args.w),
+        }.get(args.kind)
+        if exact is None:
+            from repro.applications.similarity import SIMILARITY_KINDS
+
+            c2 = graph.count_common_neighbors(layer, args.u, args.w)
+            exact = SIMILARITY_KINDS[args.kind](
+                c2, graph.degree(layer, args.u), graph.degree(layer, args.w)
+            )
+        print(f"true     : {exact:.4f}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.datasets.cache import load_dataset
+    from repro.graph.io import write_edge_list
+
+    graph = load_dataset(args.dataset, args.max_edges)
+    write_edge_list(graph, args.out)
+    print(
+        f"wrote {graph.num_edges} edges "
+        f"(|U|={graph.num_upper}, |L|={graph.num_lower}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    from repro.datasets.cache import load_dataset
+    from repro.graph.stats import summarize_graph
+
+    graph = load_dataset(args.dataset, args.max_edges)
+    summary = summarize_graph(graph)
+    print(f"dataset  : {args.dataset}")
+    print(f"|U|, |L| : {summary.num_upper:,}, {summary.num_lower:,}")
+    print(f"|E|      : {summary.num_edges:,}")
+    print(f"density  : {summary.density:.6f}")
+    for name, layer in (("upper", summary.upper), ("lower", summary.lower)):
+        print(
+            f"{name:<6} deg: min={layer.min_degree} max={layer.max_degree} "
+            f"mean={layer.mean_degree:.2f} median={layer.median_degree:.1f} "
+            f"gini={layer.gini:.3f}"
+        )
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.analysis.planner import epsilon_for_target_mae, predicted_loss_at
+    from repro.errors import OptimizationError
+
+    try:
+        eps = epsilon_for_target_mae(
+            args.target_mae, args.method, args.du, args.dw, args.pool
+        )
+    except OptimizationError as exc:
+        print(f"infeasible: {exc}")
+        return 1
+    loss = predicted_loss_at(eps, args.method, args.du, args.dw, args.pool)
+    print(f"method          : {args.method}")
+    print(f"target MAE      : {args.target_mae:g}")
+    print(f"required epsilon: {eps:.4f}")
+    print(f"predicted L2    : {loss:.4f}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    eps0 = args.eps * args.eps0_fraction
+    alloc = optimize_double_source(args.eps, args.du, args.dw, eps0)
+    print(f"eps0 (degrees)   : {alloc.eps0:.4f}")
+    print(f"eps1 (RR)        : {alloc.eps1:.4f}")
+    print(f"eps2 (Laplace)   : {alloc.eps2:.4f}")
+    print(f"alpha (weight fu): {alloc.alpha:.4f}")
+    print(f"predicted L2     : {alloc.predicted_loss:.4f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.export import save_panels
+    from repro.experiments.suite import run_all, run_experiment
+
+    if args.name == "all":
+        outputs = run_all(out_dir=args.out, quick=args.quick, seed=args.seed)
+        for output in outputs:
+            print(f"== {output.name} ==")
+            print(output.text)
+            print()
+        if args.out:
+            print(f"report written under {args.out}")
+        return 0
+
+    output = run_experiment(args.name, quick=args.quick, seed=args.seed)
+    print(output.text)
+    if args.out and output.panels:
+        written = save_panels(output.panels, args.out, stem=output.name)
+        print(f"saved {len(written)} files under {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "jaccard":
+        return _cmd_jaccard(args)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "summary":
+        return _cmd_summary(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Dataset registry, synthesis, and caching (paper Table 2 analogues)."""
+
+from repro.datasets.cache import cache_dir, clear_memory_cache, load_dataset
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    ScaledSpec,
+    dataset_keys,
+    default_max_edges,
+    get_spec,
+    scaled_spec,
+)
+from repro.datasets.synthesis import POWER_LAW_EXPONENT, synthesize, synthesize_scaled
+
+__all__ = [
+    "cache_dir",
+    "clear_memory_cache",
+    "load_dataset",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "ScaledSpec",
+    "dataset_keys",
+    "default_max_edges",
+    "get_spec",
+    "scaled_spec",
+    "POWER_LAW_EXPONENT",
+    "synthesize",
+    "synthesize_scaled",
+]

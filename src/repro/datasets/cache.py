@@ -1,0 +1,84 @@
+"""On-disk cache for synthesized datasets.
+
+Synthesis of the larger graphs takes seconds; experiments touch the same
+graphs dozens of times. :func:`load_dataset` memoizes each (dataset, scale)
+combination both in-process and as an ``.npz`` file under the cache
+directory (``REPRO_CACHE_DIR`` or ``<cwd>/.repro-cache``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.datasets.registry import (
+    ScaledSpec,
+    default_max_edges,
+    get_spec,
+    scaled_spec,
+)
+from repro.datasets.synthesis import synthesize_scaled
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.io import load_npz, save_npz
+
+__all__ = ["cache_dir", "load_dataset", "clear_memory_cache"]
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_memory_cache: dict[tuple[str, int, int, int], BipartiteGraph] = {}
+
+
+def cache_dir() -> Path:
+    """Directory holding cached dataset files (created on demand)."""
+    root = os.environ.get(_ENV_CACHE_DIR)
+    path = Path(root) if root else Path.cwd() / ".repro-cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process cache (tests use this to control memory)."""
+    _memory_cache.clear()
+
+
+def _cache_key(scaled: ScaledSpec) -> tuple[str, int, int, int]:
+    return (scaled.spec.key, scaled.n_upper, scaled.n_lower, scaled.num_edges)
+
+
+def load_dataset(
+    key: str,
+    max_edges: int | None = None,
+    use_disk: bool = True,
+) -> BipartiteGraph:
+    """Load (synthesizing and caching as needed) a registry dataset.
+
+    Parameters
+    ----------
+    key:
+        Dataset key (``"RM"``) or name (``"rmwiki"``).
+    max_edges:
+        Edge budget; defaults to ``REPRO_MAX_EDGES`` or the library default.
+    use_disk:
+        Set False to bypass the on-disk cache (in-process cache still used).
+    """
+    if max_edges is None:
+        max_edges = default_max_edges()
+    scaled = scaled_spec(get_spec(key), max_edges)
+    mem_key = _cache_key(scaled)
+    if mem_key in _memory_cache:
+        return _memory_cache[mem_key]
+
+    graph: BipartiteGraph | None = None
+    path = cache_dir() / (
+        f"{scaled.spec.key}_{scaled.n_upper}_{scaled.n_lower}_{scaled.num_edges}.npz"
+    )
+    if use_disk and path.exists():
+        try:
+            graph = load_npz(path)
+        except Exception:
+            graph = None  # corrupt cache entry; regenerate below
+    if graph is None:
+        graph = synthesize_scaled(scaled)
+        if use_disk:
+            save_npz(graph, path)
+    _memory_cache[mem_key] = graph
+    return graph

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Specific subclasses signal the broad failure category:
+graph construction problems, privacy-budget violations, and protocol misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph query (bad vertex, bad edge)."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or invalid dataset specification."""
+
+
+class PrivacyError(ReproError):
+    """Invalid privacy parameters (non-positive epsilon, bad split)."""
+
+
+class BudgetExceededError(PrivacyError):
+    """A party attempted to spend more privacy budget than it was granted."""
+
+    def __init__(self, party: str, requested: float, available: float):
+        self.party = party
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"party {party!r} requested eps={requested:.6g} "
+            f"but only eps={available:.6g} remains"
+        )
+
+
+class ProtocolError(ReproError):
+    """Protocol misuse (wrong round order, wrong layer, unknown vertex)."""
+
+
+class OptimizationError(ReproError):
+    """The budget-allocation optimizer failed to produce a feasible point."""

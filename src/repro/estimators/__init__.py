@@ -1,0 +1,37 @@
+"""Common-neighborhood estimators under edge LDP (the paper's algorithms)."""
+
+from repro.estimators.base import CommonNeighborEstimator, EstimateResult
+from repro.estimators.batch import BatchEstimateResult, BatchOneRound
+from repro.estimators.centraldp import CentralDPEstimator
+from repro.estimators.exact import ExactCounter
+from repro.estimators.multir_ds import (
+    MultiRoundDoubleSource,
+    MultiRoundDoubleSourceBasic,
+    MultiRoundDoubleSourceStar,
+)
+from repro.estimators.multir_ss import MultiRoundSingleSource
+from repro.estimators.naive import NaiveEstimator
+from repro.estimators.oner import OneRoundEstimator
+from repro.estimators.registry import (
+    ESTIMATOR_FACTORIES,
+    available_estimators,
+    get_estimator,
+)
+
+__all__ = [
+    "CommonNeighborEstimator",
+    "EstimateResult",
+    "BatchEstimateResult",
+    "BatchOneRound",
+    "CentralDPEstimator",
+    "ExactCounter",
+    "MultiRoundDoubleSource",
+    "MultiRoundDoubleSourceBasic",
+    "MultiRoundDoubleSourceStar",
+    "MultiRoundSingleSource",
+    "NaiveEstimator",
+    "OneRoundEstimator",
+    "ESTIMATOR_FACTORIES",
+    "available_estimators",
+    "get_estimator",
+]

@@ -1,0 +1,99 @@
+"""Estimator interface shared by all common-neighborhood algorithms.
+
+Every algorithm implements :class:`CommonNeighborEstimator`: given a graph,
+a same-layer query pair ``(u, w)`` and a total privacy budget ``epsilon``,
+:meth:`~CommonNeighborEstimator.estimate` opens a protocol session, runs
+the algorithm's rounds, verifies the budget, and returns an
+:class:`EstimateResult` bundling the estimate with the protocol transcript
+(rounds, communication bytes, realized budget) and per-algorithm details
+(budget splits, α, intermediate counts).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.rng import RngLike
+from repro.protocol.session import ExecutionMode, ProtocolSession, ProtocolTranscript
+
+__all__ = ["EstimateResult", "CommonNeighborEstimator"]
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """Outcome of one privacy-preserving common-neighborhood query."""
+
+    value: float
+    algorithm: str
+    epsilon: float
+    layer: Layer
+    u: int
+    w: int
+    transcript: ProtocolTranscript | None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def communication_bytes(self) -> int:
+        """Total bytes moved during the protocol (0 for non-protocol runs)."""
+        return self.transcript.total_bytes if self.transcript else 0
+
+    @property
+    def rounds(self) -> int:
+        return self.transcript.rounds if self.transcript else 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.algorithm}(eps={self.epsilon:g}) "
+            f"C2({self.u}, {self.w}) ≈ {self.value:.3f}"
+        )
+
+
+class CommonNeighborEstimator(abc.ABC):
+    """Base class for ε-edge-LDP common-neighborhood estimators.
+
+    Subclasses implement :meth:`_run`, receiving an opened
+    :class:`ProtocolSession` and returning ``(value, details)``. The base
+    class owns session lifecycle and budget verification, so an algorithm
+    cannot accidentally report a result that violated its budget.
+    """
+
+    #: Registry / display name, e.g. ``"multir-ds"``.
+    name: ClassVar[str] = "abstract"
+    #: Whether the estimator is unbiased (E[f] = C2); used in reports.
+    unbiased: ClassVar[bool] = True
+
+    def estimate(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        u: int,
+        w: int,
+        epsilon: float,
+        *,
+        rng: RngLike = None,
+        mode: ExecutionMode = ExecutionMode.AUTO,
+    ) -> EstimateResult:
+        """Estimate ``C2(u, w)`` under ``epsilon``-edge LDP."""
+        session = ProtocolSession(graph, layer, u, w, epsilon, rng=rng, mode=mode)
+        value, details = self._run(session)
+        transcript = session.finalize()
+        return EstimateResult(
+            value=float(value),
+            algorithm=self.name,
+            epsilon=float(epsilon),
+            layer=layer,
+            u=int(u),
+            w=int(w),
+            transcript=transcript,
+            details=details,
+        )
+
+    @abc.abstractmethod
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        """Execute the algorithm's rounds against an open session."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,49 @@
+"""Non-private exact counter — the ground truth every experiment compares to."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.estimators.base import CommonNeighborEstimator, EstimateResult
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.rng import RngLike
+from repro.protocol.session import ExecutionMode, ProtocolSession
+
+__all__ = ["ExactCounter"]
+
+
+class ExactCounter(CommonNeighborEstimator):
+    """Returns the true ``C2(u, w)``; offers **no privacy** (baseline only)."""
+
+    name = "exact"
+    unbiased = True
+
+    def estimate(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        u: int,
+        w: int,
+        epsilon: float = math.inf,
+        *,
+        rng: RngLike = None,
+        mode: ExecutionMode = ExecutionMode.AUTO,
+    ) -> EstimateResult:
+        if u == w:
+            raise ValueError("query vertices must be distinct")
+        value = graph.count_common_neighbors(layer, u, w)
+        return EstimateResult(
+            value=float(value),
+            algorithm=self.name,
+            epsilon=float(epsilon),
+            layer=layer,
+            u=int(u),
+            w=int(w),
+            transcript=None,
+            details={"exact": True},
+        )
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        value = session.graph.count_common_neighbors(session.layer, session.u, session.w)
+        return float(value), {"exact": True}

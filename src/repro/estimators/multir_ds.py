@@ -1,0 +1,164 @@
+"""MultiR-DS — the multiple-round double-source family (paper §4.2, Alg. 4).
+
+Three variants share the same round structure:
+
+* :class:`MultiRoundDoubleSourceBasic` — fixed split (default ε1 = 0.5ε,
+  no degree round) and plain averaging ``(f̃u + f̃w)/2``. The paper's
+  ablation baseline in Figs. 8–9.
+* :class:`MultiRoundDoubleSource` — the full algorithm: an ε0 = 0.05ε
+  degree round provides noisy ``du``, ``dw`` (non-positive reports are
+  corrected with the layer's noisy average degree); Newton's method picks
+  ``(ε1, α)`` minimizing the predicted loss; the result is the weighted
+  average ``α·f̃u + (1-α)·f̃w``.
+* :class:`MultiRoundDoubleSourceStar` — MultiR-DS* assumes degrees are
+  public: same optimization but no degree round, so ε0 is reallocated to
+  the working rounds.
+
+Privacy: the degree round is ε0 by parallel composition across the layer;
+the RR round is ε1 for each query vertex; the two Laplace releases are ε2
+each but act on disjoint neighbor lists (u releases f̃u, w releases f̃w),
+composing in parallel to ε2. Sequentially the protocol is
+(ε0 + ε1 + ε2)-edge LDP — checked at runtime by the session ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.optimizer import Allocation, optimize_double_source
+from repro.errors import PrivacyError
+from repro.estimators.base import CommonNeighborEstimator
+from repro.estimators.multir_ss import single_source_raw
+from repro.privacy.sensitivity import single_source_sensitivity
+from repro.protocol.session import ProtocolSession
+
+__all__ = [
+    "MultiRoundDoubleSourceBasic",
+    "MultiRoundDoubleSource",
+    "MultiRoundDoubleSourceStar",
+]
+
+
+def _double_source_rounds(
+    session: ProtocolSession, eps1: float, eps2: float, alpha: float
+) -> tuple[float, dict[str, Any]]:
+    """Run the RR + estimate rounds shared by every DS variant."""
+    rr_label = session.begin_round("rr")
+    handle_u = session.randomized_response(session.u, eps1, rr_label)
+    handle_w = session.randomized_response(session.w, eps1, rr_label)
+
+    est_label = session.begin_round("estimate")
+    sensitivity = single_source_sensitivity(eps1)
+
+    session.download(handle_w, session.u)
+    raw_u, s1_u, _ = single_source_raw(session, session.u, handle_w)
+    f_u = session.release_scalar(session.u, raw_u, eps2, sensitivity, est_label)
+
+    session.download(handle_u, session.w)
+    raw_w, s1_w, _ = single_source_raw(session, session.w, handle_u)
+    f_w = session.release_scalar(session.w, raw_w, eps2, sensitivity, est_label)
+
+    value = alpha * f_u + (1.0 - alpha) * f_w
+    details: dict[str, Any] = {
+        "alpha": alpha,
+        "eps1": eps1,
+        "eps2": eps2,
+        "f_u": f_u,
+        "f_w": f_w,
+        "s1_u": s1_u,
+        "s1_w": s1_w,
+    }
+    return value, details
+
+
+class MultiRoundDoubleSourceBasic(CommonNeighborEstimator):
+    """DS-Basic: plain average of both single-source estimators.
+
+    Spends ``graph_fraction·ε`` on randomized response and the rest on the
+    Laplace releases; performs no degree estimation and no optimization.
+    """
+
+    name = "multir-ds-basic"
+    unbiased = True
+
+    def __init__(self, graph_fraction: float = 0.5):
+        if not 0.0 < graph_fraction < 1.0:
+            raise PrivacyError("graph_fraction must be in (0, 1)")
+        self.graph_fraction = float(graph_fraction)
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        eps1 = session.epsilon * self.graph_fraction
+        eps2 = session.epsilon - eps1
+        value, details = _double_source_rounds(session, eps1, eps2, alpha=0.5)
+        details["eps0"] = 0.0
+        return value, details
+
+
+class MultiRoundDoubleSource(CommonNeighborEstimator):
+    """Full MultiR-DS with degree estimation and budget optimization."""
+
+    name = "multir-ds"
+    unbiased = True
+
+    def __init__(self, eps0_fraction: float = 0.05, correct_degrees: bool = True):
+        if not 0.0 < eps0_fraction < 1.0:
+            raise PrivacyError("eps0_fraction must be in (0, 1)")
+        self.eps0_fraction = float(eps0_fraction)
+        self.correct_degrees = bool(correct_degrees)
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        eps0 = session.epsilon * self.eps0_fraction
+        label0 = session.begin_round("degrees")
+        report = session.degree_round(eps0, label0)
+
+        noisy_du, noisy_dw = report.noisy_degree_u, report.noisy_degree_w
+        fallback = max(report.noisy_average_degree, 1.0)
+        if self.correct_degrees:
+            # Paper Alg. 4 lines 4-5: replace unusable (non-positive) noisy
+            # degrees by the layer's estimated average degree.
+            if noisy_du < 1.0:
+                noisy_du = fallback
+            if noisy_dw < 1.0:
+                noisy_dw = fallback
+
+        alloc = optimize_double_source(session.epsilon, noisy_du, noisy_dw, eps0)
+        value, details = _double_source_rounds(
+            session, alloc.eps1, alloc.eps2, alloc.alpha
+        )
+        details.update(
+            eps0=eps0,
+            noisy_degree_u=noisy_du,
+            noisy_degree_w=noisy_dw,
+            noisy_average_degree=report.noisy_average_degree,
+            predicted_loss=alloc.predicted_loss,
+        )
+        return value, details
+
+
+class MultiRoundDoubleSourceStar(CommonNeighborEstimator):
+    """MultiR-DS*: optimized allocation with *public* vertex degrees.
+
+    Skips the degree round entirely, so the whole budget goes to the RR
+    and Laplace rounds — the paper observes this makes it slightly more
+    accurate and faster than MultiR-DS.
+    """
+
+    name = "multir-ds-star"
+    unbiased = True
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        deg_u = session.graph.degree(session.layer, session.u)
+        deg_w = session.graph.degree(session.layer, session.w)
+        alloc: Allocation = optimize_double_source(
+            session.epsilon, max(deg_u, 1), max(deg_w, 1), eps0=0.0
+        )
+        value, details = _double_source_rounds(
+            session, alloc.eps1, alloc.eps2, alloc.alpha
+        )
+        details.update(
+            eps0=0.0,
+            public_degree_u=deg_u,
+            public_degree_w=deg_w,
+            predicted_loss=alloc.predicted_loss,
+        )
+        return value, details

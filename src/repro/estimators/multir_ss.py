@@ -1,0 +1,160 @@
+"""MultiR-SS — the multiple-round single-source algorithm (paper Alg. 3).
+
+Round 1: both query vertices apply randomized response with budget ε1 and
+upload their noisy lists (following the paper's description of Alg. 3; the
+estimator itself consumes only the *other* vertex's list).
+
+Round 2: the source vertex (``u`` by default) downloads the other vertex's
+noisy list, intersects it with its own true neighbors — ``S1`` hits and
+``S2 = deg(u) - S1`` misses — and releases
+
+    f̃u = S1·(1-p)/(1-2p) - S2·p/(1-2p) + Lap((1-p)/((1-2p)·ε2))
+
+where the Laplace scale is the estimator's global sensitivity (one bit of
+``u``'s list moves f̃u by at most ``(1-p)/(1-2p)``). The candidate pool
+shrinks from the whole opposite layer to ``N(u)``, removing the ``n1``
+factor from the L2 loss (Theorem 6).
+
+The optional ``optimize_budget`` variant (paper §4.2, the α = 1 special
+case of MultiR-DS) spends a small ε0 on a degree round and picks the
+(ε1, ε2) split minimizing the predicted loss.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.optimizer import optimize_single_source
+from repro.errors import PrivacyError
+from repro.estimators.base import CommonNeighborEstimator
+from repro.privacy.budget import BudgetSplit
+from repro.privacy.mechanisms import flip_probability
+from repro.privacy.sensitivity import single_source_sensitivity
+from repro.protocol.noisy import NoisyListHandle
+from repro.protocol.session import ProtocolSession
+
+__all__ = ["MultiRoundSingleSource", "single_source_raw"]
+
+
+def single_source_raw(
+    session: ProtocolSession, observer: int, handle: NoisyListHandle
+) -> tuple[float, int, int]:
+    """The pre-noise single-source estimate ``f_observer`` and its counts."""
+    s1, s2 = session.ss_counts(observer, handle)
+    p = flip_probability(handle.epsilon)
+    value = s1 * (1.0 - p) / (1.0 - 2.0 * p) - s2 * p / (1.0 - 2.0 * p)
+    return value, s1, s2
+
+
+class MultiRoundSingleSource(CommonNeighborEstimator):
+    """Two-round single-source estimator (MultiR-SS).
+
+    Parameters
+    ----------
+    graph_fraction:
+        Share of the budget given to randomized response (``ε1``); the
+        paper's default splits evenly (0.5).
+    source:
+        Which query vertex builds the estimator: ``"u"`` (paper default),
+        ``"w"``, or ``"auto"`` — pick the vertex whose *noisy* degree is
+        smaller (extension: Theorem 6's loss scales with the source
+        degree, so the cheaper source wins; requires a degree round).
+    optimize_budget:
+        When True, run a small degree round (``eps0_fraction`` of ε) and
+        optimize the (ε1, ε2) split for the source's estimated degree.
+    eps0_fraction:
+        Budget share for the degree round (used by ``optimize_budget``
+        and/or ``source="auto"``; charged once when both are active).
+    """
+
+    name = "multir-ss"
+    unbiased = True
+
+    def __init__(
+        self,
+        graph_fraction: float = 0.5,
+        source: str = "u",
+        optimize_budget: bool = False,
+        eps0_fraction: float = 0.05,
+    ):
+        if source not in ("u", "w", "auto"):
+            raise PrivacyError(f"source must be 'u', 'w' or 'auto', got {source!r}")
+        if not 0.0 < graph_fraction < 1.0:
+            raise PrivacyError("graph_fraction must be in (0, 1)")
+        self.graph_fraction = float(graph_fraction)
+        self.source = source
+        self.optimize_budget = bool(optimize_budget)
+        self.eps0_fraction = float(eps0_fraction)
+
+    # ------------------------------------------------------------------
+    def _plan(
+        self, session: ProtocolSession
+    ) -> tuple[BudgetSplit, str, dict[str, Any]]:
+        """Run the optional degree round; decide source and budget split."""
+        epsilon = session.epsilon
+        needs_degrees = self.optimize_budget or self.source == "auto"
+        if not needs_degrees:
+            if self.graph_fraction == 0.5:
+                return BudgetSplit.even(epsilon), self.source, {}
+            split = BudgetSplit.with_fraction(epsilon, self.graph_fraction)
+            return split, self.source, {}
+
+        eps0 = epsilon * self.eps0_fraction
+        label0 = session.begin_round("degrees")
+        report = session.degree_round(eps0, label0)
+        fallback = max(report.noisy_average_degree, 1.0)
+        noisy_u = report.noisy_degree_u if report.noisy_degree_u >= 1.0 else fallback
+        noisy_w = report.noisy_degree_w if report.noisy_degree_w >= 1.0 else fallback
+
+        if self.source == "auto":
+            source = "u" if noisy_u <= noisy_w else "w"
+        else:
+            source = self.source
+        source_degree = noisy_u if source == "u" else noisy_w
+
+        extra: dict[str, Any] = {"noisy_degree": source_degree}
+        if self.optimize_budget:
+            alloc = optimize_single_source(epsilon, source_degree, eps0)
+            split = BudgetSplit(degree=eps0, graph=alloc.eps1, estimator=alloc.eps2)
+            extra["predicted_loss"] = alloc.predicted_loss
+        else:
+            remaining = epsilon - eps0
+            graph_eps = remaining * self.graph_fraction
+            split = BudgetSplit(
+                degree=eps0, graph=graph_eps, estimator=remaining - graph_eps
+            )
+        if self.source == "auto":
+            extra["selected_source"] = source
+        return split, source, extra
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        split, source, extra = self._plan(session)
+
+        rr_label = session.begin_round("rr")
+        handle_u = session.randomized_response(session.u, split.graph, rr_label)
+        handle_w = session.randomized_response(session.w, split.graph, rr_label)
+
+        est_label = session.begin_round("estimate")
+        if source == "u":
+            observer, other = session.u, handle_w
+        else:
+            observer, other = session.w, handle_u
+        session.download(other, observer)
+        raw, s1, s2 = single_source_raw(session, observer, other)
+        value = session.release_scalar(
+            observer,
+            raw,
+            split.estimator,
+            single_source_sensitivity(split.graph),
+            est_label,
+        )
+        details: dict[str, Any] = {
+            "source": source,
+            "eps0": split.degree,
+            "eps1": split.graph,
+            "eps2": split.estimator,
+            "s1": s1,
+            "s2": s2,
+            **extra,
+        }
+        return value, details

@@ -1,0 +1,35 @@
+"""Naive baseline (paper Algorithm 1).
+
+Both query vertices perturb their neighbor lists with randomized response
+using the full budget; the curator counts common neighbors directly on the
+noisy graph. Because the noisy graph is far denser than the input (every
+non-edge survives as a noisy edge with probability ``p``), the count is
+severely biased upward — the motivating failure the paper's Fig. 2 shows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.estimators.base import CommonNeighborEstimator
+from repro.protocol.session import ProtocolSession
+
+__all__ = ["NaiveEstimator"]
+
+
+class NaiveEstimator(CommonNeighborEstimator):
+    """Count common neighbors on the RR noisy graph (biased)."""
+
+    name = "naive"
+    unbiased = False
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        label = session.begin_round("rr")
+        handle_u = session.randomized_response(session.u, session.epsilon, label)
+        handle_w = session.randomized_response(session.w, session.epsilon, label)
+        noisy_intersection, _ = session.naive_counts(handle_u, handle_w)
+        details = {
+            "noisy_intersection": noisy_intersection,
+            "eps_rr": session.epsilon,
+        }
+        return float(noisy_intersection), details

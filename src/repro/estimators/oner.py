@@ -1,0 +1,51 @@
+"""OneR — the one-round unbiased estimator (paper Algorithm 2, Theorem 3).
+
+OneR uses the same noisy graph as Naive but de-biases it: each candidate
+``v`` on the opposite layer contributes ``φ(u,v)·φ(v,w)`` with
+``φ(i,j) = (A'[i,j] - p)/(1-2p)``, an unbiased estimate of
+``A[u,v]·A[v,w]``. Summed over all candidates this is unbiased for
+``C2(u, w)``, and the paper's expansion lets it be evaluated from just the
+noisy intersection size ``N1``, the noisy union size ``N2`` and the
+candidate-pool size ``n1``:
+
+    f̃2 = [N1 (1-p)² - (N2 - N1) p(1-p) + (n1 - N2) p²] / (1-2p)²
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.estimators.base import CommonNeighborEstimator
+from repro.privacy.mechanisms import flip_probability
+from repro.protocol.session import ProtocolSession
+
+__all__ = ["OneRoundEstimator"]
+
+
+class OneRoundEstimator(CommonNeighborEstimator):
+    """Unbiased single-round estimator over the full candidate pool."""
+
+    name = "oner"
+    unbiased = True
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        label = session.begin_round("rr")
+        handle_u = session.randomized_response(session.u, session.epsilon, label)
+        handle_w = session.randomized_response(session.w, session.epsilon, label)
+        n1, n2 = session.naive_counts(handle_u, handle_w)
+
+        p = flip_probability(session.epsilon)
+        denom = (1.0 - 2.0 * p) ** 2
+        pool = session.n_opposite
+        value = (
+            n1 * (1.0 - p) ** 2
+            - (n2 - n1) * p * (1.0 - p)
+            + (pool - n2) * p * p
+        ) / denom
+        details = {
+            "noisy_intersection": n1,
+            "noisy_union": n2,
+            "candidate_pool": pool,
+            "eps_rr": session.epsilon,
+        }
+        return value, details

@@ -1,0 +1,50 @@
+"""Name-based estimator registry used by the experiment harness and CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.estimators.base import CommonNeighborEstimator
+from repro.estimators.centraldp import CentralDPEstimator
+from repro.estimators.exact import ExactCounter
+from repro.estimators.multir_ds import (
+    MultiRoundDoubleSource,
+    MultiRoundDoubleSourceBasic,
+    MultiRoundDoubleSourceStar,
+)
+from repro.estimators.multir_ss import MultiRoundSingleSource
+from repro.estimators.naive import NaiveEstimator
+from repro.estimators.oner import OneRoundEstimator
+
+__all__ = ["available_estimators", "get_estimator", "ESTIMATOR_FACTORIES"]
+
+ESTIMATOR_FACTORIES: dict[str, Callable[..., CommonNeighborEstimator]] = {
+    ExactCounter.name: ExactCounter,
+    NaiveEstimator.name: NaiveEstimator,
+    OneRoundEstimator.name: OneRoundEstimator,
+    MultiRoundSingleSource.name: MultiRoundSingleSource,
+    MultiRoundDoubleSourceBasic.name: MultiRoundDoubleSourceBasic,
+    MultiRoundDoubleSource.name: MultiRoundDoubleSource,
+    MultiRoundDoubleSourceStar.name: MultiRoundDoubleSourceStar,
+    CentralDPEstimator.name: CentralDPEstimator,
+}
+
+
+def available_estimators() -> list[str]:
+    """Registered algorithm names, in presentation order."""
+    return list(ESTIMATOR_FACTORIES)
+
+
+def get_estimator(name: str, **kwargs) -> CommonNeighborEstimator:
+    """Instantiate an estimator by registry name.
+
+    Keyword arguments are forwarded to the estimator constructor (e.g.
+    ``get_estimator("multir-ss", graph_fraction=0.3)``).
+    """
+    try:
+        factory = ESTIMATOR_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_estimators())
+        raise ReproError(f"unknown estimator {name!r}; known: {known}") from None
+    return factory(**kwargs)

@@ -1,0 +1,88 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments.fig2_distribution import (
+    Fig2Result,
+    run_fig2,
+    select_imbalanced_pair,
+)
+from repro.experiments.fig5_loss_landscape import Fig5Panel, run_fig5
+from repro.experiments.fig6_datasets import run_fig6a, run_fig6b
+from repro.experiments.fig7_epsilon import run_fig7
+from repro.experiments.fig8_budget import run_fig8
+from repro.experiments.fig9_imbalance import run_fig9
+from repro.experiments.fig10_communication import run_fig10
+from repro.experiments.fig11_scalability import run_fig11
+from repro.experiments.export import (
+    load_panel,
+    panel_from_json,
+    panel_to_csv,
+    panel_to_json,
+    save_panels,
+)
+from repro.experiments.ext_overlap import run_ext_overlap
+from repro.experiments.manifest import RunManifest, load_manifest, save_manifest
+from repro.experiments.regression import (
+    Deviation,
+    compare_panels,
+    compare_result_dirs,
+)
+from repro.experiments.report import SeriesPanel, ascii_histogram, format_table
+from repro.experiments.workloads import WORKLOADS, build_workload
+from repro.experiments.suite import (
+    EXPERIMENT_NAMES,
+    ExperimentOutput,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.runner import (
+    AlgorithmStats,
+    evaluate_algorithms,
+    resolve_estimators,
+)
+from repro.experiments.table2_datasets import Table2Row, run_table2, table2_text
+from repro.experiments.table3_summary import Table3Result, Table3Row, run_table3
+
+__all__ = [
+    "Fig2Result",
+    "run_fig2",
+    "select_imbalanced_pair",
+    "Fig5Panel",
+    "run_fig5",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_ext_overlap",
+    "RunManifest",
+    "load_manifest",
+    "save_manifest",
+    "WORKLOADS",
+    "build_workload",
+    "Deviation",
+    "compare_panels",
+    "compare_result_dirs",
+    "SeriesPanel",
+    "ascii_histogram",
+    "format_table",
+    "load_panel",
+    "panel_from_json",
+    "panel_to_csv",
+    "panel_to_json",
+    "save_panels",
+    "EXPERIMENT_NAMES",
+    "ExperimentOutput",
+    "run_all",
+    "run_experiment",
+    "AlgorithmStats",
+    "evaluate_algorithms",
+    "resolve_estimators",
+    "Table2Row",
+    "run_table2",
+    "table2_text",
+    "Table3Result",
+    "Table3Row",
+    "run_table3",
+]

@@ -1,0 +1,96 @@
+"""Exporting experiment results (CSV / JSON) and loading them back.
+
+The benchmark harness renders text tables; downstream analysis (plotting
+with an external stack, regression tracking across runs) wants machine-
+readable series. :class:`~repro.experiments.report.SeriesPanel` objects
+round-trip losslessly through JSON and export cleanly to CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments.report import SeriesPanel
+
+__all__ = [
+    "panel_to_csv",
+    "panel_to_json",
+    "panel_from_json",
+    "save_panels",
+    "load_panel",
+]
+
+
+def panel_to_csv(panel: SeriesPanel) -> str:
+    """Render a panel as CSV: one row per x-value, one column per series."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([panel.x_label, *panel.series.keys()])
+    for row in panel.to_rows():
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def panel_to_json(panel: SeriesPanel) -> str:
+    """Serialize a panel (metadata + series) as a JSON document."""
+    payload = {
+        "title": panel.title,
+        "x_label": panel.x_label,
+        "y_label": panel.y_label,
+        "x_values": panel.x_values,
+        "series": panel.series,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def panel_from_json(text: str) -> SeriesPanel:
+    """Inverse of :func:`panel_to_json`."""
+    payload = json.loads(text)
+    panel = SeriesPanel(
+        title=payload["title"],
+        x_label=payload["x_label"],
+        x_values=payload["x_values"],
+        y_label=payload.get("y_label", "mean absolute error"),
+    )
+    for name, values in payload["series"].items():
+        panel.add(name, values)
+    return panel
+
+
+def save_panels(
+    panels: Iterable[SeriesPanel],
+    directory: str | os.PathLike,
+    stem: str,
+    formats: tuple[str, ...] = ("json", "csv", "txt"),
+) -> list[Path]:
+    """Write each panel under ``directory`` as ``<stem>_<i>.<fmt>``.
+
+    Returns the written paths in order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    renderers = {
+        "json": panel_to_json,
+        "csv": panel_to_csv,
+        "txt": lambda p: p.to_text() + "\n",
+    }
+    for fmt in formats:
+        if fmt not in renderers:
+            raise ValueError(f"unknown format {fmt!r}; choose from {sorted(renderers)}")
+    for i, panel in enumerate(panels):
+        for fmt in formats:
+            path = directory / f"{stem}_{i}.{fmt}"
+            path.write_text(renderers[fmt](panel), encoding="utf-8")
+            written.append(path)
+    return written
+
+
+def load_panel(path: str | os.PathLike) -> SeriesPanel:
+    """Load a panel previously saved as JSON."""
+    return panel_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,60 @@
+"""Fig. 10 — communication cost (MB per query) as ε varies.
+
+Byte accounting comes straight from the protocol log: noisy-edge uploads
+and downloads at 8 bytes per id, degree reports and estimator releases at
+8 bytes per scalar. Expected shape: Naive ≈ OneR (same RR round, full
+budget); MultiR-SS above them (extra download, denser lists at ε1 = ε/2);
+MultiR-DS highest (degree round + both directions); every curve falls as
+ε grows because noisy lists get sparser.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.cache import load_dataset
+from repro.experiments.report import SeriesPanel
+from repro.experiments.runner import evaluate_algorithms
+from repro.graph.bipartite import Layer
+from repro.graph.sampling import sample_query_pairs
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.protocol.session import ExecutionMode
+
+__all__ = ["FIG10_DATASETS", "FIG10_ALGORITHMS", "run_fig10"]
+
+FIG10_DATASETS = ("WC", "ER", "DUI", "OG")
+FIG10_ALGORITHMS = ("naive", "oner", "multir-ss", "multir-ds")
+DEFAULT_EPSILONS = (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def run_fig10(
+    datasets=FIG10_DATASETS,
+    epsilons=DEFAULT_EPSILONS,
+    algorithms=FIG10_ALGORITHMS,
+    num_pairs: int = 20,
+    layer: Layer = Layer.UPPER,
+    rng: RngLike = 1010,
+    max_edges: int | None = None,
+    mode: ExecutionMode = ExecutionMode.SKETCH,
+) -> list[SeriesPanel]:
+    """One panel per dataset: mean MB per query against ε."""
+    parent = ensure_rng(rng)
+    panels = []
+    for key in datasets:
+        graph = load_dataset(key, max_edges)
+        pairs = sample_query_pairs(graph, layer, num_pairs, rng=parent)
+        panel = SeriesPanel(
+            title=f"Fig. 10 — {key}: communication cost vs eps",
+            x_label="eps",
+            x_values=[float(e) for e in epsilons],
+            y_label="MB per query",
+        )
+        series: dict[str, list[float]] = {name: [] for name in algorithms}
+        for epsilon in epsilons:
+            stats = evaluate_algorithms(
+                graph, pairs, algorithms, float(epsilon), parent, mode
+            )
+            for name in algorithms:
+                series[name].append(stats[name].mean_comm_megabytes)
+        for name, values in series.items():
+            panel.add(name, values)
+        panels.append(panel)
+    return panels

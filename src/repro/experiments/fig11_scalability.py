@@ -1,0 +1,57 @@
+"""Fig. 11 — effect of the number of vertices (vertex-sampled subgraphs).
+
+Each dataset is uniformly subsampled to 20%…100% of its vertices and the
+error experiment repeats on the induced subgraphs. Expected shape: Naive
+and OneR degrade as the graph grows (their losses carry n1² / n1 factors);
+MultiR-SS, MultiR-DS and CentralDP stay flat (degree-only dependence).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.cache import load_dataset
+from repro.experiments.report import SeriesPanel
+from repro.experiments.runner import evaluate_algorithms
+from repro.graph.bipartite import Layer
+from repro.graph.sampling import sample_query_pairs, sample_vertex_fraction
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.protocol.session import ExecutionMode
+
+__all__ = ["FIG11_DATASETS", "FIG11_ALGORITHMS", "run_fig11"]
+
+FIG11_DATASETS = ("WC", "ER", "DUI", "OG")
+FIG11_ALGORITHMS = ("naive", "oner", "multir-ss", "multir-ds", "central-dp")
+DEFAULT_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run_fig11(
+    datasets=FIG11_DATASETS,
+    fractions=DEFAULT_FRACTIONS,
+    algorithms=FIG11_ALGORITHMS,
+    epsilon: float = 2.0,
+    num_pairs: int = 100,
+    layer: Layer = Layer.UPPER,
+    rng: RngLike = 1111,
+    max_edges: int | None = None,
+    mode: ExecutionMode = ExecutionMode.SKETCH,
+) -> list[SeriesPanel]:
+    """One panel per dataset: MAE against the vertex-sample fraction."""
+    parent = ensure_rng(rng)
+    panels = []
+    for key in datasets:
+        full = load_dataset(key, max_edges)
+        panel = SeriesPanel(
+            title=f"Fig. 11 — {key}: MAE vs vertex fraction (eps={epsilon:g})",
+            x_label="fraction of |V|",
+            x_values=[float(f) for f in fractions],
+        )
+        series: dict[str, list[float]] = {name: [] for name in algorithms}
+        for fraction in fractions:
+            graph = sample_vertex_fraction(full, float(fraction), rng=parent)
+            pairs = sample_query_pairs(graph, layer, num_pairs, rng=parent)
+            stats = evaluate_algorithms(graph, pairs, algorithms, epsilon, parent, mode)
+            for name in algorithms:
+                series[name].append(stats[name].errors.mae)
+        for name, values in series.items():
+            panel.add(name, values)
+        panels.append(panel)
+    return panels

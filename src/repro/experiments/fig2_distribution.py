@@ -1,0 +1,153 @@
+"""Fig. 2 — estimate distributions on rmwiki for an imbalanced pair, ε = 1.
+
+The paper repeats each algorithm 1000 times on one rmwiki query pair with
+degrees (556, 2) and true count 2, showing Naive's heavy rightward bias,
+OneR's fat-tailed but unbiased spread, and the tight MultiR-SS / MultiR-DS
+distributions. This module reproduces the experiment on the synthetic
+rmwiki analogue, picking the most degree-imbalanced pair available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.cache import load_dataset
+from repro.estimators.registry import get_estimator
+from repro.experiments.report import ascii_histogram, format_table
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
+from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
+from repro.protocol.session import ExecutionMode
+
+__all__ = ["Fig2Result", "select_imbalanced_pair", "run_fig2"]
+
+DEFAULT_ALGORITHMS = ("naive", "oner", "multir-ss", "multir-ds")
+
+
+def select_imbalanced_pair(
+    graph: BipartiteGraph,
+    layer: Layer,
+    rng: RngLike = None,
+    low_degree_target: int = 2,
+    heavy_factor: float = 12.0,
+) -> QueryPair:
+    """Pick a (heavy, low-degree) pair sharing ≥1 common neighbor.
+
+    Mirrors the paper's showcase pair (degrees 556 and 2, C2 = 2): the
+    first vertex's degree is about ``heavy_factor`` times the layer
+    average (rmwiki's 556 ≈ 12x the mean user degree) — a strong hub but
+    not the absolute maximum, whose degree can rival the candidate-pool
+    size on the synthetic analogues. The partner is the lowest-degree
+    vertex (≥ ``low_degree_target``) that still shares a neighbor with it,
+    falling back to the lowest-degree vertex overall.
+    """
+    rng = ensure_rng(rng)
+    degrees = graph.degrees(layer)
+    target = heavy_factor * max(graph.average_degree(layer), 1.0)
+    heavy = int(np.argmin(np.abs(degrees.astype(float) - target)))
+    order = np.argsort(degrees, kind="stable")
+    fallback = None
+    for candidate in order:
+        candidate = int(candidate)
+        if candidate == heavy or degrees[candidate] < low_degree_target:
+            continue
+        if fallback is None:
+            fallback = candidate
+        if graph.count_common_neighbors(layer, heavy, candidate) > 0:
+            return QueryPair(layer, heavy, candidate)
+    if fallback is None:
+        for candidate in order:
+            if int(candidate) != heavy:
+                fallback = int(candidate)
+                break
+    if fallback is None:
+        raise ValueError("graph has fewer than two vertices on the layer")
+    return QueryPair(layer, heavy, fallback)
+
+
+@dataclass
+class Fig2Result:
+    """Sampled estimate distributions for one query pair."""
+
+    dataset: str
+    epsilon: float
+    trials: int
+    pair: QueryPair
+    degree_u: int
+    degree_w: int
+    true_count: int
+    samples: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def summary_rows(self) -> list[list]:
+        rows = []
+        for name, values in self.samples.items():
+            rows.append(
+                [
+                    name,
+                    float(values.mean()),
+                    float(values.std(ddof=1)),
+                    float(values.mean() - self.true_count),
+                    float(np.percentile(values, 5)),
+                    float(np.percentile(values, 95)),
+                ]
+            )
+        return rows
+
+    def to_text(self, histogram: bool = True) -> str:
+        title = (
+            f"Fig. 2 — estimate distributions on {self.dataset} "
+            f"(eps={self.epsilon:g}, trials={self.trials}, "
+            f"deg=({self.degree_u}, {self.degree_w}), "
+            f"true C2={self.true_count})"
+        )
+        table = format_table(
+            ["algorithm", "mean", "std", "bias", "p5", "p95"],
+            self.summary_rows(),
+            title=title,
+        )
+        if not histogram:
+            return table
+        blocks = [table]
+        for name, values in self.samples.items():
+            blocks.append(ascii_histogram(values, title=f"\n{name}:"))
+        return "\n".join(blocks)
+
+
+def run_fig2(
+    dataset: str = "RM",
+    epsilon: float = 1.0,
+    trials: int = 1000,
+    algorithms=DEFAULT_ALGORITHMS,
+    layer: Layer = Layer.UPPER,
+    rng: RngLike = 2024,
+    max_edges: int | None = None,
+    mode: ExecutionMode = ExecutionMode.SKETCH,
+) -> Fig2Result:
+    """Reproduce the Fig. 2 experiment; returns per-algorithm samples."""
+    graph = load_dataset(dataset, max_edges)
+    parent = ensure_rng(rng)
+    pair = select_imbalanced_pair(graph, layer, parent)
+    result = Fig2Result(
+        dataset=dataset,
+        epsilon=epsilon,
+        trials=trials,
+        pair=pair,
+        degree_u=graph.degree(layer, pair.a),
+        degree_w=graph.degree(layer, pair.b),
+        true_count=graph.count_common_neighbors(layer, pair.a, pair.b),
+    )
+    for name in algorithms:
+        estimator = get_estimator(name)
+        rngs = spawn_rngs(parent, trials)
+        values = np.array(
+            [
+                estimator.estimate(
+                    graph, layer, pair.a, pair.b, epsilon, rng=rngs[t], mode=mode
+                ).value
+                for t in range(trials)
+            ]
+        )
+        result.samples[name] = values
+    return result

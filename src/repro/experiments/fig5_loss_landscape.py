@@ -1,0 +1,88 @@
+"""Fig. 5 — the analytic L2-loss landscape of the double-source estimator.
+
+The paper plots ``l2(f*, C2)`` against ε1 for α ∈ {0, 1, 0.5} with
+``du = 5`` and ``dw ∈ {10, 100}`` at total ε = 2, plus the global minimum
+attained by jointly optimizing (ε1, α). The left panel (mild imbalance)
+shows the plain average achieving the optimum; the right panel (strong
+imbalance) shows the low-degree single-source estimator winning — the
+motivation for MultiR-DS's adaptive weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.loss import double_source_variance
+from repro.analysis.optimizer import optimize_double_source
+from repro.experiments.report import SeriesPanel
+
+__all__ = ["Fig5Panel", "run_fig5"]
+
+#: The α values the paper draws as separate curves.
+CURVE_ALPHAS = {
+    "alpha=0 (f_w)": 0.0,
+    "alpha=1 (f_u)": 1.0,
+    "alpha=0.5 (average)": 0.5,
+}
+
+
+@dataclass
+class Fig5Panel:
+    """One Fig. 5 subplot: loss curves plus the jointly optimized minimum."""
+
+    deg_u: int
+    deg_w: int
+    epsilon: float
+    panel: SeriesPanel
+    global_minimum: float
+    optimal_eps1: float
+    optimal_alpha: float
+
+    def to_text(self) -> str:
+        text = self.panel.to_text()
+        return (
+            f"{text}\n"
+            f"global minimum {self.global_minimum:.4f} at "
+            f"eps1={self.optimal_eps1:.4f}, alpha={self.optimal_alpha:.4f}"
+        )
+
+
+def run_fig5(
+    deg_u: int = 5,
+    deg_w_values: tuple[int, ...] = (10, 100),
+    epsilon: float = 2.0,
+    eps1_range: tuple[float, float] = (0.5, 1.5),
+    num_points: int = 21,
+) -> list[Fig5Panel]:
+    """Compute the Fig. 5 curves analytically (no sampling involved)."""
+    eps1_values = np.linspace(eps1_range[0], eps1_range[1], num_points)
+    panels = []
+    for deg_w in deg_w_values:
+        panel = SeriesPanel(
+            title=f"Fig. 5 — L2 loss of f* (du={deg_u}, dw={deg_w}, eps={epsilon:g})",
+            x_label="eps1",
+            x_values=[round(float(e), 6) for e in eps1_values],
+            y_label="expected L2 loss",
+        )
+        for label, alpha in CURVE_ALPHAS.items():
+            losses = [
+                double_source_variance(float(e1), epsilon - float(e1), alpha, deg_u, deg_w)
+                for e1 in eps1_values
+            ]
+            panel.add(label, losses)
+        alloc = optimize_double_source(epsilon, deg_u, deg_w, eps0=0.0)
+        panel.add("global minimum", [alloc.predicted_loss] * len(eps1_values))
+        panels.append(
+            Fig5Panel(
+                deg_u=deg_u,
+                deg_w=deg_w,
+                epsilon=epsilon,
+                panel=panel,
+                global_minimum=alloc.predicted_loss,
+                optimal_eps1=alloc.eps1,
+                optimal_alpha=alloc.alpha,
+            )
+        )
+    return panels

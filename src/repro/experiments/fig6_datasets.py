@@ -1,0 +1,118 @@
+"""Fig. 6 — accuracy (a) and computational time (b) across all datasets.
+
+Fig. 6(a): mean absolute error of every algorithm over 100 uniform query
+pairs per dataset at ε = 2, with CentralDP as the utility upper bound.
+Fig. 6(b): per-query wall-clock time; run in ``materialize`` mode so the
+measured costs reflect the paper's complexities (the O(n1) noisy-graph
+round for Naive/OneR/MultiR-SS, plus the O(n2) degree round that makes
+MultiR-DS the slowest, with MultiR-DS* in between).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.cache import load_dataset
+from repro.datasets.registry import dataset_keys
+from repro.experiments.report import SeriesPanel
+from repro.experiments.runner import evaluate_algorithms
+from repro.graph.bipartite import Layer
+from repro.graph.sampling import sample_query_pairs
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.protocol.session import ExecutionMode
+
+__all__ = ["ACCURACY_ALGORITHMS", "TIME_ALGORITHMS", "run_fig6a", "run_fig6b"]
+
+ACCURACY_ALGORITHMS = (
+    "naive",
+    "oner",
+    "multir-ss",
+    "multir-ds",
+    "multir-ds-star",
+    "central-dp",
+)
+TIME_ALGORITHMS = ("naive", "oner", "multir-ss", "multir-ds", "multir-ds-star")
+
+
+_METRICS = ("mae", "mre", "l2")
+
+
+def _workload(graph, layer, num_pairs, rng):
+    return sample_query_pairs(graph, layer, num_pairs, rng=rng)
+
+
+def _metric_value(summary, metric: str) -> float:
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+    return getattr(summary, metric)
+
+
+def run_fig6a(
+    datasets: list[str] | None = None,
+    epsilon: float = 2.0,
+    num_pairs: int = 100,
+    layer: Layer = Layer.UPPER,
+    rng: RngLike = 606,
+    max_edges: int | None = None,
+    mode: ExecutionMode = ExecutionMode.SKETCH,
+    algorithms=ACCURACY_ALGORITHMS,
+    metric: str = "mae",
+) -> SeriesPanel:
+    """Error per dataset (Fig. 6a).
+
+    ``metric`` selects the reported error: ``"mae"`` (the figure's axis),
+    ``"mre"`` (mean relative error, quoted in the paper's contribution
+    list) or ``"l2"`` (the quantity the theory bounds).
+    """
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+    keys = list(datasets or dataset_keys())
+    parent = ensure_rng(rng)
+    label = {"mae": "mean absolute error", "mre": "mean relative error",
+             "l2": "empirical L2 loss"}[metric]
+    panel = SeriesPanel(
+        title=f"Fig. 6(a) — {label} per dataset (eps={epsilon:g})",
+        x_label="dataset",
+        x_values=keys,
+        y_label=label,
+    )
+    series: dict[str, list[float]] = {name: [] for name in algorithms}
+    for key in keys:
+        graph = load_dataset(key, max_edges)
+        pairs = _workload(graph, layer, num_pairs, parent)
+        stats = evaluate_algorithms(graph, pairs, algorithms, epsilon, parent, mode)
+        for name in algorithms:
+            series[name].append(_metric_value(stats[name].errors, metric))
+    for name, values in series.items():
+        panel.add(name, values)
+    return panel
+
+
+def run_fig6b(
+    datasets: list[str] | None = None,
+    epsilon: float = 2.0,
+    num_pairs: int = 5,
+    layer: Layer = Layer.UPPER,
+    rng: RngLike = 607,
+    max_edges: int | None = None,
+    algorithms=TIME_ALGORITHMS,
+) -> SeriesPanel:
+    """Per-query wall-clock seconds per dataset (Fig. 6b, materialize mode)."""
+    keys = list(datasets or dataset_keys())
+    parent = ensure_rng(rng)
+    panel = SeriesPanel(
+        title=f"Fig. 6(b) — time per query in seconds (eps={epsilon:g})",
+        x_label="dataset",
+        x_values=keys,
+        y_label="seconds per query",
+    )
+    series: dict[str, list[float]] = {name: [] for name in algorithms}
+    for key in keys:
+        graph = load_dataset(key, max_edges)
+        pairs = _workload(graph, layer, num_pairs, parent)
+        stats = evaluate_algorithms(
+            graph, pairs, algorithms, epsilon, parent, ExecutionMode.MATERIALIZE
+        )
+        for name in algorithms:
+            series[name].append(stats[name].mean_seconds)
+    for name, values in series.items():
+        panel.add(name, values)
+    return panel

@@ -1,0 +1,57 @@
+"""Fig. 7 — effect of the privacy budget ε on estimation error.
+
+One panel per dataset (the paper shows the eight largest datasets);
+ε sweeps {1, 1.5, 2, 2.5, 3}. Expected shape: every curve falls as ε
+grows; MultiR algorithms sit orders of magnitude below OneR, which sits
+below Naive; CentralDP is the lower envelope.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.cache import load_dataset
+from repro.experiments.report import SeriesPanel
+from repro.experiments.runner import evaluate_algorithms
+from repro.graph.bipartite import Layer
+from repro.graph.sampling import sample_query_pairs
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.protocol.session import ExecutionMode
+
+__all__ = ["FIG7_DATASETS", "FIG7_ALGORITHMS", "run_fig7"]
+
+FIG7_DATASETS = ("SO", "TM", "WC", "ML", "ER", "NX", "DUI", "OG")
+FIG7_ALGORITHMS = ("naive", "oner", "multir-ss", "multir-ds", "central-dp")
+DEFAULT_EPSILONS = (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def run_fig7(
+    datasets=FIG7_DATASETS,
+    epsilons=DEFAULT_EPSILONS,
+    algorithms=FIG7_ALGORITHMS,
+    num_pairs: int = 100,
+    layer: Layer = Layer.UPPER,
+    rng: RngLike = 707,
+    max_edges: int | None = None,
+    mode: ExecutionMode = ExecutionMode.SKETCH,
+) -> list[SeriesPanel]:
+    """One MAE-vs-ε panel per dataset."""
+    parent = ensure_rng(rng)
+    panels = []
+    for key in datasets:
+        graph = load_dataset(key, max_edges)
+        pairs = sample_query_pairs(graph, layer, num_pairs, rng=parent)
+        panel = SeriesPanel(
+            title=f"Fig. 7 — {key}: mean absolute error vs eps",
+            x_label="eps",
+            x_values=[float(e) for e in epsilons],
+        )
+        series: dict[str, list[float]] = {name: [] for name in algorithms}
+        for epsilon in epsilons:
+            stats = evaluate_algorithms(
+                graph, pairs, algorithms, float(epsilon), parent, mode
+            )
+            for name in algorithms:
+                series[name].append(stats[name].errors.mae)
+        for name, values in series.items():
+            panel.add(name, values)
+        panels.append(panel)
+    return panels

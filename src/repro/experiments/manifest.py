@@ -1,0 +1,103 @@
+"""Run manifests — reproducibility metadata for experiment outputs.
+
+A manifest records everything needed to regenerate a result: library
+version, dataset key and realized scale, query workload, privacy budget,
+seed, execution mode and algorithm list. Panels saved together with their
+manifest can be re-run bit-for-bit (all randomness in the library flows
+from the recorded seed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["RunManifest", "save_manifest", "load_manifest"]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Reproducibility record for one experiment run."""
+
+    experiment: str
+    seed: int | None
+    epsilon: float
+    num_pairs: int
+    datasets: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    max_edges: int | None = None
+    mode: str = "sketch"
+    workload: str = "uniform"
+    library_version: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["schema_version"] = _SCHEMA_VERSION
+        payload["datasets"] = list(self.datasets)
+        payload["algorithms"] = list(self.algorithms)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        payload = json.loads(text)
+        version = payload.pop("schema_version", None)
+        if version != _SCHEMA_VERSION:
+            raise ReproError(
+                f"unsupported manifest schema version {version!r} "
+                f"(expected {_SCHEMA_VERSION})"
+            )
+        payload["datasets"] = tuple(payload.get("datasets", ()))
+        payload["algorithms"] = tuple(payload.get("algorithms", ()))
+        return cls(**payload)
+
+    @classmethod
+    def capture(
+        cls,
+        experiment: str,
+        *,
+        seed: int | None,
+        epsilon: float,
+        num_pairs: int,
+        datasets,
+        algorithms,
+        max_edges: int | None = None,
+        mode: str = "sketch",
+        workload: str = "uniform",
+        **extra,
+    ) -> "RunManifest":
+        """Build a manifest, stamping the installed library version."""
+        import repro
+
+        return cls(
+            experiment=experiment,
+            seed=seed,
+            epsilon=float(epsilon),
+            num_pairs=int(num_pairs),
+            datasets=tuple(datasets),
+            algorithms=tuple(algorithms),
+            max_edges=max_edges,
+            mode=mode,
+            workload=workload,
+            library_version=repro.__version__,
+            extra=dict(extra),
+        )
+
+
+def save_manifest(manifest: RunManifest, path: str | os.PathLike) -> Path:
+    """Write a manifest next to its results; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(manifest.to_json(), encoding="utf-8")
+    return path
+
+
+def load_manifest(path: str | os.PathLike) -> RunManifest:
+    """Load a manifest previously written by :func:`save_manifest`."""
+    return RunManifest.from_json(Path(path).read_text(encoding="utf-8"))

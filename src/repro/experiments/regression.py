@@ -1,0 +1,111 @@
+"""Regression comparison between saved experiment results.
+
+Experiments are stochastic, so "did anything change?" needs tolerances:
+:func:`compare_panels` diffs two :class:`SeriesPanel` objects point by
+point and reports deviations beyond a relative tolerance;
+:func:`compare_result_dirs` does the same for two directories of exported
+JSON panels (as written by :func:`repro.experiments.export.save_panels`),
+which is what a CI job tracks across library versions.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments.export import load_panel
+from repro.experiments.report import SeriesPanel
+
+__all__ = ["Deviation", "compare_panels", "compare_result_dirs"]
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One point where two results disagree beyond tolerance."""
+
+    panel: str
+    series: str
+    x_value: object
+    baseline: float
+    candidate: float
+
+    @property
+    def relative_change(self) -> float:
+        denom = max(abs(self.baseline), 1e-12)
+        return (self.candidate - self.baseline) / denom
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.panel} / {self.series} @ {self.x_value}: "
+            f"{self.baseline:.4g} -> {self.candidate:.4g} "
+            f"({self.relative_change:+.1%})"
+        )
+
+
+def compare_panels(
+    baseline: SeriesPanel,
+    candidate: SeriesPanel,
+    rel_tol: float = 0.25,
+    abs_tol: float = 1e-9,
+) -> list[Deviation]:
+    """Point-wise comparison; returns the deviations beyond tolerance.
+
+    Structural mismatches (different x-axes or series sets) raise
+    :class:`ReproError` — those are schema changes, not regressions.
+    """
+    if baseline.x_values != candidate.x_values:
+        raise ReproError(
+            f"x-axis mismatch in {baseline.title!r}: "
+            f"{baseline.x_values} vs {candidate.x_values}"
+        )
+    if set(baseline.series) != set(candidate.series):
+        raise ReproError(
+            f"series mismatch in {baseline.title!r}: "
+            f"{sorted(baseline.series)} vs {sorted(candidate.series)}"
+        )
+    deviations = []
+    for name, base_values in baseline.series.items():
+        cand_values = candidate.series[name]
+        for x, base, cand in zip(baseline.x_values, base_values, cand_values):
+            if math.isnan(base) and math.isnan(cand):
+                continue
+            if not math.isclose(base, cand, rel_tol=rel_tol, abs_tol=abs_tol):
+                deviations.append(
+                    Deviation(baseline.title, name, x, float(base), float(cand))
+                )
+    return deviations
+
+
+def compare_result_dirs(
+    baseline_dir: str | os.PathLike,
+    candidate_dir: str | os.PathLike,
+    rel_tol: float = 0.25,
+) -> list[Deviation]:
+    """Compare every JSON panel present in both directories (by filename).
+
+    Panels present on only one side raise :class:`ReproError` (a missing
+    experiment is a harness problem, not a numeric drift).
+    """
+    baseline_dir = Path(baseline_dir)
+    candidate_dir = Path(candidate_dir)
+    base_files = {p.name: p for p in baseline_dir.glob("*.json")}
+    cand_files = {p.name: p for p in candidate_dir.glob("*.json")}
+    if not base_files:
+        raise ReproError(f"no JSON panels under {baseline_dir}")
+    missing = sorted(set(base_files) ^ set(cand_files))
+    if missing:
+        raise ReproError(f"panels present on only one side: {missing}")
+
+    deviations: list[Deviation] = []
+    for name in sorted(base_files):
+        deviations.extend(
+            compare_panels(
+                load_panel(base_files[name]),
+                load_panel(cand_files[name]),
+                rel_tol=rel_tol,
+            )
+        )
+    return deviations

@@ -1,0 +1,113 @@
+"""Plain-text rendering of experiment results.
+
+The environment has no plotting stack, so every figure is rendered as an
+aligned text table (one row per x-value, one column per algorithm) plus,
+for distribution figures, an ASCII histogram. The same structures feed the
+benchmark assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["format_value", "format_table", "SeriesPanel", "ascii_histogram"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Human-friendly rendering of one table cell."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned monospace table."""
+    rendered = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_line(row) for row in rendered)
+    return "\n".join(lines)
+
+
+@dataclass
+class SeriesPanel:
+    """One figure panel: y-series per algorithm over a shared x-axis."""
+
+    title: str
+    x_label: str
+    x_values: list[Any]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    y_label: str = "mean absolute error"
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(self.x_values)}"
+            )
+        self.series[name] = values
+
+    def value(self, name: str, x: Any) -> float:
+        """The y-value of series ``name`` at x-value ``x``."""
+        return self.series[name][self.x_values.index(x)]
+
+    def to_rows(self) -> list[list[Any]]:
+        names = list(self.series)
+        return [
+            [x] + [self.series[name][i] for name in names]
+            for i, x in enumerate(self.x_values)
+        ]
+
+    def to_text(self, precision: int = 4) -> str:
+        headers = [self.x_label] + list(self.series)
+        return format_table(
+            headers, self.to_rows(), title=f"{self.title}  ({self.y_label})",
+            precision=precision,
+        )
+
+
+def ascii_histogram(
+    samples: np.ndarray,
+    bins: int = 30,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Monospace histogram used for the Fig. 2 distribution plot."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return "(no samples)"
+    counts, edges = np.histogram(samples, bins=bins)
+    top = counts.max() if counts.max() else 1
+    lines = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / top))
+        lines.append(f"{edges[i]:>12.2f} .. {edges[i + 1]:>12.2f} | {bar}")
+    return "\n".join(lines)

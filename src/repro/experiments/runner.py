@@ -1,0 +1,95 @@
+"""Generic evaluation loop shared by all figure reproductions.
+
+Given a graph, a workload of query pairs, and a set of estimators,
+:func:`evaluate_algorithms` executes every (estimator, pair) combination,
+timing each call and aggregating error, latency and communication into
+:class:`AlgorithmStats` — the cell of every figure in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import ErrorSummary, summarize_errors
+from repro.estimators.base import CommonNeighborEstimator
+from repro.estimators.registry import get_estimator
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.sampling import QueryPair
+from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
+from repro.protocol.session import ExecutionMode
+
+__all__ = ["AlgorithmStats", "resolve_estimators", "evaluate_algorithms"]
+
+
+@dataclass(frozen=True)
+class AlgorithmStats:
+    """Aggregated behaviour of one algorithm over a query workload."""
+
+    algorithm: str
+    errors: ErrorSummary
+    mean_seconds: float
+    mean_comm_bytes: float
+
+    @property
+    def mean_comm_megabytes(self) -> float:
+        return self.mean_comm_bytes / 1e6
+
+
+def resolve_estimators(
+    specs: Iterable[str | CommonNeighborEstimator],
+) -> dict[str, CommonNeighborEstimator]:
+    """Turn a mix of names and instances into an ordered name → instance map."""
+    out: dict[str, CommonNeighborEstimator] = {}
+    for spec in specs:
+        estimator = get_estimator(spec) if isinstance(spec, str) else spec
+        out[estimator.name] = estimator
+    return out
+
+
+def evaluate_algorithms(
+    graph: BipartiteGraph,
+    pairs: Sequence[QueryPair],
+    estimators: Iterable[str | CommonNeighborEstimator],
+    epsilon: float,
+    rng: RngLike = None,
+    mode: ExecutionMode = ExecutionMode.SKETCH,
+) -> dict[str, AlgorithmStats]:
+    """Run every estimator on every pair; aggregate per algorithm.
+
+    Each (algorithm, pair) run receives an independent child RNG so
+    algorithms see identical workloads but independent noise.
+    """
+    if not pairs:
+        raise ValueError("need at least one query pair")
+    resolved = resolve_estimators(estimators)
+    parent = ensure_rng(rng)
+    true_counts = np.array(
+        [graph.count_common_neighbors(p.layer, p.a, p.b) for p in pairs],
+        dtype=np.float64,
+    )
+
+    stats: dict[str, AlgorithmStats] = {}
+    for name, estimator in resolved.items():
+        child_rngs = spawn_rngs(parent, len(pairs))
+        values = np.empty(len(pairs), dtype=np.float64)
+        comm = np.zeros(len(pairs), dtype=np.float64)
+        started = time.perf_counter()
+        for i, pair in enumerate(pairs):
+            result = estimator.estimate(
+                graph, pair.layer, pair.a, pair.b, epsilon,
+                rng=child_rngs[i], mode=mode,
+            )
+            values[i] = result.value
+            comm[i] = result.communication_bytes
+        elapsed = time.perf_counter() - started
+        stats[name] = AlgorithmStats(
+            algorithm=name,
+            errors=summarize_errors(true_counts, values),
+            mean_seconds=elapsed / len(pairs),
+            mean_comm_bytes=float(comm.mean()),
+        )
+    return stats

@@ -1,0 +1,131 @@
+"""Run-everything orchestrator for the paper's evaluation.
+
+:func:`run_experiment` executes one named table/figure and returns its
+panels and rendered text (the CLI's ``experiment`` subcommand delegates
+here); :func:`run_all` sweeps every experiment and writes a combined
+markdown report plus machine-readable series per figure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments.export import save_panels
+from repro.experiments.fig2_distribution import run_fig2
+from repro.experiments.fig5_loss_landscape import run_fig5
+from repro.experiments.fig6_datasets import run_fig6a, run_fig6b
+from repro.experiments.fig7_epsilon import run_fig7
+from repro.experiments.fig8_budget import run_fig8
+from repro.experiments.fig9_imbalance import run_fig9
+from repro.experiments.fig10_communication import run_fig10
+from repro.experiments.fig11_scalability import run_fig11
+from repro.experiments.report import SeriesPanel
+from repro.experiments.table2_datasets import run_table2, table2_text
+from repro.experiments.table3_summary import run_table3
+
+__all__ = ["EXPERIMENT_NAMES", "ExperimentOutput", "run_experiment", "run_all"]
+
+EXPERIMENT_NAMES = (
+    "fig2",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "table3",
+)
+
+
+@dataclass
+class ExperimentOutput:
+    """Rendered text plus (optionally) exportable panels."""
+
+    name: str
+    text: str
+    panels: list[SeriesPanel] = field(default_factory=list)
+
+
+def run_experiment(
+    name: str,
+    quick: bool = False,
+    seed: int | None = None,
+) -> ExperimentOutput:
+    """Execute one table/figure reproduction by name."""
+    if name not in EXPERIMENT_NAMES:
+        raise ReproError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENT_NAMES)}"
+        )
+    pairs = 20 if quick else 100
+    trials = 200 if quick else 1000
+
+    def _kw(**extra):
+        base = dict(extra)
+        if seed is not None:
+            base["rng"] = seed
+        return base
+
+    panels: list[SeriesPanel] = []
+    text: str
+    if name == "fig2":
+        text = run_fig2(**_kw(trials=trials)).to_text()
+    elif name == "fig5":
+        fig5 = run_fig5()
+        panels = [p.panel for p in fig5]
+        text = "\n\n".join(p.to_text() for p in fig5)
+    elif name == "fig6a":
+        panels = [run_fig6a(**_kw(num_pairs=pairs))]
+        text = panels[0].to_text()
+    elif name == "fig6b":
+        panels = [run_fig6b(**_kw(num_pairs=2 if quick else 5))]
+        text = panels[0].to_text()
+    elif name == "fig7":
+        panels = run_fig7(**_kw(num_pairs=pairs))
+        text = "\n\n".join(p.to_text() for p in panels)
+    elif name == "fig8":
+        panels = run_fig8(**_kw(num_pairs=pairs))
+        text = "\n\n".join(p.to_text() for p in panels)
+    elif name == "fig9":
+        panels = run_fig9(**_kw(num_pairs=pairs))
+        text = "\n\n".join(p.to_text() for p in panels)
+    elif name == "fig10":
+        panels = run_fig10(**_kw(num_pairs=5 if quick else 20))
+        text = "\n\n".join(p.to_text() for p in panels)
+    elif name == "fig11":
+        panels = run_fig11(**_kw(num_pairs=pairs))
+        text = "\n\n".join(p.to_text() for p in panels)
+    elif name == "table2":
+        text = table2_text(run_table2())
+    else:  # table3
+        text = run_table3(trials=500 if quick else 4000).to_text()
+    return ExperimentOutput(name=name, text=text, panels=panels)
+
+
+def run_all(
+    out_dir: str | os.PathLike | None = None,
+    quick: bool = True,
+    seed: int | None = None,
+    names: tuple[str, ...] = EXPERIMENT_NAMES,
+) -> list[ExperimentOutput]:
+    """Run every experiment; optionally persist a combined report.
+
+    When ``out_dir`` is given, writes ``REPORT.md`` (all rendered text)
+    plus per-figure JSON/CSV series.
+    """
+    outputs = [run_experiment(name, quick=quick, seed=seed) for name in names]
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        sections = ["# Reproduction report\n"]
+        for output in outputs:
+            sections.append(f"## {output.name}\n\n```\n{output.text}\n```\n")
+            if output.panels:
+                save_panels(output.panels, out_dir, stem=output.name)
+        (out_dir / "REPORT.md").write_text("\n".join(sections), encoding="utf-8")
+    return outputs

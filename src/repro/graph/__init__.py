@@ -1,0 +1,67 @@
+"""Bipartite graph substrate: structure, construction, I/O, generation."""
+
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    chung_lu_bipartite,
+    configuration_bipartite,
+    power_law_degrees,
+    random_bipartite,
+)
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.graph.motifs import (
+    butterflies_between,
+    butterfly_degree,
+    choose2,
+    count_butterflies,
+    count_wedges,
+)
+from repro.graph.sampling import (
+    QueryPair,
+    heaviest_layer,
+    sample_imbalanced_pairs,
+    sample_query_pairs,
+    sample_vertex_fraction,
+)
+from repro.graph.views import LocalView
+from repro.graph.stats import (
+    GraphSummary,
+    LayerSummary,
+    degree_ccdf,
+    degree_histogram,
+    gini_coefficient,
+    hill_tail_exponent,
+    summarize_graph,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "Layer",
+    "GraphBuilder",
+    "random_bipartite",
+    "chung_lu_bipartite",
+    "configuration_bipartite",
+    "power_law_degrees",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "butterflies_between",
+    "butterfly_degree",
+    "choose2",
+    "count_butterflies",
+    "count_wedges",
+    "QueryPair",
+    "heaviest_layer",
+    "sample_query_pairs",
+    "sample_imbalanced_pairs",
+    "sample_vertex_fraction",
+    "LocalView",
+    "GraphSummary",
+    "LayerSummary",
+    "degree_ccdf",
+    "degree_histogram",
+    "gini_coefficient",
+    "hill_tail_exponent",
+    "summarize_graph",
+]

@@ -1,0 +1,102 @@
+"""Incremental construction of :class:`~repro.graph.bipartite.BipartiteGraph`.
+
+:class:`BipartiteGraph` itself is immutable; :class:`GraphBuilder` collects
+edges (optionally with string vertex names, as found in raw KONECT files)
+and produces the final relabelled graph in one shot.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates edges and builds an immutable :class:`BipartiteGraph`.
+
+    Vertices may be referred to by arbitrary hashable names; names are
+    assigned dense integer ids per layer in first-seen order. Integer names
+    are kept as-is only in the sense that they are hashable names like any
+    other — use :meth:`upper_id` / :meth:`lower_id` to recover the mapping.
+    """
+
+    def __init__(self):
+        self._upper_ids: dict[Hashable, int] = {}
+        self._lower_ids: dict[Hashable, int] = {}
+        self._edges: list[tuple[int, int]] = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    def _intern(self, table: dict[Hashable, int], name: Hashable) -> int:
+        if name not in table:
+            table[name] = len(table)
+        return table[name]
+
+    def add_upper(self, name: Hashable) -> int:
+        """Ensure an upper vertex named ``name`` exists; return its id."""
+        return self._intern(self._upper_ids, name)
+
+    def add_lower(self, name: Hashable) -> int:
+        """Ensure a lower vertex named ``name`` exists; return its id."""
+        return self._intern(self._lower_ids, name)
+
+    def add_edge(self, upper_name: Hashable, lower_name: Hashable) -> "GraphBuilder":
+        """Add an edge between the named upper and lower vertices."""
+        u = self.add_upper(upper_name)
+        l = self.add_lower(lower_name)
+        self._edges.append((u, l))
+        return self
+
+    def add_edges(self, pairs) -> "GraphBuilder":
+        """Add many ``(upper_name, lower_name)`` pairs."""
+        for upper_name, lower_name in pairs:
+            self.add_edge(upper_name, lower_name)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_upper(self) -> int:
+        return len(self._upper_ids)
+
+    @property
+    def num_lower(self) -> int:
+        return len(self._lower_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge insertions so far (duplicates not collapsed yet)."""
+        return len(self._edges)
+
+    def upper_id(self, name: Hashable) -> int:
+        """Dense id assigned to the upper vertex ``name``."""
+        try:
+            return self._upper_ids[name]
+        except KeyError:
+            raise GraphError(f"unknown upper vertex {name!r}") from None
+
+    def lower_id(self, name: Hashable) -> int:
+        """Dense id assigned to the lower vertex ``name``."""
+        try:
+            return self._lower_ids[name]
+        except KeyError:
+            raise GraphError(f"unknown lower vertex {name!r}") from None
+
+    def upper_names(self) -> list[Hashable]:
+        """Upper vertex names in id order."""
+        return list(self._upper_ids)
+
+    def lower_names(self) -> list[Hashable]:
+        """Lower vertex names in id order."""
+        return list(self._lower_ids)
+
+    # ------------------------------------------------------------------
+    def build(self) -> BipartiteGraph:
+        """Produce the immutable graph (duplicate edges collapse)."""
+        edges = np.asarray(self._edges, dtype=np.int64).reshape(-1, 2)
+        return BipartiteGraph(self.num_upper, self.num_lower, edges)

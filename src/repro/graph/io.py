@@ -1,0 +1,85 @@
+"""Reading and writing bipartite graphs.
+
+Two interchange formats are supported:
+
+* **Edge-list TSV** in the KONECT ``out.*`` style: comment lines start with
+  ``%`` or ``#``; each data line holds ``upper lower`` (1-based or 0-based,
+  whitespace-separated; extra columns such as weights/timestamps ignored).
+* **NPZ** — a compact binary round-trip format used by the dataset cache.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builder import GraphBuilder
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+]
+
+_COMMENT_PREFIXES = ("%", "#")
+
+
+def read_edge_list(path: str | os.PathLike) -> BipartiteGraph:
+    """Parse a KONECT-style TSV edge list into a :class:`BipartiteGraph`.
+
+    Vertex names on each line are interned per layer in first-seen order,
+    so arbitrary (even sparse / 1-based) ids are accepted.
+    """
+    builder = GraphBuilder()
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            fields = stripped.split()
+            if len(fields) < 2:
+                raise GraphError(f"{path}:{lineno}: expected at least two columns")
+            builder.add_edge(fields[0], fields[1])
+    return builder.build()
+
+
+def write_edge_list(graph: BipartiteGraph, path: str | os.PathLike) -> None:
+    """Write ``graph`` as a TSV edge list (0-based ids, ``%`` header)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("% bip unweighted\n")
+        handle.write(
+            f"% {graph.num_edges} {graph.num_upper} {graph.num_lower}\n"
+        )
+        for upper, lower in graph.edges:
+            handle.write(f"{int(upper)}\t{int(lower)}\n")
+
+
+def save_npz(graph: BipartiteGraph, path: str | os.PathLike) -> None:
+    """Serialize ``graph`` to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        n_upper=np.int64(graph.num_upper),
+        n_lower=np.int64(graph.num_lower),
+        edges=graph.edges,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> BipartiteGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    path = Path(path)
+    try:
+        with np.load(path) as payload:
+            return BipartiteGraph(
+                int(payload["n_upper"]),
+                int(payload["n_lower"]),
+                payload["edges"],
+            )
+    except (KeyError, ValueError, OSError) as exc:
+        raise GraphError(f"cannot load graph from {path}: {exc}") from exc

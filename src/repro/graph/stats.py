@@ -1,0 +1,132 @@
+"""Descriptive statistics of bipartite graphs.
+
+Used to validate the synthetic dataset analogues against the published
+KONECT statistics (heavy tails, skew) and generally useful for workload
+characterization: degree histograms/CCDFs, the Gini coefficient of the
+degree distribution, a Hill tail-exponent estimate, and a one-call
+summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, Layer
+
+__all__ = [
+    "degree_histogram",
+    "degree_ccdf",
+    "gini_coefficient",
+    "hill_tail_exponent",
+    "LayerSummary",
+    "GraphSummary",
+    "summarize_graph",
+]
+
+
+def degree_histogram(graph: BipartiteGraph, layer: Layer) -> tuple[np.ndarray, np.ndarray]:
+    """``(degrees, counts)`` — how many vertices have each degree."""
+    degrees = graph.degrees(layer)
+    if degrees.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    values, counts = np.unique(degrees, return_counts=True)
+    return values.astype(np.int64), counts.astype(np.int64)
+
+
+def degree_ccdf(graph: BipartiteGraph, layer: Layer) -> tuple[np.ndarray, np.ndarray]:
+    """``(degrees, P(D >= degree))`` — the complementary CDF."""
+    values, counts = degree_histogram(graph, layer)
+    if values.size == 0:
+        return values, np.empty(0, dtype=np.float64)
+    total = counts.sum()
+    tail = np.cumsum(counts[::-1])[::-1]
+    return values, tail / total
+
+
+def gini_coefficient(degrees: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = skewed)."""
+    degrees = np.sort(np.asarray(degrees, dtype=np.float64))
+    if degrees.size == 0:
+        raise GraphError("need at least one value for the Gini coefficient")
+    if (degrees < 0).any():
+        raise GraphError("Gini coefficient requires non-negative values")
+    total = degrees.sum()
+    if total == 0:
+        return 0.0
+    n = degrees.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * degrees).sum()) / (n * total) - (n + 1) / n)
+
+
+def hill_tail_exponent(degrees: np.ndarray, tail_fraction: float = 0.1) -> float:
+    """Hill estimator of the power-law tail exponent ``alpha``.
+
+    Uses the top ``tail_fraction`` of the sample; returns the exponent of
+    ``P(D >= d) ∝ d^(1 - alpha)`` (so pure Zipfian degrees give ~2-3).
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise GraphError("tail_fraction must be in (0, 1]")
+    degrees = np.sort(np.asarray(degrees, dtype=np.float64))
+    degrees = degrees[degrees > 0]
+    if degrees.size < 10:
+        raise GraphError("need at least 10 positive degrees for a tail fit")
+    k = max(2, int(degrees.size * tail_fraction))
+    tail = degrees[-k:]
+    threshold = tail[0]
+    hill = np.mean(np.log(tail / threshold))
+    if hill <= 0:
+        raise GraphError("degenerate tail (all tail degrees equal)")
+    return 1.0 + 1.0 / float(hill)
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """Degree statistics of one layer."""
+
+    size: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    gini: float
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-call description of a bipartite graph."""
+
+    num_upper: int
+    num_lower: int
+    num_edges: int
+    density: float
+    upper: LayerSummary
+    lower: LayerSummary
+
+
+def _layer_summary(graph: BipartiteGraph, layer: Layer) -> LayerSummary:
+    degrees = graph.degrees(layer)
+    if degrees.size == 0:
+        return LayerSummary(0, 0, 0, 0.0, 0.0, 0.0)
+    return LayerSummary(
+        size=int(degrees.size),
+        min_degree=int(degrees.min()),
+        max_degree=int(degrees.max()),
+        mean_degree=float(degrees.mean()),
+        median_degree=float(np.median(degrees)),
+        gini=gini_coefficient(degrees),
+    )
+
+
+def summarize_graph(graph: BipartiteGraph) -> GraphSummary:
+    """Compute the full summary (both layers)."""
+    return GraphSummary(
+        num_upper=graph.num_upper,
+        num_lower=graph.num_lower,
+        num_edges=graph.num_edges,
+        density=graph.density(),
+        upper=_layer_summary(graph, Layer.UPPER),
+        lower=_layer_summary(graph, Layer.LOWER),
+    )

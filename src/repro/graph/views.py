@@ -1,0 +1,60 @@
+"""Local views — the only graph data a vertex may see under edge LDP.
+
+The LDP threat model assumes each vertex knows its own neighbor list and
+nothing else. :class:`LocalView` materializes exactly that: a frozen copy
+of one row plus the (public) domain size. The actor-based protocol engine
+(:mod:`repro.protocol.actors`) is built exclusively on local views, so
+"vertex-side" code provably cannot touch anyone else's edges — the
+type system enforces the data-minimization the simulation otherwise only
+promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, Layer
+
+__all__ = ["LocalView"]
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """One vertex's private neighborhood plus public domain metadata."""
+
+    layer: Layer
+    vertex: int
+    domain_size: int
+    neighbors: np.ndarray = field(repr=False)
+
+    def __post_init__(self):
+        neighbors = np.asarray(self.neighbors, dtype=np.int64)
+        if neighbors.size:
+            if neighbors.min() < 0 or neighbors.max() >= self.domain_size:
+                raise GraphError("neighbor index outside the declared domain")
+            if (np.diff(neighbors) <= 0).any():
+                raise GraphError("neighbors must be sorted and unique")
+        neighbors.setflags(write=False)
+        object.__setattr__(self, "neighbors", neighbors)
+
+    @classmethod
+    def from_graph(cls, graph: BipartiteGraph, layer: Layer, vertex: int) -> "LocalView":
+        """Extract the view a vertex legitimately holds."""
+        return cls(
+            layer=layer,
+            vertex=int(vertex),
+            domain_size=graph.layer_size(layer.opposite()),
+            neighbors=graph.neighbors(layer, vertex).copy(),
+        )
+
+    @property
+    def degree(self) -> int:
+        return int(self.neighbors.size)
+
+    def contains(self, candidates: np.ndarray) -> np.ndarray:
+        """Membership of opposite-layer indices in this neighborhood."""
+        candidates = np.asarray(candidates, dtype=np.int64)
+        return np.isin(candidates, self.neighbors, assume_unique=False)

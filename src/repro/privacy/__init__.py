@@ -1,0 +1,31 @@
+"""Edge-LDP primitives: mechanisms, budgets, sensitivity, accounting."""
+
+from repro.privacy.accountant import Charge, PrivacyLedger
+from repro.privacy.budget import BudgetSplit
+from repro.privacy.composition import QueryBudgetManager
+from repro.privacy.mechanisms import (
+    LaplaceMechanism,
+    RandomizedResponse,
+    flip_probability,
+)
+from repro.privacy.rng import ensure_rng, spawn_rngs
+from repro.privacy.sensitivity import (
+    central_c2_sensitivity,
+    degree_sensitivity,
+    single_source_sensitivity,
+)
+
+__all__ = [
+    "Charge",
+    "PrivacyLedger",
+    "BudgetSplit",
+    "QueryBudgetManager",
+    "LaplaceMechanism",
+    "RandomizedResponse",
+    "flip_probability",
+    "ensure_rng",
+    "spawn_rngs",
+    "degree_sensitivity",
+    "single_source_sensitivity",
+    "central_c2_sensitivity",
+]

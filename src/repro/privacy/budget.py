@@ -1,0 +1,105 @@
+"""Privacy-budget containers and split policies.
+
+The multiple-round algorithms divide a total budget ``eps`` across rounds:
+``eps0`` for the degree-estimation round, ``eps1`` for noisy-graph
+construction (randomized response), and ``eps2`` for the Laplace release of
+the local estimators. :class:`BudgetSplit` captures one allocation and
+validates it; helper constructors implement the paper's default policies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PrivacyError
+
+__all__ = ["BudgetSplit"]
+
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class BudgetSplit:
+    """An allocation of the total privacy budget across protocol rounds.
+
+    Attributes
+    ----------
+    degree:
+        ``eps0`` — budget for noisy degree reports (0 when unused).
+    graph:
+        ``eps1`` — budget for randomized response / noisy-graph round.
+    estimator:
+        ``eps2`` — budget for the Laplace release of local estimators
+        (0 for one-round algorithms that rely on RR alone).
+    """
+
+    degree: float
+    graph: float
+    estimator: float
+
+    def __post_init__(self):
+        for name, value in (
+            ("degree", self.degree),
+            ("graph", self.graph),
+            ("estimator", self.estimator),
+        ):
+            if not math.isfinite(value) or value < 0.0:
+                raise PrivacyError(f"budget component {name} must be >= 0, got {value}")
+        if self.graph <= 0.0:
+            raise PrivacyError("graph (eps1) component must be positive")
+
+    @property
+    def total(self) -> float:
+        """Sequential-composition total ``eps0 + eps1 + eps2``."""
+        return self.degree + self.graph + self.estimator
+
+    # ------------------------------------------------------------------
+    # Paper policies
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_round(cls, epsilon: float) -> "BudgetSplit":
+        """All budget on randomized response (Naive / OneR)."""
+        return cls(degree=0.0, graph=float(epsilon), estimator=0.0)
+
+    @classmethod
+    def even(cls, epsilon: float) -> "BudgetSplit":
+        """MultiR-SS default: ``eps1 = eps2 = eps / 2`` (Alg. 3, line 1)."""
+        half = float(epsilon) / 2.0
+        return cls(degree=0.0, graph=half, estimator=half)
+
+    @classmethod
+    def with_fraction(cls, epsilon: float, graph_fraction: float) -> "BudgetSplit":
+        """Fixed ``eps1 = fraction * eps``, remainder to the estimator."""
+        epsilon = float(epsilon)
+        if not 0.0 < graph_fraction < 1.0:
+            raise PrivacyError(
+                f"graph_fraction must be in (0, 1), got {graph_fraction}"
+            )
+        graph = epsilon * graph_fraction
+        return cls(degree=0.0, graph=graph, estimator=epsilon - graph)
+
+    @classmethod
+    def three_round(
+        cls, epsilon: float, degree_fraction: float, graph_budget: float
+    ) -> "BudgetSplit":
+        """MultiR-DS allocation: ``eps0 = fraction * eps``, explicit ``eps1``,
+        remainder to ``eps2`` (Alg. 4, lines 1 and 13)."""
+        epsilon = float(epsilon)
+        if not 0.0 <= degree_fraction < 1.0:
+            raise PrivacyError(
+                f"degree_fraction must be in [0, 1), got {degree_fraction}"
+            )
+        degree = epsilon * degree_fraction
+        estimator = epsilon - degree - graph_budget
+        if estimator <= 0.0:
+            raise PrivacyError(
+                f"graph budget {graph_budget:g} leaves no estimator budget "
+                f"out of eps={epsilon:g} (eps0={degree:g})"
+            )
+        return cls(degree=degree, graph=graph_budget, estimator=estimator)
+
+    # ------------------------------------------------------------------
+    def matches_total(self, epsilon: float) -> bool:
+        """Whether this split consumes exactly ``epsilon`` (up to fp error)."""
+        return math.isclose(self.total, epsilon, rel_tol=_REL_TOL, abs_tol=1e-12)

@@ -1,0 +1,126 @@
+"""Budget management across a *sequence* of queries.
+
+The paper's evaluation grants each query its own budget ε. When one
+analyst issues many queries against the same graph (e.g. building an LDP
+projection over k vertices, or a top-k similarity search), sequential
+composition says the per-vertex privacy loss is the sum of the budgets of
+the queries that touched it. :class:`QueryBudgetManager` makes that
+explicit: it owns a total budget and hands out per-query slices under a
+chosen policy, refusing to exceed the total.
+
+Policies
+--------
+* ``uniform`` — ``total / num_queries`` each (requires ``num_queries``).
+* ``fixed`` — a constant ``per_query`` slice until the total runs out.
+* ``geometric`` — slices decay by ``ratio`` so that *any* number of
+  queries stays within the total (``eps_i = total·(1-r)·r^i``); useful
+  when the query count is unknown up front and early queries matter most.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import BudgetExceededError, PrivacyError
+
+__all__ = ["QueryBudgetManager"]
+
+_POLICIES = ("uniform", "fixed", "geometric")
+
+
+class QueryBudgetManager:
+    """Hands out per-query budget slices from a fixed total.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The overall budget available across all queries.
+    policy:
+        ``"uniform"``, ``"fixed"`` or ``"geometric"`` (see module docs).
+    num_queries:
+        Required for ``uniform``: how many queries the total is split over.
+    per_query:
+        Required for ``fixed``: the constant slice size.
+    ratio:
+        Decay factor for ``geometric`` (0 < ratio < 1, default 0.7).
+    """
+
+    def __init__(
+        self,
+        total_epsilon: float,
+        policy: str = "uniform",
+        num_queries: int | None = None,
+        per_query: float | None = None,
+        ratio: float = 0.7,
+    ):
+        if not math.isfinite(total_epsilon) or total_epsilon <= 0:
+            raise PrivacyError(f"total_epsilon must be positive, got {total_epsilon}")
+        if policy not in _POLICIES:
+            raise PrivacyError(f"unknown policy {policy!r}; choose from {_POLICIES}")
+        if policy == "uniform":
+            if num_queries is None or num_queries <= 0:
+                raise PrivacyError("uniform policy requires num_queries > 0")
+        if policy == "fixed":
+            if per_query is None or per_query <= 0:
+                raise PrivacyError("fixed policy requires per_query > 0")
+            if per_query > total_epsilon:
+                raise PrivacyError("per_query exceeds the total budget")
+        if policy == "geometric" and not 0.0 < ratio < 1.0:
+            raise PrivacyError(f"ratio must be in (0, 1), got {ratio}")
+
+        self.total_epsilon = float(total_epsilon)
+        self.policy = policy
+        self.num_queries = num_queries
+        self.per_query = per_query
+        self.ratio = float(ratio)
+        self._spent = 0.0
+        self._issued = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def spent(self) -> float:
+        """Budget handed out so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return max(self.total_epsilon - self._spent, 0.0)
+
+    @property
+    def queries_issued(self) -> int:
+        return self._issued
+
+    # ------------------------------------------------------------------
+    def _slice(self) -> float:
+        if self.policy == "uniform":
+            assert self.num_queries is not None
+            return self.total_epsilon / self.num_queries
+        if self.policy == "fixed":
+            assert self.per_query is not None
+            return self.per_query
+        # geometric: eps_i = total * (1 - r) * r^i sums to total over i >= 0.
+        return self.total_epsilon * (1.0 - self.ratio) * self.ratio**self._issued
+
+    def next_budget(self) -> float:
+        """Reserve and return the next query's budget slice.
+
+        Raises :class:`BudgetExceededError` once the total is exhausted
+        (for ``uniform``: after ``num_queries`` slices; for ``fixed``:
+        when the next slice would not fit; ``geometric`` never exhausts
+        but slices shrink toward zero).
+        """
+        slice_eps = self._slice()
+        if self.policy == "uniform" and self._issued >= (self.num_queries or 0):
+            raise BudgetExceededError("analyst", slice_eps, 0.0)
+        if slice_eps > self.remaining + 1e-12:
+            raise BudgetExceededError("analyst", slice_eps, self.remaining)
+        self._spent += slice_eps
+        self._issued += 1
+        return slice_eps
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryBudgetManager(total={self.total_epsilon:g}, "
+            f"policy={self.policy!r}, spent={self._spent:.4g})"
+        )

@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``rng`` as either a
+:class:`numpy.random.Generator`, an integer seed, or ``None`` (fresh
+OS-seeded generator). :func:`ensure_rng` normalizes the three forms, and
+:func:`spawn_rngs` derives independent child streams for per-vertex /
+per-trial simulation without correlated randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+RngLike = np.random.Generator | int | None
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` (Generator | seed | None) into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    seed_seq = getattr(parent.bit_generator, "seed_seq", None)
+    if seed_seq is not None:
+        children = seed_seq.spawn(count)
+        return [np.random.default_rng(child) for child in children]
+    # Fallback for bit generators without a seed sequence: derive child
+    # seeds from the parent stream itself.
+    seeds = parent.integers(0, 2**63, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,44 @@
+"""Global-sensitivity derivations used by the paper's Laplace releases.
+
+The two releases in the multiple-round framework are:
+
+* a vertex degree (one bit added to / removed from a neighbor list changes
+  the degree by at most one → sensitivity 1);
+* the single-source estimator ``f_u = Σ_{v in N(u)} phi(v, w)`` (one bit
+  change adds or removes a single ``phi`` term whose magnitude is at most
+  ``(1 - p) / (1 - 2p)`` → that is the sensitivity, paper §4.1).
+"""
+
+from __future__ import annotations
+
+from repro.privacy.mechanisms import flip_probability
+
+__all__ = [
+    "degree_sensitivity",
+    "single_source_sensitivity",
+    "central_c2_sensitivity",
+]
+
+
+def degree_sensitivity() -> float:
+    """Global sensitivity of ``deg(u)`` under one-bit neighbor-list change."""
+    return 1.0
+
+
+def single_source_sensitivity(epsilon_rr: float) -> float:
+    """Global sensitivity of the single-source estimator ``f_u``.
+
+    ``max |phi| = (1 - p) / (1 - 2p)`` where ``p = 1/(1+e^eps_rr)`` is the
+    flip probability used to build the noisy graph the estimator reads.
+    """
+    p = flip_probability(epsilon_rr)
+    return (1.0 - p) / (1.0 - 2.0 * p)
+
+
+def central_c2_sensitivity() -> float:
+    """Sensitivity of ``C2(u, w)`` for the central-model baseline.
+
+    In the central model a neighboring graph differs by one edge, which
+    changes the common-neighbor count by at most one.
+    """
+    return 1.0

@@ -1,0 +1,61 @@
+"""Simulated vertex/curator protocol with privacy and message accounting."""
+
+from repro.protocol.messages import (
+    FLOAT_BYTES,
+    ID_BYTES,
+    CommunicationLog,
+    Direction,
+    Transfer,
+)
+from repro.protocol.actors import (
+    ActorProtocol,
+    Channel,
+    CuratorActor,
+    Message,
+    VertexActor,
+)
+from repro.protocol.noisy import NoisyListHandle
+from repro.protocol.release import (
+    NoisyGraphRelease,
+    release_noisy_graph,
+    released_common_neighbors,
+    released_degree,
+)
+from repro.protocol.wire import (
+    decode_frame,
+    encode_noisy_edges,
+    encode_scalar,
+    payload_bytes,
+)
+from repro.protocol.session import (
+    DegreeRound,
+    ExecutionMode,
+    ProtocolSession,
+    ProtocolTranscript,
+)
+
+__all__ = [
+    "FLOAT_BYTES",
+    "ID_BYTES",
+    "CommunicationLog",
+    "Direction",
+    "Transfer",
+    "NoisyListHandle",
+    "ActorProtocol",
+    "Channel",
+    "CuratorActor",
+    "Message",
+    "VertexActor",
+    "decode_frame",
+    "encode_noisy_edges",
+    "encode_scalar",
+    "payload_bytes",
+    "NoisyGraphRelease",
+    "release_noisy_graph",
+    "released_common_neighbors",
+    "released_degree",
+    "DegreeRound",
+    "ExecutionMode",
+    "ProtocolSession",
+    "ProtocolTranscript",
+]

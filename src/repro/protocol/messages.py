@@ -1,0 +1,67 @@
+"""Message-size accounting for the simulated LDP protocol.
+
+The paper reports communication cost in megabytes (Fig. 10). We model every
+transmitted vertex id as :data:`ID_BYTES` and every scalar (degree report,
+estimator release) as :data:`FLOAT_BYTES`, and log each transfer with its
+direction so upload (vertex → curator) and download (curator → vertex)
+costs can be separated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ID_BYTES", "FLOAT_BYTES", "Direction", "Transfer", "CommunicationLog"]
+
+ID_BYTES = 8
+FLOAT_BYTES = 8
+
+
+class Direction(enum.Enum):
+    """Direction of a transfer relative to the data curator."""
+
+    UPLOAD = "upload"
+    DOWNLOAD = "download"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One logged message: ``nbytes`` moved in ``direction``."""
+
+    direction: Direction
+    nbytes: int
+    label: str
+
+
+@dataclass
+class CommunicationLog:
+    """Accumulates transfers; exposes totals in bytes and megabytes."""
+
+    transfers: list[Transfer] = field(default_factory=list)
+
+    def record(self, direction: Direction, nbytes: int, label: str) -> None:
+        """Log one transfer of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.transfers.append(Transfer(direction, int(nbytes), label))
+
+    # ------------------------------------------------------------------
+    def total_bytes(self, direction: Direction | None = None) -> int:
+        """Total bytes moved (optionally restricted to one direction)."""
+        return sum(
+            t.nbytes
+            for t in self.transfers
+            if direction is None or t.direction is direction
+        )
+
+    def total_megabytes(self, direction: Direction | None = None) -> float:
+        """Total in MB (decimal, matching the paper's axis units)."""
+        return self.total_bytes(direction) / 1e6
+
+    def by_label(self) -> dict[str, int]:
+        """Bytes per label, for breakdown tables."""
+        out: dict[str, int] = {}
+        for t in self.transfers:
+            out[t.label] = out.get(t.label, 0) + t.nbytes
+        return out

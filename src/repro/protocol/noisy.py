@@ -1,0 +1,57 @@
+"""Noisy-list handles exchanged between vertices and the curator.
+
+A :class:`NoisyListHandle` represents the randomized-response output of one
+vertex's neighbor list. In ``materialize`` mode it carries the actual noisy
+neighbor indices; in ``sketch`` mode only the (sampled) size is tracked and
+downstream counts are drawn from their exact distributions by the session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = ["NoisyListHandle"]
+
+
+@dataclass
+class NoisyListHandle:
+    """Randomized-response output of one query vertex's neighbor list.
+
+    Attributes
+    ----------
+    owner:
+        Index of the vertex (on the query layer) whose list was perturbed.
+    epsilon:
+        RR budget used to build the list (determines the flip probability).
+    size:
+        Number of reported (noisy) edges — drives communication accounting.
+    neighbors:
+        Sorted noisy neighbor indices, or ``None`` in sketch mode.
+    """
+
+    owner: int
+    epsilon: float
+    size: int
+    neighbors: np.ndarray | None = None
+
+    @property
+    def materialized(self) -> bool:
+        return self.neighbors is not None
+
+    def contains(self, vertices: np.ndarray) -> np.ndarray:
+        """Boolean membership of ``vertices`` in the noisy list.
+
+        Only available for materialized handles; sketch-mode membership is
+        sampled by the session instead.
+        """
+        if self.neighbors is None:
+            raise ProtocolError("sketch handles do not expose membership")
+        idx = np.searchsorted(self.neighbors, vertices)
+        idx = np.minimum(idx, max(self.neighbors.size - 1, 0))
+        if self.neighbors.size == 0:
+            return np.zeros(np.asarray(vertices).shape, dtype=bool)
+        return self.neighbors[idx] == vertices

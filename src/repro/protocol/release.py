@@ -1,0 +1,133 @@
+"""One-shot noisy-graph release (the synthetic-graph paradigm, paper §6).
+
+The paper's related work contrasts two paradigms for graph analysis under
+edge LDP: problem-specific protocols (the paper's contribution) and
+general-purpose *noisy graph release*, where every vertex perturbs its
+whole neighbor list once and all subsequent analyses are free
+post-processing. This module implements the release paradigm as a
+baseline:
+
+* :func:`release_noisy_graph` — every upper vertex applies randomized
+  response to its row once; the release is ε-edge LDP by parallel
+  composition across vertices, and supports unlimited queries afterwards.
+* :func:`released_common_neighbors` — the OneR de-biasing applied to a
+  released graph; works for query pairs on *either* layer because every
+  adjacency bit was perturbed independently exactly once.
+* :func:`released_degree` — unbiased degree estimate from a released row.
+
+The trade-off the paper observes holds here too: the release costs
+O(p·n1·n2) noisy edges up front and its per-query error carries the full
+candidate-pool factor, while the multiple-round algorithms pay per query
+but answer with degree-bounded error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PrivacyError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.mechanisms import RandomizedResponse
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.protocol.messages import ID_BYTES
+
+__all__ = [
+    "NoisyGraphRelease",
+    "release_noisy_graph",
+    "released_common_neighbors",
+    "released_degree",
+]
+
+#: Refuse releases whose expected noisy-edge count exceeds this bound —
+#: the release paradigm is only tractable on small/medium graphs, which is
+#: one of the paper's arguments for problem-specific protocols.
+DEFAULT_MAX_EXPECTED_EDGES = 5_000_000
+
+
+@dataclass(frozen=True)
+class NoisyGraphRelease:
+    """A one-shot ε-edge-LDP release of the whole bipartite graph."""
+
+    noisy_graph: BipartiteGraph
+    epsilon: float
+    flip_probability: float
+    upload_bytes: int
+
+    @property
+    def num_noisy_edges(self) -> int:
+        return self.noisy_graph.num_edges
+
+
+def release_noisy_graph(
+    graph: BipartiteGraph,
+    epsilon: float,
+    rng: RngLike = None,
+    max_expected_edges: int = DEFAULT_MAX_EXPECTED_EDGES,
+) -> NoisyGraphRelease:
+    """Apply randomized response to every upper vertex's neighbor list.
+
+    Each vertex perturbs only its own row, so the full release satisfies
+    ε-edge LDP by parallel composition. Raises :class:`PrivacyError` when
+    the expected noisy-edge volume exceeds ``max_expected_edges``.
+    """
+    rng = ensure_rng(rng)
+    rr = RandomizedResponse(epsilon)
+    n1, n2 = graph.num_upper, graph.num_lower
+    expected = rr.expected_noisy_degree(0, n2) * n1 + graph.num_edges
+    if expected > max_expected_edges:
+        raise PrivacyError(
+            f"expected ~{expected:.0f} noisy edges exceeds the release cap "
+            f"{max_expected_edges}; use the per-query estimators instead"
+        )
+
+    edges = []
+    for u in range(n1):
+        noisy_row = rr.perturb_neighbor_list(
+            graph.neighbors(Layer.UPPER, u), n2, rng
+        )
+        for v in noisy_row:
+            edges.append((u, int(v)))
+    noisy_graph = BipartiteGraph(n1, n2, edges)
+    return NoisyGraphRelease(
+        noisy_graph=noisy_graph,
+        epsilon=float(epsilon),
+        flip_probability=rr.flip_probability,
+        upload_bytes=noisy_graph.num_edges * ID_BYTES,
+    )
+
+
+def released_common_neighbors(
+    release: NoisyGraphRelease, layer: Layer, u: int, w: int
+) -> float:
+    """Unbiased ``C2(u, w)`` estimate from a released graph (free query).
+
+    Applies the OneR expansion to the released adjacency. Valid on both
+    layers: every bit of the adjacency block was perturbed independently
+    exactly once, so for lower-layer pairs the relevant bits come from
+    distinct upper rows and remain independent.
+    """
+    if u == w:
+        raise PrivacyError("query vertices must be distinct")
+    noisy = release.noisy_graph
+    p = release.flip_probability
+    nu = noisy.neighbors(layer, u)
+    nw = noisy.neighbors(layer, w)
+    n1 = int(np.intersect1d(nu, nw, assume_unique=True).size)
+    n2 = int(nu.size + nw.size - n1)
+    pool = noisy.layer_size(layer.opposite())
+    denom = (1.0 - 2.0 * p) ** 2
+    return (
+        n1 * (1.0 - p) ** 2
+        - (n2 - n1) * p * (1.0 - p)
+        + (pool - n2) * p * p
+    ) / denom
+
+
+def released_degree(release: NoisyGraphRelease, layer: Layer, v: int) -> float:
+    """Unbiased degree estimate: ``(noisy_deg - p·n) / (1 - 2p)``."""
+    noisy = release.noisy_graph
+    p = release.flip_probability
+    n = noisy.layer_size(layer.opposite())
+    return (noisy.degree(layer, v) - p * n) / (1.0 - 2.0 * p)

@@ -1,0 +1,98 @@
+"""Wire format: byte-level encoding of the protocol's messages.
+
+The communication figures (Fig. 10) count 8 bytes per id/scalar; this
+module is the encoding those counts describe, so the accounting is backed
+by real serialization rather than arithmetic alone. Three message kinds
+exist on the wire:
+
+* ``noisy-edges`` — a sorted ``uint64`` id array (a vertex's RR output);
+* ``noisy-degree`` — one ``float64`` Laplace degree report;
+* ``estimate`` — one ``float64`` released estimator value.
+
+Every frame is ``[kind: 1 byte][length: 4 bytes LE][payload]``; payloads
+round-trip exactly (tests in ``tests/test_protocol_wire.py``), and
+:func:`frame_overhead`-free payload sizes equal the byte counts used by
+the accounting layer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "KIND_NOISY_EDGES",
+    "KIND_NOISY_DEGREE",
+    "KIND_ESTIMATE",
+    "encode_noisy_edges",
+    "encode_scalar",
+    "decode_frame",
+    "payload_bytes",
+    "frame_overhead",
+]
+
+KIND_NOISY_EDGES = 1
+KIND_NOISY_DEGREE = 2
+KIND_ESTIMATE = 3
+
+_HEADER = struct.Struct("<BI")  # kind, payload length in bytes
+_SCALAR_KINDS = (KIND_NOISY_DEGREE, KIND_ESTIMATE)
+
+
+def frame_overhead() -> int:
+    """Header bytes added to every frame (kind + length)."""
+    return _HEADER.size
+
+
+def encode_noisy_edges(neighbors: np.ndarray) -> bytes:
+    """Encode a noisy neighbor list as a frame of little-endian uint64 ids."""
+    arr = np.asarray(neighbors, dtype=np.int64)
+    if arr.size and arr.min() < 0:
+        raise ProtocolError("vertex ids must be non-negative")
+    payload = arr.astype("<u8").tobytes()
+    return _HEADER.pack(KIND_NOISY_EDGES, len(payload)) + payload
+
+
+def encode_scalar(value: float, kind: int) -> bytes:
+    """Encode one float64 report (degree or estimate)."""
+    if kind not in _SCALAR_KINDS:
+        raise ProtocolError(f"kind {kind} is not a scalar message kind")
+    payload = struct.pack("<d", float(value))
+    return _HEADER.pack(kind, len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[int, np.ndarray | float, bytes]:
+    """Decode one frame; returns ``(kind, payload, remaining_bytes)``.
+
+    ``payload`` is an id array for noisy-edges frames and a float for the
+    scalar kinds. Raises :class:`ProtocolError` on truncated or malformed
+    input.
+    """
+    if len(data) < _HEADER.size:
+        raise ProtocolError("truncated frame header")
+    kind, length = _HEADER.unpack_from(data)
+    body = data[_HEADER.size : _HEADER.size + length]
+    if len(body) != length:
+        raise ProtocolError("truncated frame payload")
+    rest = data[_HEADER.size + length :]
+    if kind == KIND_NOISY_EDGES:
+        if length % 8:
+            raise ProtocolError("noisy-edges payload must be a uint64 array")
+        ids = np.frombuffer(body, dtype="<u8").astype(np.int64)
+        return kind, ids, rest
+    if kind in _SCALAR_KINDS:
+        if length != 8:
+            raise ProtocolError("scalar payload must be exactly 8 bytes")
+        return kind, struct.unpack("<d", body)[0], rest
+    raise ProtocolError(f"unknown frame kind {kind}")
+
+
+def payload_bytes(frame: bytes) -> int:
+    """Payload size of an encoded frame — the quantity Fig. 10 counts."""
+    if len(frame) < _HEADER.size:
+        raise ProtocolError("truncated frame header")
+    _, length = _HEADER.unpack_from(frame)
+    return length

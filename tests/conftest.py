@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import random_bipartite
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20240611)
+
+
+@pytest.fixture()
+def tiny_graph() -> BipartiteGraph:
+    """The paper's Fig. 1-style example: 2 upper query vertices sharing
+    3 common lower neighbors out of a pool of 8."""
+    edges = [
+        (0, 0), (0, 1), (0, 3),            # u0 -> v0, v1, v3
+        (1, 0), (1, 1), (1, 3), (1, 7),    # u1 -> v0, v1, v3, v7
+        (2, 2), (2, 4),                    # an unrelated upper vertex
+    ]
+    return BipartiteGraph(3, 8, edges)
+
+
+@pytest.fixture()
+def small_graph() -> BipartiteGraph:
+    return random_bipartite(60, 50, 500, rng=7)
+
+
+@pytest.fixture()
+def medium_graph() -> BipartiteGraph:
+    return random_bipartite(300, 240, 2600, rng=11)
+
+
+@pytest.fixture()
+def query_layer() -> Layer:
+    return Layer.UPPER

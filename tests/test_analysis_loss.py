@@ -1,0 +1,157 @@
+"""Tests for the closed-form loss formulas (Table 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.loss import (
+    central_dp_variance,
+    double_source_variance,
+    laplace_noise_coefficient,
+    naive_expectation,
+    naive_l2_loss,
+    naive_variance,
+    oner_l2_loss,
+    oner_variance,
+    rr_noise_coefficient,
+    single_source_variance,
+)
+from repro.errors import PrivacyError
+from repro.privacy.mechanisms import flip_probability
+
+
+class TestCoefficients:
+    def test_rr_coefficient_formula(self):
+        p = flip_probability(1.0)
+        assert rr_noise_coefficient(1.0) == pytest.approx(
+            p * (1 - p) / (1 - 2 * p) ** 2
+        )
+
+    def test_laplace_coefficient_formula(self):
+        p = flip_probability(1.0)
+        assert laplace_noise_coefficient(1.0) == pytest.approx(
+            (1 - p) ** 2 / (1 - 2 * p) ** 2
+        )
+
+    def test_coefficients_decrease_with_epsilon(self):
+        gs = [rr_noise_coefficient(e) for e in (0.5, 1, 2, 4)]
+        hs = [laplace_noise_coefficient(e) for e in (0.5, 1, 2, 4)]
+        assert gs == sorted(gs, reverse=True)
+        assert hs == sorted(hs, reverse=True)
+
+    def test_laplace_coefficient_limit(self):
+        assert laplace_noise_coefficient(30.0) == pytest.approx(1.0, abs=1e-8)
+
+
+class TestNaiveFormulas:
+    def test_expectation_with_no_noise_limit(self):
+        # As eps -> inf the expectation approaches the true count.
+        val = naive_expectation(30.0, 1000, 20, 30, c2=7)
+        assert val == pytest.approx(7.0, abs=1e-6)
+
+    def test_expectation_overcounts_sparse_graphs(self):
+        # With many non-neighbors the p^2 term dominates: E > C2.
+        val = naive_expectation(2.0, 10_000, 20, 30, c2=5)
+        assert val > 5
+
+    def test_expectation_hand_computed(self):
+        eps = math.log(3)  # p = 1/4 exactly
+        val = naive_expectation(eps, 10, 4, 3, c2=2)
+        # c2 * (3/4)^2 + (du+dw-2c2) * (3/16) + (n-du-dw+c2) * (1/16)
+        expected = 2 * 9 / 16 + 3 * 3 / 16 + 5 * 1 / 16
+        assert val == pytest.approx(expected)
+
+    def test_variance_positive(self):
+        assert naive_variance(2.0, 1000, 20, 30, 5) > 0
+
+    def test_l2_includes_bias(self):
+        var = naive_variance(2.0, 1000, 20, 30, 5)
+        l2 = naive_l2_loss(2.0, 1000, 20, 30, 5)
+        assert l2 > var  # squared bias is strictly positive here
+
+    def test_l2_grows_quadratically_in_n(self):
+        small = naive_l2_loss(2.0, 1000, 10, 10, 2)
+        large = naive_l2_loss(2.0, 10_000, 10, 10, 2)
+        assert large / small > 50  # ~O(n^2) growth
+
+
+class TestOneRFormulas:
+    def test_variance_formula_terms(self):
+        eps, n, du, dw = 2.0, 500, 10, 20
+        p = flip_probability(eps)
+        expected = (
+            p**2 * (1 - p) ** 2 / (1 - 2 * p) ** 4 * n
+            + p * (1 - p) / (1 - 2 * p) ** 2 * (du + dw)
+        )
+        assert oner_variance(eps, n, du, dw) == pytest.approx(expected)
+
+    def test_l2_equals_variance(self):
+        assert oner_l2_loss(2.0, 500, 10, 20) == oner_variance(2.0, 500, 10, 20)
+
+    def test_linear_growth_in_n(self):
+        small = oner_variance(2.0, 1000, 10, 10)
+        large = oner_variance(2.0, 10_000, 10, 10)
+        assert 8 < large / small < 11
+
+    def test_oner_below_naive(self):
+        args = (2.0, 5000, 30, 40)
+        assert oner_l2_loss(*args) < naive_l2_loss(*args, c2=5)
+
+
+class TestMultiRoundFormulas:
+    def test_single_source_terms(self):
+        eps1, eps2, du = 1.0, 1.0, 25
+        expected = (
+            rr_noise_coefficient(eps1) * du
+            + 2 * laplace_noise_coefficient(eps1) / eps2**2
+        )
+        assert single_source_variance(eps1, eps2, du) == pytest.approx(expected)
+
+    def test_single_source_independent_of_n(self):
+        # No n anywhere in the signature — the whole point of MultiR-SS.
+        assert single_source_variance(1.0, 1.0, 10) < oner_variance(2.0, 10_000, 10, 10)
+
+    def test_single_source_requires_positive_eps2(self):
+        with pytest.raises(PrivacyError):
+            single_source_variance(1.0, 0.0, 10)
+
+    def test_double_source_alpha_one_is_single_source(self):
+        assert double_source_variance(1.0, 1.0, 1.0, 12, 99) == pytest.approx(
+            single_source_variance(1.0, 1.0, 12)
+        )
+
+    def test_double_source_alpha_zero_is_other_source(self):
+        assert double_source_variance(1.0, 1.0, 0.0, 12, 99) == pytest.approx(
+            single_source_variance(1.0, 1.0, 99)
+        )
+
+    def test_double_source_alpha_half_halves_laplace(self):
+        eps1 = eps2 = 1.0
+        du = dw = 10
+        full = double_source_variance(eps1, eps2, 1.0, du, dw)
+        avg = double_source_variance(eps1, eps2, 0.5, du, dw)
+        # RR term halves and the Laplace term halves under equal degrees.
+        assert avg == pytest.approx(full / 2)
+
+    def test_double_source_invalid_alpha(self):
+        with pytest.raises(PrivacyError):
+            double_source_variance(1.0, 1.0, 1.5, 10, 10)
+
+    def test_double_source_invalid_eps2(self):
+        with pytest.raises(PrivacyError):
+            double_source_variance(1.0, -0.1, 0.5, 10, 10)
+
+
+class TestCentralDP:
+    def test_formula(self):
+        assert central_dp_variance(2.0) == pytest.approx(0.5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyError):
+            central_dp_variance(0.0)
+
+    def test_central_below_local(self):
+        # Central DP should beat every edge-LDP estimator at equal budget.
+        assert central_dp_variance(2.0) < single_source_variance(1.0, 1.0, 1)

@@ -1,0 +1,106 @@
+"""Tests for error metrics and Chebyshev bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.chebyshev import (
+    confidence_interval,
+    deviation_for_confidence,
+    tail_probability,
+)
+from repro.analysis.metrics import (
+    ErrorSummary,
+    absolute_errors,
+    bias,
+    empirical_l2_loss,
+    mean_absolute_error,
+    mean_relative_error,
+    summarize_errors,
+)
+
+
+class TestMetrics:
+    def test_absolute_errors(self):
+        out = absolute_errors([1, 2, 3], [2, 2, 1])
+        np.testing.assert_array_equal(out, [1, 0, 2])
+
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 1]) == pytest.approx(1.0)
+
+    def test_mae_zero_for_perfect(self):
+        assert mean_absolute_error([5, 6], [5, 6]) == 0.0
+
+    def test_mre_with_floor(self):
+        # True value 0 is floored to 1, so the relative error is |2-0|/1.
+        assert mean_relative_error([0], [2]) == pytest.approx(2.0)
+
+    def test_mre_standard(self):
+        assert mean_relative_error([10], [12]) == pytest.approx(0.2)
+
+    def test_l2(self):
+        assert empirical_l2_loss([1, 2], [3, 2]) == pytest.approx(2.0)
+
+    def test_bias_signed(self):
+        assert bias([1, 1], [3, 1]) == pytest.approx(1.0)
+        assert bias([3, 3], [1, 3]) == pytest.approx(-1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1, 2], [1])
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_summary(self):
+        s = summarize_errors([1, 2, 3, 4], [1, 3, 3, 3])
+        assert isinstance(s, ErrorSummary)
+        assert s.count == 4
+        assert s.mae == pytest.approx(0.5)
+        assert s.bias == pytest.approx(0.0)
+
+    def test_summary_str(self):
+        s = summarize_errors([1.0], [2.0])
+        assert "mae=1" in str(s)
+
+
+class TestChebyshev:
+    def test_tail_probability_formula(self):
+        assert tail_probability(4.0, 4.0) == pytest.approx(0.25)
+
+    def test_tail_probability_capped(self):
+        assert tail_probability(100.0, 1.0) == 1.0
+
+    def test_tail_probability_zero_variance(self):
+        assert tail_probability(0.0, 1.0) == 0.0
+
+    def test_tail_probability_invalid(self):
+        with pytest.raises(ValueError):
+            tail_probability(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            tail_probability(1.0, 0.0)
+
+    def test_deviation_for_confidence(self):
+        # 1 - conf = 1/k^2; conf = 0.75 -> k = 2.
+        assert deviation_for_confidence(1.0, 0.75) == pytest.approx(2.0)
+
+    def test_deviation_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            deviation_for_confidence(1.0, 1.0)
+
+    def test_confidence_interval_symmetric(self):
+        lo, hi = confidence_interval(10.0, 4.0, confidence=0.75)
+        assert lo == pytest.approx(6.0)
+        assert hi == pytest.approx(14.0)
+
+    def test_interval_coverage_empirically(self, rng):
+        """Chebyshev must over-cover: check on a Laplace sample."""
+        variance = 2.0  # Laplace(1)
+        samples = rng.laplace(0.0, 1.0, size=20_000)
+        lo, hi = -deviation_for_confidence(variance, 0.9), deviation_for_confidence(
+            variance, 0.9
+        )
+        coverage = np.mean((samples >= lo) & (samples <= hi))
+        assert coverage >= 0.9

@@ -1,0 +1,173 @@
+"""Tests for the privacy-budget optimizer (paper §4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.loss import double_source_variance, single_source_variance
+from repro.analysis.optimizer import (
+    golden_section,
+    joint_newton,
+    newton_minimize_scalar,
+    optimal_alpha,
+    optimize_double_source,
+    optimize_single_source,
+    profile_loss,
+)
+from repro.errors import OptimizationError, PrivacyError
+
+
+class TestOptimalAlpha:
+    def test_matches_grid_search(self):
+        eps1, eps2 = 0.9, 1.1
+        for du, dw in [(5, 10), (5, 100), (80, 3), (10, 10)]:
+            alphas = np.linspace(0, 1, 20001)
+            losses = [
+                double_source_variance(eps1, eps2, a, du, dw) for a in alphas
+            ]
+            best_grid = alphas[int(np.argmin(losses))]
+            assert optimal_alpha(eps1, eps2, du, dw) == pytest.approx(
+                best_grid, abs=1e-3
+            )
+
+    def test_balanced_degrees_give_half(self):
+        assert optimal_alpha(1.0, 1.0, 20, 20) == pytest.approx(0.5)
+
+    def test_low_degree_u_gets_more_weight(self):
+        assert optimal_alpha(1.0, 1.0, 2, 200) > 0.5
+
+    def test_low_degree_w_gets_more_weight(self):
+        assert optimal_alpha(1.0, 1.0, 200, 2) < 0.5
+
+    def test_alpha_in_unit_interval(self):
+        for du, dw in [(1, 10_000), (10_000, 1), (1, 1)]:
+            assert 0.0 <= optimal_alpha(1.0, 1.0, du, dw) <= 1.0
+
+
+class TestProfileLoss:
+    def test_equals_loss_at_optimal_alpha(self):
+        eps_rem, du, dw = 2.0, 7, 31
+        for eps1 in (0.4, 1.0, 1.6):
+            eps2 = eps_rem - eps1
+            alpha = optimal_alpha(eps1, eps2, du, dw)
+            direct = double_source_variance(eps1, eps2, alpha, du, dw)
+            assert profile_loss(eps1, eps_rem, du, dw) == pytest.approx(direct)
+
+    def test_rejects_boundary(self):
+        with pytest.raises(PrivacyError):
+            profile_loss(0.0, 2.0, 5, 5)
+        with pytest.raises(PrivacyError):
+            profile_loss(2.0, 2.0, 5, 5)
+
+
+class TestScalarMinimizers:
+    def test_golden_section_quadratic(self):
+        x = golden_section(lambda t: (t - 0.7) ** 2, 0.0, 2.0)
+        assert x == pytest.approx(0.7, abs=1e-6)
+
+    def test_golden_section_invalid_bracket(self):
+        with pytest.raises(OptimizationError):
+            golden_section(lambda t: t, 1.0, 0.0)
+
+    def test_newton_quadratic(self):
+        x = newton_minimize_scalar(lambda t: 3 * (t - 1.2) ** 2 + 5, 0.0, 3.0)
+        assert x == pytest.approx(1.2, abs=1e-6)
+
+    def test_newton_quartic(self):
+        x = newton_minimize_scalar(lambda t: (t - 0.5) ** 4 + t, 0.0, 1.0)
+        grid = np.linspace(1e-4, 1 - 1e-4, 40_001)
+        best = grid[np.argmin((grid - 0.5) ** 4 + grid)]
+        assert x == pytest.approx(best, abs=1e-3)
+
+    def test_newton_respects_bracket(self):
+        # Minimum outside the bracket: must clamp to the boundary region.
+        x = newton_minimize_scalar(lambda t: (t - 10) ** 2, 0.0, 2.0)
+        assert x == pytest.approx(2.0, abs=1e-3)
+
+    def test_newton_invalid_bracket(self):
+        with pytest.raises(OptimizationError):
+            newton_minimize_scalar(lambda t: t * t, 2.0, 1.0)
+
+
+class TestOptimizeDoubleSource:
+    @pytest.mark.parametrize(
+        "du,dw", [(5, 10), (5, 100), (100, 5), (50, 50), (1, 1), (3, 3000)]
+    )
+    def test_matches_dense_grid(self, du, dw):
+        epsilon, eps0 = 2.0, 0.1
+        alloc = optimize_double_source(epsilon, du, dw, eps0)
+        eps_rem = epsilon - eps0
+        grid = np.linspace(0.05 * eps_rem, 0.95 * eps_rem, 4001)
+        grid_losses = [profile_loss(float(e), eps_rem, du, dw) for e in grid]
+        assert alloc.predicted_loss <= min(grid_losses) * (1 + 1e-6)
+
+    def test_budget_sums_to_epsilon(self):
+        alloc = optimize_double_source(2.0, 8, 30, eps0=0.1)
+        assert alloc.total == pytest.approx(2.0)
+
+    def test_theorem9_never_worse_than_single_sources(self):
+        """min loss of f* <= min loss of both single-source estimators."""
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            du = int(rng.integers(1, 500))
+            dw = int(rng.integers(1, 500))
+            epsilon = float(rng.uniform(0.5, 4.0))
+            alloc = optimize_double_source(epsilon, du, dw, eps0=0.0)
+            ss_u = single_source_variance(epsilon / 2, epsilon / 2, du)
+            ss_w = single_source_variance(epsilon / 2, epsilon / 2, dw)
+            assert alloc.predicted_loss <= min(ss_u, ss_w) + 1e-9
+
+    def test_imbalanced_pair_downweights_heavy_vertex(self):
+        alloc = optimize_double_source(2.0, 500, 2, eps0=0.1)
+        assert alloc.alpha < 0.3  # most weight on f_w (the light vertex)
+
+    def test_large_degrees_shift_budget_to_rr(self):
+        """Paper §4.2: large degrees ask for more noisy-graph budget."""
+        small = optimize_double_source(2.0, 3, 3, eps0=0.0)
+        large = optimize_double_source(2.0, 300, 300, eps0=0.0)
+        assert large.eps1 > small.eps1
+
+    def test_degree_round_consuming_budget_raises(self):
+        with pytest.raises(PrivacyError):
+            optimize_double_source(1.0, 5, 5, eps0=1.0)
+
+    def test_nonpositive_degrees_clamped(self):
+        alloc = optimize_double_source(2.0, -3.0, 0.0, eps0=0.1)
+        assert np.isfinite(alloc.predicted_loss)
+        assert alloc.alpha == pytest.approx(0.5)
+
+
+class TestOptimizeSingleSource:
+    def test_matches_grid(self):
+        epsilon, du = 2.0, 40
+        alloc = optimize_single_source(epsilon, du, eps0=0.0)
+        grid = np.linspace(0.05 * epsilon, 0.95 * epsilon, 4001)
+        losses = [
+            single_source_variance(float(e), epsilon - float(e), du) for e in grid
+        ]
+        assert alloc.predicted_loss <= min(losses) * (1 + 1e-6)
+
+    def test_alpha_is_one(self):
+        assert optimize_single_source(2.0, 10).alpha == 1.0
+
+    def test_beats_even_split_for_large_degree(self):
+        """The paper notes optimization pays off when deg(u) is large."""
+        epsilon, du = 2.0, 500
+        alloc = optimize_single_source(epsilon, du)
+        even = single_source_variance(epsilon / 2, epsilon / 2, du)
+        assert alloc.predicted_loss < even
+
+
+class TestJointNewton:
+    @pytest.mark.parametrize("du,dw", [(5, 10), (5, 100), (200, 7)])
+    def test_agrees_with_profile_method(self, du, dw):
+        profile = optimize_double_source(2.0, du, dw, eps0=0.1)
+        joint = joint_newton(2.0, du, dw, eps0=0.1)
+        assert joint.predicted_loss == pytest.approx(
+            profile.predicted_loss, rel=1e-3
+        )
+
+    def test_budget_constraint(self):
+        joint = joint_newton(2.0, 5, 50, eps0=0.1)
+        assert joint.total == pytest.approx(2.0)

@@ -1,0 +1,76 @@
+"""Tests for the budget planner (inverse loss model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.planner import (
+    epsilon_for_target_loss,
+    epsilon_for_target_mae,
+    predicted_loss_at,
+)
+from repro.errors import OptimizationError, ReproError
+
+
+class TestForwardModel:
+    @pytest.mark.parametrize(
+        "algorithm", ["oner", "multir-ss", "multir-ds", "central-dp"]
+    )
+    def test_loss_decreases_in_epsilon(self, algorithm):
+        losses = [
+            predicted_loss_at(eps, algorithm, 30, 80, 5000)
+            for eps in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_unsupported_algorithm(self):
+        with pytest.raises(ReproError):
+            predicted_loss_at(2.0, "naive", 30, 80, 5000)
+
+
+class TestInverse:
+    @pytest.mark.parametrize(
+        "algorithm", ["oner", "multir-ss", "multir-ds", "central-dp"]
+    )
+    def test_round_trip(self, algorithm):
+        """loss(epsilon_for(target)) must hit the target from below."""
+        target = 25.0
+        eps = epsilon_for_target_loss(target, algorithm, 30, 80, 5000)
+        achieved = predicted_loss_at(eps, algorithm, 30, 80, 5000)
+        assert achieved <= target * (1 + 1e-3)
+        # Minimality: a meaningfully smaller budget misses the target.
+        if eps > 2e-3:
+            worse = predicted_loss_at(eps * 0.9, algorithm, 30, 80, 5000)
+            assert worse > target * (1 - 1e-3)
+
+    def test_harder_target_needs_more_budget(self):
+        loose = epsilon_for_target_loss(100.0, "multir-ds", 30, 80, 5000)
+        tight = epsilon_for_target_loss(5.0, "multir-ds", 30, 80, 5000)
+        assert tight > loose
+
+    def test_bigger_pool_costs_oner_more(self):
+        small = epsilon_for_target_loss(50.0, "oner", 30, 80, 1000)
+        large = epsilon_for_target_loss(50.0, "oner", 30, 80, 100_000)
+        assert large > small
+
+    def test_multir_indifferent_to_pool(self):
+        a = epsilon_for_target_loss(50.0, "multir-ss", 30, 80, 1000)
+        b = epsilon_for_target_loss(50.0, "multir-ss", 30, 80, 100_000)
+        assert a == pytest.approx(b)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(OptimizationError):
+            epsilon_for_target_loss(1e-9, "multir-ss", 10_000, 10_000, 100)
+
+    def test_invalid_target(self):
+        with pytest.raises(OptimizationError):
+            epsilon_for_target_loss(0.0, "oner", 10, 10, 100)
+
+    def test_mae_variant(self):
+        eps = epsilon_for_target_mae(3.0, "multir-ds", 30, 80, 5000)
+        achieved = predicted_loss_at(eps, "multir-ds", 30, 80, 5000)
+        assert achieved <= (3.0 / 0.8) ** 2 * (1 + 1e-3)
+
+    def test_mae_invalid(self):
+        with pytest.raises(OptimizationError):
+            epsilon_for_target_mae(-1.0, "oner", 10, 10, 100)

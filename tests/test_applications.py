@@ -1,0 +1,156 @@
+"""Tests for the downstream applications (Jaccard, projection, anomaly)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications.anomaly import (
+    expected_null_c2,
+    rank_pairs,
+    score_pair,
+)
+from repro.applications.jaccard import estimate_jaccard
+from repro.applications.projection import exact_projection, ldp_projection
+from repro.errors import PrivacyError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
+
+
+@pytest.fixture()
+def overlap_graph() -> BipartiteGraph:
+    """Two users sharing 8 of 10 items each; a third sharing nothing."""
+    edges = [(0, i) for i in range(10)]
+    edges += [(1, i) for i in range(2, 12)]
+    edges += [(2, i) for i in range(20, 25)]
+    return BipartiteGraph(3, 30, edges)
+
+
+class TestJaccard:
+    def test_value_clamped_to_unit_interval(self, overlap_graph):
+        for seed in range(10):
+            est = estimate_jaccard(
+                overlap_graph, Layer.UPPER, 0, 1, epsilon=1.0, rng=seed
+            )
+            assert 0.0 <= est.value <= 1.0
+
+    def test_budget_split_recorded(self, overlap_graph):
+        est = estimate_jaccard(
+            overlap_graph, Layer.UPPER, 0, 1, epsilon=2.0, degree_fraction=0.25,
+            rng=1,
+        )
+        assert est.epsilon_degrees == pytest.approx(0.5)
+        assert est.epsilon_c2 == pytest.approx(1.5)
+
+    def test_high_budget_approaches_truth(self, overlap_graph):
+        true_j = overlap_graph.jaccard(Layer.UPPER, 0, 1)
+        values = [
+            estimate_jaccard(
+                overlap_graph, Layer.UPPER, 0, 1, epsilon=30.0, rng=s
+            ).value
+            for s in range(40)
+        ]
+        assert np.mean(values) == pytest.approx(true_j, abs=0.1)
+
+    def test_disjoint_pair_scores_low(self, overlap_graph):
+        values = [
+            estimate_jaccard(
+                overlap_graph, Layer.UPPER, 0, 2, epsilon=8.0, rng=s
+            ).value
+            for s in range(40)
+        ]
+        assert np.mean(values) < 0.2
+
+    def test_invalid_degree_fraction(self, overlap_graph):
+        with pytest.raises(PrivacyError):
+            estimate_jaccard(
+                overlap_graph, Layer.UPPER, 0, 1, epsilon=1.0, degree_fraction=1.0
+            )
+
+    def test_method_forwarding(self, overlap_graph):
+        est = estimate_jaccard(
+            overlap_graph, Layer.UPPER, 0, 1, epsilon=2.0, method="oner", rng=3
+        )
+        assert np.isfinite(est.value)
+
+
+class TestProjection:
+    def test_exact_projection_weights(self, overlap_graph):
+        g = exact_projection(overlap_graph, Layer.UPPER, [0, 1, 2])
+        assert g.number_of_nodes() == 3
+        assert g[0][1]["weight"] == 8.0
+        assert not g.has_edge(0, 2)
+
+    def test_ldp_projection_nodes(self, overlap_graph):
+        g = ldp_projection(
+            overlap_graph, Layer.UPPER, [0, 1, 2], epsilon=2.0, rng=1
+        )
+        assert set(g.nodes) == {0, 1, 2}
+
+    def test_ldp_projection_finds_strong_edge(self, overlap_graph):
+        # With a generous budget the (0, 1) edge (weight 8) must survive
+        # thresholding while (0, 2) (weight 0) must not.
+        g = ldp_projection(
+            overlap_graph, Layer.UPPER, [0, 1, 2], epsilon=20.0,
+            threshold=3.0, rng=2,
+        )
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_threshold_filters_everything(self, overlap_graph):
+        g = ldp_projection(
+            overlap_graph, Layer.UPPER, [0, 1, 2], epsilon=2.0,
+            threshold=1e9, rng=3,
+        )
+        assert g.number_of_edges() == 0
+
+    def test_deterministic_with_seed(self, overlap_graph):
+        a = ldp_projection(overlap_graph, Layer.UPPER, [0, 1, 2], 2.0, rng=7)
+        b = ldp_projection(overlap_graph, Layer.UPPER, [0, 1, 2], 2.0, rng=7)
+        assert sorted(a.edges) == sorted(b.edges)
+
+
+class TestAnomaly:
+    def test_expected_null(self):
+        assert expected_null_c2(10, 20, 100) == pytest.approx(2.0)
+
+    def test_expected_null_degenerate(self):
+        assert expected_null_c2(10, 20, 0) == 0.0
+        assert expected_null_c2(-5, 20, 100) == 0.0
+
+    def test_score_pair_fields(self, overlap_graph):
+        score = score_pair(overlap_graph, Layer.UPPER, 0, 1, epsilon=2.0, rng=1)
+        assert score.u == 0 and score.w == 1
+        assert np.isfinite(score.score)
+
+    def test_overlapping_pair_scores_higher(self, overlap_graph):
+        # Average over seeds: pair (0,1) shares 8 items, (0,2) shares none.
+        hot = np.mean(
+            [
+                score_pair(overlap_graph, Layer.UPPER, 0, 1, 8.0, rng=s).score
+                for s in range(30)
+            ]
+        )
+        cold = np.mean(
+            [
+                score_pair(overlap_graph, Layer.UPPER, 0, 2, 8.0, rng=s).score
+                for s in range(30)
+            ]
+        )
+        assert hot > cold + 1.0
+
+    def test_rank_pairs_sorted(self, overlap_graph):
+        pairs = [
+            QueryPair(Layer.UPPER, 0, 1),
+            QueryPair(Layer.UPPER, 0, 2),
+            QueryPair(Layer.UPPER, 1, 2),
+        ]
+        ranked = rank_pairs(overlap_graph, Layer.UPPER, pairs, epsilon=4.0, rng=5)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_degree_fraction(self, overlap_graph):
+        with pytest.raises(PrivacyError):
+            score_pair(
+                overlap_graph, Layer.UPPER, 0, 1, 1.0, degree_fraction=0.0
+            )

@@ -1,0 +1,114 @@
+"""Tests for degree publication and the evaluation confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.intervals import interval_for_result, predicted_variance
+from repro.applications.degrees import (
+    noisy_degree_histogram,
+    publish_noisy_degrees,
+)
+from repro.errors import PrivacyError, ReproError
+from repro.estimators.registry import get_estimator
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.privacy.rng import spawn_rngs
+from repro.protocol.session import ExecutionMode
+
+
+class TestDegreePublication:
+    def test_shape(self, small_graph):
+        pub = publish_noisy_degrees(small_graph, Layer.UPPER, 1.0, rng=1)
+        assert pub.noisy_degrees.shape == (small_graph.num_upper,)
+        assert pub.layer is Layer.UPPER
+
+    def test_average_degree_unbiased(self, small_graph):
+        averages = [
+            publish_noisy_degrees(small_graph, Layer.UPPER, 1.0, rng=s).average_degree
+            for s in range(300)
+        ]
+        truth = small_graph.average_degree(Layer.UPPER)
+        se = np.std(averages, ddof=1) / np.sqrt(len(averages))
+        assert abs(np.mean(averages) - truth) < 5 * se
+
+    def test_total_edges_estimate(self, small_graph):
+        pub = publish_noisy_degrees(small_graph, Layer.UPPER, 5.0, rng=2)
+        assert pub.total_edges_estimate == pytest.approx(
+            small_graph.num_edges, rel=0.2
+        )
+
+    def test_clipped_non_negative(self, small_graph):
+        pub = publish_noisy_degrees(small_graph, Layer.UPPER, 0.1, rng=3)
+        assert (pub.clipped() >= 0).all()
+
+    def test_histogram_counts_sum(self, small_graph):
+        pub = publish_noisy_degrees(small_graph, Layer.UPPER, 2.0, rng=4)
+        edges = [0, 5, 10, 20, 1000]
+        counts = noisy_degree_histogram(pub, edges)
+        assert counts.sum() == small_graph.num_upper
+
+    def test_histogram_bad_edges(self, small_graph):
+        pub = publish_noisy_degrees(small_graph, Layer.UPPER, 2.0, rng=5)
+        with pytest.raises(PrivacyError):
+            noisy_degree_histogram(pub, [5, 5])
+        with pytest.raises(PrivacyError):
+            noisy_degree_histogram(pub, [3])
+
+
+class TestIntervals:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return random_bipartite(70, 90, 800, rng=41)
+
+    @pytest.mark.parametrize(
+        "name", ["oner", "multir-ss", "multir-ds-basic", "multir-ds-star", "central-dp"]
+    )
+    def test_coverage_at_95(self, graph, name):
+        """Chebyshev intervals must over-cover their nominal level."""
+        estimator = get_estimator(name)
+        true = graph.count_common_neighbors(Layer.UPPER, 0, 1)
+        rngs = spawn_rngs(13, 400)
+        hits = 0
+        for r in rngs:
+            result = estimator.estimate(
+                graph, Layer.UPPER, 0, 1, 2.0, rng=r, mode=ExecutionMode.SKETCH
+            )
+            lo, hi = interval_for_result(result, graph, confidence=0.95)
+            hits += lo <= true <= hi
+        assert hits / 400 >= 0.95
+
+    def test_variance_positive(self, graph):
+        result = get_estimator("multir-ds").estimate(
+            graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        assert predicted_variance(result, graph) > 0
+
+    def test_ss_source_w_uses_other_degree(self, graph):
+        res_u = get_estimator("multir-ss", source="u").estimate(
+            graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        res_w = get_estimator("multir-ss", source="w").estimate(
+            graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        var_u = predicted_variance(res_u, graph)
+        var_w = predicted_variance(res_w, graph)
+        du = graph.degree(Layer.UPPER, 0)
+        dw = graph.degree(Layer.UPPER, 1)
+        if du != dw:
+            assert var_u != var_w
+
+    def test_unsupported_algorithms_raise(self, graph):
+        naive = get_estimator("naive").estimate(graph, Layer.UPPER, 0, 1, 2.0, rng=1)
+        with pytest.raises(ReproError):
+            predicted_variance(naive, graph)
+        exact = get_estimator("exact").estimate(graph, Layer.UPPER, 0, 1)
+        with pytest.raises(ReproError):
+            predicted_variance(exact, graph)
+
+    def test_interval_widens_with_confidence(self, graph):
+        result = get_estimator("oner").estimate(graph, Layer.UPPER, 0, 1, 2.0, rng=2)
+        lo90, hi90 = interval_for_result(result, graph, confidence=0.90)
+        lo99, hi99 = interval_for_result(result, graph, confidence=0.99)
+        assert hi99 - lo99 > hi90 - lo90

@@ -1,0 +1,234 @@
+"""Tests for the extended applications: similarity kinds, butterflies,
+total-budget projection, shared ingredients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications.butterfly import (
+    estimate_butterflies_between,
+    estimate_global_butterflies,
+)
+from repro.applications.ingredients import private_pair_ingredients
+from repro.applications.projection import ldp_projection_with_total_budget
+from repro.applications.similarity import (
+    SIMILARITY_KINDS,
+    estimate_similarity,
+    top_k_similar,
+)
+from repro.errors import PrivacyError, ReproError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import random_bipartite
+from repro.graph.motifs import butterflies_between, count_butterflies
+from repro.privacy.rng import spawn_rngs
+
+
+@pytest.fixture()
+def overlap_graph() -> BipartiteGraph:
+    edges = [(0, i) for i in range(10)]
+    edges += [(1, i) for i in range(2, 12)]
+    edges += [(2, i) for i in range(20, 25)]
+    return BipartiteGraph(3, 30, edges)
+
+
+class TestIngredients:
+    def test_budget_split(self, overlap_graph):
+        out = private_pair_ingredients(
+            overlap_graph, Layer.UPPER, 0, 1, 2.0, degree_fraction=0.3, rng=1
+        )
+        assert out.epsilon_degrees == pytest.approx(0.6)
+        assert out.epsilon_c2 == pytest.approx(1.4)
+        assert out.epsilon == 2.0
+
+    def test_high_budget_recovers_truth(self, overlap_graph):
+        outs = [
+            private_pair_ingredients(
+                overlap_graph, Layer.UPPER, 0, 1, 40.0, rng=s
+            )
+            for s in range(20)
+        ]
+        assert np.mean([o.c2_estimate for o in outs]) == pytest.approx(8.0, abs=0.5)
+        assert np.mean([o.noisy_degree_u for o in outs]) == pytest.approx(10.0, abs=0.5)
+
+    def test_invalid_fraction(self, overlap_graph):
+        with pytest.raises(PrivacyError):
+            private_pair_ingredients(
+                overlap_graph, Layer.UPPER, 0, 1, 2.0, degree_fraction=1.5
+            )
+
+
+class TestSimilarityKinds:
+    def test_all_kinds_in_unit_interval(self, overlap_graph):
+        for kind in SIMILARITY_KINDS:
+            est = estimate_similarity(
+                overlap_graph, Layer.UPPER, 0, 1, 2.0, kind=kind, rng=3
+            )
+            assert 0.0 <= est.value <= 1.0
+            assert est.kind == kind
+
+    def test_unknown_kind(self, overlap_graph):
+        with pytest.raises(ReproError):
+            estimate_similarity(overlap_graph, Layer.UPPER, 0, 1, 2.0, kind="nope")
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            ("jaccard", 8 / 12),
+            ("dice", 16 / 20),
+            ("cosine", 8 / 10),
+            ("overlap", 8 / 10),
+        ],
+    )
+    def test_kinds_approach_truth_at_high_budget(self, overlap_graph, kind, expected):
+        values = [
+            estimate_similarity(
+                overlap_graph, Layer.UPPER, 0, 1, 40.0, kind=kind, rng=s
+            ).value
+            for s in range(30)
+        ]
+        assert np.mean(values) == pytest.approx(expected, abs=0.08)
+
+    def test_formulas_on_exact_inputs(self):
+        assert SIMILARITY_KINDS["jaccard"](3, 5, 4) == pytest.approx(3 / 6)
+        assert SIMILARITY_KINDS["dice"](3, 5, 4) == pytest.approx(6 / 9)
+        assert SIMILARITY_KINDS["cosine"](3, 4, 9) == pytest.approx(0.5)
+        assert SIMILARITY_KINDS["overlap"](3, 5, 4) == pytest.approx(0.75)
+
+    def test_degenerate_denominators(self):
+        assert SIMILARITY_KINDS["jaccard"](0, 0, 0) == 0.0
+        assert SIMILARITY_KINDS["cosine"](1, 0, 5) == 0.0
+        assert SIMILARITY_KINDS["overlap"](1, 0, 5) == 0.0
+
+
+class TestTopK:
+    @pytest.fixture()
+    def ranked_graph(self) -> BipartiteGraph:
+        """Candidate 1 shares 9 items with vertex 0; candidate 2 shares 4;
+        candidate 3 shares none."""
+        edges = [(0, i) for i in range(10)]
+        edges += [(1, i) for i in range(1, 10)] + [(1, 20)]
+        edges += [(2, i) for i in range(4)] + [(2, j) for j in range(21, 27)]
+        edges += [(3, j) for j in range(27, 37)]
+        return BipartiteGraph(4, 40, edges)
+
+    def test_high_budget_ranks_correctly(self, ranked_graph):
+        top = top_k_similar(
+            ranked_graph, Layer.UPPER, 0, [1, 2, 3], k=2,
+            total_epsilon=60.0, rng=4,
+        )
+        assert [vertex for vertex, _ in top] == [1, 2]
+
+    def test_budget_split_across_candidates(self, ranked_graph):
+        top = top_k_similar(
+            ranked_graph, Layer.UPPER, 0, [1, 2, 3], k=3,
+            total_epsilon=6.0, rng=5,
+        )
+        for _, est in top:
+            assert est.ingredients.epsilon == pytest.approx(2.0)
+
+    def test_query_vertex_excluded_from_candidates(self, ranked_graph):
+        top = top_k_similar(
+            ranked_graph, Layer.UPPER, 0, [0, 1], k=5, total_epsilon=4.0, rng=6
+        )
+        assert [vertex for vertex, _ in top] == [1]
+
+    def test_empty_candidates(self, ranked_graph):
+        assert top_k_similar(
+            ranked_graph, Layer.UPPER, 0, [], k=3, total_epsilon=2.0
+        ) == []
+
+    def test_invalid_k(self, ranked_graph):
+        with pytest.raises(ReproError):
+            top_k_similar(
+                ranked_graph, Layer.UPPER, 0, [1], k=0, total_epsilon=2.0
+            )
+
+
+class TestButterflies:
+    def test_unbiased_for_known_pair(self, overlap_graph):
+        """E[B̂] must equal C(C2, 2) = C(8, 2) = 28."""
+        rngs = spawn_rngs(99, 3000)
+        values = np.array(
+            [
+                estimate_butterflies_between(
+                    overlap_graph, Layer.UPPER, 0, 1, 2.0, rng=r
+                ).value
+                for r in rngs
+            ]
+        )
+        truth = butterflies_between(overlap_graph, Layer.UPPER, 0, 1)
+        assert truth == 28
+        se = values.std(ddof=1) / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * se
+
+    def test_unbiased_for_disjoint_pair(self, overlap_graph):
+        rngs = spawn_rngs(7, 2000)
+        values = np.array(
+            [
+                estimate_butterflies_between(
+                    overlap_graph, Layer.UPPER, 0, 2, 2.0, rng=r
+                ).value
+                for r in rngs
+            ]
+        )
+        se = values.std(ddof=1) / np.sqrt(values.size)
+        assert abs(values.mean() - 0.0) < 5 * se
+
+    def test_high_budget_nails_it(self, overlap_graph):
+        est = estimate_butterflies_between(
+            overlap_graph, Layer.UPPER, 0, 1, 60.0, rng=1
+        )
+        assert est.value == pytest.approx(28, abs=1.5)
+
+    def test_invalid_fraction(self, overlap_graph):
+        with pytest.raises(PrivacyError):
+            estimate_butterflies_between(
+                overlap_graph, Layer.UPPER, 0, 1, 2.0, degree_fraction=0.0
+            )
+
+    def test_global_estimate_unbiased_at_high_budget(self):
+        graph = random_bipartite(20, 15, 90, rng=8)
+        truth = count_butterflies(graph)
+        estimates = [
+            estimate_global_butterflies(
+                graph, Layer.UPPER, epsilon=40.0, num_samples=60, rng=s
+            )
+            for s in range(40)
+        ]
+        se = np.std(estimates, ddof=1) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - truth) < max(5 * se, 0.15 * truth + 1)
+
+    def test_global_estimate_tiny_layer(self):
+        graph = BipartiteGraph(1, 5, [(0, 0)])
+        assert estimate_global_butterflies(graph, Layer.UPPER, 2.0) == 0.0
+
+    def test_global_invalid_samples(self):
+        graph = random_bipartite(5, 5, 10, rng=1)
+        with pytest.raises(PrivacyError):
+            estimate_global_butterflies(graph, Layer.UPPER, 2.0, num_samples=0)
+
+
+class TestTotalBudgetProjection:
+    def test_per_query_budget_is_total_over_k_minus_one(self, overlap_graph):
+        # 3 vertices -> each vertex joins 2 pairs -> per-query eps = total/2.
+        graph = ldp_projection_with_total_budget(
+            overlap_graph, Layer.UPPER, [0, 1, 2], total_epsilon=4.0,
+            threshold=-1e9, rng=2,
+        )
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3  # threshold keeps everything
+
+    def test_needs_two_vertices(self, overlap_graph):
+        with pytest.raises(PrivacyError):
+            ldp_projection_with_total_budget(
+                overlap_graph, Layer.UPPER, [0], total_epsilon=2.0
+            )
+
+    def test_strong_edge_survives_with_decent_total(self, overlap_graph):
+        graph = ldp_projection_with_total_budget(
+            overlap_graph, Layer.UPPER, [0, 1, 2], total_epsilon=40.0,
+            threshold=3.0, rng=3,
+        )
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)

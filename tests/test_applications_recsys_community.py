@@ -1,0 +1,175 @@
+"""Tests for the recommendation and community-detection applications."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.applications.community import (
+    detect_communities,
+    ldp_communities,
+    pairwise_rand_index,
+)
+from repro.applications.recommendation import recommend_items
+from repro.errors import PrivacyError, ReproError
+from repro.graph.bipartite import BipartiteGraph, Layer
+
+
+@pytest.fixture()
+def taste_graph() -> BipartiteGraph:
+    """Target user 0 likes items 0-9; users 1,2 share that taste and also
+    like items 10-14; user 3 likes disjoint items 20-29."""
+    edges = [(0, i) for i in range(10)]
+    edges += [(1, i) for i in range(15)]
+    edges += [(2, i) for i in range(2, 15)]
+    edges += [(3, i) for i in range(20, 30)]
+    return BipartiteGraph(4, 40, edges)
+
+
+@pytest.fixture()
+def two_cluster_graph() -> BipartiteGraph:
+    """Two groups of users with disjoint item pools — two communities."""
+    edges = []
+    for u in range(4):  # cluster A: users 0-3 on items 0-7
+        edges += [(u, i) for i in range(8)]
+    for u in range(4, 8):  # cluster B: users 4-7 on items 20-27
+        edges += [(u, i) for i in range(20, 28)]
+    return BipartiteGraph(8, 40, edges)
+
+
+class TestRecommendation:
+    def test_high_budget_recommends_shared_taste(self, taste_graph):
+        recs = recommend_items(
+            taste_graph, Layer.UPPER, 0, [1, 2, 3],
+            epsilon_similarity=60.0, epsilon_lists=20.0,
+            k=2, top_items=5, rng=1,
+        )
+        assert len(recs) == 5
+        # Users 1 and 2 both like items 10-14, which user 0 lacks.
+        top_set = {r.item for r in recs}
+        assert len(top_set & set(range(10, 15))) >= 4
+
+    def test_owned_items_excluded(self, taste_graph):
+        recs = recommend_items(
+            taste_graph, Layer.UPPER, 0, [1, 2],
+            epsilon_similarity=40.0, epsilon_lists=10.0,
+            k=2, top_items=8, rng=2,
+        )
+        owned = set(map(int, taste_graph.neighbors(Layer.UPPER, 0)))
+        assert not owned & {r.item for r in recs}
+
+    def test_owned_items_kept_when_requested(self, taste_graph):
+        recs = recommend_items(
+            taste_graph, Layer.UPPER, 0, [1, 2],
+            epsilon_similarity=40.0, epsilon_lists=10.0,
+            k=2, top_items=40, exclude_owned=False, rng=3,
+        )
+        owned = set(map(int, taste_graph.neighbors(Layer.UPPER, 0)))
+        assert owned & {r.item for r in recs}
+
+    def test_scores_sorted_descending(self, taste_graph):
+        recs = recommend_items(
+            taste_graph, Layer.UPPER, 0, [1, 2, 3],
+            epsilon_similarity=20.0, epsilon_lists=5.0, rng=4,
+        )
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_parameters(self, taste_graph):
+        with pytest.raises(PrivacyError):
+            recommend_items(
+                taste_graph, Layer.UPPER, 0, [1], 2.0, epsilon_lists=0.0
+            )
+        with pytest.raises(PrivacyError):
+            recommend_items(
+                taste_graph, Layer.UPPER, 0, [1], 2.0, 1.0, top_items=0
+            )
+
+    def test_no_candidates_returns_empty(self, taste_graph):
+        recs = recommend_items(
+            taste_graph, Layer.UPPER, 0, [], 2.0, 1.0, rng=5
+        )
+        assert recs == []
+
+    def test_deterministic(self, taste_graph):
+        kwargs = dict(
+            epsilon_similarity=10.0, epsilon_lists=3.0, k=2, top_items=5,
+        )
+        a = recommend_items(taste_graph, Layer.UPPER, 0, [1, 2, 3], rng=7, **kwargs)
+        b = recommend_items(taste_graph, Layer.UPPER, 0, [1, 2, 3], rng=7, **kwargs)
+        assert a == b
+
+
+class TestDetectCommunities:
+    def test_two_cliques(self):
+        g = nx.Graph()
+        g.add_weighted_edges_from([(0, 1, 5), (1, 2, 5), (0, 2, 5)])
+        g.add_weighted_edges_from([(10, 11, 5), (11, 12, 5), (10, 12, 5)])
+        communities = detect_communities(g)
+        assert {frozenset(c) for c in communities} == {
+            frozenset({0, 1, 2}),
+            frozenset({10, 11, 12}),
+        }
+
+    def test_isolated_vertices_singletons(self):
+        g = nx.Graph()
+        g.add_nodes_from([1, 2, 3])
+        communities = detect_communities(g)
+        assert sorted(map(tuple, communities)) == [(1,), (2,), (3,)]
+
+    def test_empty_graph(self):
+        assert detect_communities(nx.Graph()) == []
+
+    def test_unknown_method(self):
+        with pytest.raises(ReproError):
+            detect_communities(nx.Graph(), method="kmeans")
+
+    def test_label_propagation_runs(self):
+        g = nx.complete_graph(5)
+        nx.set_edge_attributes(g, 1.0, "weight")
+        communities = detect_communities(g, method="label-propagation")
+        assert sum(len(c) for c in communities) == 5
+
+
+class TestLdpCommunities:
+    def test_recovers_planted_clusters_at_high_budget(self, two_cluster_graph):
+        vertices = list(range(8))
+        found = ldp_communities(
+            two_cluster_graph, Layer.UPPER, vertices, epsilon=40.0,
+            threshold=2.0, rng=6,
+        )
+        expected = [set(range(4)), set(range(4, 8))]
+        assert pairwise_rand_index(found, expected) == pytest.approx(1.0)
+
+    def test_partition_covers_all_vertices(self, two_cluster_graph):
+        vertices = list(range(8))
+        found = ldp_communities(
+            two_cluster_graph, Layer.UPPER, vertices, epsilon=2.0, rng=7
+        )
+        covered = sorted(v for group in found for v in group)
+        assert covered == vertices
+
+
+class TestRandIndex:
+    def test_identical_partitions(self):
+        a = [{1, 2}, {3}]
+        assert pairwise_rand_index(a, [{1, 2}, {3}]) == 1.0
+
+    def test_orthogonal_partitions(self):
+        together = [{1, 2, 3, 4}]
+        apart = [{1}, {2}, {3}, {4}]
+        assert pairwise_rand_index(together, apart) == 0.0
+
+    def test_partial_agreement(self):
+        a = [{1, 2}, {3, 4}]
+        b = [{1, 2, 3}, {4}]
+        # pairs: (1,2) agree; (3,4) disagree; (1,3),(2,3) disagree; (1,4),(2,4) agree.
+        assert pairwise_rand_index(a, b) == pytest.approx(3 / 6)
+
+    def test_mismatched_elements_raise(self):
+        with pytest.raises(ReproError):
+            pairwise_rand_index([{1}], [{2}])
+
+    def test_single_element(self):
+        assert pairwise_rand_index([{1}], [{1}]) == 1.0

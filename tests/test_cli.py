@@ -1,0 +1,96 @@
+"""Tests for the repro-cne command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_MAX_EDGES", "15000")
+    from repro.datasets.cache import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+        assert args.max_edges is None
+
+    def test_estimate_args(self):
+        args = build_parser().parse_args(
+            ["estimate", "--dataset", "RM", "-u", "1", "-w", "2", "--eps", "1.5"]
+        )
+        assert args.dataset == "RM"
+        assert args.eps == 1.5
+        assert args.method == "multir-ds"
+
+    def test_estimate_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "--dataset", "RM", "-u", "1", "-w", "2",
+                 "--method", "bogus"]
+            )
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig5"])
+        assert args.name == "fig5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets", "--max-edges", "15000"]) == 0
+        out = capsys.readouterr().out
+        assert "rmwiki" in out
+        assert "orkut" in out
+        assert len(out.strip().splitlines()) == 15
+
+    def test_estimate_runs(self, capsys):
+        code = main(
+            ["estimate", "--dataset", "RM", "-u", "0", "-w", "1",
+             "--seed", "3", "--show-true"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out
+        assert "true C2" in out
+        assert "rounds" in out
+
+    def test_estimate_each_method(self, capsys):
+        for method in ("naive", "oner", "multir-ss", "central-dp"):
+            code = main(
+                ["estimate", "--dataset", "RM", "-u", "0", "-w", "1",
+                 "--method", method, "--seed", "1"]
+            )
+            assert code == 0
+
+    def test_optimize_prints_allocation(self, capsys):
+        assert main(["optimize", "--eps", "2", "--du", "5", "--dw", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert "eps1" in out
+
+    def test_experiment_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        assert "global minimum" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "rmwiki" in capsys.readouterr().out
+
+    def test_experiment_fig2_quick(self, capsys):
+        assert main(["experiment", "fig2", "--quick", "--seed", "4"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Tests for the extended CLI subcommands (jaccard, generate, summary,
+experiment --out)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import read_edge_list
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_MAX_EDGES", "15000")
+    from repro.datasets.cache import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestJaccardCommand:
+    def test_runs_with_truth(self, capsys):
+        code = main(
+            ["jaccard", "--dataset", "RM", "-u", "0", "-w", "1",
+             "--seed", "2", "--show-true"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jaccard" in out
+        assert "true" in out
+
+    @pytest.mark.parametrize("kind", ["cosine", "dice", "overlap"])
+    def test_other_kinds(self, capsys, kind):
+        code = main(
+            ["jaccard", "--dataset", "RM", "-u", "0", "-w", "1",
+             "--kind", kind, "--seed", "1", "--show-true"]
+        )
+        assert code == 0
+        assert kind in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_writes_loadable_edge_list(self, tmp_path, capsys):
+        out_file = tmp_path / "rm.tsv"
+        code = main(["generate", "--dataset", "RM", "--out", str(out_file)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        graph = read_edge_list(out_file)
+        assert graph.num_edges > 0
+
+
+class TestSummaryCommand:
+    def test_prints_both_layers(self, capsys):
+        code = main(["summary", "--dataset", "RM"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "upper" in out
+        assert "lower" in out
+        assert "gini" in out
+
+
+class TestExperimentOut:
+    def test_fig5_saves_series(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main(["experiment", "fig5", "--out", str(out_dir)])
+        assert code == 0
+        assert "saved" in capsys.readouterr().out
+        json_files = sorted(out_dir.glob("fig5_*.json"))
+        assert len(json_files) == 2
+        from repro.experiments.export import load_panel
+
+        panel = load_panel(json_files[0])
+        assert "global minimum" in panel.series

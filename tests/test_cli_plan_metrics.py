@@ -1,0 +1,67 @@
+"""Tests for the plan subcommand and the fig6a metric selector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.fig6_datasets import run_fig6a
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.datasets.cache import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestPlanCommand:
+    def test_prints_required_epsilon(self, capsys):
+        code = main(
+            ["plan", "--target-mae", "2", "--du", "30", "--dw", "80",
+             "--pool", "5000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "required epsilon" in out
+        eps = float(out.splitlines()[2].split(":")[1])
+        assert 0 < eps < 64
+
+    def test_infeasible_target_reports_cleanly(self, capsys):
+        code = main(
+            ["plan", "--target-mae", "0.0001", "--du", "100000",
+             "--dw", "100000", "--pool", "10", "--method", "multir-ss"]
+        )
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_method_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--target-mae", "1", "--du", "1", "--dw", "1",
+                  "--pool", "10", "--method", "naive"])
+
+
+class TestFig6aMetricSelector:
+    def test_mre_metric(self):
+        panel = run_fig6a(
+            datasets=["RM"], num_pairs=8, max_edges=12_000, rng=1, metric="mre"
+        )
+        assert "relative" in panel.y_label
+        assert panel.series["naive"][0] > panel.series["multir-ds"][0]
+
+    def test_l2_metric(self):
+        panel = run_fig6a(
+            datasets=["RM"], num_pairs=8, max_edges=12_000, rng=2, metric="l2"
+        )
+        assert "L2" in panel.y_label
+
+    def test_default_is_mae(self):
+        panel = run_fig6a(datasets=["RM"], num_pairs=8, max_edges=12_000, rng=3)
+        assert panel.y_label == "mean absolute error"
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig6a(datasets=["RM"], num_pairs=4, max_edges=12_000, metric="rmse")

@@ -1,0 +1,164 @@
+"""Tests for the dataset registry, scaling, synthesis, and cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.cache import clear_memory_cache, load_dataset
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    dataset_keys,
+    default_max_edges,
+    get_spec,
+    scaled_spec,
+)
+from repro.datasets.synthesis import synthesize
+from repro.errors import DatasetError
+from repro.graph.bipartite import Layer
+
+
+class TestRegistry:
+    def test_fifteen_datasets(self):
+        assert len(PAPER_DATASETS) == 15
+
+    def test_keys_order_starts_with_rm(self):
+        assert dataset_keys()[0] == "RM"
+        assert dataset_keys()[-1] == "OG"
+
+    def test_lookup_by_key_and_name(self):
+        assert get_spec("RM").name == "rmwiki"
+        assert get_spec("rmwiki").key == "RM"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("nonexistent")
+
+    def test_paper_table2_spot_checks(self):
+        rm = get_spec("RM")
+        assert (rm.paper_edges, rm.paper_upper, rm.paper_lower) == (58_000, 1_200, 8_100)
+        og = get_spec("OG")
+        assert og.paper_edges == 327_000_000
+        nx = get_spec("NX")
+        assert nx.paper_upper == 480_200
+
+    def test_average_degrees(self):
+        ml = get_spec("ML")
+        assert ml.paper_average_upper_degree == pytest.approx(10_000_000 / 69_900)
+
+    def test_unique_seeds(self):
+        seeds = [s.seed for s in PAPER_DATASETS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestScaling:
+    def test_small_dataset_not_scaled(self):
+        scaled = scaled_spec(get_spec("RM"), max_edges=100_000)
+        assert scaled.vertex_fraction == 1.0
+        assert scaled.num_edges == 58_000
+        assert scaled.n_upper == 1_200
+
+    def test_large_dataset_scaled_quadratically(self):
+        spec = get_spec("NX")
+        scaled = scaled_spec(spec, max_edges=100_000)
+        s = scaled.vertex_fraction
+        assert s == pytest.approx((100_000 / spec.paper_edges) ** 0.5)
+        assert scaled.num_edges <= 100_000 + 1
+
+    def test_density_preserved(self):
+        for key in ("NX", "OG", "ML"):
+            spec = get_spec(key)
+            scaled = scaled_spec(spec, max_edges=100_000)
+            paper_density = spec.paper_edges / (spec.paper_upper * spec.paper_lower)
+            synth_density = scaled.num_edges / (scaled.n_upper * scaled.n_lower)
+            assert synth_density == pytest.approx(paper_density, rel=0.15)
+
+    def test_invalid_max_edges(self):
+        with pytest.raises(DatasetError):
+            scaled_spec(get_spec("RM"), max_edges=0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_EDGES", "12345")
+        assert default_max_edges() == 12345
+
+    def test_env_override_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_EDGES", "abc")
+        with pytest.raises(DatasetError):
+            default_max_edges()
+
+    def test_env_override_negative(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_EDGES", "-5")
+        with pytest.raises(DatasetError):
+            default_max_edges()
+
+
+class TestSynthesis:
+    def test_sizes_match_scaled_spec(self):
+        graph = synthesize("RM", max_edges=30_000)
+        scaled = scaled_spec(get_spec("RM"), 30_000)
+        assert graph.num_upper == scaled.n_upper
+        assert graph.num_lower == scaled.n_lower
+        assert graph.num_edges == scaled.num_edges
+
+    def test_deterministic(self):
+        a = synthesize("AC", max_edges=20_000)
+        b = synthesize("AC", max_edges=20_000)
+        assert a == b
+
+    def test_different_datasets_differ(self):
+        a = synthesize("RM", max_edges=20_000)
+        b = synthesize("DA", max_edges=20_000)
+        assert a != b
+
+    def test_heavy_tailed_upper_degrees(self):
+        graph = synthesize("RM", max_edges=58_000)
+        degrees = graph.degrees(Layer.UPPER)
+        # Skew: the top vertex should far exceed the median, as in rmwiki.
+        assert degrees.max() > 8 * np.median(degrees[degrees > 0])
+
+    def test_no_isolated_explosion(self):
+        graph = synthesize("RM", max_edges=58_000)
+        isolated = (graph.degrees(Layer.UPPER) == 0).mean()
+        assert isolated < 0.4
+
+
+class TestCache:
+    def test_disk_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        first = load_dataset("RM", max_edges=20_000)
+        files = list(tmp_path.glob("RM_*.npz"))
+        assert len(files) == 1
+        clear_memory_cache()
+        second = load_dataset("RM", max_edges=20_000)
+        assert first == second
+
+    def test_memory_cache_returns_same_object(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        a = load_dataset("RM", max_edges=20_000)
+        b = load_dataset("RM", max_edges=20_000)
+        assert a is b
+
+    def test_no_disk_mode(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        load_dataset("AC", max_edges=20_000, use_disk=False)
+        assert list(tmp_path.glob("AC_*.npz")) == []
+
+    def test_corrupt_cache_entry_regenerates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        first = load_dataset("RM", max_edges=20_000)
+        files = list(tmp_path.glob("RM_*.npz"))
+        files[0].write_bytes(b"garbage")
+        clear_memory_cache()
+        second = load_dataset("RM", max_edges=20_000)
+        assert first == second
+
+    def test_different_scales_cached_separately(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        small = load_dataset("DA", max_edges=10_000)
+        large = load_dataset("DA", max_edges=30_000)
+        assert small.num_edges < large.num_edges

@@ -1,0 +1,301 @@
+"""Behavioural tests for every estimator (interface, privacy, structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError, ReproError
+from repro.estimators import (
+    CentralDPEstimator,
+    ExactCounter,
+    MultiRoundDoubleSource,
+    MultiRoundDoubleSourceBasic,
+    MultiRoundDoubleSourceStar,
+    MultiRoundSingleSource,
+    NaiveEstimator,
+    OneRoundEstimator,
+    available_estimators,
+    get_estimator,
+)
+from repro.graph.bipartite import Layer
+from repro.privacy.mechanisms import flip_probability
+from repro.protocol.session import ExecutionMode
+
+ALL_LDP_NAMES = (
+    "naive",
+    "oner",
+    "multir-ss",
+    "multir-ds-basic",
+    "multir-ds",
+    "multir-ds-star",
+)
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        names = available_estimators()
+        for expected in ("exact", "central-dp") + ALL_LDP_NAMES:
+            assert expected in names
+
+    def test_get_estimator_unknown(self):
+        with pytest.raises(ReproError):
+            get_estimator("nope")
+
+    def test_get_estimator_with_kwargs(self):
+        est = get_estimator("multir-ss", graph_fraction=0.3)
+        assert est.graph_fraction == 0.3
+
+    def test_names_match_instances(self):
+        for name in available_estimators():
+            assert get_estimator(name).name == name
+
+
+@pytest.mark.parametrize("name", ALL_LDP_NAMES)
+@pytest.mark.parametrize("mode", [ExecutionMode.MATERIALIZE, ExecutionMode.SKETCH])
+class TestAllLdpEstimators:
+    def test_result_fields(self, small_graph, name, mode):
+        est = get_estimator(name)
+        result = est.estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=3, mode=mode)
+        assert result.algorithm == name
+        assert result.epsilon == 2.0
+        assert result.u == 0 and result.w == 1
+        assert np.isfinite(result.value)
+
+    def test_budget_never_exceeded(self, small_graph, name, mode):
+        est = get_estimator(name)
+        for seed in range(5):
+            result = est.estimate(
+                small_graph, Layer.UPPER, 2, 7, 1.5, rng=seed, mode=mode
+            )
+            assert result.transcript.max_epsilon_spent <= 1.5 + 1e-9
+
+    def test_deterministic_given_seed(self, small_graph, name, mode):
+        est = get_estimator(name)
+        a = est.estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=11, mode=mode)
+        b = est.estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=11, mode=mode)
+        assert a.value == b.value
+
+    def test_lower_layer_queries_work(self, small_graph, name, mode):
+        est = get_estimator(name)
+        result = est.estimate(small_graph, Layer.LOWER, 0, 1, 2.0, rng=5, mode=mode)
+        assert np.isfinite(result.value)
+
+    def test_communication_positive(self, small_graph, name, mode):
+        est = get_estimator(name)
+        result = est.estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=5, mode=mode)
+        assert result.communication_bytes > 0
+
+
+class TestExact:
+    def test_returns_truth(self, tiny_graph):
+        result = ExactCounter().estimate(tiny_graph, Layer.UPPER, 0, 1)
+        assert result.value == 3.0
+        assert result.transcript is None
+
+    def test_rejects_identical(self, tiny_graph):
+        with pytest.raises(ValueError):
+            ExactCounter().estimate(tiny_graph, Layer.UPPER, 1, 1)
+
+
+class TestNaive:
+    def test_round_structure(self, small_graph):
+        result = NaiveEstimator().estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=1)
+        assert result.rounds == 1
+        assert result.details["eps_rr"] == 2.0
+
+    def test_value_is_noisy_intersection(self, small_graph):
+        result = NaiveEstimator().estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=1)
+        assert result.value == float(result.details["noisy_intersection"])
+
+    def test_huge_epsilon_recovers_truth(self, small_graph):
+        truth = small_graph.count_common_neighbors(Layer.UPPER, 0, 1)
+        result = NaiveEstimator().estimate(
+            small_graph, Layer.UPPER, 0, 1, 50.0, rng=2,
+            mode=ExecutionMode.MATERIALIZE,
+        )
+        assert result.value == truth
+
+
+class TestOneR:
+    def test_round_structure(self, small_graph):
+        result = OneRoundEstimator().estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=1)
+        assert result.rounds == 1
+        assert result.details["candidate_pool"] == small_graph.num_lower
+
+    def test_expanded_formula_matches_direct_sum(self, rng):
+        """The N1/N2 expansion must equal the per-candidate phi-product sum."""
+        p = flip_probability(2.0)
+        n = 200
+        row_u = (rng.random(n) < 0.3).astype(float)
+        row_w = (rng.random(n) < 0.2).astype(float)
+        direct = float(((row_u - p) * (row_w - p)).sum() / (1 - 2 * p) ** 2)
+        n1 = int((row_u * row_w).sum())
+        n2 = int(np.maximum(row_u, row_w).sum())
+        expanded = (
+            n1 * (1 - p) ** 2 - (n2 - n1) * p * (1 - p) + (n - n2) * p * p
+        ) / (1 - 2 * p) ** 2
+        assert expanded == pytest.approx(direct, rel=1e-12)
+
+    def test_huge_epsilon_recovers_truth(self, small_graph):
+        truth = small_graph.count_common_neighbors(Layer.UPPER, 0, 1)
+        result = OneRoundEstimator().estimate(
+            small_graph, Layer.UPPER, 0, 1, 50.0, rng=2,
+            mode=ExecutionMode.MATERIALIZE,
+        )
+        assert result.value == pytest.approx(truth, abs=1e-6)
+
+
+class TestMultiRSS:
+    def test_round_structure(self, small_graph):
+        result = MultiRoundSingleSource().estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        assert result.rounds == 2
+        assert result.details["eps1"] == pytest.approx(1.0)
+        assert result.details["eps2"] == pytest.approx(1.0)
+
+    def test_counts_partition_source_degree(self, small_graph):
+        result = MultiRoundSingleSource().estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        deg = small_graph.degree(Layer.UPPER, 0)
+        assert result.details["s1"] + result.details["s2"] == deg
+
+    def test_source_w(self, small_graph):
+        result = MultiRoundSingleSource(source="w").estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        deg = small_graph.degree(Layer.UPPER, 1)
+        assert result.details["s1"] + result.details["s2"] == deg
+
+    def test_invalid_source(self):
+        with pytest.raises(PrivacyError):
+            MultiRoundSingleSource(source="x")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PrivacyError):
+            MultiRoundSingleSource(graph_fraction=1.0)
+
+    def test_custom_fraction_splits_budget(self, small_graph):
+        result = MultiRoundSingleSource(graph_fraction=0.25).estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        assert result.details["eps1"] == pytest.approx(0.5)
+        assert result.details["eps2"] == pytest.approx(1.5)
+
+    def test_optimized_budget_variant(self, small_graph):
+        est = MultiRoundSingleSource(optimize_budget=True)
+        result = est.estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=1)
+        assert result.rounds == 3
+        assert result.details["eps0"] == pytest.approx(0.1)
+        total = (
+            result.details["eps0"]
+            + result.details["eps1"]
+            + result.details["eps2"]
+        )
+        assert total == pytest.approx(2.0)
+        assert "predicted_loss" in result.details
+
+
+class TestMultiRDS:
+    def test_basic_round_structure(self, small_graph):
+        result = MultiRoundDoubleSourceBasic().estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        assert result.rounds == 2
+        assert result.details["alpha"] == 0.5
+        assert result.details["eps0"] == 0.0
+
+    def test_basic_value_is_weighted_average(self, small_graph):
+        result = MultiRoundDoubleSourceBasic().estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        expected = 0.5 * result.details["f_u"] + 0.5 * result.details["f_w"]
+        assert result.value == pytest.approx(expected)
+
+    def test_full_ds_round_structure(self, small_graph):
+        result = MultiRoundDoubleSource().estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        assert result.rounds == 3
+        assert result.details["eps0"] == pytest.approx(0.1)
+        assert 0.0 <= result.details["alpha"] <= 1.0
+        total = (
+            result.details["eps0"]
+            + result.details["eps1"]
+            + result.details["eps2"]
+        )
+        assert total == pytest.approx(2.0)
+
+    def test_full_ds_weighted_average(self, small_graph):
+        result = MultiRoundDoubleSource().estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        alpha = result.details["alpha"]
+        expected = alpha * result.details["f_u"] + (1 - alpha) * result.details["f_w"]
+        assert result.value == pytest.approx(expected)
+
+    def test_degree_correction_replaces_nonpositive(self, small_graph):
+        # With a tiny eps0 the noisy degree is often far off; corrected
+        # degrees must always be >= 1 so the optimizer stays feasible.
+        est = MultiRoundDoubleSource(eps0_fraction=0.01)
+        for seed in range(10):
+            result = est.estimate(small_graph, Layer.UPPER, 0, 1, 2.0, rng=seed)
+            assert result.details["noisy_degree_u"] >= 1.0
+            assert result.details["noisy_degree_w"] >= 1.0
+
+    def test_alpha_favors_low_degree_source(self, medium_graph):
+        degrees = medium_graph.degrees(Layer.UPPER)
+        heavy = int(np.argmax(degrees))
+        light = int(np.argmin(degrees + (np.arange(degrees.size) == heavy) * 10**6))
+        result = MultiRoundDoubleSourceStar().estimate(
+            medium_graph, Layer.UPPER, heavy, light, 2.0, rng=3
+        )
+        # f_w (the light vertex's estimator) should dominate: alpha < 0.5.
+        assert result.details["alpha"] < 0.5
+
+    def test_star_uses_public_degrees(self, small_graph):
+        result = MultiRoundDoubleSourceStar().estimate(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        assert result.rounds == 2
+        assert result.details["public_degree_u"] == small_graph.degree(Layer.UPPER, 0)
+        assert result.details["eps0"] == 0.0
+
+    def test_invalid_fractions(self):
+        with pytest.raises(PrivacyError):
+            MultiRoundDoubleSourceBasic(graph_fraction=0.0)
+        with pytest.raises(PrivacyError):
+            MultiRoundDoubleSource(eps0_fraction=1.0)
+
+
+class TestCentralDP:
+    def test_unbiased_around_truth(self, tiny_graph):
+        est = CentralDPEstimator()
+        values = [
+            est.estimate(tiny_graph, Layer.UPPER, 0, 1, 1.0, rng=s).value
+            for s in range(3000)
+        ]
+        assert np.mean(values) == pytest.approx(3.0, abs=0.15)
+
+    def test_variance_matches_formula(self, tiny_graph):
+        est = CentralDPEstimator()
+        values = np.array(
+            [est.estimate(tiny_graph, Layer.UPPER, 0, 1, 1.0, rng=s).value
+             for s in range(4000)]
+        )
+        assert values.var() == pytest.approx(2.0, rel=0.15)
+
+    def test_transcript_minimal(self, tiny_graph):
+        result = CentralDPEstimator().estimate(tiny_graph, Layer.UPPER, 0, 1, 1.0, rng=1)
+        assert result.rounds == 1
+        assert result.communication_bytes == 8
+
+    def test_invalid_epsilon(self, tiny_graph):
+        with pytest.raises(ValueError):
+            CentralDPEstimator().estimate(tiny_graph, Layer.UPPER, 0, 1, 0.0)
+
+    def test_rejects_identical_vertices(self, tiny_graph):
+        with pytest.raises(ValueError):
+            CentralDPEstimator().estimate(tiny_graph, Layer.UPPER, 2, 2, 1.0)

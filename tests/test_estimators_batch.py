@@ -1,0 +1,124 @@
+"""Tests for the shared-round batch estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.estimators.batch import BatchOneRound
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.graph.sampling import QueryPair, sample_query_pairs
+from repro.privacy.rng import spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_bipartite(40, 60, 450, rng=77)
+
+
+@pytest.fixture()
+def workload(graph):
+    return sample_query_pairs(graph, Layer.UPPER, 12, rng=5)
+
+
+class TestInterface:
+    def test_result_shape(self, graph, workload):
+        result = BatchOneRound().estimate_pairs(
+            graph, Layer.UPPER, workload, 2.0, rng=1
+        )
+        assert result.values.shape == (len(workload),)
+        assert result.pairs == tuple(workload)
+        assert result.epsilon == 2.0
+
+    def test_value_lookup(self, graph, workload):
+        result = BatchOneRound().estimate_pairs(
+            graph, Layer.UPPER, workload, 2.0, rng=1
+        )
+        assert result.value(workload[3]) == result.values[3]
+
+    def test_empty_workload_rejected(self, graph):
+        with pytest.raises(ProtocolError):
+            BatchOneRound().estimate_pairs(graph, Layer.UPPER, [], 2.0)
+
+    def test_wrong_layer_rejected(self, graph):
+        pair = QueryPair(Layer.LOWER, 0, 1)
+        with pytest.raises(ProtocolError):
+            BatchOneRound().estimate_pairs(graph, Layer.UPPER, [pair], 2.0)
+
+    def test_deterministic(self, graph, workload):
+        a = BatchOneRound().estimate_pairs(graph, Layer.UPPER, workload, 2.0, rng=3)
+        b = BatchOneRound().estimate_pairs(graph, Layer.UPPER, workload, 2.0, rng=3)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestPrivacySemantics:
+    def test_each_vertex_charged_once(self, graph):
+        """A vertex appearing in many pairs still spends only epsilon."""
+        pairs = [
+            QueryPair(Layer.UPPER, 0, other) for other in (1, 2, 3, 4, 5, 6)
+        ]
+        result = BatchOneRound().estimate_pairs(graph, Layer.UPPER, pairs, 1.5, rng=2)
+        assert result.max_epsilon_spent == pytest.approx(1.5)
+        assert result.num_query_vertices == 7
+
+    def test_upload_counts_distinct_vertices_only(self, graph):
+        dense_pairs = [QueryPair(Layer.UPPER, 0, v) for v in range(1, 8)]
+        sparse_pairs = [
+            QueryPair(Layer.UPPER, 2 * i, 2 * i + 1) for i in range(7)
+        ]
+        dense = BatchOneRound().estimate_pairs(
+            graph, Layer.UPPER, dense_pairs, 2.0, rng=4
+        )
+        sparse = BatchOneRound().estimate_pairs(
+            graph, Layer.UPPER, sparse_pairs, 2.0, rng=4
+        )
+        # 8 distinct vertices vs 14: the dense workload uploads fewer lists.
+        assert dense.num_query_vertices < sparse.num_query_vertices
+        assert dense.upload_bytes < sparse.upload_bytes
+
+
+class TestStatistics:
+    def test_unbiased_per_pair(self, graph):
+        pairs = [QueryPair(Layer.UPPER, 0, 1), QueryPair(Layer.UPPER, 2, 3)]
+        truths = np.array(
+            [graph.count_common_neighbors(Layer.UPPER, p.a, p.b) for p in pairs]
+        )
+        rngs = spawn_rngs(9, 1500)
+        sums = np.zeros(len(pairs))
+        squares = np.zeros(len(pairs))
+        for r in rngs:
+            values = BatchOneRound().estimate_pairs(
+                graph, Layer.UPPER, pairs, 2.0, rng=r
+            ).values
+            sums += values
+            squares += values**2
+        means = sums / len(rngs)
+        variances = squares / len(rngs) - means**2
+        se = np.sqrt(variances / len(rngs))
+        assert (np.abs(means - truths) < 5 * se + 1e-9).all()
+
+    def test_huge_epsilon_recovers_truth(self, graph, workload):
+        result = BatchOneRound().estimate_pairs(
+            graph, Layer.UPPER, workload, 50.0, rng=6
+        )
+        truths = np.array(
+            [graph.count_common_neighbors(Layer.UPPER, p.a, p.b) for p in workload]
+        )
+        np.testing.assert_allclose(result.values, truths, atol=1e-6)
+
+    def test_shared_vertex_errors_correlate(self, graph):
+        """Pairs sharing a vertex reuse its noisy list — their errors must
+        correlate, unlike independent per-pair runs."""
+        pairs = [QueryPair(Layer.UPPER, 0, 1), QueryPair(Layer.UPPER, 0, 2)]
+        rngs = spawn_rngs(11, 800)
+        errors = np.empty((len(rngs), 2))
+        for i, r in enumerate(rngs):
+            values = BatchOneRound().estimate_pairs(
+                graph, Layer.UPPER, pairs, 1.0, rng=r
+            ).values
+            errors[i, 0] = values[0] - graph.count_common_neighbors(Layer.UPPER, 0, 1)
+            errors[i, 1] = values[1] - graph.count_common_neighbors(Layer.UPPER, 0, 2)
+        corr = np.corrcoef(errors.T)[0, 1]
+        assert corr > 0.05

@@ -1,0 +1,118 @@
+"""Tests for the MultiR-SS source-auto extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.estimators.multir_ss import MultiRoundSingleSource
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.privacy.rng import spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_bipartite(60, 300, 1800, rng=51)
+
+
+@pytest.fixture(scope="module")
+def imbalanced_pair(graph):
+    degrees = graph.degrees(Layer.UPPER)
+    heavy = int(np.argmax(degrees))
+    light = int(np.argmin(degrees + (np.arange(degrees.size) == heavy) * 10**6))
+    return heavy, light
+
+
+class TestAutoSource:
+    def test_round_structure(self, graph, imbalanced_pair):
+        heavy, light = imbalanced_pair
+        est = MultiRoundSingleSource(source="auto")
+        result = est.estimate(graph, Layer.UPPER, heavy, light, 2.0, rng=1)
+        assert result.rounds == 3  # degrees + rr + estimate
+        assert result.details["eps0"] == pytest.approx(0.1)
+        total = (
+            result.details["eps0"]
+            + result.details["eps1"]
+            + result.details["eps2"]
+        )
+        assert total == pytest.approx(2.0)
+
+    def test_usually_picks_low_degree_vertex(self, graph, imbalanced_pair):
+        """With strongly imbalanced degrees the noisy comparison almost
+        always resolves correctly."""
+        heavy, light = imbalanced_pair
+        est = MultiRoundSingleSource(source="auto")
+        picks = [
+            est.estimate(graph, Layer.UPPER, heavy, light, 2.0, rng=s).details[
+                "selected_source"
+            ]
+            for s in range(30)
+        ]
+        assert picks.count("w") >= 27  # w == the light vertex here
+
+    def test_auto_beats_fixed_heavy_source(self, graph, imbalanced_pair):
+        heavy, light = imbalanced_pair
+        true = graph.count_common_neighbors(Layer.UPPER, heavy, light)
+        rngs = spawn_rngs(3, 3000)
+        auto = np.array(
+            [
+                MultiRoundSingleSource(source="auto")
+                .estimate(graph, Layer.UPPER, heavy, light, 2.0, rng=rngs[t])
+                .value
+                for t in range(1500)
+            ]
+        )
+        fixed = np.array(
+            [
+                MultiRoundSingleSource(source="u")
+                .estimate(graph, Layer.UPPER, heavy, light, 2.0, rng=rngs[1500 + t])
+                .value
+                for t in range(1500)
+            ]
+        )
+        auto_l2 = ((auto - true) ** 2).mean()
+        fixed_l2 = ((fixed - true) ** 2).mean()
+        assert auto_l2 < fixed_l2
+
+    def test_auto_with_optimizer_shares_degree_round(self, graph, imbalanced_pair):
+        heavy, light = imbalanced_pair
+        est = MultiRoundSingleSource(source="auto", optimize_budget=True)
+        result = est.estimate(graph, Layer.UPPER, heavy, light, 2.0, rng=4)
+        # One degree round only: eps0 + eps1 + eps2 == eps exactly.
+        total = (
+            result.details["eps0"]
+            + result.details["eps1"]
+            + result.details["eps2"]
+        )
+        assert total == pytest.approx(2.0)
+        assert result.rounds == 3
+        assert "predicted_loss" in result.details
+        assert "selected_source" in result.details
+
+    def test_budget_never_exceeded(self, graph, imbalanced_pair):
+        heavy, light = imbalanced_pair
+        est = MultiRoundSingleSource(source="auto")
+        for seed in range(8):
+            result = est.estimate(graph, Layer.UPPER, heavy, light, 1.5, rng=seed)
+            assert result.transcript.max_epsilon_spent <= 1.5 + 1e-9
+
+    def test_invalid_source_still_rejected(self):
+        with pytest.raises(PrivacyError):
+            MultiRoundSingleSource(source="q")
+
+    def test_unbiased(self, graph, imbalanced_pair):
+        heavy, light = imbalanced_pair
+        true = graph.count_common_neighbors(Layer.UPPER, heavy, light)
+        rngs = spawn_rngs(5, 2500)
+        values = np.array(
+            [
+                MultiRoundSingleSource(source="auto")
+                .estimate(graph, Layer.UPPER, heavy, light, 2.0, rng=r)
+                .value
+                for r in rngs
+            ]
+        )
+        se = values.std(ddof=1) / np.sqrt(values.size)
+        assert abs(values.mean() - true) < 5 * se

@@ -1,0 +1,246 @@
+"""Tests for the experiment harness: report rendering, runner, figures.
+
+Figure runners are exercised in quick configurations (small edge budgets,
+few pairs) — the full-scale shapes are asserted by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2_distribution import run_fig2, select_imbalanced_pair
+from repro.experiments.fig5_loss_landscape import run_fig5
+from repro.experiments.fig6_datasets import run_fig6a, run_fig6b
+from repro.experiments.fig7_epsilon import run_fig7
+from repro.experiments.fig8_budget import run_fig8
+from repro.experiments.fig9_imbalance import run_fig9
+from repro.experiments.fig10_communication import run_fig10
+from repro.experiments.fig11_scalability import run_fig11
+from repro.experiments.report import SeriesPanel, ascii_histogram, format_table
+from repro.experiments.runner import evaluate_algorithms, resolve_estimators
+from repro.experiments.table2_datasets import run_table2, table2_text
+from repro.experiments.table3_summary import run_table3
+from repro.graph.bipartite import Layer
+from repro.graph.sampling import sample_query_pairs
+
+MAX_EDGES = 15_000
+SMALL = ("RM", "AC")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.datasets.cache import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # title + header + separator + two data rows
+        assert len(lines) == 5
+
+    def test_series_panel_add_and_value(self):
+        panel = SeriesPanel("t", "x", [1, 2, 3])
+        panel.add("algo", [0.1, 0.2, 0.3])
+        assert panel.value("algo", 2) == 0.2
+
+    def test_series_panel_length_mismatch(self):
+        panel = SeriesPanel("t", "x", [1, 2])
+        with pytest.raises(ValueError):
+            panel.add("algo", [1.0])
+
+    def test_series_panel_to_text(self):
+        panel = SeriesPanel("title", "eps", [1.0, 2.0])
+        panel.add("naive", [10.0, 5.0])
+        text = panel.to_text()
+        assert "naive" in text
+        assert "title" in text
+
+    def test_ascii_histogram(self, rng):
+        text = ascii_histogram(rng.normal(size=500), bins=10, title="h")
+        assert text.startswith("h")
+        assert "#" in text
+
+    def test_ascii_histogram_empty(self):
+        assert ascii_histogram(np.array([])) == "(no samples)"
+
+
+class TestRunner:
+    def test_resolve_mixed_specs(self):
+        from repro.estimators import NaiveEstimator
+
+        resolved = resolve_estimators(["oner", NaiveEstimator()])
+        assert list(resolved) == ["oner", "naive"]
+
+    def test_evaluate_produces_stats(self, small_graph):
+        pairs = sample_query_pairs(small_graph, Layer.UPPER, 10, rng=1)
+        stats = evaluate_algorithms(
+            small_graph, pairs, ["naive", "central-dp"], 2.0, rng=2
+        )
+        assert set(stats) == {"naive", "central-dp"}
+        for s in stats.values():
+            assert s.errors.count == 10
+            assert s.mean_seconds > 0
+            assert s.mean_comm_bytes >= 8
+
+    def test_evaluate_empty_pairs_raises(self, small_graph):
+        with pytest.raises(ValueError):
+            evaluate_algorithms(small_graph, [], ["naive"], 2.0)
+
+    def test_central_dp_has_tiny_error(self, small_graph):
+        pairs = sample_query_pairs(small_graph, Layer.UPPER, 20, rng=3)
+        stats = evaluate_algorithms(
+            small_graph, pairs, ["naive", "central-dp"], 2.0, rng=4
+        )
+        assert stats["central-dp"].errors.mae < stats["naive"].errors.mae
+
+
+class TestFig2:
+    def test_select_imbalanced_pair(self, medium_graph):
+        pair = select_imbalanced_pair(medium_graph, Layer.UPPER, rng=1)
+        degs = medium_graph.degrees(Layer.UPPER)
+        # The anchor is a strong hub (well above average), the partner light.
+        assert degs[pair.a] > 1.5 * degs.mean()
+        assert degs[pair.b] < degs[pair.a]
+
+    def test_run_fig2_structure(self):
+        result = run_fig2(
+            dataset="RM", trials=60, max_edges=MAX_EDGES, rng=5
+        )
+        assert set(result.samples) == {"naive", "oner", "multir-ss", "multir-ds"}
+        assert all(v.size == 60 for v in result.samples.values())
+        assert result.degree_u >= result.degree_w
+
+    def test_fig2_naive_biased_upward(self):
+        result = run_fig2(dataset="RM", trials=150, max_edges=MAX_EDGES, rng=6)
+        assert result.samples["naive"].mean() > result.true_count
+
+    def test_fig2_text_renders(self):
+        result = run_fig2(dataset="RM", trials=30, max_edges=MAX_EDGES, rng=7)
+        text = result.to_text(histogram=True)
+        assert "Fig. 2" in text
+        assert "naive" in text
+
+
+class TestFig5:
+    def test_panel_structure(self):
+        panels = run_fig5(num_points=7)
+        assert len(panels) == 2
+        for panel in panels:
+            assert len(panel.panel.x_values) == 7
+            assert "global minimum" in panel.panel.series
+
+    def test_global_min_below_all_curves(self):
+        for panel in run_fig5(num_points=9):
+            for label, values in panel.panel.series.items():
+                if label == "global minimum":
+                    continue
+                assert panel.global_minimum <= min(values) + 1e-9
+
+    def test_balanced_panel_average_wins(self):
+        panels = run_fig5(deg_u=5, deg_w_values=(10,), num_points=9)
+        panel = panels[0].panel
+        avg = min(panel.series["alpha=0.5 (average)"])
+        single_u = min(panel.series["alpha=1 (f_u)"])
+        single_w = min(panel.series["alpha=0 (f_w)"])
+        assert avg < min(single_u, single_w)
+
+    def test_imbalanced_panel_low_degree_wins(self):
+        panels = run_fig5(deg_u=5, deg_w_values=(100,), num_points=9)
+        panel = panels[0].panel
+        low_source = min(panel.series["alpha=1 (f_u)"])  # du = 5 is the light one
+        avg = min(panel.series["alpha=0.5 (average)"])
+        assert low_source < avg
+
+    def test_to_text(self):
+        text = run_fig5(num_points=5)[0].to_text()
+        assert "global minimum" in text
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = run_table2(keys=list(SMALL), max_edges=MAX_EDGES)
+        assert len(rows) == 2
+        assert rows[0].key == "RM"
+        assert rows[0].synth_edges <= MAX_EDGES + 1
+        text = table2_text(rows)
+        assert "rmwiki" in text
+
+    def test_table3_runs_and_orders(self):
+        result = run_table3(trials=250, rng=9)
+        names = [r.algorithm for r in result.rows]
+        assert "naive" in names and "central-dp" in names
+        by_name = {r.algorithm: r for r in result.rows}
+        # Unbiased algorithms' empirical means should be near the truth...
+        assert abs(by_name["oner"].empirical_mean - result.true_count) < 10
+        # ...and Naive visibly biased above it.
+        assert by_name["naive"].empirical_mean > result.true_count
+        assert "Table 3" in result.to_text()
+
+
+class TestFigureRunners:
+    def test_fig6a(self):
+        panel = run_fig6a(
+            datasets=list(SMALL), num_pairs=8, max_edges=MAX_EDGES, rng=1
+        )
+        assert panel.x_values == list(SMALL)
+        assert panel.value("central-dp", "RM") < panel.value("naive", "RM")
+
+    def test_fig6b(self):
+        panel = run_fig6b(
+            datasets=["RM"], num_pairs=2, max_edges=MAX_EDGES, rng=2
+        )
+        for values in panel.series.values():
+            assert all(v > 0 for v in values)
+
+    def test_fig7(self):
+        panels = run_fig7(
+            datasets=["RM"], epsilons=(1.0, 3.0), num_pairs=8,
+            max_edges=MAX_EDGES, rng=3,
+        )
+        assert len(panels) == 1
+        naive = panels[0].series["naive"]
+        assert naive[0] > naive[-1]  # error falls with epsilon
+
+    def test_fig8(self):
+        panels = run_fig8(
+            datasets=["RM"], fractions=(0.3, 0.5), num_pairs=8,
+            max_edges=MAX_EDGES, rng=4,
+        )
+        panel = panels[0]
+        assert len(panel.series["multir-ds-basic"]) == 2
+        ds_line = panel.series["multir-ds (optimized)"]
+        assert ds_line[0] == ds_line[1]
+
+    def test_fig9(self):
+        panels = run_fig9(
+            datasets=["RM"], kappas=(1, 10), num_pairs=8,
+            max_edges=MAX_EDGES, rng=5,
+        )
+        assert set(panels[0].series) == {"multir-ss", "multir-ds-basic", "multir-ds"}
+
+    def test_fig10(self):
+        panels = run_fig10(
+            datasets=["RM"], epsilons=(1.0, 2.0), num_pairs=4,
+            max_edges=MAX_EDGES, rng=6,
+        )
+        panel = panels[0]
+        # Communication shrinks as epsilon grows (sparser noisy graphs).
+        for name in ("naive", "oner"):
+            assert panel.series[name][0] > panel.series[name][1]
+        # MultiR-DS moves the most bytes.
+        assert panel.series["multir-ds"][0] > panel.series["naive"][0]
+
+    def test_fig11(self):
+        panels = run_fig11(
+            datasets=["RM"], fractions=(0.4, 1.0), num_pairs=8,
+            max_edges=MAX_EDGES, rng=7,
+        )
+        assert len(panels[0].series["naive"]) == 2

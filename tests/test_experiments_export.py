@@ -1,0 +1,93 @@
+"""Tests for experiment-result export (CSV/JSON round trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    load_panel,
+    panel_from_json,
+    panel_to_csv,
+    panel_to_json,
+    save_panels,
+)
+from repro.experiments.report import SeriesPanel
+
+
+@pytest.fixture()
+def panel() -> SeriesPanel:
+    p = SeriesPanel("Fig. X — demo", "eps", [1.0, 2.0, 3.0], y_label="MAE")
+    p.add("naive", [10.0, 5.0, 2.0])
+    p.add("multir-ds", [1.0, 0.5, 0.25])
+    return p
+
+
+class TestCsv:
+    def test_header_and_rows(self, panel):
+        lines = panel_to_csv(panel).strip().splitlines()
+        assert lines[0] == "eps,naive,multir-ds"
+        assert len(lines) == 4
+        assert lines[1].startswith("1.0,")
+
+    def test_values_parse_back(self, panel):
+        import csv as csv_mod
+        import io
+
+        rows = list(csv_mod.reader(io.StringIO(panel_to_csv(panel))))
+        assert float(rows[2][1]) == 5.0
+
+
+class TestJson:
+    def test_round_trip(self, panel):
+        restored = panel_from_json(panel_to_json(panel))
+        assert restored.title == panel.title
+        assert restored.x_values == panel.x_values
+        assert restored.series == panel.series
+        assert restored.y_label == panel.y_label
+
+    def test_json_is_valid(self, panel):
+        payload = json.loads(panel_to_json(panel))
+        assert payload["x_label"] == "eps"
+        assert "naive" in payload["series"]
+
+    def test_missing_y_label_defaults(self):
+        payload = {
+            "title": "t",
+            "x_label": "x",
+            "x_values": [1],
+            "series": {"a": [2.0]},
+        }
+        restored = panel_from_json(json.dumps(payload))
+        assert restored.y_label == "mean absolute error"
+
+
+class TestSaveLoad:
+    def test_save_all_formats(self, panel, tmp_path):
+        written = save_panels([panel, panel], tmp_path, stem="figx")
+        names = sorted(p.name for p in written)
+        assert names == [
+            "figx_0.csv",
+            "figx_0.json",
+            "figx_0.txt",
+            "figx_1.csv",
+            "figx_1.json",
+            "figx_1.txt",
+        ]
+        for path in written:
+            assert path.read_text()
+
+    def test_load_saved_panel(self, panel, tmp_path):
+        save_panels([panel], tmp_path, stem="one", formats=("json",))
+        restored = load_panel(tmp_path / "one_0.json")
+        assert restored.series == panel.series
+
+    def test_unknown_format(self, panel, tmp_path):
+        with pytest.raises(ValueError):
+            save_panels([panel], tmp_path, stem="x", formats=("xml",))
+
+    def test_creates_directory(self, panel, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        save_panels([panel], target, stem="p", formats=("json",))
+        assert (target / "p_0.json").exists()

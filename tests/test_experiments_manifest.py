@@ -1,0 +1,70 @@
+"""Tests for run manifests and the overlap-stratified extension."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.ext_overlap import run_ext_overlap
+from repro.experiments.manifest import RunManifest, load_manifest, save_manifest
+
+
+class TestManifest:
+    def _manifest(self) -> RunManifest:
+        return RunManifest.capture(
+            "fig6a",
+            seed=7,
+            epsilon=2.0,
+            num_pairs=100,
+            datasets=("RM", "AC"),
+            algorithms=("naive", "multir-ds"),
+            max_edges=150_000,
+            notes="demo",
+        )
+
+    def test_capture_stamps_version(self):
+        import repro
+
+        manifest = self._manifest()
+        assert manifest.library_version == repro.__version__
+        assert manifest.extra == {"notes": "demo"}
+
+    def test_json_round_trip(self):
+        manifest = self._manifest()
+        restored = RunManifest.from_json(manifest.to_json())
+        assert restored == manifest
+
+    def test_schema_version_embedded(self):
+        payload = json.loads(self._manifest().to_json())
+        assert payload["schema_version"] == 1
+
+    def test_unknown_schema_rejected(self):
+        payload = json.loads(self._manifest().to_json())
+        payload["schema_version"] = 99
+        with pytest.raises(ReproError):
+            RunManifest.from_json(json.dumps(payload))
+
+    def test_save_load(self, tmp_path):
+        manifest = self._manifest()
+        path = save_manifest(manifest, tmp_path / "run" / "manifest.json")
+        assert path.exists()
+        assert load_manifest(path) == manifest
+
+
+class TestExtOverlap:
+    def test_panel_shape(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.datasets.cache import clear_memory_cache
+
+        clear_memory_cache()
+        panel = run_ext_overlap(
+            dataset="RM", num_pairs=6, max_edges=12_000, rng=3,
+            thresholds=(0, 1),
+        )
+        clear_memory_cache()
+        assert panel.x_values == [0, 1]
+        assert set(panel.series) == {"oner", "multir-ss", "multir-ds", "central-dp"}
+        for values in panel.series.values():
+            assert all(v >= 0 for v in values)

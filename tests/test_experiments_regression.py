@@ -1,0 +1,85 @@
+"""Tests for the regression-comparison utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.export import save_panels
+from repro.experiments.regression import compare_panels, compare_result_dirs
+from repro.experiments.report import SeriesPanel
+
+
+def _panel(values_a=(1.0, 2.0), values_b=(3.0, 4.0)) -> SeriesPanel:
+    panel = SeriesPanel("P", "x", [1, 2])
+    panel.add("a", list(values_a))
+    panel.add("b", list(values_b))
+    return panel
+
+
+class TestComparePanels:
+    def test_identical_panels_clean(self):
+        assert compare_panels(_panel(), _panel()) == []
+
+    def test_within_tolerance_clean(self):
+        candidate = _panel(values_a=(1.1, 2.2))
+        assert compare_panels(_panel(), candidate, rel_tol=0.25) == []
+
+    def test_deviation_reported(self):
+        candidate = _panel(values_a=(2.0, 2.0))
+        deviations = compare_panels(_panel(), candidate, rel_tol=0.25)
+        assert len(deviations) == 1
+        dev = deviations[0]
+        assert dev.series == "a"
+        assert dev.x_value == 1
+        assert dev.relative_change == pytest.approx(1.0)
+
+    def test_nan_pairs_ignored(self):
+        base = _panel(values_a=(float("nan"), 2.0))
+        cand = _panel(values_a=(float("nan"), 2.0))
+        assert compare_panels(base, cand) == []
+
+    def test_x_axis_mismatch_raises(self):
+        other = SeriesPanel("P", "x", [1, 3])
+        other.add("a", [1.0, 2.0])
+        other.add("b", [3.0, 4.0])
+        with pytest.raises(ReproError):
+            compare_panels(_panel(), other)
+
+    def test_series_mismatch_raises(self):
+        other = SeriesPanel("P", "x", [1, 2])
+        other.add("a", [1.0, 2.0])
+        with pytest.raises(ReproError):
+            compare_panels(_panel(), other)
+
+
+class TestCompareDirs:
+    def test_directory_round_trip(self, tmp_path):
+        base_dir = tmp_path / "base"
+        cand_dir = tmp_path / "cand"
+        save_panels([_panel()], base_dir, stem="fig", formats=("json",))
+        save_panels([_panel(values_a=(1.05, 2.0))], cand_dir, stem="fig", formats=("json",))
+        assert compare_result_dirs(base_dir, cand_dir, rel_tol=0.25) == []
+
+    def test_drift_detected(self, tmp_path):
+        base_dir = tmp_path / "base"
+        cand_dir = tmp_path / "cand"
+        save_panels([_panel()], base_dir, stem="fig", formats=("json",))
+        save_panels([_panel(values_b=(30.0, 4.0))], cand_dir, stem="fig", formats=("json",))
+        deviations = compare_result_dirs(base_dir, cand_dir)
+        assert len(deviations) == 1
+        assert deviations[0].series == "b"
+
+    def test_missing_panel_raises(self, tmp_path):
+        base_dir = tmp_path / "base"
+        cand_dir = tmp_path / "cand"
+        save_panels([_panel()], base_dir, stem="fig", formats=("json",))
+        cand_dir.mkdir()
+        with pytest.raises(ReproError):
+            compare_result_dirs(base_dir, cand_dir)
+
+    def test_empty_baseline_raises(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        with pytest.raises(ReproError):
+            compare_result_dirs(tmp_path / "a", tmp_path / "b")

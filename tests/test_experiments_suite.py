@@ -1,0 +1,65 @@
+"""Tests for the experiment suite orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.suite import (
+    EXPERIMENT_NAMES,
+    run_all,
+    run_experiment,
+)
+
+
+@pytest.fixture(autouse=True)
+def _small_world(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_MAX_EDGES", "12000")
+    from repro.datasets.cache import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestRunExperiment:
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            run_experiment("fig99")
+
+    def test_fig5_has_panels_and_text(self):
+        output = run_experiment("fig5")
+        assert output.name == "fig5"
+        assert len(output.panels) == 2
+        assert "global minimum" in output.text
+
+    def test_table2_text_only(self):
+        output = run_experiment("table2")
+        assert output.panels == []
+        assert "rmwiki" in output.text
+
+    def test_fig9_quick_with_seed(self):
+        output = run_experiment("fig9", quick=True, seed=11)
+        assert output.panels
+        assert "multir-ds" in output.text
+
+
+class TestRunAll:
+    def test_subset_and_report(self, tmp_path):
+        out_dir = tmp_path / "report"
+        outputs = run_all(
+            out_dir=out_dir, quick=True, seed=5, names=("fig5", "table2")
+        )
+        assert [o.name for o in outputs] == ["fig5", "table2"]
+        report = (out_dir / "REPORT.md").read_text()
+        assert "## fig5" in report
+        assert "## table2" in report
+        assert list(out_dir.glob("fig5_*.json"))
+
+    def test_no_output_dir(self):
+        outputs = run_all(out_dir=None, quick=True, seed=5, names=("fig5",))
+        assert len(outputs) == 1
+
+    def test_names_constant_complete(self):
+        assert len(EXPERIMENT_NAMES) == 11

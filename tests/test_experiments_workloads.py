@@ -1,0 +1,85 @@
+"""Tests for the named workload builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.workloads import (
+    WORKLOADS,
+    build_workload,
+    hub_workload,
+    overlapping_workload,
+    stratified_by_overlap,
+    uniform_workload,
+)
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import chung_lu_bipartite, power_law_degrees
+
+
+@pytest.fixture(scope="module")
+def graph():
+    weights = power_law_degrees(300, exponent=2.0, d_min=1, d_max=150, rng=1)
+    return chung_lu_bipartite(
+        weights.astype(float), np.ones(250), num_edges=2400, rng=2
+    )
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(WORKLOADS) == {"uniform", "imbalanced", "hubs", "overlapping"}
+
+    def test_build_by_name(self, graph):
+        pairs = build_workload("uniform", graph, Layer.UPPER, 10, rng=3)
+        assert len(pairs) == 10
+
+    def test_unknown_name(self, graph):
+        with pytest.raises(ReproError):
+            build_workload("nope", graph, Layer.UPPER, 10)
+
+    def test_kwargs_forwarded(self, graph):
+        pairs = build_workload(
+            "imbalanced", graph, Layer.UPPER, 8, rng=4, kappa=10.0
+        )
+        degrees = graph.degrees(Layer.UPPER)
+        for p in pairs:
+            assert max(degrees[p.a], degrees[p.b]) > 10 * min(
+                degrees[p.a], degrees[p.b]
+            )
+
+
+class TestBuilders:
+    def test_uniform_counts(self, graph):
+        assert len(uniform_workload(graph, Layer.UPPER, 25, rng=5)) == 25
+
+    def test_hub_workload_degrees(self, graph):
+        pairs = hub_workload(graph, Layer.UPPER, 15, rng=6, pool_fraction=0.05)
+        degrees = graph.degrees(Layer.UPPER)
+        cutoff = np.quantile(degrees, 0.9)
+        for p in pairs:
+            assert degrees[p.a] >= cutoff
+            assert degrees[p.b] >= cutoff
+
+    def test_overlapping_workload_has_common_neighbors(self, graph):
+        pairs = overlapping_workload(graph, Layer.UPPER, 12, rng=7, min_overlap=1)
+        for p in pairs:
+            assert graph.count_common_neighbors(Layer.UPPER, p.a, p.b) >= 1
+
+    def test_overlapping_impossible_raises(self):
+        star = BipartiteGraph(3, 3, [(0, 0), (1, 1), (2, 2)])
+        with pytest.raises(ReproError):
+            overlapping_workload(star, Layer.UPPER, 1, rng=8, max_attempts=100)
+
+    def test_stratified_fills_every_stratum(self, graph):
+        strata = stratified_by_overlap(
+            graph, Layer.UPPER, 6, rng=9, thresholds=(0, 1, 3)
+        )
+        assert set(strata) == {0, 1, 3}
+        for threshold, pairs in strata.items():
+            assert len(pairs) == 6
+            for p in pairs:
+                assert (
+                    graph.count_common_neighbors(Layer.UPPER, p.a, p.b)
+                    >= threshold
+                )

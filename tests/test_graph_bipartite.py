@@ -1,0 +1,240 @@
+"""Tests for the core bipartite graph structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, Layer
+
+
+class TestLayer:
+    def test_opposite_upper(self):
+        assert Layer.UPPER.opposite() is Layer.LOWER
+
+    def test_opposite_lower(self):
+        assert Layer.LOWER.opposite() is Layer.UPPER
+
+    def test_opposite_is_involution(self):
+        for layer in Layer:
+            assert layer.opposite().opposite() is layer
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = BipartiteGraph(0, 0)
+        assert g.num_upper == 0
+        assert g.num_lower == 0
+        assert g.num_edges == 0
+
+    def test_no_edges(self):
+        g = BipartiteGraph(3, 4)
+        assert g.num_edges == 0
+        assert g.degree(Layer.UPPER, 2) == 0
+
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_upper == 3
+        assert tiny_graph.num_lower == 8
+        assert tiny_graph.num_edges == 9
+        assert tiny_graph.num_vertices == 11
+
+    def test_duplicate_edges_collapse(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (0, 0), (1, 1), (1, 1), (1, 1)])
+        assert g.num_edges == 2
+
+    def test_edges_from_list_of_tuples(self):
+        g = BipartiteGraph(2, 3, [(0, 2), (1, 0)])
+        assert g.has_edge(0, 2)
+        assert g.has_edge(1, 0)
+
+    def test_edges_from_ndarray(self):
+        arr = np.array([[0, 1], [1, 2]])
+        g = BipartiteGraph(2, 3, arr)
+        assert g.num_edges == 2
+
+    def test_float_integral_edges_accepted(self):
+        g = BipartiteGraph(2, 2, np.array([[0.0, 1.0]]))
+        assert g.has_edge(0, 1)
+
+    def test_non_integral_edges_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(2, 2, np.array([[0.5, 1.0]]))
+
+    def test_negative_layer_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(-1, 2)
+
+    def test_upper_endpoint_out_of_range(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(2, 2, [(2, 0)])
+
+    def test_lower_endpoint_out_of_range(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(2, 2, [(0, 2)])
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(2, 2, [(-1, 0)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(2, 2, np.array([[0, 1, 2]]))
+
+    def test_edges_array_readonly(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.edges[0, 0] = 5
+
+
+class TestAdjacency:
+    def test_neighbors_sorted(self, tiny_graph):
+        n = tiny_graph.neighbors(Layer.UPPER, 1)
+        assert list(n) == [0, 1, 3, 7]
+
+    def test_neighbors_lower_layer(self, tiny_graph):
+        assert list(tiny_graph.neighbors(Layer.LOWER, 0)) == [0, 1]
+        assert list(tiny_graph.neighbors(Layer.LOWER, 7)) == [1]
+
+    def test_neighbors_isolated_vertex(self, tiny_graph):
+        assert tiny_graph.neighbors(Layer.LOWER, 5).size == 0
+
+    def test_degree(self, tiny_graph):
+        assert tiny_graph.degree(Layer.UPPER, 0) == 3
+        assert tiny_graph.degree(Layer.UPPER, 1) == 4
+        assert tiny_graph.degree(Layer.LOWER, 3) == 2
+
+    def test_degrees_matches_degree(self, small_graph):
+        for layer in Layer:
+            degs = small_graph.degrees(layer)
+            for v in range(small_graph.layer_size(layer)):
+                assert degs[v] == small_graph.degree(layer, v)
+
+    def test_degree_sums_equal_edges(self, small_graph):
+        assert small_graph.degrees(Layer.UPPER).sum() == small_graph.num_edges
+        assert small_graph.degrees(Layer.LOWER).sum() == small_graph.num_edges
+
+    def test_max_degree(self, tiny_graph):
+        assert tiny_graph.max_degree(Layer.UPPER) == 4
+
+    def test_max_degree_empty_layer(self):
+        assert BipartiteGraph(0, 3).max_degree(Layer.UPPER) == 0
+
+    def test_average_degree(self, tiny_graph):
+        assert tiny_graph.average_degree(Layer.UPPER) == pytest.approx(3.0)
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 3)
+        assert not tiny_graph.has_edge(0, 7)
+        assert not tiny_graph.has_edge(2, 0)
+
+    def test_vertex_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.neighbors(Layer.UPPER, 3)
+        with pytest.raises(GraphError):
+            tiny_graph.degree(Layer.LOWER, 8)
+        with pytest.raises(GraphError):
+            tiny_graph.degree(Layer.UPPER, -1)
+
+
+class TestCommonNeighbors:
+    def test_paper_example(self, tiny_graph):
+        # u0 and u1 share v0, v1, v3 — the Fig. 1 configuration.
+        assert tiny_graph.count_common_neighbors(Layer.UPPER, 0, 1) == 3
+        assert list(tiny_graph.common_neighbors(Layer.UPPER, 0, 1)) == [0, 1, 3]
+
+    def test_no_common_neighbors(self, tiny_graph):
+        assert tiny_graph.count_common_neighbors(Layer.UPPER, 0, 2) == 0
+
+    def test_symmetry(self, small_graph):
+        for a, b in [(0, 1), (5, 9), (20, 40)]:
+            assert small_graph.count_common_neighbors(
+                Layer.UPPER, a, b
+            ) == small_graph.count_common_neighbors(Layer.UPPER, b, a)
+
+    def test_lower_layer_queries(self, tiny_graph):
+        # v0 and v1 are both adjacent to u0 and u1.
+        assert tiny_graph.count_common_neighbors(Layer.LOWER, 0, 1) == 2
+
+    def test_brute_force_equivalence(self, small_graph):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a, b = rng.choice(small_graph.num_upper, size=2, replace=False)
+            expected = len(
+                set(map(int, small_graph.neighbors(Layer.UPPER, a)))
+                & set(map(int, small_graph.neighbors(Layer.UPPER, b)))
+            )
+            assert small_graph.count_common_neighbors(Layer.UPPER, a, b) == expected
+
+    def test_union_size(self, tiny_graph):
+        assert tiny_graph.neighborhood_union_size(Layer.UPPER, 0, 1) == 4
+
+    def test_jaccard(self, tiny_graph):
+        assert tiny_graph.jaccard(Layer.UPPER, 0, 1) == pytest.approx(3 / 4)
+
+    def test_jaccard_zero_union(self):
+        g = BipartiteGraph(2, 2)
+        assert g.jaccard(Layer.UPPER, 0, 1) == 0.0
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph_keep_all(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph(
+            np.arange(tiny_graph.num_upper), np.arange(tiny_graph.num_lower)
+        )
+        assert sub == tiny_graph
+
+    def test_induced_subgraph_relabels(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph([0, 1], [0, 1, 3])
+        assert sub.num_upper == 2
+        assert sub.num_lower == 3
+        # v3 becomes index 2; u0/u1 keep both shared neighbors v0, v1, v3.
+        assert sub.count_common_neighbors(Layer.UPPER, 0, 1) == 3
+
+    def test_induced_subgraph_empty_selection(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph([], [])
+        assert sub.num_edges == 0
+        assert sub.num_vertices == 0
+
+    def test_induced_subgraph_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.induced_subgraph([99], [0])
+
+    def test_induced_subgraph_edge_subset(self, small_graph, rng):
+        upper = rng.choice(small_graph.num_upper, 30, replace=False)
+        lower = rng.choice(small_graph.num_lower, 25, replace=False)
+        sub = small_graph.induced_subgraph(upper, lower)
+        assert sub.num_edges <= small_graph.num_edges
+        assert sub.num_upper == 30
+        assert sub.num_lower == 25
+
+    def test_to_networkx(self, tiny_graph):
+        g = tiny_graph.to_networkx()
+        assert g.number_of_nodes() == tiny_graph.num_vertices
+        assert g.number_of_edges() == tiny_graph.num_edges
+        assert g.has_edge(("u", 0), ("l", 3))
+
+
+class TestDunder:
+    def test_equality(self, tiny_graph):
+        clone = BipartiteGraph(3, 8, tiny_graph.edges)
+        assert clone == tiny_graph
+
+    def test_inequality_different_edges(self, tiny_graph):
+        other = BipartiteGraph(3, 8, [(0, 0)])
+        assert other != tiny_graph
+
+    def test_equality_non_graph(self, tiny_graph):
+        assert tiny_graph != "not a graph"
+
+    def test_iter_edges(self, tiny_graph):
+        assert set(tiny_graph) == {tuple(e) for e in tiny_graph.edges}
+
+    def test_repr(self, tiny_graph):
+        assert "BipartiteGraph" in repr(tiny_graph)
+        assert "m=9" in repr(tiny_graph)
+
+    def test_density(self, tiny_graph):
+        assert tiny_graph.density() == pytest.approx(9 / 24)
+
+    def test_density_degenerate(self):
+        assert BipartiteGraph(0, 5).density() == 0.0

@@ -1,0 +1,129 @@
+"""Tests for GraphBuilder and the I/O round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestGraphBuilder:
+    def test_interning_assigns_dense_ids(self):
+        b = GraphBuilder()
+        assert b.add_upper("alice") == 0
+        assert b.add_upper("bob") == 1
+        assert b.add_upper("alice") == 0
+        assert b.add_lower("item-1") == 0
+
+    def test_add_edge_chains(self):
+        b = GraphBuilder().add_edge("a", "x").add_edge("b", "y")
+        assert b.num_upper == 2
+        assert b.num_lower == 2
+        assert b.num_edges == 2
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_edges([("a", "x"), ("a", "y"), ("b", "x")])
+        g = b.build()
+        assert g.num_edges == 3
+        assert g.count_common_neighbors(Layer.UPPER, 0, 1) == 1
+
+    def test_duplicates_collapse_on_build(self):
+        b = GraphBuilder().add_edge("a", "x").add_edge("a", "x")
+        assert b.num_edges == 2  # raw insertions
+        assert b.build().num_edges == 1
+
+    def test_id_lookup(self):
+        b = GraphBuilder().add_edge("a", "x")
+        assert b.upper_id("a") == 0
+        assert b.lower_id("x") == 0
+
+    def test_unknown_names_raise(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.upper_id("ghost")
+        with pytest.raises(GraphError):
+            b.lower_id("ghost")
+
+    def test_names_in_id_order(self):
+        b = GraphBuilder().add_edge("b", "y").add_edge("a", "x")
+        assert b.upper_names() == ["b", "a"]
+        assert b.lower_names() == ["y", "x"]
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_integer_names_supported(self):
+        b = GraphBuilder().add_edge(10, 20).add_edge(11, 20)
+        g = b.build()
+        assert g.count_common_neighbors(Layer.UPPER, 0, 1) == 1
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(tiny_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == tiny_graph.num_edges
+        # Names are interned in file order, so common-neighbor structure
+        # is preserved even if ids permute.
+        assert sorted(loaded.degrees(Layer.UPPER)) == sorted(
+            tiny_graph.degrees(Layer.UPPER)
+        )
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "konect.tsv"
+        path.write_text("% bip\n# another comment\n\n1 2\n1 3\n2 2\n")
+        g = read_edge_list(path)
+        assert g.num_upper == 2
+        assert g.num_lower == 2
+        assert g.num_edges == 3
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "weighted.tsv"
+        path.write_text("1 2 5.0 1234567\n2 3 1.0 1234568\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_short_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_written_file_has_header(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(tiny_graph, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("%")
+
+
+class TestNpzIO:
+    def test_round_trip_exact(self, small_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(small_graph, path)
+        assert load_npz(path) == small_graph
+
+    def test_round_trip_preserves_isolated_vertices(self, tmp_path):
+        g = BipartiteGraph(5, 7, [(0, 0)])
+        path = tmp_path / "iso.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded.num_upper == 5
+        assert loaded.num_lower == 7
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_npz(tmp_path / "nope.npz")
+
+    def test_load_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(GraphError):
+            load_npz(path)

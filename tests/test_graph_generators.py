@@ -1,0 +1,175 @@
+"""Tests for the random bipartite graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import Layer
+from repro.graph.generators import (
+    chung_lu_bipartite,
+    configuration_bipartite,
+    power_law_degrees,
+    random_bipartite,
+)
+
+
+class TestRandomBipartite:
+    def test_exact_edge_count(self):
+        g = random_bipartite(40, 30, 333, rng=0)
+        assert g.num_edges == 333
+
+    def test_dense_regime(self):
+        g = random_bipartite(10, 10, 80, rng=0)
+        assert g.num_edges == 80
+
+    def test_full_grid(self):
+        g = random_bipartite(5, 4, 20, rng=0)
+        assert g.num_edges == 20
+        assert g.density() == 1.0
+
+    def test_zero_edges(self):
+        assert random_bipartite(5, 5, 0, rng=0).num_edges == 0
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GraphError):
+            random_bipartite(3, 3, 10, rng=0)
+
+    def test_negative_edges_raises(self):
+        with pytest.raises(GraphError):
+            random_bipartite(3, 3, -1, rng=0)
+
+    def test_empty_layer_with_edges_raises(self):
+        with pytest.raises(GraphError):
+            random_bipartite(0, 3, 1, rng=0)
+
+    def test_empty_layer_without_edges(self):
+        g = random_bipartite(0, 3, 0, rng=0)
+        assert g.num_upper == 0
+
+    def test_seed_determinism(self):
+        a = random_bipartite(40, 30, 200, rng=42)
+        b = random_bipartite(40, 30, 200, rng=42)
+        assert a == b
+
+    def test_uniformity_of_degrees(self):
+        # With m = n1*n2/4 each upper vertex's expected degree is n2/4.
+        g = random_bipartite(50, 40, 500, rng=3)
+        degs = g.degrees(Layer.UPPER)
+        assert degs.mean() == pytest.approx(10.0, abs=0.001)
+        assert degs.max() < 30  # far below any clustering pathology
+
+
+class TestPowerLawDegrees:
+    def test_bounds_respected(self):
+        d = power_law_degrees(5000, exponent=2.5, d_min=2, d_max=50, rng=1)
+        assert d.min() >= 2
+        assert d.max() <= 50
+
+    def test_heavy_tail_shape(self):
+        d = power_law_degrees(20000, exponent=2.2, d_min=1, d_max=1000, rng=2)
+        # Power laws put most mass at the minimum and produce rare giants.
+        assert np.median(d) <= 3
+        assert d.max() > 50
+
+    def test_default_d_max(self):
+        d = power_law_degrees(100, exponent=2.5, rng=3)
+        assert d.max() <= 4 * int(round(100**0.5))
+
+    def test_zero_samples(self):
+        assert power_law_degrees(0, rng=1).size == 0
+
+    def test_invalid_d_min(self):
+        with pytest.raises(GraphError):
+            power_law_degrees(10, d_min=0, rng=1)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_degrees(10, exponent=1.0, rng=1)
+
+    def test_d_max_below_d_min(self):
+        with pytest.raises(GraphError):
+            power_law_degrees(10, d_min=5, d_max=3, rng=1)
+
+
+class TestChungLu:
+    def test_exact_edge_count(self):
+        w_u = power_law_degrees(200, rng=1).astype(float)
+        w_l = power_law_degrees(150, rng=2).astype(float)
+        g = chung_lu_bipartite(w_u, w_l, num_edges=800, rng=3)
+        assert g.num_edges == 800
+        assert g.num_upper == 200
+        assert g.num_lower == 150
+
+    def test_default_edge_count_from_weights(self):
+        w_u = np.full(50, 4.0)
+        w_l = np.full(40, 5.0)
+        g = chung_lu_bipartite(w_u, w_l, rng=4)
+        assert g.num_edges == 200
+
+    def test_degrees_track_weights(self):
+        # A vertex with 20x the weight should end with a clearly larger degree.
+        w_u = np.ones(100)
+        w_u[0] = 50.0
+        w_l = np.ones(80)
+        g = chung_lu_bipartite(w_u, w_l, num_edges=600, rng=5)
+        degs = g.degrees(Layer.UPPER)
+        assert degs[0] > 3 * np.median(degs[1:])
+
+    def test_zero_edges(self):
+        g = chung_lu_bipartite(np.ones(5), np.ones(5), num_edges=0, rng=1)
+        assert g.num_edges == 0
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(GraphError):
+            chung_lu_bipartite(np.array([-1.0, 1.0]), np.ones(3), 2, rng=1)
+
+    def test_empty_layer_raises(self):
+        with pytest.raises(GraphError):
+            chung_lu_bipartite(np.empty(0), np.ones(3), 1, rng=1)
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GraphError):
+            chung_lu_bipartite(np.ones(2), np.ones(2), 5, rng=1)
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(GraphError):
+            chung_lu_bipartite(np.ones((2, 2)), np.ones(3), 2, rng=1)
+
+    def test_concentrated_weights_still_reach_target(self):
+        # One dominant vertex per layer: resampling alone cannot produce
+        # enough distinct pairs, so the uniform fallback must kick in.
+        w_u = np.array([1000.0] + [0.001] * 30)
+        w_l = np.array([1000.0] + [0.001] * 30)
+        g = chung_lu_bipartite(w_u, w_l, num_edges=100, rng=6)
+        assert g.num_edges == 100
+
+    def test_determinism(self):
+        w_u = power_law_degrees(100, rng=1).astype(float)
+        w_l = power_law_degrees(100, rng=2).astype(float)
+        a = chung_lu_bipartite(w_u, w_l, 300, rng=9)
+        b = chung_lu_bipartite(w_u, w_l, 300, rng=9)
+        assert a == b
+
+
+class TestConfigurationModel:
+    def test_stub_counts_must_match(self):
+        with pytest.raises(GraphError):
+            configuration_bipartite(np.array([2, 2]), np.array([3]), rng=1)
+
+    def test_degrees_approximate_targets(self):
+        upper = np.array([3, 2, 1, 2])
+        lower = np.array([2, 2, 2, 2])
+        g = configuration_bipartite(upper, lower, rng=2)
+        # Parallel edges collapse, so realized <= target.
+        assert (g.degrees(Layer.UPPER) <= upper).all()
+        assert g.num_edges <= upper.sum()
+
+    def test_negative_degrees_raise(self):
+        with pytest.raises(GraphError):
+            configuration_bipartite(np.array([-1, 1]), np.array([0]), rng=1)
+
+    def test_zero_degrees(self):
+        g = configuration_bipartite(np.zeros(3, dtype=int), np.zeros(2, dtype=int), rng=1)
+        assert g.num_edges == 0

@@ -1,0 +1,132 @@
+"""Tests for exact wedge/butterfly counting."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import random_bipartite
+from repro.graph.motifs import (
+    butterflies_between,
+    butterfly_degree,
+    choose2,
+    count_butterflies,
+    count_wedges,
+)
+
+
+@pytest.fixture()
+def k22() -> BipartiteGraph:
+    """A complete 2x2 biclique — exactly one butterfly."""
+    return BipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+
+
+@pytest.fixture()
+def k23() -> BipartiteGraph:
+    """K_{2,3} — C(3,2) = 3 butterflies."""
+    return BipartiteGraph(2, 3, [(u, l) for u in range(2) for l in range(3)])
+
+
+def _brute_force_butterflies(graph: BipartiteGraph) -> int:
+    total = 0
+    for a, b in combinations(range(graph.num_upper), 2):
+        c2 = graph.count_common_neighbors(Layer.UPPER, a, b)
+        total += c2 * (c2 - 1) // 2
+    return total
+
+
+class TestChoose2:
+    def test_integers(self):
+        assert choose2(0) == 0
+        assert choose2(1) == 0
+        assert choose2(2) == 1
+        assert choose2(5) == 10
+
+    def test_real_argument(self):
+        assert choose2(2.5) == pytest.approx(1.875)
+
+
+class TestWedges:
+    def test_k22(self, k22):
+        # Each lower vertex has degree 2 -> one wedge each.
+        assert count_wedges(k22, Layer.UPPER) == 2
+
+    def test_k23(self, k23):
+        assert count_wedges(k23, Layer.UPPER) == 3
+        # Endpoints on the lower layer: each upper vertex (deg 3) gives 3.
+        assert count_wedges(k23, Layer.LOWER) == 6
+
+    def test_empty_graph(self):
+        assert count_wedges(BipartiteGraph(3, 3), Layer.UPPER) == 0
+
+
+class TestButterfliesBetween:
+    def test_k22(self, k22):
+        assert butterflies_between(k22, Layer.UPPER, 0, 1) == 1
+
+    def test_k23(self, k23):
+        assert butterflies_between(k23, Layer.UPPER, 0, 1) == 3
+
+    def test_no_overlap(self):
+        g = BipartiteGraph(2, 4, [(0, 0), (0, 1), (1, 2), (1, 3)])
+        assert butterflies_between(g, Layer.UPPER, 0, 1) == 0
+
+    def test_matches_choose2_of_c2(self, medium_graph):
+        for a, b in [(0, 1), (5, 17), (100, 200)]:
+            c2 = medium_graph.count_common_neighbors(Layer.UPPER, a, b)
+            assert butterflies_between(medium_graph, Layer.UPPER, a, b) == (
+                c2 * (c2 - 1) // 2
+            )
+
+
+class TestButterflyDegree:
+    def test_k22_each_vertex_in_one(self, k22):
+        for u in range(2):
+            assert butterfly_degree(k22, Layer.UPPER, u) == 1
+        for l in range(2):
+            assert butterfly_degree(k22, Layer.LOWER, l) == 1
+
+    def test_k23(self, k23):
+        assert butterfly_degree(k23, Layer.UPPER, 0) == 3
+        # Each lower vertex pairs with the other two lower vertices once.
+        assert butterfly_degree(k23, Layer.LOWER, 0) == 2
+
+    def test_sums_to_four_times_total(self, small_graph):
+        # Every butterfly contains exactly 2 upper + 2 lower vertices.
+        total = count_butterflies(small_graph)
+        upper_sum = sum(
+            butterfly_degree(small_graph, Layer.UPPER, u)
+            for u in range(small_graph.num_upper)
+        )
+        lower_sum = sum(
+            butterfly_degree(small_graph, Layer.LOWER, l)
+            for l in range(small_graph.num_lower)
+        )
+        assert upper_sum == 2 * total
+        assert lower_sum == 2 * total
+
+
+class TestGlobalCount:
+    def test_k22(self, k22):
+        assert count_butterflies(k22) == 1
+
+    def test_k23(self, k23):
+        assert count_butterflies(k23) == 3
+
+    def test_k33(self):
+        g = BipartiteGraph(3, 3, [(u, l) for u in range(3) for l in range(3)])
+        # C(3,2)^2 = 9 butterflies.
+        assert count_butterflies(g) == 9
+
+    def test_empty(self):
+        assert count_butterflies(BipartiteGraph(4, 4)) == 0
+
+    def test_matches_brute_force(self):
+        g = random_bipartite(25, 20, 160, rng=3)
+        assert count_butterflies(g) == _brute_force_butterflies(g)
+
+    def test_matches_brute_force_skewed(self):
+        g = random_bipartite(8, 40, 120, rng=4)
+        assert count_butterflies(g) == _brute_force_butterflies(g)

@@ -1,0 +1,137 @@
+"""Tests for query-pair and subgraph sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import chung_lu_bipartite, power_law_degrees, random_bipartite
+from repro.graph.sampling import (
+    QueryPair,
+    sample_imbalanced_pairs,
+    sample_query_pairs,
+    sample_vertex_fraction,
+)
+
+
+@pytest.fixture()
+def skewed_graph() -> BipartiteGraph:
+    w_u = power_law_degrees(400, exponent=2.0, d_min=1, d_max=200, rng=1).astype(float)
+    w_l = np.ones(300)
+    return chung_lu_bipartite(w_u, w_l, num_edges=2500, rng=2)
+
+
+class TestQueryPair:
+    def test_fields(self):
+        pair = QueryPair(Layer.UPPER, 3, 9)
+        assert pair.layer is Layer.UPPER
+        assert pair.a == 3
+        assert pair.b == 9
+
+    def test_is_tuple(self):
+        assert QueryPair(Layer.LOWER, 1, 2) == (Layer.LOWER, 1, 2)
+
+    def test_identical_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            QueryPair(Layer.UPPER, 4, 4)
+
+
+class TestSampleQueryPairs:
+    def test_count_and_distinctness(self, small_graph):
+        pairs = sample_query_pairs(small_graph, Layer.UPPER, 25, rng=3)
+        assert len(pairs) == 25
+        for pair in pairs:
+            assert pair.a != pair.b
+            assert 0 <= pair.a < small_graph.num_upper
+
+    def test_zero_count(self, small_graph):
+        assert sample_query_pairs(small_graph, Layer.UPPER, 0, rng=3) == []
+
+    def test_min_degree_respected(self, skewed_graph):
+        pairs = sample_query_pairs(skewed_graph, Layer.UPPER, 40, rng=4, min_degree=3)
+        degs = skewed_graph.degrees(Layer.UPPER)
+        for pair in pairs:
+            assert degs[pair.a] >= 3
+            assert degs[pair.b] >= 3
+
+    def test_determinism(self, small_graph):
+        a = sample_query_pairs(small_graph, Layer.UPPER, 10, rng=5)
+        b = sample_query_pairs(small_graph, Layer.UPPER, 10, rng=5)
+        assert a == b
+
+    def test_too_few_eligible_raises(self):
+        g = BipartiteGraph(3, 3, [(0, 0)])
+        with pytest.raises(GraphError):
+            sample_query_pairs(g, Layer.UPPER, 1, rng=1, min_degree=1)
+
+
+class TestSampleImbalancedPairs:
+    def test_constraint_holds(self, skewed_graph):
+        degs = skewed_graph.degrees(Layer.UPPER)
+        for kappa in (1.0, 5.0, 20.0):
+            pairs = sample_imbalanced_pairs(
+                skewed_graph, Layer.UPPER, 15, kappa, rng=6
+            )
+            assert len(pairs) == 15
+            for pair in pairs:
+                hi = max(degs[pair.a], degs[pair.b])
+                lo = min(degs[pair.a], degs[pair.b])
+                assert hi > kappa * lo
+
+    def test_kappa_below_one_rejected(self, skewed_graph):
+        with pytest.raises(GraphError):
+            sample_imbalanced_pairs(skewed_graph, Layer.UPPER, 5, 0.5, rng=1)
+
+    def test_impossible_kappa_raises(self):
+        g = random_bipartite(20, 20, 80, rng=1)  # near-uniform degrees
+        with pytest.raises(GraphError):
+            sample_imbalanced_pairs(g, Layer.UPPER, 5, 1e6, rng=2, max_attempts=500)
+
+    def test_zero_count(self, skewed_graph):
+        assert sample_imbalanced_pairs(skewed_graph, Layer.UPPER, 0, 10, rng=1) == []
+
+    def test_fallback_produces_unbiased_order(self, skewed_graph):
+        # With a huge kappa the stratified fallback is exercised; neither
+        # slot should systematically hold the low-degree endpoint.
+        degs = skewed_graph.degrees(Layer.UPPER)
+        kappa = 50.0
+        pairs = sample_imbalanced_pairs(
+            skewed_graph, Layer.UPPER, 40, kappa, rng=8, max_attempts=10
+        )
+        first_is_low = sum(1 for p in pairs if degs[p.a] < degs[p.b])
+        assert 5 <= first_is_low <= 35
+
+
+class TestSampleVertexFraction:
+    def test_full_fraction_returns_same_graph(self, small_graph):
+        assert sample_vertex_fraction(small_graph, 1.0, rng=1) is small_graph
+
+    def test_sizes_scale(self, medium_graph):
+        sub = sample_vertex_fraction(medium_graph, 0.5, rng=2)
+        assert sub.num_upper == round(medium_graph.num_upper * 0.5)
+        assert sub.num_lower == round(medium_graph.num_lower * 0.5)
+        assert sub.num_edges < medium_graph.num_edges
+
+    def test_edges_scale_quadratically(self, rng):
+        g = random_bipartite(400, 400, 20000, rng=rng)
+        sub = sample_vertex_fraction(g, 0.5, rng=rng)
+        # E[|E_sub|] = 0.25 * |E|; allow generous sampling slack.
+        assert 0.15 * g.num_edges < sub.num_edges < 0.35 * g.num_edges
+
+    def test_invalid_fraction(self, small_graph):
+        with pytest.raises(GraphError):
+            sample_vertex_fraction(small_graph, 0.0, rng=1)
+        with pytest.raises(GraphError):
+            sample_vertex_fraction(small_graph, 1.5, rng=1)
+
+    def test_keeps_at_least_one_vertex(self, small_graph):
+        sub = sample_vertex_fraction(small_graph, 0.001, rng=3)
+        assert sub.num_upper >= 1
+        assert sub.num_lower >= 1
+
+    def test_determinism(self, small_graph):
+        a = sample_vertex_fraction(small_graph, 0.4, rng=9)
+        b = sample_vertex_fraction(small_graph, 0.4, rng=9)
+        assert a == b

@@ -1,0 +1,131 @@
+"""Tests for the graph statistics module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import chung_lu_bipartite, power_law_degrees
+from repro.graph.stats import (
+    degree_ccdf,
+    degree_histogram,
+    gini_coefficient,
+    hill_tail_exponent,
+    summarize_graph,
+)
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_layer_size(self, small_graph):
+        values, counts = degree_histogram(small_graph, Layer.UPPER)
+        assert counts.sum() == small_graph.num_upper
+
+    def test_values_sorted_unique(self, small_graph):
+        values, _ = degree_histogram(small_graph, Layer.UPPER)
+        assert (np.diff(values) > 0).all()
+
+    def test_empty_layer(self):
+        values, counts = degree_histogram(BipartiteGraph(0, 3), Layer.UPPER)
+        assert values.size == 0
+        assert counts.size == 0
+
+    def test_known_graph(self, tiny_graph):
+        values, counts = degree_histogram(tiny_graph, Layer.UPPER)
+        # degrees: 3, 4, 2
+        assert dict(zip(values.tolist(), counts.tolist())) == {2: 1, 3: 1, 4: 1}
+
+
+class TestCcdf:
+    def test_starts_at_one(self, small_graph):
+        values, ccdf = degree_ccdf(small_graph, Layer.UPPER)
+        assert ccdf[0] == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self, small_graph):
+        _, ccdf = degree_ccdf(small_graph, Layer.UPPER)
+        assert (np.diff(ccdf) <= 1e-12).all()
+
+    def test_last_value_is_max_degree_fraction(self, tiny_graph):
+        values, ccdf = degree_ccdf(tiny_graph, Layer.UPPER)
+        assert values[-1] == 4
+        assert ccdf[-1] == pytest.approx(1 / 3)
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini_coefficient(values) == pytest.approx(1.0, abs=0.01)
+
+    def test_known_value(self):
+        # For [0, 1]: G = 1/2.
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_scale_invariant(self, rng):
+        values = rng.random(500)
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 42.0)
+        )
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(GraphError):
+            gini_coefficient(np.array([]))
+
+    def test_negative_raises(self):
+        with pytest.raises(GraphError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+
+class TestHill:
+    def test_recovers_pareto_exponent(self):
+        rng = np.random.default_rng(0)
+        alpha = 2.5
+        # Continuous Pareto with P(X >= x) = x^(1-alpha) for x >= 1.
+        samples = (1.0 - rng.random(200_000)) ** (-1.0 / (alpha - 1.0))
+        est = hill_tail_exponent(samples, tail_fraction=0.05)
+        assert est == pytest.approx(alpha, abs=0.15)
+
+    def test_power_law_degrees_look_heavy(self):
+        degrees = power_law_degrees(50_000, exponent=2.3, d_min=1, d_max=5000, rng=1)
+        est = hill_tail_exponent(degrees.astype(float), tail_fraction=0.02)
+        assert 1.5 < est < 3.5
+
+    def test_too_few_samples(self):
+        with pytest.raises(GraphError):
+            hill_tail_exponent(np.array([1.0, 2.0, 3.0]))
+
+    def test_degenerate_tail(self):
+        with pytest.raises(GraphError):
+            hill_tail_exponent(np.full(100, 5.0))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(GraphError):
+            hill_tail_exponent(np.arange(1.0, 100.0), tail_fraction=0.0)
+
+
+class TestSummary:
+    def test_fields(self, tiny_graph):
+        s = summarize_graph(tiny_graph)
+        assert s.num_upper == 3
+        assert s.num_lower == 8
+        assert s.num_edges == 9
+        assert s.upper.max_degree == 4
+        assert s.upper.mean_degree == pytest.approx(3.0)
+
+    def test_empty_graph(self):
+        s = summarize_graph(BipartiteGraph(0, 0))
+        assert s.upper.size == 0
+        assert s.lower.gini == 0.0
+
+    def test_skewed_graph_has_high_gini(self):
+        w_u = power_law_degrees(500, exponent=2.0, d_min=1, d_max=300, rng=2)
+        g = chung_lu_bipartite(w_u.astype(float), np.ones(400), 2500, rng=3)
+        s = summarize_graph(g)
+        assert s.upper.gini > 0.3

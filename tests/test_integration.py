@@ -1,0 +1,127 @@
+"""End-to-end integration tests: full flows across module boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Layer
+from repro.applications import estimate_jaccard, ldp_projection
+from repro.experiments.export import load_panel, save_panels
+from repro.experiments.runner import evaluate_algorithms
+from repro.experiments.workloads import build_workload
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    from repro.datasets.cache import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestDatasetToEstimateFlow:
+    def test_synthesize_persist_reload_estimate(self, tmp_path):
+        """dataset registry -> npz round trip -> estimator -> sane answer."""
+        graph = repro.load_dataset("RM", max_edges=12_000)
+        path = tmp_path / "rm.npz"
+        save_npz(graph, path)
+        reloaded = load_npz(path)
+        assert reloaded == graph
+
+        pairs = repro.sample_query_pairs(reloaded, Layer.UPPER, 5, rng=1)
+        for pair in pairs:
+            result = repro.estimate_common_neighbors(
+                reloaded, Layer.UPPER, pair.a, pair.b, 2.0, rng=2
+            )
+            assert np.isfinite(result.value)
+            assert result.transcript.max_epsilon_spent <= 2.0 + 1e-9
+
+    def test_edge_list_round_trip_preserves_structure(self, tmp_path):
+        graph = repro.load_dataset("RM", max_edges=12_000)
+        path = tmp_path / "rm.tsv"
+        write_edge_list(graph, path)
+        reloaded = read_edge_list(path)
+        assert reloaded.num_edges == graph.num_edges
+        # IDs are re-interned; degree multiset is invariant.
+        assert sorted(reloaded.degrees(Layer.UPPER)) == sorted(
+            graph.degrees(Layer.UPPER)
+        )
+
+
+class TestWorkloadToReportFlow:
+    def test_workload_runner_export_reload(self, tmp_path):
+        """workload builder -> evaluation -> panel -> export -> reload."""
+        graph = repro.load_dataset("AC", max_edges=12_000)
+        pairs = build_workload("uniform", graph, Layer.UPPER, 10, rng=5)
+        stats = evaluate_algorithms(
+            graph, pairs, ["oner", "multir-ds", "central-dp"], 2.0, rng=6
+        )
+        from repro.experiments.report import SeriesPanel
+
+        panel = SeriesPanel("integration", "algorithm", list(stats))
+        panel.add("mae", [stats[name].errors.mae for name in stats])
+        written = save_panels([panel], tmp_path, stem="integration")
+        json_path = next(p for p in written if p.suffix == ".json")
+        restored = load_panel(json_path)
+        assert restored.series["mae"] == panel.series["mae"]
+        # Utility sanity: the central model beats the local ones.
+        assert stats["central-dp"].errors.mae <= stats["oner"].errors.mae
+
+    def test_quality_chain_mae_matches_theory_scale(self):
+        """Measured MAE should be on the scale the loss model predicts
+        (MAE ≈ sqrt(2/pi)·sigma for a normal-ish error)."""
+        graph = repro.load_dataset("RM", max_edges=12_000)
+        pairs = build_workload("uniform", graph, Layer.UPPER, 40, rng=7)
+        stats = evaluate_algorithms(graph, pairs, ["multir-ss"], 2.0, rng=8)
+        from repro.analysis.loss import single_source_variance
+
+        degrees = graph.degrees(Layer.UPPER)
+        mean_deg = float(
+            np.mean([degrees[p.a] for p in pairs])
+        )
+        sigma = np.sqrt(single_source_variance(1.0, 1.0, mean_deg))
+        mae = stats["multir-ss"].errors.mae
+        assert 0.2 * sigma < mae < 2.5 * sigma
+
+
+class TestApplicationFlow:
+    def test_jaccard_projection_consistency(self):
+        """Pairs ranked similar by Jaccard should be the projection's
+        heavy edges (shared estimates, different surface)."""
+        graph = repro.load_dataset("RM", max_edges=12_000)
+        degrees = graph.degrees(Layer.UPPER)
+        group = [int(v) for v in np.argsort(degrees)[-6:]]
+
+        projection = ldp_projection(
+            graph, Layer.UPPER, group, epsilon=25.0, threshold=0.5, rng=9
+        )
+        for a, b, data in projection.edges(data=True):
+            jaccard = estimate_jaccard(
+                graph, Layer.UPPER, a, b, epsilon=25.0, rng=10
+            )
+            true_c2 = graph.count_common_neighbors(Layer.UPPER, a, b)
+            assert data["weight"] == pytest.approx(true_c2, abs=4 + 0.3 * true_c2)
+            assert 0.0 <= jaccard.value <= 1.0
+
+    def test_cli_to_library_consistency(self, capsys):
+        """The CLI's estimate equals the library call with the same seed."""
+        import repro.cli as cli
+
+        code = cli.main(
+            ["estimate", "--dataset", "RM", "-u", "0", "-w", "1",
+             "--method", "oner", "--seed", "77", "--max-edges", "12000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        printed = float(out.splitlines()[0].split(":")[1])
+
+        graph = repro.load_dataset("RM", max_edges=12_000)
+        direct = repro.estimate_common_neighbors(
+            graph, Layer.UPPER, 0, 1, 2.0, method="oner", rng=77
+        )
+        assert printed == pytest.approx(direct.value, abs=5e-5)

@@ -1,0 +1,204 @@
+"""Tests for budget splits, the ledger, and sensitivity constants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import BudgetExceededError, PrivacyError
+from repro.privacy.accountant import PrivacyLedger
+from repro.privacy.budget import BudgetSplit
+from repro.privacy.mechanisms import flip_probability
+from repro.privacy.sensitivity import (
+    central_c2_sensitivity,
+    degree_sensitivity,
+    single_source_sensitivity,
+)
+
+
+class TestBudgetSplit:
+    def test_single_round(self):
+        split = BudgetSplit.single_round(2.0)
+        assert split.graph == 2.0
+        assert split.degree == 0.0
+        assert split.estimator == 0.0
+        assert split.matches_total(2.0)
+
+    def test_even(self):
+        split = BudgetSplit.even(2.0)
+        assert split.graph == pytest.approx(1.0)
+        assert split.estimator == pytest.approx(1.0)
+        assert split.matches_total(2.0)
+
+    def test_with_fraction(self):
+        split = BudgetSplit.with_fraction(2.0, 0.3)
+        assert split.graph == pytest.approx(0.6)
+        assert split.estimator == pytest.approx(1.4)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_with_fraction_invalid(self, bad):
+        with pytest.raises(PrivacyError):
+            BudgetSplit.with_fraction(2.0, bad)
+
+    def test_three_round(self):
+        split = BudgetSplit.three_round(2.0, 0.05, 1.0)
+        assert split.degree == pytest.approx(0.1)
+        assert split.graph == pytest.approx(1.0)
+        assert split.estimator == pytest.approx(0.9)
+        assert split.matches_total(2.0)
+
+    def test_three_round_overcommitted_graph(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit.three_round(2.0, 0.05, 1.95)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit(degree=-0.1, graph=1.0, estimator=0.5)
+
+    def test_zero_graph_rejected(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit(degree=0.0, graph=0.0, estimator=1.0)
+
+    def test_matches_total_tolerance(self):
+        split = BudgetSplit(degree=0.1, graph=1.0, estimator=0.9)
+        assert split.matches_total(2.0)
+        assert not split.matches_total(2.1)
+
+
+class TestPrivacyLedger:
+    def test_sequential_composition_sums(self):
+        ledger = PrivacyLedger()
+        ledger.charge("u", 0.5, "rr")
+        ledger.charge("u", 0.7, "laplace")
+        assert ledger.spent("u") == pytest.approx(1.2)
+
+    def test_parties_are_independent(self):
+        ledger = PrivacyLedger()
+        ledger.charge("u", 1.0)
+        ledger.charge("w", 0.5)
+        assert ledger.spent("u") == 1.0
+        assert ledger.spent("w") == 0.5
+        assert ledger.max_spent() == 1.0
+
+    def test_limit_enforced(self):
+        ledger = PrivacyLedger(limit=1.0)
+        ledger.charge("u", 0.8)
+        with pytest.raises(BudgetExceededError) as exc:
+            ledger.charge("u", 0.3)
+        assert exc.value.party == "u"
+
+    def test_limit_allows_exact_total(self):
+        ledger = PrivacyLedger(limit=1.0)
+        ledger.charge("u", 0.5)
+        ledger.charge("u", 0.5)
+        assert ledger.spent("u") == pytest.approx(1.0)
+
+    def test_limit_tolerates_fp_noise(self):
+        ledger = PrivacyLedger(limit=2.0)
+        for _ in range(3):
+            ledger.charge("u", 2.0 / 3.0)
+        assert ledger.spent("u") == pytest.approx(2.0)
+
+    def test_zero_charge_is_free(self):
+        ledger = PrivacyLedger(limit=0.5)
+        ledger.charge("u", 0.0)
+        assert ledger.spent("u") == 0.0
+        assert ledger.charges == []
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(PrivacyError):
+            PrivacyLedger().charge("u", -0.1)
+
+    def test_charge_many_parallel_composition(self):
+        ledger = PrivacyLedger()
+        ledger.charge_many(["a", "b", "c"], 0.2, "degree")
+        assert ledger.max_spent() == pytest.approx(0.2)
+        assert ledger.parties() == ["a", "b", "c"]
+
+    def test_assert_within(self):
+        ledger = PrivacyLedger()
+        ledger.charge("u", 1.5)
+        ledger.assert_within(2.0)
+        with pytest.raises(BudgetExceededError):
+            ledger.assert_within(1.0)
+
+    def test_charges_recorded_with_labels(self):
+        ledger = PrivacyLedger()
+        ledger.charge("u", 0.5, "rr", "round1")
+        charge = ledger.charges[0]
+        assert charge.mechanism == "rr"
+        assert charge.round_label == "round1"
+
+    def test_empty_ledger(self):
+        ledger = PrivacyLedger()
+        assert ledger.max_spent() == 0.0
+        assert ledger.parties() == []
+        ledger.assert_within(0.0)
+
+
+class TestSensitivities:
+    def test_degree_sensitivity(self):
+        assert degree_sensitivity() == 1.0
+
+    def test_central_sensitivity(self):
+        assert central_c2_sensitivity() == 1.0
+
+    def test_single_source_matches_formula(self):
+        for eps in (0.5, 1.0, 2.0):
+            p = flip_probability(eps)
+            assert single_source_sensitivity(eps) == pytest.approx(
+                (1 - p) / (1 - 2 * p)
+            )
+
+    def test_single_source_exceeds_one(self):
+        # (1-p)/(1-2p) > 1 for every p in (0, 1/2): the RR de-biasing
+        # amplifies one bit's influence beyond a raw count's.
+        for eps in (0.5, 1.0, 3.0):
+            assert single_source_sensitivity(eps) > 1.0
+
+    def test_single_source_decreasing_in_epsilon(self):
+        values = [single_source_sensitivity(e) for e in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_single_source_limit_is_one(self):
+        assert single_source_sensitivity(30.0) == pytest.approx(1.0, abs=1e-8)
+
+
+class TestRngHelpers:
+    def test_ensure_rng_accepts_seed(self):
+        from repro.privacy.rng import ensure_rng
+
+        a = ensure_rng(7)
+        b = ensure_rng(7)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_ensure_rng_passthrough(self, rng):
+        from repro.privacy.rng import ensure_rng
+
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_rngs_independent(self):
+        from repro.privacy.rng import spawn_rngs
+
+        children = spawn_rngs(3, 4)
+        draws = [c.integers(0, 2**32) for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_rngs_deterministic(self):
+        from repro.privacy.rng import spawn_rngs
+
+        a = [c.integers(0, 1000) for c in spawn_rngs(5, 3)]
+        b = [c.integers(0, 1000) for c in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_spawn_rngs_negative_count(self):
+        from repro.privacy.rng import spawn_rngs
+
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_rngs_zero(self):
+        from repro.privacy.rng import spawn_rngs
+
+        assert spawn_rngs(1, 0) == []

@@ -1,0 +1,88 @@
+"""Tests for the multi-query budget manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceededError, PrivacyError
+from repro.privacy.composition import QueryBudgetManager
+
+
+class TestConstruction:
+    def test_uniform_requires_num_queries(self):
+        with pytest.raises(PrivacyError):
+            QueryBudgetManager(2.0, policy="uniform")
+
+    def test_fixed_requires_per_query(self):
+        with pytest.raises(PrivacyError):
+            QueryBudgetManager(2.0, policy="fixed")
+
+    def test_fixed_per_query_within_total(self):
+        with pytest.raises(PrivacyError):
+            QueryBudgetManager(2.0, policy="fixed", per_query=3.0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(PrivacyError):
+            QueryBudgetManager(2.0, policy="magic")
+
+    def test_invalid_total(self):
+        with pytest.raises(PrivacyError):
+            QueryBudgetManager(0.0, policy="fixed", per_query=0.1)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(PrivacyError):
+            QueryBudgetManager(2.0, policy="geometric", ratio=1.0)
+
+
+class TestUniform:
+    def test_slices_equal(self):
+        manager = QueryBudgetManager(2.0, policy="uniform", num_queries=4)
+        slices = [manager.next_budget() for _ in range(4)]
+        assert all(s == pytest.approx(0.5) for s in slices)
+        assert manager.spent == pytest.approx(2.0)
+        assert manager.remaining == pytest.approx(0.0)
+
+    def test_exhaustion_raises(self):
+        manager = QueryBudgetManager(1.0, policy="uniform", num_queries=2)
+        manager.next_budget()
+        manager.next_budget()
+        with pytest.raises(BudgetExceededError):
+            manager.next_budget()
+
+    def test_queries_issued(self):
+        manager = QueryBudgetManager(1.0, policy="uniform", num_queries=3)
+        manager.next_budget()
+        assert manager.queries_issued == 1
+
+
+class TestFixed:
+    def test_constant_slices_until_exhausted(self):
+        manager = QueryBudgetManager(1.0, policy="fixed", per_query=0.4)
+        assert manager.next_budget() == pytest.approx(0.4)
+        assert manager.next_budget() == pytest.approx(0.4)
+        with pytest.raises(BudgetExceededError):
+            manager.next_budget()  # 0.2 remaining < 0.4
+
+    def test_remaining_tracks_spend(self):
+        manager = QueryBudgetManager(1.0, policy="fixed", per_query=0.25)
+        manager.next_budget()
+        assert manager.remaining == pytest.approx(0.75)
+
+
+class TestGeometric:
+    def test_slices_decay(self):
+        manager = QueryBudgetManager(1.0, policy="geometric", ratio=0.5)
+        slices = [manager.next_budget() for _ in range(5)]
+        assert slices[0] == pytest.approx(0.5)
+        for earlier, later in zip(slices, slices[1:]):
+            assert later == pytest.approx(earlier * 0.5)
+
+    def test_never_exceeds_total(self):
+        manager = QueryBudgetManager(3.0, policy="geometric", ratio=0.8)
+        for _ in range(200):
+            manager.next_budget()
+        assert manager.spent <= 3.0 + 1e-9
+
+    def test_repr(self):
+        manager = QueryBudgetManager(2.0, policy="uniform", num_queries=2)
+        assert "uniform" in repr(manager)

@@ -1,0 +1,193 @@
+"""Tests for randomized response and the Laplace mechanism."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.privacy.mechanisms import (
+    LaplaceMechanism,
+    RandomizedResponse,
+    flip_probability,
+)
+
+
+class TestFlipProbability:
+    def test_epsilon_one(self):
+        assert flip_probability(1.0) == pytest.approx(1 / (1 + math.e))
+
+    def test_always_below_half(self):
+        for eps in (0.01, 0.5, 1, 2, 5, 10):
+            assert 0 < flip_probability(eps) < 0.5
+
+    def test_monotone_decreasing_in_epsilon(self):
+        values = [flip_probability(e) for e in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_epsilon(self, bad):
+        with pytest.raises(PrivacyError):
+            flip_probability(bad)
+
+
+class TestRandomizedResponseBits:
+    def test_output_is_binary(self, rng):
+        rr = RandomizedResponse(1.0)
+        bits = rng.integers(0, 2, size=1000)
+        noisy = rr.perturb_bits(bits, rng)
+        assert set(np.unique(noisy)) <= {0, 1}
+
+    def test_flip_rate_matches_p(self, rng):
+        rr = RandomizedResponse(1.0)
+        bits = np.zeros(200_000, dtype=np.int8)
+        noisy = rr.perturb_bits(bits, rng)
+        rate = noisy.mean()
+        p = rr.flip_probability
+        tol = 5 * math.sqrt(p * (1 - p) / bits.size)
+        assert abs(rate - p) < tol
+
+    def test_large_epsilon_rarely_flips(self, rng):
+        rr = RandomizedResponse(20.0)
+        bits = np.ones(10_000, dtype=np.int8)
+        noisy = rr.perturb_bits(bits, rng)
+        assert noisy.sum() == pytest.approx(10_000, abs=5)
+
+    def test_ones_flip_to_zero_at_same_rate(self, rng):
+        rr = RandomizedResponse(1.0)
+        bits = np.ones(200_000, dtype=np.int8)
+        noisy = rr.perturb_bits(bits, rng)
+        rate = 1.0 - noisy.mean()
+        p = rr.flip_probability
+        assert abs(rate - p) < 5 * math.sqrt(p * (1 - p) / bits.size)
+
+    def test_non_binary_input_rejected(self, rng):
+        rr = RandomizedResponse(1.0)
+        with pytest.raises(PrivacyError):
+            rr.perturb_bits(np.array([0, 1, 2]), rng)
+
+    def test_empty_input(self, rng):
+        rr = RandomizedResponse(1.0)
+        assert rr.perturb_bits(np.array([], dtype=int), rng).size == 0
+
+    def test_repr(self):
+        assert "epsilon=2" in repr(RandomizedResponse(2.0))
+
+
+class TestRandomizedResponseNeighborList:
+    def test_output_sorted_unique_in_domain(self, rng):
+        rr = RandomizedResponse(1.0)
+        neighbors = np.array([2, 5, 9])
+        noisy = rr.perturb_neighbor_list(neighbors, 50, rng)
+        assert (np.diff(noisy) > 0).all()
+        assert noisy.min() >= 0 and noisy.max() < 50
+
+    def test_distribution_matches_dense_path(self, rng):
+        """The sparse perturbation must match the dense row bit-flip law."""
+        rr = RandomizedResponse(1.5)
+        neighbors = np.array([0, 3, 7, 8])
+        domain = 40
+        trials = 4000
+        sparse_sizes = np.empty(trials)
+        sparse_kept = np.empty(trials)
+        for t in range(trials):
+            noisy = rr.perturb_neighbor_list(neighbors, domain, rng)
+            sparse_sizes[t] = noisy.size
+            sparse_kept[t] = np.isin(neighbors, noisy).sum()
+        p = rr.flip_probability
+        expected_size = rr.expected_noisy_degree(neighbors.size, domain)
+        expected_kept = neighbors.size * (1 - p)
+        assert sparse_sizes.mean() == pytest.approx(expected_size, rel=0.05)
+        assert sparse_kept.mean() == pytest.approx(expected_kept, rel=0.05)
+
+    def test_duplicate_neighbors_rejected(self, rng):
+        rr = RandomizedResponse(1.0)
+        with pytest.raises(PrivacyError):
+            rr.perturb_neighbor_list(np.array([1, 1]), 10, rng)
+
+    def test_out_of_domain_rejected(self, rng):
+        rr = RandomizedResponse(1.0)
+        with pytest.raises(PrivacyError):
+            rr.perturb_neighbor_list(np.array([10]), 10, rng)
+
+    def test_full_domain_neighborhood(self, rng):
+        rr = RandomizedResponse(2.0)
+        neighbors = np.arange(20)
+        noisy = rr.perturb_neighbor_list(neighbors, 20, rng)
+        assert noisy.size <= 20
+
+    def test_empty_neighborhood(self, rng):
+        rr = RandomizedResponse(2.0)
+        noisy = rr.perturb_neighbor_list(np.array([], dtype=np.int64), 100, rng)
+        # Expected size = 100 * p ~= 12.
+        assert 0 <= noisy.size <= 100
+
+
+class TestPhi:
+    def test_phi_unbiased_for_one(self, rng):
+        rr = RandomizedResponse(1.0)
+        bits = np.ones(100_000, dtype=np.int8)
+        noisy = rr.perturb_bits(bits, rng)
+        est = rr.phi(noisy.astype(float))
+        assert est.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_phi_unbiased_for_zero(self, rng):
+        rr = RandomizedResponse(1.0)
+        bits = np.zeros(100_000, dtype=np.int8)
+        noisy = rr.perturb_bits(bits, rng)
+        est = rr.phi(noisy.astype(float))
+        assert est.mean() == pytest.approx(0.0, abs=0.02)
+
+    def test_phi_variance_formula(self, rng):
+        rr = RandomizedResponse(1.0)
+        bits = np.zeros(100_000, dtype=np.int8)
+        noisy = rr.perturb_bits(bits, rng)
+        est = rr.phi(noisy.astype(float))
+        assert est.var() == pytest.approx(rr.phi_variance(), rel=0.05)
+
+    def test_expected_noisy_degree(self):
+        rr = RandomizedResponse(2.0)
+        p = rr.flip_probability
+        assert rr.expected_noisy_degree(10, 100) == pytest.approx(
+            10 * (1 - p) + 90 * p
+        )
+
+
+class TestLaplaceMechanism:
+    def test_scale(self):
+        mech = LaplaceMechanism(2.0, 4.0)
+        assert mech.scale == pytest.approx(2.0)
+
+    def test_variance(self):
+        mech = LaplaceMechanism(1.0, 1.0)
+        assert mech.variance() == pytest.approx(2.0)
+
+    def test_release_mean(self, rng):
+        mech = LaplaceMechanism(1.0, 1.0)
+        samples = np.array([mech.release(5.0, rng) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(5.0, abs=5 * math.sqrt(2 / 20_000))
+
+    def test_release_variance(self, rng):
+        mech = LaplaceMechanism(0.5, 2.0)
+        samples = mech.release_many(np.zeros(100_000), rng)
+        assert samples.var() == pytest.approx(mech.variance(), rel=0.05)
+
+    def test_release_many_shape(self, rng):
+        mech = LaplaceMechanism(1.0, 1.0)
+        out = mech.release_many(np.arange(12.0).reshape(3, 4), rng)
+        assert out.shape == (3, 4)
+
+    @pytest.mark.parametrize("bad_eps", [0.0, -1.0, float("nan")])
+    def test_invalid_epsilon(self, bad_eps):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(bad_eps, 1.0)
+
+    @pytest.mark.parametrize("bad_sens", [0.0, -2.0, float("inf")])
+    def test_invalid_sensitivity(self, bad_sens):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(1.0, bad_sens)
+
+    def test_repr(self):
+        assert "sensitivity=3" in repr(LaplaceMechanism(1.0, 3.0))

@@ -1,0 +1,199 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loss import (
+    double_source_variance,
+    naive_l2_loss,
+    oner_variance,
+    single_source_variance,
+)
+from repro.analysis.metrics import mean_absolute_error, summarize_errors
+from repro.analysis.optimizer import optimal_alpha, optimize_double_source
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.budget import BudgetSplit
+from repro.privacy.mechanisms import RandomizedResponse, flip_probability
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def bipartite_graphs(draw):
+    n_upper = draw(st.integers(min_value=2, max_value=12))
+    n_lower = draw(st.integers(min_value=2, max_value=12))
+    cells = [(u, l) for u in range(n_upper) for l in range(n_lower)]
+    edges = draw(st.lists(st.sampled_from(cells), max_size=40))
+    return BipartiteGraph(n_upper, n_lower, edges)
+
+
+epsilons = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+degrees = st.integers(min_value=0, max_value=500)
+positive_degrees = st.integers(min_value=1, max_value=500)
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @given(bipartite_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_match_edges(self, g):
+        assert g.degrees(Layer.UPPER).sum() == g.num_edges
+        assert g.degrees(Layer.LOWER).sum() == g.num_edges
+
+    @given(bipartite_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_neighbors_sorted_unique_and_consistent(self, g):
+        for layer in Layer:
+            for v in range(g.layer_size(layer)):
+                nbrs = g.neighbors(layer, v)
+                assert (np.diff(nbrs) > 0).all()
+                assert nbrs.size == g.degree(layer, v)
+
+    @given(bipartite_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_is_symmetric_across_layers(self, g):
+        for u in range(g.num_upper):
+            for l in map(int, g.neighbors(Layer.UPPER, u)):
+                assert u in g.neighbors(Layer.LOWER, l)
+
+    @given(bipartite_graphs(), st.integers(0, 11), st.integers(0, 11))
+    @settings(max_examples=60, deadline=None)
+    def test_common_neighbors_symmetric_and_bounded(self, g, a, b):
+        a %= g.num_upper
+        b %= g.num_upper
+        if a == b:
+            return
+        c_ab = g.count_common_neighbors(Layer.UPPER, a, b)
+        c_ba = g.count_common_neighbors(Layer.UPPER, b, a)
+        assert c_ab == c_ba
+        assert c_ab <= min(g.degree(Layer.UPPER, a), g.degree(Layer.UPPER, b))
+
+    @given(bipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_induced_subgraph_never_adds_edges(self, g):
+        keep_u = np.arange(0, g.num_upper, 2)
+        keep_l = np.arange(0, g.num_lower, 2)
+        sub = g.induced_subgraph(keep_u, keep_l)
+        assert sub.num_edges <= g.num_edges
+        for u_new, u_old in enumerate(keep_u):
+            for l_new, l_old in enumerate(keep_l):
+                assert sub.has_edge(u_new, l_new) == g.has_edge(int(u_old), int(l_old))
+
+
+# ----------------------------------------------------------------------
+# Privacy primitives
+# ----------------------------------------------------------------------
+class TestPrivacyProperties:
+    @given(epsilons)
+    @settings(max_examples=100, deadline=None)
+    def test_flip_probability_range(self, eps):
+        p = flip_probability(eps)
+        assert 0.0 < p < 0.5
+
+    @given(epsilons)
+    @settings(max_examples=100, deadline=None)
+    def test_rr_likelihood_ratio_bounded_by_exp_eps(self, eps):
+        """The defining edge-LDP inequality for one bit of RR."""
+        p = flip_probability(eps)
+        ratio = (1 - p) / p
+        assert ratio <= math.exp(eps) * (1 + 1e-9)
+        assert ratio >= math.exp(eps) * (1 - 1e-9)
+
+    @given(epsilons, st.integers(0, 30), st.integers(1, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_perturbed_list_stays_in_domain(self, eps, degree, domain):
+        degree = min(degree, domain)
+        rr = RandomizedResponse(eps)
+        neighbors = np.arange(degree, dtype=np.int64)
+        noisy = rr.perturb_neighbor_list(neighbors, domain, np.random.default_rng(0))
+        assert np.unique(noisy).size == noisy.size
+        if noisy.size:
+            assert 0 <= noisy.min() and noisy.max() < domain
+
+    @given(epsilons, st.floats(0.01, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_split_total(self, eps, frac):
+        split = BudgetSplit.with_fraction(eps, frac)
+        assert split.matches_total(eps)
+        assert split.graph > 0
+        assert split.estimator > 0
+
+
+# ----------------------------------------------------------------------
+# Loss model invariants
+# ----------------------------------------------------------------------
+class TestLossProperties:
+    @given(epsilons, st.integers(1, 100_000), degrees, degrees)
+    @settings(max_examples=80, deadline=None)
+    def test_losses_non_negative(self, eps, n, du, dw):
+        c2 = min(du, dw)
+        assert naive_l2_loss(eps, max(n, du + dw), du, dw, c2) >= 0
+        assert oner_variance(eps, n, du, dw) >= 0
+
+    @given(epsilons, positive_degrees)
+    @settings(max_examples=80, deadline=None)
+    def test_single_source_decreasing_in_budget(self, eps, d):
+        small = single_source_variance(eps / 2, eps / 2, d)
+        large = single_source_variance(eps, eps, d)
+        assert large <= small
+
+    @given(epsilons, positive_degrees, positive_degrees, st.floats(0, 1))
+    @settings(max_examples=80, deadline=None)
+    def test_optimal_alpha_never_worse_than_any_alpha(self, eps, du, dw, alpha):
+        eps1 = eps2 = eps / 2
+        best = optimal_alpha(eps1, eps2, du, dw)
+        assert double_source_variance(eps1, eps2, best, du, dw) <= (
+            double_source_variance(eps1, eps2, alpha, du, dw) + 1e-9
+        )
+
+    @given(
+        st.floats(0.5, 5.0), positive_degrees, positive_degrees
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_optimizer_feasible_and_optimal_at_alpha(self, eps, du, dw):
+        alloc = optimize_double_source(eps, du, dw, eps0=0.05 * eps)
+        assert alloc.eps1 > 0 and alloc.eps2 > 0
+        assert 0.0 <= alloc.alpha <= 1.0
+        assert alloc.total == pytest.approx(eps)
+        # At the chosen split the returned alpha must be the closed-form one.
+        assert alloc.alpha == pytest.approx(
+            optimal_alpha(alloc.eps1, alloc.eps2, du, dw), abs=1e-6
+        )
+
+
+# ----------------------------------------------------------------------
+# Metrics invariants
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mae_zero_iff_identical(self, values):
+        assert mean_absolute_error(values, values) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_summary_invariants(self, pairs):
+        true = [a for a, _ in pairs]
+        est = [b for _, b in pairs]
+        s = summarize_errors(true, est)
+        assert s.mae >= 0
+        assert s.l2 >= 0
+        assert abs(s.bias) <= s.mae + 1e-9
+        assert s.mae**2 <= s.l2 + 1e-6

@@ -1,0 +1,142 @@
+"""Property-based tests over the estimators themselves.
+
+Hypothesis generates random graphs, query pairs and budgets; the
+invariants checked here must hold for *every* input, not just the tuned
+experiment configurations:
+
+* estimates are always finite and the privacy ledger never exceeds ε;
+* at a huge budget every algorithm collapses to the exact count;
+* the transcript's byte counts and round counts are structurally sane.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.registry import get_estimator
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.protocol.session import ExecutionMode
+
+LDP_ALGORITHMS = (
+    "naive",
+    "oner",
+    "multir-ss",
+    "multir-ds-basic",
+    "multir-ds",
+    "multir-ds-star",
+)
+
+
+@st.composite
+def graph_and_pair(draw):
+    n_upper = draw(st.integers(min_value=2, max_value=10))
+    n_lower = draw(st.integers(min_value=2, max_value=10))
+    cells = [(u, l) for u in range(n_upper) for l in range(n_lower)]
+    edges = draw(st.lists(st.sampled_from(cells), max_size=30))
+    graph = BipartiteGraph(n_upper, n_lower, edges)
+    u = draw(st.integers(min_value=0, max_value=n_upper - 1))
+    w = draw(st.integers(min_value=0, max_value=n_upper - 1).filter(lambda x: x != u))
+    return graph, u, w
+
+
+class TestEstimatorProperties:
+    @given(graph_and_pair(), st.floats(0.2, 5.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_finite_and_within_budget(self, gp, epsilon, seed):
+        graph, u, w = gp
+        for name in LDP_ALGORITHMS:
+            result = get_estimator(name).estimate(
+                graph, Layer.UPPER, u, w, epsilon, rng=seed,
+                mode=ExecutionMode.MATERIALIZE,
+            )
+            assert math.isfinite(result.value), name
+            assert result.transcript.max_epsilon_spent <= epsilon + 1e-9, name
+            assert result.transcript.upload_bytes >= 0, name
+            assert result.rounds >= 1, name
+
+    @given(graph_and_pair(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_huge_budget_recovers_exact_count(self, gp, seed):
+        """ε → ∞ removes all randomness: every algorithm must return C2.
+
+        (For the Laplace-based algorithms the residual noise at ε = 120 is
+        ~Lap(1/40) or smaller, hence the 1.0 tolerance.)
+        """
+        graph, u, w = gp
+        truth = graph.count_common_neighbors(Layer.UPPER, u, w)
+        for name in LDP_ALGORITHMS:
+            result = get_estimator(name).estimate(
+                graph, Layer.UPPER, u, w, 120.0, rng=seed,
+                mode=ExecutionMode.MATERIALIZE,
+            )
+            assert abs(result.value - truth) < 1.0, name
+
+    @given(graph_and_pair(), st.floats(0.5, 4.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_modes_share_interface(self, gp, epsilon, seed):
+        graph, u, w = gp
+        for mode in (ExecutionMode.MATERIALIZE, ExecutionMode.SKETCH):
+            result = get_estimator("multir-ds").estimate(
+                graph, Layer.UPPER, u, w, epsilon, rng=seed, mode=mode
+            )
+            assert result.transcript.mode is mode
+            total = (
+                result.details["eps0"]
+                + result.details["eps1"]
+                + result.details["eps2"]
+            )
+            assert total == pytest.approx(epsilon)
+
+    @given(graph_and_pair(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_central_dp_noise_is_query_independent(self, gp, seed):
+        graph, u, w = gp
+        result = get_estimator("central-dp").estimate(
+            graph, Layer.UPPER, u, w, 2.0, rng=seed
+        )
+        truth = graph.count_common_neighbors(Layer.UPPER, u, w)
+        # Lap(1/2): deviations beyond 20 have probability < 1e-17.
+        assert abs(result.value - truth) < 20.0
+
+    @given(graph_and_pair(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_naive_never_negative(self, gp, seed):
+        graph, u, w = gp
+        result = get_estimator("naive").estimate(
+            graph, Layer.UPPER, u, w, 1.0, rng=seed,
+            mode=ExecutionMode.MATERIALIZE,
+        )
+        assert result.value >= 0.0
+
+    @given(graph_and_pair(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_ss_counts_bounded_by_degree(self, gp, seed):
+        graph, u, w = gp
+        result = get_estimator("multir-ss").estimate(
+            graph, Layer.UPPER, u, w, 2.0, rng=seed,
+            mode=ExecutionMode.MATERIALIZE,
+        )
+        degree = graph.degree(Layer.UPPER, u)
+        assert 0 <= result.details["s1"] <= degree
+        assert result.details["s1"] + result.details["s2"] == degree
+
+
+class TestBatchProperties:
+    @given(graph_and_pair(), st.floats(0.5, 4.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_budget_and_shape(self, gp, epsilon, seed):
+        from repro.estimators.batch import BatchOneRound
+        from repro.graph.sampling import QueryPair
+
+        graph, u, w = gp
+        pairs = [QueryPair(Layer.UPPER, u, w)]
+        result = BatchOneRound().estimate_pairs(
+            graph, Layer.UPPER, pairs, epsilon, rng=seed
+        )
+        assert result.max_epsilon_spent == pytest.approx(epsilon)
+        assert np.isfinite(result.values).all()

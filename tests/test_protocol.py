@@ -1,0 +1,228 @@
+"""Tests for the vertex/curator protocol session and message accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError, ProtocolError
+from repro.graph.bipartite import Layer
+from repro.protocol.messages import (
+    FLOAT_BYTES,
+    ID_BYTES,
+    CommunicationLog,
+    Direction,
+)
+from repro.protocol.noisy import NoisyListHandle
+from repro.protocol.session import ExecutionMode, ProtocolSession
+
+
+class TestCommunicationLog:
+    def test_totals(self):
+        log = CommunicationLog()
+        log.record(Direction.UPLOAD, 100, "a")
+        log.record(Direction.DOWNLOAD, 50, "b")
+        log.record(Direction.UPLOAD, 25, "a")
+        assert log.total_bytes() == 175
+        assert log.total_bytes(Direction.UPLOAD) == 125
+        assert log.total_bytes(Direction.DOWNLOAD) == 50
+
+    def test_megabytes(self):
+        log = CommunicationLog()
+        log.record(Direction.UPLOAD, 2_500_000, "x")
+        assert log.total_megabytes() == pytest.approx(2.5)
+
+    def test_by_label(self):
+        log = CommunicationLog()
+        log.record(Direction.UPLOAD, 10, "edges")
+        log.record(Direction.UPLOAD, 20, "edges")
+        log.record(Direction.UPLOAD, 5, "scalar")
+        assert log.by_label() == {"edges": 30, "scalar": 5}
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationLog().record(Direction.UPLOAD, -1, "x")
+
+
+class TestNoisyListHandle:
+    def test_contains_materialized(self):
+        handle = NoisyListHandle(0, 1.0, 3, np.array([2, 5, 9]))
+        mask = handle.contains(np.array([1, 2, 9, 10]))
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_contains_empty_list(self):
+        handle = NoisyListHandle(0, 1.0, 0, np.array([], dtype=np.int64))
+        assert not handle.contains(np.array([0, 1])).any()
+
+    def test_contains_sketch_raises(self):
+        handle = NoisyListHandle(0, 1.0, 5, None)
+        with pytest.raises(ProtocolError):
+            handle.contains(np.array([1]))
+
+    def test_materialized_flag(self):
+        assert NoisyListHandle(0, 1.0, 1, np.array([0])).materialized
+        assert not NoisyListHandle(0, 1.0, 1, None).materialized
+
+
+class TestSessionConstruction:
+    def test_invalid_epsilon(self, tiny_graph):
+        with pytest.raises(PrivacyError):
+            ProtocolSession(tiny_graph, Layer.UPPER, 0, 1, 0.0)
+
+    def test_identical_vertices(self, tiny_graph):
+        with pytest.raises(ProtocolError):
+            ProtocolSession(tiny_graph, Layer.UPPER, 1, 1, 1.0)
+
+    def test_unknown_vertex(self, tiny_graph):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            ProtocolSession(tiny_graph, Layer.UPPER, 0, 99, 1.0)
+
+    def test_auto_mode_small_graph_materializes(self, tiny_graph):
+        session = ProtocolSession(tiny_graph, Layer.UPPER, 0, 1, 1.0)
+        assert session.mode is ExecutionMode.MATERIALIZE
+
+    def test_n_opposite(self, tiny_graph):
+        session = ProtocolSession(tiny_graph, Layer.UPPER, 0, 1, 1.0)
+        assert session.n_opposite == tiny_graph.num_lower
+
+    def test_rounds_counter(self, tiny_graph):
+        session = ProtocolSession(tiny_graph, Layer.UPPER, 0, 1, 1.0)
+        assert session.begin_round("x") == "round1:x"
+        assert session.begin_round("y") == "round2:y"
+        assert session.rounds == 2
+
+
+@pytest.mark.parametrize("mode", [ExecutionMode.MATERIALIZE, ExecutionMode.SKETCH])
+class TestSessionRounds:
+    def _session(self, graph, mode, epsilon=2.0, seed=5):
+        return ProtocolSession(
+            graph, Layer.UPPER, 0, 1, epsilon, rng=seed, mode=mode
+        )
+
+    def test_randomized_response_charges_and_logs(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        handle = session.randomized_response(0, 1.0, "r1")
+        assert session.ledger.spent(session.party(0)) == pytest.approx(1.0)
+        assert session.comm.total_bytes(Direction.UPLOAD) == handle.size * ID_BYTES
+
+    def test_randomized_response_rejects_non_query_vertex(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        with pytest.raises(ProtocolError):
+            session.randomized_response(5, 1.0)
+
+    def test_download_logs_bytes_no_charge(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        handle = session.randomized_response(0, 1.0)
+        before = session.ledger.max_spent()
+        session.download(handle, 1)
+        assert session.ledger.max_spent() == before
+        assert session.comm.total_bytes(Direction.DOWNLOAD) == handle.size * ID_BYTES
+
+    def test_download_own_list_rejected(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        handle = session.randomized_response(0, 1.0)
+        with pytest.raises(ProtocolError):
+            session.download(handle, 0)
+
+    def test_ss_counts_partition_degree(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        handle = session.randomized_response(1, 1.0)
+        s1, s2 = session.ss_counts(0, handle)
+        assert s1 + s2 == small_graph.degree(Layer.UPPER, 0)
+        assert s1 >= 0 and s2 >= 0
+
+    def test_ss_counts_same_owner_rejected(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        handle = session.randomized_response(0, 1.0)
+        with pytest.raises(ProtocolError):
+            session.ss_counts(0, handle)
+
+    def test_naive_counts_bounds(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        hu = session.randomized_response(0, 1.0)
+        hw = session.randomized_response(1, 1.0)
+        n1, n2 = session.naive_counts(hu, hw)
+        assert 0 <= n1 <= n2 <= session.n_opposite
+
+    def test_naive_counts_mismatched_epsilon(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        hu = session.randomized_response(0, 0.5)
+        hw = session.randomized_response(1, 1.0)
+        with pytest.raises(ProtocolError):
+            session.naive_counts(hu, hw)
+
+    def test_degree_round(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        report = session.degree_round(0.5)
+        layer_n = small_graph.num_upper
+        assert session.comm.total_bytes(Direction.UPLOAD) == layer_n * FLOAT_BYTES
+        assert session.ledger.spent(session.party(0)) == pytest.approx(0.5)
+        assert session.ledger.spent("upper:rest") == pytest.approx(0.5)
+        # Noisy degree should be within plausible Laplace range of the truth.
+        true = small_graph.degree(Layer.UPPER, 0)
+        assert abs(report.noisy_degree_u - true) < 40
+
+    def test_degree_round_average_near_truth(self, small_graph, mode):
+        session = self._session(small_graph, mode, epsilon=5.0)
+        report = session.degree_round(2.0)
+        truth = small_graph.average_degree(Layer.UPPER)
+        assert report.noisy_average_degree == pytest.approx(truth, abs=2.0)
+
+    def test_release_scalar(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        value = session.release_scalar(0, 10.0, 1.0, sensitivity=2.0)
+        assert isinstance(value, float)
+        assert session.comm.total_bytes(Direction.UPLOAD) == FLOAT_BYTES
+
+    def test_budget_enforced_across_rounds(self, small_graph, mode):
+        from repro.errors import BudgetExceededError
+
+        session = self._session(small_graph, mode, epsilon=1.0)
+        session.randomized_response(0, 0.8)
+        with pytest.raises(BudgetExceededError):
+            session.release_scalar(0, 1.0, 0.5, sensitivity=1.0)
+
+    def test_finalize_summary(self, small_graph, mode):
+        session = self._session(small_graph, mode)
+        session.begin_round("rr")
+        session.randomized_response(0, 1.0)
+        transcript = session.finalize()
+        assert transcript.rounds == 1
+        assert transcript.total_bytes == transcript.upload_bytes
+        assert transcript.max_epsilon_spent == pytest.approx(1.0)
+        assert transcript.mode is mode
+
+
+class TestMaterializeFidelity:
+    """Materialize-mode outputs must be consistent with true adjacency."""
+
+    def test_handle_neighbors_in_domain(self, small_graph):
+        session = ProtocolSession(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1,
+            mode=ExecutionMode.MATERIALIZE,
+        )
+        handle = session.randomized_response(0, 2.0)
+        assert handle.neighbors is not None
+        assert handle.size == handle.neighbors.size
+        assert handle.neighbors.max() < small_graph.num_lower
+
+    def test_huge_epsilon_reproduces_true_list(self, small_graph):
+        session = ProtocolSession(
+            small_graph, Layer.UPPER, 0, 1, 50.0, rng=1,
+            mode=ExecutionMode.MATERIALIZE,
+        )
+        handle = session.randomized_response(0, 50.0)
+        np.testing.assert_array_equal(
+            handle.neighbors, small_graph.neighbors(Layer.UPPER, 0)
+        )
+
+    def test_huge_epsilon_ss_counts_exact(self, small_graph):
+        session = ProtocolSession(
+            small_graph, Layer.UPPER, 0, 1, 50.0, rng=1,
+            mode=ExecutionMode.MATERIALIZE,
+        )
+        handle = session.randomized_response(1, 50.0)
+        s1, _ = session.ss_counts(0, handle)
+        assert s1 == small_graph.count_common_neighbors(Layer.UPPER, 0, 1)

@@ -1,0 +1,136 @@
+"""Tests for the actor-based distributed protocol engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ProtocolError
+from repro.estimators.registry import get_estimator
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.graph.views import LocalView
+from repro.privacy.rng import spawn_rngs
+from repro.protocol.actors import ActorProtocol, Channel, Message
+from repro.protocol.session import ExecutionMode
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_bipartite(50, 65, 520, rng=61)
+
+
+class TestLocalView:
+    def test_from_graph(self, graph):
+        view = LocalView.from_graph(graph, Layer.UPPER, 3)
+        np.testing.assert_array_equal(view.neighbors, graph.neighbors(Layer.UPPER, 3))
+        assert view.degree == graph.degree(Layer.UPPER, 3)
+        assert view.domain_size == graph.num_lower
+
+    def test_neighbors_frozen(self, graph):
+        view = LocalView.from_graph(graph, Layer.UPPER, 3)
+        with pytest.raises(ValueError):
+            view.neighbors[0] = 99
+
+    def test_contains(self, graph):
+        view = LocalView.from_graph(graph, Layer.UPPER, 3)
+        nbrs = graph.neighbors(Layer.UPPER, 3)
+        assert view.contains(nbrs).all()
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(GraphError):
+            LocalView(Layer.UPPER, 0, 5, np.array([7]))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(GraphError):
+            LocalView(Layer.UPPER, 0, 10, np.array([3, 1]))
+
+
+class TestChannel:
+    def test_traffic_accounting(self):
+        channel = Channel()
+        channel.send(Message("a", "curator", "noisy-edges", [1], 8))
+        channel.send(Message("b", "curator", "estimate", 1.0, 8))
+        channel.send(Message("a", "curator", "noisy-edges", [2], 16))
+        assert channel.total_bytes() == 32
+        assert channel.bytes_by_kind() == {"noisy-edges": 24, "estimate": 8}
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            Channel().send(Message("a", "b", "x", None, -1))
+
+
+class TestActorProtocol:
+    @pytest.mark.parametrize("algorithm", ActorProtocol.SUPPORTED)
+    def test_runs_and_respects_budget(self, graph, algorithm):
+        protocol = ActorProtocol(graph, Layer.UPPER, 0, 1, 2.0, rng=5)
+        value = protocol.run(algorithm)
+        assert np.isfinite(value)
+        assert protocol.ledger.max_spent() <= 2.0 + 1e-9
+        assert protocol.channel.total_bytes() > 0
+
+    def test_unsupported_algorithm(self, graph):
+        protocol = ActorProtocol(graph, Layer.UPPER, 0, 1, 2.0, rng=5)
+        with pytest.raises(ProtocolError):
+            protocol.run("multir-ds")
+
+    def test_identical_vertices_rejected(self, graph):
+        with pytest.raises(ProtocolError):
+            ActorProtocol(graph, Layer.UPPER, 1, 1, 2.0)
+
+    def test_naive_download_free(self, graph):
+        protocol = ActorProtocol(graph, Layer.UPPER, 0, 1, 2.0, rng=6)
+        protocol.run("naive")
+        kinds = protocol.channel.bytes_by_kind()
+        assert "noisy-edges-download" not in kinds
+
+    def test_multir_ss_has_download_leg(self, graph):
+        protocol = ActorProtocol(graph, Layer.UPPER, 0, 1, 2.0, rng=7)
+        protocol.run("multir-ss")
+        kinds = protocol.channel.bytes_by_kind()
+        assert kinds.get("noisy-edges-download", 0) > 0
+        assert kinds.get("estimate", 0) == 8
+
+    def test_vertex_cannot_use_own_list(self, graph):
+        protocol = ActorProtocol(graph, Layer.UPPER, 0, 1, 2.0, rng=8)
+        msg_u, _ = protocol._shared_rr_round(1.0)
+        with pytest.raises(ProtocolError):
+            protocol.vertex_u.send_single_source_estimate(msg_u, 1.0, 1.0)
+
+
+class TestEngineEquivalence:
+    """The actor engine and the session engine must agree in distribution."""
+
+    TRIALS = 2500
+
+    @pytest.mark.parametrize(
+        "algorithm", ["naive", "oner", "multir-ss", "multir-ds-basic"]
+    )
+    def test_moments_match_session_engine(self, graph, algorithm):
+        rngs = spawn_rngs(31, self.TRIALS * 2)
+        actor_values = np.array(
+            [
+                ActorProtocol(graph, Layer.UPPER, 2, 7, 2.0, rng=rngs[t]).run(
+                    algorithm
+                )
+                for t in range(self.TRIALS)
+            ]
+        )
+        estimator = get_estimator(algorithm)
+        session_values = np.array(
+            [
+                estimator.estimate(
+                    graph, Layer.UPPER, 2, 7, 2.0, rng=rngs[self.TRIALS + t],
+                    mode=ExecutionMode.SKETCH,
+                ).value
+                for t in range(self.TRIALS)
+            ]
+        )
+        pooled_sd = np.sqrt(
+            actor_values.var() / self.TRIALS + session_values.var() / self.TRIALS
+        )
+        assert abs(actor_values.mean() - session_values.mean()) < 5 * max(
+            pooled_sd, 1e-9
+        )
+        ratio = actor_values.var(ddof=1) / max(session_values.var(ddof=1), 1e-12)
+        assert 0.7 < ratio < 1.4

@@ -1,0 +1,111 @@
+"""Tests for the one-shot noisy-graph release baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.generators import random_bipartite
+from repro.privacy.mechanisms import flip_probability
+from repro.privacy.rng import spawn_rngs
+from repro.protocol.release import (
+    release_noisy_graph,
+    released_common_neighbors,
+    released_degree,
+)
+
+
+@pytest.fixture(scope="module")
+def graph() -> BipartiteGraph:
+    return random_bipartite(60, 80, 700, rng=23)
+
+
+class TestRelease:
+    def test_shape_preserved(self, graph):
+        release = release_noisy_graph(graph, 2.0, rng=1)
+        assert release.noisy_graph.num_upper == graph.num_upper
+        assert release.noisy_graph.num_lower == graph.num_lower
+
+    def test_noisy_edge_volume_near_expectation(self, graph):
+        release = release_noisy_graph(graph, 2.0, rng=2)
+        p = flip_probability(2.0)
+        expected = graph.num_edges * (1 - 2 * p) + graph.num_upper * graph.num_lower * p
+        assert release.num_noisy_edges == pytest.approx(expected, rel=0.1)
+
+    def test_upload_bytes(self, graph):
+        release = release_noisy_graph(graph, 2.0, rng=3)
+        assert release.upload_bytes == release.num_noisy_edges * 8
+
+    def test_huge_epsilon_reproduces_graph(self, graph):
+        release = release_noisy_graph(graph, 50.0, rng=4)
+        assert release.noisy_graph == graph
+
+    def test_cap_enforced(self):
+        big = BipartiteGraph(10_000, 10_000)
+        with pytest.raises(PrivacyError):
+            release_noisy_graph(big, 1.0, max_expected_edges=1000)
+
+    def test_deterministic(self, graph):
+        a = release_noisy_graph(graph, 2.0, rng=9)
+        b = release_noisy_graph(graph, 2.0, rng=9)
+        assert a.noisy_graph == b.noisy_graph
+
+
+class TestReleasedQueries:
+    def test_common_neighbors_unbiased_upper(self, graph):
+        true = graph.count_common_neighbors(Layer.UPPER, 0, 1)
+        rngs = spawn_rngs(5, 600)
+        values = np.array(
+            [
+                released_common_neighbors(
+                    release_noisy_graph(graph, 2.0, rng=r), Layer.UPPER, 0, 1
+                )
+                for r in rngs
+            ]
+        )
+        se = values.std(ddof=1) / np.sqrt(values.size)
+        assert abs(values.mean() - true) < 5 * se
+
+    def test_common_neighbors_unbiased_lower(self, graph):
+        """One release answers queries on the *other* layer too."""
+        true = graph.count_common_neighbors(Layer.LOWER, 3, 4)
+        rngs = spawn_rngs(6, 600)
+        values = np.array(
+            [
+                released_common_neighbors(
+                    release_noisy_graph(graph, 2.0, rng=r), Layer.LOWER, 3, 4
+                )
+                for r in rngs
+            ]
+        )
+        se = values.std(ddof=1) / np.sqrt(values.size)
+        assert abs(values.mean() - true) < 5 * se
+
+    def test_many_queries_from_one_release(self, graph):
+        """Post-processing: every pair is answerable from one release."""
+        release = release_noisy_graph(graph, 30.0, rng=7)
+        for a, b in [(0, 1), (2, 9), (10, 30)]:
+            est = released_common_neighbors(release, Layer.UPPER, a, b)
+            true = graph.count_common_neighbors(Layer.UPPER, a, b)
+            assert est == pytest.approx(true, abs=1.5)
+
+    def test_identical_vertices_rejected(self, graph):
+        release = release_noisy_graph(graph, 2.0, rng=8)
+        with pytest.raises(PrivacyError):
+            released_common_neighbors(release, Layer.UPPER, 1, 1)
+
+    def test_degree_unbiased(self, graph):
+        true = graph.degree(Layer.UPPER, 5)
+        rngs = spawn_rngs(11, 500)
+        values = np.array(
+            [
+                released_degree(
+                    release_noisy_graph(graph, 2.0, rng=r), Layer.UPPER, 5
+                )
+                for r in rngs
+            ]
+        )
+        se = values.std(ddof=1) / np.sqrt(values.size)
+        assert abs(values.mean() - true) < 5 * se

@@ -1,0 +1,107 @@
+"""Tests for the wire format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.wire import (
+    KIND_ESTIMATE,
+    KIND_NOISY_DEGREE,
+    KIND_NOISY_EDGES,
+    decode_frame,
+    encode_noisy_edges,
+    encode_scalar,
+    frame_overhead,
+    payload_bytes,
+)
+
+
+class TestNoisyEdges:
+    def test_round_trip(self):
+        ids = np.array([3, 17, 99, 2**40], dtype=np.int64)
+        frame = encode_noisy_edges(ids)
+        kind, decoded, rest = decode_frame(frame)
+        assert kind == KIND_NOISY_EDGES
+        np.testing.assert_array_equal(decoded, ids)
+        assert rest == b""
+
+    def test_empty_list(self):
+        frame = encode_noisy_edges(np.array([], dtype=np.int64))
+        kind, decoded, _ = decode_frame(frame)
+        assert kind == KIND_NOISY_EDGES
+        assert decoded.size == 0
+
+    def test_payload_bytes_matches_accounting(self):
+        """The Fig. 10 model counts 8 bytes per id — and so does the wire."""
+        ids = np.arange(25)
+        frame = encode_noisy_edges(ids)
+        assert payload_bytes(frame) == 25 * 8
+        assert len(frame) == 25 * 8 + frame_overhead()
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_noisy_edges(np.array([-1]))
+
+
+class TestScalars:
+    @pytest.mark.parametrize("kind", [KIND_NOISY_DEGREE, KIND_ESTIMATE])
+    def test_round_trip(self, kind):
+        frame = encode_scalar(-12.3456789, kind)
+        decoded_kind, value, rest = decode_frame(frame)
+        assert decoded_kind == kind
+        assert value == pytest.approx(-12.3456789)
+        assert rest == b""
+
+    def test_scalar_is_eight_bytes(self):
+        frame = encode_scalar(1.0, KIND_ESTIMATE)
+        assert payload_bytes(frame) == 8
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_scalar(1.0, KIND_NOISY_EDGES)
+
+
+class TestFraming:
+    def test_concatenated_frames_stream(self):
+        stream = (
+            encode_noisy_edges(np.array([1, 2]))
+            + encode_scalar(3.5, KIND_NOISY_DEGREE)
+            + encode_scalar(7.0, KIND_ESTIMATE)
+        )
+        kinds = []
+        while stream:
+            kind, _, stream = decode_frame(stream)
+            kinds.append(kind)
+        assert kinds == [KIND_NOISY_EDGES, KIND_NOISY_DEGREE, KIND_ESTIMATE]
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x01")
+
+    def test_truncated_payload(self):
+        frame = encode_noisy_edges(np.array([1, 2, 3]))
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:-4])
+
+    def test_unknown_kind(self):
+        import struct
+
+        bogus = struct.pack("<BI", 99, 0)
+        with pytest.raises(ProtocolError):
+            decode_frame(bogus)
+
+    def test_misaligned_edge_payload(self):
+        import struct
+
+        bogus = struct.pack("<BI", KIND_NOISY_EDGES, 7) + b"\x00" * 7
+        with pytest.raises(ProtocolError):
+            decode_frame(bogus)
+
+    def test_bad_scalar_length(self):
+        import struct
+
+        bogus = struct.pack("<BI", KIND_ESTIMATE, 4) + b"\x00" * 4
+        with pytest.raises(ProtocolError):
+            decode_frame(bogus)

@@ -1,0 +1,74 @@
+"""Tests for the top-level package surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Layer
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_available_estimators_count(self):
+        assert len(repro.available_estimators()) == 8
+
+
+class TestEstimateCommonNeighbors:
+    def test_default_method(self, small_graph):
+        result = repro.estimate_common_neighbors(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1
+        )
+        assert result.algorithm == "multir-ds"
+        assert np.isfinite(result.value)
+
+    def test_method_selection(self, small_graph):
+        result = repro.estimate_common_neighbors(
+            small_graph, Layer.UPPER, 0, 1, 2.0, method="oner", rng=1
+        )
+        assert result.algorithm == "oner"
+
+    def test_kwargs_forwarded(self, small_graph):
+        result = repro.estimate_common_neighbors(
+            small_graph, Layer.UPPER, 0, 1, 2.0, method="multir-ss",
+            graph_fraction=0.25, rng=1,
+        )
+        assert result.details["eps1"] == pytest.approx(0.5)
+
+    def test_unknown_method(self, small_graph):
+        with pytest.raises(repro.ReproError):
+            repro.estimate_common_neighbors(
+                small_graph, Layer.UPPER, 0, 1, 2.0, method="magic"
+            )
+
+    def test_mode_forwarded(self, small_graph):
+        from repro import ExecutionMode
+
+        result = repro.estimate_common_neighbors(
+            small_graph, Layer.UPPER, 0, 1, 2.0, rng=1,
+            mode=ExecutionMode.SKETCH,
+        )
+        assert result.transcript.mode is ExecutionMode.SKETCH
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            repro.GraphError,
+            repro.DatasetError,
+            repro.PrivacyError,
+            repro.ProtocolError,
+            repro.OptimizationError,
+            repro.BudgetExceededError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+
+    def test_budget_exceeded_is_privacy_error(self):
+        assert issubclass(repro.BudgetExceededError, repro.PrivacyError)

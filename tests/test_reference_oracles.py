@@ -1,0 +1,183 @@
+"""Differential tests against brute-force reference implementations.
+
+For candidate pools small enough to enumerate every randomized-response
+outcome exactly, the estimators' means and variances can be computed *in
+closed form by exhaustion* — no sampling, no tolerance games. These
+oracles pin down the analytic formulas in ``repro.analysis.loss`` and the
+estimator algebra to machine precision.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.loss import (
+    naive_expectation,
+    naive_variance,
+    oner_variance,
+    single_source_variance,
+)
+from repro.privacy.mechanisms import flip_probability
+
+EPSILON = 1.3
+P = flip_probability(EPSILON)
+
+
+def _pattern_probability(original: np.ndarray, noisy: np.ndarray, p: float) -> float:
+    """Probability RR turns ``original`` into ``noisy`` (independent bits)."""
+    flips = int(np.sum(original != noisy))
+    keeps = original.size - flips
+    return (p**flips) * ((1 - p) ** keeps)
+
+
+def _enumerate_rr_outcomes(original: np.ndarray, p: float):
+    """Yield every (noisy_row, probability) for one row."""
+    n = original.size
+    for bits in itertools.product((0, 1), repeat=n):
+        noisy = np.array(bits, dtype=np.int8)
+        yield noisy, _pattern_probability(original, noisy, p)
+
+
+class TestNaiveOracle:
+    """Exact mean/variance of |N(u,G') ∩ N(w,G')| by full enumeration."""
+
+    @pytest.mark.parametrize(
+        "row_u,row_w",
+        [
+            ([1, 1, 0, 0], [1, 0, 1, 0]),
+            ([1, 1, 1, 0, 0], [1, 1, 0, 0, 0]),
+            ([0, 0, 0, 0], [0, 0, 0, 0]),
+            ([1, 1, 1], [1, 1, 1]),
+        ],
+    )
+    def test_matches_closed_forms(self, row_u, row_w):
+        row_u = np.array(row_u, dtype=np.int8)
+        row_w = np.array(row_w, dtype=np.int8)
+        n = row_u.size
+        c2 = int(np.sum(row_u & row_w))
+        du, dw = int(row_u.sum()), int(row_w.sum())
+
+        mean = 0.0
+        second = 0.0
+        for noisy_u, prob_u in _enumerate_rr_outcomes(row_u, P):
+            for noisy_w, prob_w in _enumerate_rr_outcomes(row_w, P):
+                value = float(np.sum(noisy_u & noisy_w))
+                weight = prob_u * prob_w
+                mean += weight * value
+                second += weight * value * value
+        variance = second - mean * mean
+
+        assert mean == pytest.approx(
+            naive_expectation(EPSILON, n, du, dw, c2), abs=1e-12
+        )
+        assert variance == pytest.approx(
+            naive_variance(EPSILON, n, du, dw, c2), abs=1e-12
+        )
+
+
+class TestOneROracle:
+    """Exact moments of the de-biased estimator by full enumeration."""
+
+    @pytest.mark.parametrize(
+        "row_u,row_w",
+        [
+            ([1, 1, 0, 0], [1, 0, 1, 0]),
+            ([1, 0, 0, 0, 1], [1, 1, 0, 0, 1]),
+            ([0, 1, 0], [1, 1, 1]),
+        ],
+    )
+    def test_unbiased_and_variance_exact(self, row_u, row_w):
+        row_u = np.array(row_u, dtype=np.int8)
+        row_w = np.array(row_w, dtype=np.int8)
+        n = row_u.size
+        c2 = int(np.sum(row_u & row_w))
+        du, dw = int(row_u.sum()), int(row_w.sum())
+        denom = (1 - 2 * P) ** 2
+
+        mean = 0.0
+        second = 0.0
+        for noisy_u, prob_u in _enumerate_rr_outcomes(row_u, P):
+            for noisy_w, prob_w in _enumerate_rr_outcomes(row_w, P):
+                value = float(np.sum((noisy_u - P) * (noisy_w - P)) / denom)
+                weight = prob_u * prob_w
+                mean += weight * value
+                second += weight * value * value
+        variance = second - mean * mean
+
+        # Theorem 3: exactly unbiased.
+        assert mean == pytest.approx(c2, abs=1e-12)
+        # Theorem 4 (exact form).
+        assert variance == pytest.approx(
+            oner_variance(EPSILON, n, du, dw), abs=1e-12
+        )
+
+
+class TestSingleSourceOracle:
+    """Exact moments of f̃u: enumerate w's noisy bits over N(u); add the
+    Laplace variance analytically."""
+
+    @pytest.mark.parametrize(
+        "neighbors_of_u_in_w",  # A[v, w] for each v in N(u)
+        [[1, 0, 0], [1, 1, 0, 0, 0], [0, 0], [1, 1, 1, 1]],
+    )
+    def test_moments_exact(self, neighbors_of_u_in_w):
+        eps1 = eps2 = EPSILON / 2
+        p1 = flip_probability(eps1)
+        bits = np.array(neighbors_of_u_in_w, dtype=np.int8)
+        du = bits.size
+        c2 = int(bits.sum())
+
+        mean = 0.0
+        second = 0.0
+        for noisy, prob in _enumerate_rr_outcomes(bits, p1):
+            s1 = int(noisy.sum())
+            s2 = du - s1
+            raw = s1 * (1 - p1) / (1 - 2 * p1) - s2 * p1 / (1 - 2 * p1)
+            mean += prob * raw
+            second += prob * raw * raw
+        raw_variance = second - mean * mean
+
+        from repro.privacy.sensitivity import single_source_sensitivity
+
+        laplace_var = 2.0 * (single_source_sensitivity(eps1) / eps2) ** 2
+
+        assert mean == pytest.approx(c2, abs=1e-12)  # Lemma 1
+        assert raw_variance + laplace_var == pytest.approx(  # Theorem 6
+            single_source_variance(eps1, eps2, du), abs=1e-12
+        )
+
+
+class TestRandomizedResponseOracle:
+    def test_enumeration_probabilities_sum_to_one(self):
+        row = np.array([1, 0, 1, 0, 0], dtype=np.int8)
+        total = sum(prob for _, prob in _enumerate_rr_outcomes(row, P))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_phi_exactly_unbiased_by_enumeration(self):
+        for bit in (0, 1):
+            row = np.array([bit], dtype=np.int8)
+            expected = sum(
+                prob * (noisy[0] - P) / (1 - 2 * P)
+                for noisy, prob in _enumerate_rr_outcomes(row, P)
+            )
+            assert expected == pytest.approx(bit, abs=1e-14)
+
+    def test_empirical_rr_matches_enumerated_law(self, rng):
+        """The vectorized sampler follows the enumerated distribution."""
+        row = np.array([1, 0, 1], dtype=np.int8)
+        from repro.privacy.mechanisms import RandomizedResponse
+
+        rr = RandomizedResponse(EPSILON)
+        counts: dict[tuple, int] = {}
+        trials = 40_000
+        for _ in range(trials):
+            noisy = tuple(rr.perturb_bits(row, rng).tolist())
+            counts[noisy] = counts.get(noisy, 0) + 1
+        for noisy, prob in _enumerate_rr_outcomes(row, P):
+            observed = counts.get(tuple(noisy.tolist()), 0) / trials
+            tol = 5 * math.sqrt(prob * (1 - prob) / trials)
+            assert abs(observed - prob) < tol
