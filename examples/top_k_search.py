@@ -1,15 +1,19 @@
 """Top-k similar users under one analyst budget.
 
-The similarity search from the paper's introduction, with honest
-cross-query accounting: the analyst holds ONE total budget for the whole
-search, split across candidate comparisons by the QueryBudgetManager —
-so the target user's cumulative privacy loss is bounded no matter how
-many candidates are screened.
+The similarity search from the paper's introduction, served by the batch
+query engine: all candidate comparisons form ONE shared noisy round, so
+every involved user — the target and each candidate — is charged the
+analyst's budget exactly once (parallel composition), no matter how many
+candidates are screened. Compare with the per-pair query model, where the
+same budget must be split across the comparisons and utility degrades as
+the candidate pool grows.
 
 Run:  python examples/top_k_search.py
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -27,26 +31,47 @@ def main() -> None:
     print(f"target user {target} (degree {degrees[target]}); "
           f"screening {len(candidates)} candidates\n")
 
-    for total_epsilon in (8.0, 40.0, 200.0):
-        per_query = total_epsilon / len(candidates)
-        top = top_k_similar(
-            graph, Layer.UPPER, target, candidates, k=5,
-            total_epsilon=total_epsilon, kind="jaccard", rng=17,
-        )
-        # Exact ranking for comparison (non-private, evaluation only).
-        exact = sorted(
+    def exact_top5():
+        return sorted(
             candidates,
             key=lambda c: graph.jaccard(Layer.UPPER, target, c),
             reverse=True,
         )[:5]
-        hits = len({v for v, _ in top} & set(exact))
-        print(f"analyst budget {total_epsilon:6.1f} "
-              f"(= {per_query:.3f} per comparison): "
-              f"top-5 overlap with exact ranking {hits}/5")
 
-    print("\nWith a fixed total budget, screening more candidates means less "
-          "budget per\ncomparison — the utility cost of honest sequential "
-          "composition.")
+    for total_epsilon in (2.0, 8.0, 40.0):
+        # Batch engine (default): one shared round at the full budget.
+        start = time.perf_counter()
+        batch_top = top_k_similar(
+            graph, Layer.UPPER, target, candidates, k=5,
+            total_epsilon=total_epsilon, kind="jaccard", rng=17,
+        )
+        batch_ms = (time.perf_counter() - start) * 1e3
+
+        # Paper query model: independent per-pair protocols, budget split.
+        start = time.perf_counter()
+        split_top = top_k_similar(
+            graph, Layer.UPPER, target, candidates, k=5,
+            total_epsilon=total_epsilon, kind="jaccard",
+            method="multir-ds", rng=17,
+        )
+        split_ms = (time.perf_counter() - start) * 1e3
+
+        exact = set(exact_top5())
+        batch_hits = len({v for v, _ in batch_top} & exact)
+        split_hits = len({v for v, _ in split_top} & exact)
+        per_pair = total_epsilon / len(candidates)
+        print(f"analyst budget {total_epsilon:5.1f}:")
+        print(f"  batch engine   top-5 overlap {batch_hits}/5   "
+              f"{batch_ms:7.1f} ms total ({batch_ms/len(candidates):5.2f} ms/pair), "
+              f"each vertex charged {total_epsilon:.1f} once")
+        print(f"  per-pair split top-5 overlap {split_hits}/5   "
+              f"{split_ms:7.1f} ms total ({split_ms/len(candidates):5.2f} ms/pair), "
+              f"{per_pair:.3f} per comparison")
+
+    print("\nThe shared batch round spends the whole budget on every "
+          "comparison at once,\nso its ranking quality does not decay with "
+          "the number of candidates screened\n— and the vectorized engine "
+          "answers the workload in a fraction of the time.")
 
 
 if __name__ == "__main__":

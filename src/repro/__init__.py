@@ -67,6 +67,7 @@ from repro.graph import (
     sample_imbalanced_pairs,
     sample_query_pairs,
 )
+from repro.engine import BatchQueryEngine, EngineResult
 from repro.privacy import BudgetSplit, LaplaceMechanism, RandomizedResponse
 from repro.protocol import ExecutionMode, ProtocolSession, ProtocolTranscript
 
@@ -90,6 +91,8 @@ __all__ = [
     "LaplaceMechanism",
     "ExecutionMode",
     "ProtocolSession",
+    "BatchQueryEngine",
+    "EngineResult",
     "ProtocolTranscript",
     # estimators
     "CommonNeighborEstimator",

@@ -21,7 +21,12 @@ from repro.applications.degrees import (
     noisy_degree_histogram,
     publish_noisy_degrees,
 )
-from repro.applications.ingredients import PairIngredients, private_pair_ingredients
+from repro.applications.ingredients import (
+    BatchIngredients,
+    PairIngredients,
+    batch_pair_ingredients,
+    private_pair_ingredients,
+)
 from repro.applications.jaccard import JaccardEstimate, estimate_jaccard
 from repro.applications.recommendation import Recommendation, recommend_items
 from repro.applications.projection import (
@@ -54,6 +59,8 @@ __all__ = [
     "publish_noisy_degrees",
     "PairIngredients",
     "private_pair_ingredients",
+    "BatchIngredients",
+    "batch_pair_ingredients",
     "JaccardEstimate",
     "estimate_jaccard",
     "exact_projection",

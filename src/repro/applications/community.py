@@ -65,11 +65,17 @@ def ldp_communities(
     epsilon: float,
     threshold: float = 0.5,
     method: str = "greedy-modularity",
-    c2_method: str = "multir-ds",
+    c2_method: str = "batch-oner",
     *,
     rng: RngLike = None,
 ) -> list[set[int]]:
-    """Detect same-layer communities from privately estimated projections."""
+    """Detect same-layer communities from privately estimated projections.
+
+    The default ``c2_method`` builds the projection through the batch
+    query engine — one shared ε-RR round for the whole all-pairs workload,
+    so every vertex's total loss is ``epsilon``; any registered per-pair
+    estimator name reproduces the independent-queries model instead.
+    """
     projected = ldp_projection(
         graph, layer, vertices, epsilon, method=c2_method,
         threshold=threshold, rng=rng,

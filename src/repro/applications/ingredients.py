@@ -5,21 +5,41 @@ need the same three privately released quantities for a pair: noisy
 degrees of both query vertices (Laplace) and an estimated common-neighbor
 count (any registered estimator). This module releases them under one
 budget split so every application composes identically.
+
+Two granularities are offered: :func:`private_pair_ingredients` runs one
+per-pair protocol (the paper's query model), while
+:func:`batch_pair_ingredients` answers a whole same-layer workload through
+the :class:`~repro.engine.BatchQueryEngine` — each distinct vertex
+releases one noisy degree and one noisy list, so the per-vertex loss is
+``epsilon`` for the entire workload (parallel composition across
+vertices, sequential across the two rounds).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
+import numpy as np
+
+from repro.engine.core import BatchQueryEngine, workload_party
 from repro.errors import PrivacyError
 from repro.estimators.registry import get_estimator
 from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
+from repro.privacy.accountant import PrivacyLedger
 from repro.privacy.mechanisms import LaplaceMechanism
 from repro.privacy.rng import RngLike, ensure_rng
 from repro.privacy.sensitivity import degree_sensitivity
+from repro.protocol.messages import FLOAT_BYTES, CommunicationLog, Direction
 from repro.protocol.session import ExecutionMode
 
-__all__ = ["PairIngredients", "private_pair_ingredients"]
+__all__ = [
+    "PairIngredients",
+    "private_pair_ingredients",
+    "BatchIngredients",
+    "batch_pair_ingredients",
+]
 
 
 @dataclass(frozen=True)
@@ -73,4 +93,81 @@ def private_pair_ingredients(
         epsilon=epsilon,
         epsilon_degrees=eps_deg,
         epsilon_c2=eps_c2,
+    )
+
+
+@dataclass(frozen=True)
+class BatchIngredients:
+    """Per-pair released quantities for a whole workload, in arrays."""
+
+    pairs: tuple[QueryPair, ...]
+    c2_estimates: np.ndarray
+    noisy_degrees_a: np.ndarray  # per pair, endpoint `a`
+    noisy_degrees_b: np.ndarray
+    epsilon: float
+    epsilon_degrees: float
+    epsilon_c2: float
+    num_query_vertices: int
+    upload_bytes: int
+    max_epsilon_spent: float
+
+
+def batch_pair_ingredients(
+    graph: BipartiteGraph,
+    layer: Layer,
+    pairs: Sequence[QueryPair],
+    epsilon: float,
+    degree_fraction: float = 0.2,
+    *,
+    rng: RngLike = None,
+    mode: ExecutionMode = ExecutionMode.AUTO,
+) -> BatchIngredients:
+    """Release degrees and C2 estimates for a whole workload in two rounds.
+
+    One shared engine batch answers every pair's C2 at
+    ``epsilon * (1 - degree_fraction)`` and one bulk Laplace round releases
+    every distinct vertex's degree at ``epsilon * degree_fraction``; each
+    vertex is charged exactly once per round, so the whole workload costs
+    every vertex ``epsilon`` regardless of how many pairs it joins.
+    """
+    if not 0.0 < degree_fraction < 1.0:
+        raise PrivacyError("degree_fraction must be in (0, 1)")
+    rng = ensure_rng(rng)
+    eps_deg = epsilon * degree_fraction
+    eps_c2 = epsilon - eps_deg
+
+    ledger = PrivacyLedger(limit=epsilon)
+    comm = CommunicationLog()
+    engine = BatchQueryEngine(mode=mode)
+    result = engine.estimate_pairs(
+        graph, layer, pairs, eps_c2, rng=rng, ledger=ledger, comm=comm
+    )
+
+    mech = LaplaceMechanism(eps_deg, degree_sensitivity())
+    noisy_degrees = mech.release_many(graph.degrees(layer)[result.vertices], rng)
+    ledger.charge_parallel(
+        workload_party(layer, result.num_query_vertices),
+        eps_deg,
+        "laplace-degree",
+        "batch-degrees",
+        count=result.num_query_vertices,
+    )
+    comm.record(
+        Direction.UPLOAD,
+        result.num_query_vertices * FLOAT_BYTES,
+        "batch-degrees:reports",
+    )
+    ledger.assert_within(epsilon)
+
+    return BatchIngredients(
+        pairs=result.pairs,
+        c2_estimates=result.values,
+        noisy_degrees_a=noisy_degrees[result.ia],
+        noisy_degrees_b=noisy_degrees[result.ib],
+        epsilon=float(epsilon),
+        epsilon_degrees=eps_deg,
+        epsilon_c2=eps_c2,
+        num_query_vertices=result.num_query_vertices,
+        upload_bytes=comm.total_bytes(Direction.UPLOAD),
+        max_epsilon_spent=ledger.max_spent(),
     )

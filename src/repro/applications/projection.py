@@ -7,11 +7,15 @@ projection among the tasks built on common-neighbor counts). This module
 builds the projection with *estimated* counts so the neighbor lists of the
 projected vertices are never revealed.
 
-Budget semantics match the paper's query model by default: every pairwise
-query is an independent protocol run granted the full ``epsilon``. To
-bound the *cumulative* loss of a projected vertex across all the pairs it
-participates in, pass a :class:`~repro.privacy.composition.QueryBudgetManager`
-(or use ``total_epsilon``), which splits one budget across the queries.
+Budget semantics depend on the method. Per-pair estimator names follow the
+paper's query model: every pairwise query is an independent protocol run
+granted the full ``epsilon``. The batch methods (``"batch-oner"`` /
+``"batch"`` / ``"engine"``) answer the whole all-pairs workload through
+:class:`~repro.engine.BatchQueryEngine` instead: each projected vertex
+perturbs its list exactly once, so ``epsilon`` bounds every vertex's
+*cumulative* loss across all the pairs it participates in — which is why
+:func:`ldp_projection_with_total_budget` routes through the engine by
+default rather than splitting the budget per query.
 """
 
 from __future__ import annotations
@@ -21,9 +25,11 @@ from typing import Sequence
 
 import networkx as nx
 
-from repro.errors import PrivacyError
+from repro.engine.core import BATCH_METHODS, BatchQueryEngine
+from repro.errors import PrivacyError, ReproError
 from repro.estimators.registry import get_estimator
 from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
 from repro.privacy.composition import QueryBudgetManager
 from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
 from repro.protocol.session import ExecutionMode
@@ -60,16 +66,36 @@ def ldp_projection(
 
     Edges with estimated weight at or below ``threshold`` are dropped
     (estimates can be negative for pairs with no common neighbors; the
-    threshold acts as the usual post-processing cleanup).
+    threshold acts as the usual post-processing cleanup). Batch methods
+    answer every pair from one engine workload (one ε-RR upload per
+    vertex); per-pair estimator names run one protocol per pair.
     """
     vertices = [int(v) for v in vertices]
     parent = ensure_rng(rng)
-    estimator = get_estimator(method, **estimator_kwargs)
     pairs = list(combinations(vertices, 2))
-    rngs = spawn_rngs(parent, len(pairs))
 
     projected = nx.Graph()
     projected.add_nodes_from(vertices)
+    if not pairs:
+        return projected
+
+    if method in BATCH_METHODS:
+        if estimator_kwargs:
+            raise ReproError(
+                "batch methods accept no estimator kwargs; got "
+                + ", ".join(sorted(estimator_kwargs))
+            )
+        result = BatchQueryEngine(mode=mode).estimate_pairs(
+            graph, layer, [QueryPair(layer, a, b) for a, b in pairs],
+            epsilon, rng=parent,
+        )
+        for (a, b), estimate in zip(pairs, result.values):
+            if estimate > threshold:
+                projected.add_edge(a, b, weight=float(estimate))
+        return projected
+
+    estimator = get_estimator(method, **estimator_kwargs)
+    rngs = spawn_rngs(parent, len(pairs))
     for (a, b), child in zip(pairs, rngs):
         estimate = estimator.estimate(
             graph, layer, a, b, epsilon, rng=child, mode=mode
@@ -84,7 +110,7 @@ def ldp_projection_with_total_budget(
     layer: Layer,
     vertices: Sequence[int],
     total_epsilon: float,
-    method: str = "multir-ds",
+    method: str = "batch-oner",
     threshold: float = 0.5,
     *,
     rng: RngLike = None,
@@ -93,19 +119,26 @@ def ldp_projection_with_total_budget(
 ) -> nx.Graph:
     """Projection whose whole pairwise workload shares one budget.
 
-    Each projected vertex appears in ``len(vertices) - 1`` pairs; splitting
-    ``total_epsilon`` uniformly across them bounds every vertex's
-    cumulative sequential-composition loss by ``total_epsilon``
-    (conservatively — the vertex is only charged in the pairs it joins).
+    With the default batch method the workload is one shared engine round:
+    every vertex perturbs its list once at ``total_epsilon``, which bounds
+    its cumulative loss by ``total_epsilon`` with *no* per-query budget
+    splitting — the utility win that motivates the batch protocol. With a
+    per-pair estimator name, each vertex appears in ``len(vertices) - 1``
+    independent queries instead, so ``total_epsilon`` is split uniformly
+    across them via :class:`QueryBudgetManager` (conservatively — the
+    vertex is only charged in the pairs it joins).
     """
     vertices = [int(v) for v in vertices]
     if len(vertices) < 2:
         raise PrivacyError("projection needs at least two vertices")
-    per_vertex_queries = len(vertices) - 1
-    manager = QueryBudgetManager(
-        total_epsilon, policy="uniform", num_queries=per_vertex_queries
-    )
-    per_query = manager.next_budget()
+    if method in BATCH_METHODS:
+        per_query = total_epsilon
+    else:
+        per_vertex_queries = len(vertices) - 1
+        manager = QueryBudgetManager(
+            total_epsilon, policy="uniform", num_queries=per_vertex_queries
+        )
+        per_query = manager.next_budget()
     return ldp_projection(
         graph, layer, vertices, per_query, method, threshold,
         rng=rng, mode=mode, **estimator_kwargs,

@@ -5,10 +5,11 @@ items between users are sensitive. This module builds the classical
 user-based recommender on top of the private primitives:
 
 1. **Neighborhood selection** — the target's most similar users are found
-   with :func:`repro.applications.similarity.top_k_similar` (one analyst
-   budget split across the comparisons).
-2. **Preference aggregation** — each selected neighbor releases its item
-   list once through randomized response; the curator de-biases each
+   with :func:`repro.applications.similarity.top_k_similar` (by default a
+   single batch-engine round in which every screened vertex is charged the
+   analyst budget exactly once).
+2. **Preference aggregation** — the selected neighbors' item lists pass
+   through one bulk randomized-response draw; the curator de-biases each
    membership bit with ``φ = (bit - p)/(1 - 2p)`` and scores every item by
    the similarity-weighted sum of the neighbors' de-biased bits.
 
@@ -26,10 +27,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.applications.similarity import top_k_similar
+from repro.engine.bulkrr import bulk_randomized_response
 from repro.errors import PrivacyError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.privacy.mechanisms import RandomizedResponse
-from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
+from repro.privacy.rng import RngLike, ensure_rng
 from repro.protocol.session import ExecutionMode
 
 __all__ = ["Recommendation", "recommend_items"]
@@ -63,8 +65,8 @@ def recommend_items(
     Parameters
     ----------
     epsilon_similarity:
-        Total analyst budget for the similarity search (split uniformly
-        across ``candidates``).
+        Total analyst budget for the similarity search (one shared batch
+        round over ``candidates`` — each vertex charged once).
     epsilon_lists:
         Budget each selected neighbor spends on its one-shot noisy list.
     k:
@@ -90,22 +92,23 @@ def recommend_items(
         return []
     n_items = graph.layer_size(layer.opposite())
     scores = np.zeros(n_items)
-    if neighbors:
+    active = [(n, est.value) for n, est in neighbors if est.value > 0.0]
+    if active:
         rr = RandomizedResponse(epsilon_lists)
         p = rr.flip_probability
         phi_zero = -p / (1.0 - 2.0 * p)
-        rngs = spawn_rngs(parent, len(neighbors))
-        for (neighbor, estimate), child in zip(neighbors, rngs):
-            similarity = max(estimate.value, 0.0)
-            if similarity == 0.0:
-                continue
-            noisy_items = rr.perturb_neighbor_list(
-                graph.neighbors(layer, neighbor), n_items, child
-            )
-            # phi(bit) = phi_zero + bit / (1 - 2p): add the baseline to all
-            # items, then the increment only where the noisy bit is one.
-            scores += similarity * phi_zero
-            scores[noisy_items] += similarity / (1.0 - 2.0 * p)
+        ids = np.array([n for n, _ in active], dtype=np.int64)
+        sims = np.array([s for _, s in active])
+        # One bulk RR pass over every contributing neighbor, then a single
+        # weighted scatter: phi(bit) = phi_zero + bit / (1 - 2p), so the
+        # baseline goes to all items and the increment only where a noisy
+        # bit is one.
+        indptr, noisy_items = bulk_randomized_response(
+            graph, layer, ids, epsilon_lists, parent
+        )
+        scores += phi_zero * sims.sum()
+        weights = np.repeat(sims / (1.0 - 2.0 * p), np.diff(indptr))
+        scores += np.bincount(noisy_items, weights=weights, minlength=n_items)
 
     if exclude_owned:
         scores[graph.neighbors(layer, target)] = -np.inf

@@ -20,14 +20,26 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.applications.ingredients import PairIngredients, private_pair_ingredients
+from repro.applications.ingredients import (
+    PairIngredients,
+    batch_pair_ingredients,
+    private_pair_ingredients,
+)
+from repro.engine.core import BATCH_METHODS
 from repro.errors import ReproError
 from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
 from repro.privacy.composition import QueryBudgetManager
 from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
 from repro.protocol.session import ExecutionMode
 
-__all__ = ["SimilarityEstimate", "SIMILARITY_KINDS", "estimate_similarity", "top_k_similar"]
+__all__ = [
+    "SimilarityEstimate",
+    "SIMILARITY_KINDS",
+    "BATCH_METHODS",
+    "estimate_similarity",
+    "top_k_similar",
+]
 
 
 def _jaccard(c2: float, du: float, dw: float) -> float:
@@ -111,35 +123,74 @@ def top_k_similar(
     k: int,
     total_epsilon: float,
     kind: str = "jaccard",
-    method: str = "multir-ds",
+    method: str = "batch-oner",
     *,
     rng: RngLike = None,
     mode: ExecutionMode = ExecutionMode.AUTO,
 ) -> list[tuple[int, SimilarityEstimate]]:
     """The ``k`` candidates most similar to ``query_vertex``.
 
-    ``total_epsilon`` is the *analyst's* budget for the whole search; it
-    is split uniformly across the candidate comparisons via
-    :class:`QueryBudgetManager`, so the query vertex's cumulative privacy
-    loss across all comparisons stays within ``total_epsilon``.
+    ``total_epsilon`` is the *analyst's* budget for the whole search. With
+    the default batch method the comparisons are one engine workload: every
+    involved vertex (the query vertex and each candidate) releases its data
+    exactly once at ``total_epsilon``, so the cumulative per-vertex privacy
+    loss is ``total_epsilon`` by parallel composition — no splitting, and
+    utility independent of the number of candidates screened. Passing a
+    registered per-pair estimator name instead reproduces the paper's
+    query-model accounting: the budget is split uniformly across the
+    comparisons via :class:`QueryBudgetManager`.
     """
     candidates = [int(c) for c in candidates if int(c) != int(query_vertex)]
     if k <= 0:
         raise ReproError(f"k must be positive, got {k}")
     if not candidates:
         return []
+    try:
+        formula = SIMILARITY_KINDS[kind]
+    except KeyError:
+        known = ", ".join(SIMILARITY_KINDS)
+        raise ReproError(f"unknown similarity kind {kind!r}; known: {known}") from None
     parent = ensure_rng(rng)
-    manager = QueryBudgetManager(
-        total_epsilon, policy="uniform", num_queries=len(candidates)
-    )
-    rngs = spawn_rngs(parent, len(candidates))
-    scored = []
-    for candidate, child in zip(candidates, rngs):
-        eps = manager.next_budget()
-        estimate = estimate_similarity(
-            graph, layer, query_vertex, candidate, eps, kind, method,
-            rng=child, mode=mode,
+
+    if method in BATCH_METHODS:
+        pairs = [QueryPair(layer, query_vertex, c) for c in candidates]
+        batch = batch_pair_ingredients(
+            graph, layer, pairs, total_epsilon, rng=parent, mode=mode
         )
-        scored.append((candidate, estimate))
+        scored = []
+        for i, candidate in enumerate(candidates):
+            ingredients = PairIngredients(
+                c2_estimate=float(batch.c2_estimates[i]),
+                noisy_degree_u=float(batch.noisy_degrees_a[i]),
+                noisy_degree_w=float(batch.noisy_degrees_b[i]),
+                epsilon=batch.epsilon,
+                epsilon_degrees=batch.epsilon_degrees,
+                epsilon_c2=batch.epsilon_c2,
+            )
+            raw = formula(
+                ingredients.c2_estimate,
+                ingredients.noisy_degree_u,
+                ingredients.noisy_degree_w,
+            )
+            estimate = SimilarityEstimate(
+                kind=kind,
+                value=min(max(raw, 0.0), 1.0),
+                raw_value=raw,
+                ingredients=ingredients,
+            )
+            scored.append((candidate, estimate))
+    else:
+        manager = QueryBudgetManager(
+            total_epsilon, policy="uniform", num_queries=len(candidates)
+        )
+        rngs = spawn_rngs(parent, len(candidates))
+        scored = []
+        for candidate, child in zip(candidates, rngs):
+            eps = manager.next_budget()
+            estimate = estimate_similarity(
+                graph, layer, query_vertex, candidate, eps, kind, method,
+                rng=child, mode=mode,
+            )
+            scored.append((candidate, estimate))
     scored.sort(key=lambda item: item[1].value, reverse=True)
     return scored[:k]

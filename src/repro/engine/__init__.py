@@ -1,0 +1,41 @@
+"""Vectorized batch query engine for whole pair workloads.
+
+One shared ε-RR round, executed entirely at array level: bulk randomized
+response over every distinct workload vertex, sparse-matrix pairwise
+counting (SciPy Gram product with a ``searchsorted`` merge fallback), a
+bulk sketch-mode path for million-vertex candidate pools, and a workload
+planner that dedupes vertices, honors analyst budget managers, and emits
+one privacy/communication accounting per batch.
+"""
+
+from repro.engine.bulkrr import bernoulli_hits, bulk_randomized_response
+from repro.engine.core import (
+    BATCH_METHODS,
+    BatchQueryEngine,
+    EngineResult,
+    workload_party,
+)
+from repro.engine.pairwise import (
+    HAVE_SCIPY,
+    choose_backend,
+    debias_pair_counts,
+    pairwise_intersections,
+)
+from repro.engine.planner import WorkloadPlan, plan_workload
+from repro.engine.sketch import sketch_pair_counts
+
+__all__ = [
+    "BATCH_METHODS",
+    "BatchQueryEngine",
+    "EngineResult",
+    "WorkloadPlan",
+    "plan_workload",
+    "workload_party",
+    "bernoulli_hits",
+    "bulk_randomized_response",
+    "choose_backend",
+    "pairwise_intersections",
+    "debias_pair_counts",
+    "sketch_pair_counts",
+    "HAVE_SCIPY",
+]

@@ -1,0 +1,186 @@
+"""The batch query engine: a whole pair workload in one vectorized pass.
+
+:class:`BatchQueryEngine` is the array-level replacement for running
+:class:`~repro.estimators.batch.BatchOneRound` (or worse, one
+:class:`~repro.protocol.session.ProtocolSession` per pair) over a
+workload. One call plans the workload, perturbs every distinct vertex in
+one bulk RR draw (or draws sketch-mode sufficient statistics), counts all
+pairwise noisy intersections through one sparse product, de-biases every
+pair with a single vectorized expression, and emits exactly one
+:class:`~repro.privacy.accountant.PrivacyLedger` /
+:class:`~repro.protocol.messages.CommunicationLog` accounting for the
+batch.
+
+Privacy matches the shared-round protocol: each distinct workload vertex
+passes through one ε-RR invocation, so the batch is ε-edge LDP by parallel
+composition regardless of how many pairs it answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.bulkrr import bulk_randomized_response
+from repro.engine.pairwise import (
+    choose_backend,
+    debias_pair_counts,
+    pairwise_intersections,
+)
+from repro.engine.planner import WorkloadPlan, plan_workload
+from repro.engine.sketch import sketch_pair_counts
+from repro.errors import ProtocolError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
+from repro.privacy.accountant import PrivacyLedger
+from repro.privacy.composition import QueryBudgetManager
+from repro.privacy.mechanisms import flip_probability
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.protocol.messages import ID_BYTES, CommunicationLog, Direction
+from repro.protocol.session import _AUTO_MATERIALIZE_LIMIT, ExecutionMode
+
+__all__ = ["BATCH_METHODS", "EngineResult", "BatchQueryEngine", "workload_party"]
+
+# Application-level method names that route a workload through the engine
+# instead of a per-pair estimator (shared by similarity / projection /
+# community so the aliases cannot drift apart).
+BATCH_METHODS = ("batch-oner", "batch", "engine")
+
+
+def workload_party(layer: Layer, num_vertices: int) -> str:
+    """Ledger group label for a batch's distinct query vertices.
+
+    All rounds of one batch must charge the same label so sequential
+    composition across rounds (RR + degree reports) adds up per vertex.
+    """
+    return f"{layer.value}:workload[{num_vertices}v]"
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Every pair's estimate plus the batch's accounting, in arrays."""
+
+    layer: Layer
+    epsilon: float
+    pairs: tuple[QueryPair, ...]
+    values: np.ndarray
+    noisy_intersections: np.ndarray
+    noisy_unions: np.ndarray
+    vertices: np.ndarray  # distinct query vertices, sorted
+    ia: np.ndarray  # per-pair slot of pair.a within `vertices`
+    ib: np.ndarray
+    upload_bytes: int
+    num_query_vertices: int
+    mode: ExecutionMode
+    max_epsilon_spent: float
+    details: dict = field(default_factory=dict)
+    _index: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+
+    def value(self, pair: QueryPair) -> float:
+        """The estimate for one of the batch's pairs (O(1) lookup)."""
+        if not self._index:
+            self._index.update({p: i for i, p in enumerate(self.pairs)})
+        try:
+            return float(self.values[self._index[pair]])
+        except KeyError:
+            raise ProtocolError(f"pair {pair} is not part of this batch") from None
+
+
+class BatchQueryEngine:
+    """Answers same-layer pair workloads with array-level work only."""
+
+    name = "engine-batch"
+    unbiased = True
+
+    def __init__(self, *, mode: ExecutionMode = ExecutionMode.AUTO):
+        self.mode = mode
+
+    def estimate_pairs(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        pairs: Sequence[QueryPair],
+        epsilon: float | None = None,
+        *,
+        budget: QueryBudgetManager | None = None,
+        rng: RngLike = None,
+        mode: ExecutionMode | None = None,
+        ledger: PrivacyLedger | None = None,
+        comm: CommunicationLog | None = None,
+    ) -> EngineResult:
+        """Estimate ``C2`` for every pair from one shared noisy round.
+
+        ``budget`` (a :class:`QueryBudgetManager`) may fund the batch
+        instead of ``epsilon``; one slice is drawn per call. An external
+        ``ledger``/``comm`` can be passed when the batch is one round of a
+        larger protocol (e.g. batch similarity, which adds a degree round
+        against the same ledger).
+        """
+        plan = plan_workload(graph, layer, pairs, epsilon, budget=budget)
+        rng = ensure_rng(rng)
+        mode = self._resolve_mode(graph, plan.layer, mode)
+        if ledger is None:
+            ledger = PrivacyLedger(limit=plan.epsilon)
+        if comm is None:
+            comm = CommunicationLog()
+        domain = graph.layer_size(plan.layer.opposite())
+        k = plan.num_vertices
+
+        if mode is ExecutionMode.MATERIALIZE:
+            indptr, columns = bulk_randomized_response(
+                graph, plan.layer, plan.vertices, plan.epsilon, rng
+            )
+            sizes = np.diff(indptr)
+            backend = choose_backend(k, plan.num_pairs, domain)
+            n1 = pairwise_intersections(
+                indptr, columns, plan.ia, plan.ib, domain, backend=backend
+            )
+            n2 = sizes[plan.ia] + sizes[plan.ib] - n1
+        else:
+            n1, n2, sizes = sketch_pair_counts(
+                graph, plan.layer, plan.vertices, plan.ia, plan.ib, plan.epsilon, rng
+            )
+            backend = "sketch"
+
+        values = debias_pair_counts(n1, n2, domain, plan.epsilon)
+        upload_bytes = int(sizes.sum()) * ID_BYTES
+
+        party = workload_party(plan.layer, k)
+        ledger.charge_parallel(
+            party, plan.epsilon, "randomized-response", "engine-batch-rr", count=k
+        )
+        comm.record(Direction.UPLOAD, upload_bytes, "engine-batch:edges")
+        ledger.assert_within(ledger.limit if ledger.limit is not None else plan.epsilon)
+
+        return EngineResult(
+            layer=plan.layer,
+            epsilon=plan.epsilon,
+            pairs=plan.pairs,
+            values=values,
+            noisy_intersections=np.asarray(n1, dtype=np.int64),
+            noisy_unions=np.asarray(n2, dtype=np.int64),
+            vertices=plan.vertices,
+            ia=plan.ia,
+            ib=plan.ib,
+            upload_bytes=upload_bytes,
+            num_query_vertices=k,
+            mode=mode,
+            max_epsilon_spent=ledger.max_spent(),
+            details={
+                "flip_probability": flip_probability(plan.epsilon),
+                "candidate_pool": domain,
+                "backend": backend,
+                "party": party,
+            },
+        )
+
+    def _resolve_mode(
+        self, graph: BipartiteGraph, layer: Layer, mode: ExecutionMode | None
+    ) -> ExecutionMode:
+        mode = mode if mode is not None else self.mode
+        if mode is ExecutionMode.AUTO:
+            small = graph.layer_size(layer.opposite()) <= _AUTO_MATERIALIZE_LIMIT
+            return ExecutionMode.MATERIALIZE if small else ExecutionMode.SKETCH
+        return mode

@@ -1,0 +1,91 @@
+"""Workload planning: validation, vertex dedup and budget slicing.
+
+A plan turns an arbitrary same-layer pair workload into the arrays the
+vectorized stages consume: the sorted distinct query vertices (each
+perturbs exactly once, whatever the pair multiplicity) and, per pair, the
+slots of its endpoints within that vertex block. Budgets come either as an
+explicit per-batch ``epsilon`` or as one slice of a
+:class:`~repro.privacy.composition.QueryBudgetManager`, so a sequence of
+batches can honestly share an analyst budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, PrivacyError, ProtocolError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
+from repro.privacy.composition import QueryBudgetManager
+
+__all__ = ["WorkloadPlan", "plan_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """A validated batch: distinct vertices, pair slots and the budget."""
+
+    layer: Layer
+    epsilon: float
+    pairs: tuple[QueryPair, ...]
+    vertices: np.ndarray  # sorted distinct query vertices
+    ia: np.ndarray  # slot of pair.a within `vertices`, per pair
+    ib: np.ndarray  # slot of pair.b within `vertices`, per pair
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.vertices.size)
+
+
+def plan_workload(
+    graph: BipartiteGraph,
+    layer: Layer,
+    pairs: Sequence[QueryPair],
+    epsilon: float | None = None,
+    *,
+    budget: QueryBudgetManager | None = None,
+) -> WorkloadPlan:
+    """Validate a pair workload and resolve its batch budget.
+
+    Exactly one of ``epsilon`` and ``budget`` funds the batch; with a
+    manager, one slice is reserved per call (a batch is one query against
+    the analyst's total, however many pairs it answers).
+    """
+    if not pairs:
+        raise ProtocolError("batch needs at least one query pair")
+    for pair in pairs:
+        if pair.layer is not layer:
+            raise ProtocolError(f"pair {pair} is not on the requested {layer} layer")
+
+    if budget is not None:
+        if epsilon is not None:
+            raise PrivacyError("pass either epsilon or a budget manager, not both")
+        epsilon = budget.next_budget()
+    if epsilon is None:
+        raise PrivacyError("a batch needs an epsilon or a budget manager")
+    epsilon = float(epsilon)
+    if not math.isfinite(epsilon) or epsilon <= 0.0:
+        raise PrivacyError(f"epsilon must be a positive finite number, got {epsilon}")
+
+    endpoints = np.array([(pair.a, pair.b) for pair in pairs], dtype=np.int64)
+    n_layer = graph.layer_size(layer)
+    if endpoints.min() < 0 or endpoints.max() >= n_layer:
+        raise GraphError(f"query vertex out of range for {layer} layer of size {n_layer}")
+    vertices, inverse = np.unique(endpoints, return_inverse=True)
+    inverse = inverse.reshape(endpoints.shape)
+    return WorkloadPlan(
+        layer=layer,
+        epsilon=epsilon,
+        pairs=tuple(pairs),
+        vertices=vertices,
+        ia=np.ascontiguousarray(inverse[:, 0]),
+        ib=np.ascontiguousarray(inverse[:, 1]),
+    )

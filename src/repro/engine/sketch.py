@@ -1,0 +1,79 @@
+"""Sketch-mode batch path: bulk contingency draws, no lists materialized.
+
+Mirrors :meth:`repro.protocol.session.ProtocolSession.naive_counts` in
+sketch mode, but for a whole workload at once: each pair's noisy
+intersection/union counts are drawn from their exact distributions via
+four *batched* multinomials (one per candidate class), and each distinct
+vertex's noisy list size comes from one vectorized pair of binomials. A
+million-vertex candidate pool therefore costs O(pairs + vertices) — no
+noisy list ever exists.
+
+As with the session's sketch mode, each drawn quantity is marginally
+exact but the joint distribution across pairs sharing a vertex is not
+preserved (independent draws replace the shared noisy list); error and
+communication statistics aggregate correctly, correlations do not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.engine.bulkrr import gather_rows
+from repro.engine.pairwise import pairwise_intersections
+from repro.privacy.mechanisms import flip_probability
+from repro.privacy.rng import RngLike, ensure_rng
+
+__all__ = ["sketch_pair_counts"]
+
+
+def sketch_pair_counts(
+    graph: BipartiteGraph,
+    layer: Layer,
+    vertices: np.ndarray,
+    ia: np.ndarray,
+    ib: np.ndarray,
+    epsilon: float,
+    rng: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw ``(N1, N2)`` for every pair and a noisy size per vertex.
+
+    ``vertices`` are the workload's distinct query vertices; ``ia``/``ib``
+    index pairs into them. Candidate classes per pair — common neighbors,
+    exclusive neighbors of either endpoint, and non-neighbors of both —
+    each pass through one batched 4-outcome multinomial (reported by both /
+    only a / only b / neither).
+    """
+    rng = ensure_rng(rng)
+    p = flip_probability(epsilon)
+    q = 1.0 - p
+    domain = graph.layer_size(layer.opposite())
+    vertices = np.asarray(vertices, dtype=np.int64)
+    ia = np.asarray(ia, dtype=np.int64)
+    ib = np.asarray(ib, dtype=np.int64)
+
+    # Exact C2 per pair, computed once from the true rows with the same
+    # sparse pairwise counter the materialized path uses.
+    sub_indptr, true_cols = gather_rows(*graph.adjacency_csr(layer), vertices)
+    c2 = pairwise_intersections(sub_indptr, true_cols, ia, ib, domain)
+    deg = np.diff(sub_indptr)
+    da, db = deg[ia], deg[ib]
+
+    categories = (
+        (c2, q, q),  # true common neighbors
+        (da - c2, q, p),  # neighbors of a only
+        (db - c2, p, q),  # neighbors of b only
+        (domain - da - db + c2, p, p),  # neither
+    )
+    n1 = np.zeros(ia.size, dtype=np.int64)
+    union = np.zeros(ia.size, dtype=np.int64)
+    for count, qa, qb in categories:
+        draws = rng.multinomial(
+            count,
+            [qa * qb, qa * (1.0 - qb), (1.0 - qa) * qb, (1.0 - qa) * (1.0 - qb)],
+        )
+        n1 += draws[:, 0]
+        union += draws[:, 0] + draws[:, 1] + draws[:, 2]
+
+    sizes = rng.binomial(deg, q) + rng.binomial(domain - deg, p)
+    return n1, union, sizes.astype(np.int64)

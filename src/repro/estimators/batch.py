@@ -46,14 +46,27 @@ class BatchEstimateResult:
     num_query_vertices: int
     max_epsilon_spent: float
     details: dict = field(default_factory=dict)
+    _index: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     def value(self, pair: QueryPair) -> float:
-        """The estimate for one of the batch's pairs."""
-        return float(self.values[self.pairs.index(pair)])
+        """The estimate for one of the batch's pairs (O(1) after first use)."""
+        if not self._index:
+            self._index.update({p: i for i, p in enumerate(self.pairs)})
+        try:
+            return float(self.values[self._index[pair]])
+        except KeyError:
+            raise ProtocolError(f"pair {pair} is not part of this batch") from None
 
 
 class BatchOneRound:
-    """One shared ε-RR round answering a whole same-layer pair workload."""
+    """One shared ε-RR round answering a whole same-layer pair workload.
+
+    This is the straightforward per-vertex/per-pair reference
+    implementation (and the baseline the engine benchmarks measure
+    against); production workloads should prefer
+    :class:`repro.engine.BatchQueryEngine`, which computes the identical
+    estimates with array-level work only.
+    """
 
     name = "batch-oner"
     unbiased = True

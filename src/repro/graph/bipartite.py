@@ -166,6 +166,17 @@ class BipartiteGraph:
         ptr = self._u_indptr if layer is Layer.UPPER else self._l_indptr
         return np.diff(ptr)
 
+    def adjacency_csr(self, layer: Layer) -> tuple[np.ndarray, np.ndarray]:
+        """The read-only ``(indptr, indices)`` CSR adjacency of ``layer``.
+
+        Row ``v`` of the CSR pair is ``v``'s sorted neighbor list on the
+        opposite layer — the zero-copy bulk view the batch query engine
+        vectorizes over instead of slicing :meth:`neighbors` per vertex.
+        """
+        if layer is Layer.UPPER:
+            return self._u_indptr, self._u_indices
+        return self._l_indptr, self._l_indices
+
     def max_degree(self, layer: Layer) -> int:
         """Maximum degree on ``layer`` (0 for an empty layer)."""
         deg = self.degrees(layer)

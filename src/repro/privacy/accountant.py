@@ -84,6 +84,31 @@ class PrivacyLedger:
         for party in parties:
             self.charge(party, epsilon, mechanism, round_label)
 
+    def charge_parallel(
+        self,
+        group: str,
+        epsilon: float,
+        mechanism: str = "unknown",
+        round_label: str = "",
+        *,
+        count: int = 1,
+    ) -> None:
+        """One aggregated charge for ``count`` disjoint parties under ``group``.
+
+        Parallel composition: when every member of the group perturbs its
+        own disjoint neighbor list once at ``epsilon``, the round-level
+        loss is ``epsilon`` no matter how many members there are — so a
+        single ledger entry suffices and million-vertex batch rounds avoid
+        a Python-level charge per vertex. Sequential charges against the
+        same ``group`` label still add up, preserving per-vertex accounting
+        across the rounds of one batch.
+        """
+        if count < 0:
+            raise PrivacyError(f"cannot charge a group of {count} parties")
+        if count == 0:
+            return
+        self.charge(group, epsilon, mechanism, round_label)
+
     # ------------------------------------------------------------------
     def spent(self, party: str) -> float:
         """Sequential-composition total spent by ``party``."""

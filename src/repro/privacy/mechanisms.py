@@ -21,6 +21,7 @@ from repro.privacy.rng import RngLike, ensure_rng
 
 __all__ = [
     "flip_probability",
+    "complement_positions_to_indices",
     "RandomizedResponse",
     "LaplaceMechanism",
 ]
@@ -120,31 +121,69 @@ class RandomizedResponse:
         return f"RandomizedResponse(epsilon={self.epsilon:g}, p={self.flip_probability:.4f})"
 
 
+def complement_positions_to_indices(
+    exclude: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Map ranks in the complement of sorted ``exclude`` to domain indices.
+
+    The ``x``-th smallest non-excluded value equals ``x`` plus the number
+    of excluded values at or below it, which is ``#{j : exclude[j] - j <= x}``
+    — one ``searchsorted`` against the shifted (still sorted) exclude array.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    exclude = np.asarray(exclude, dtype=np.int64)
+    if exclude.size == 0 or positions.size == 0:
+        return positions
+    shifted = exclude - np.arange(exclude.size, dtype=np.int64)
+    return positions + np.searchsorted(shifted, positions, side="right")
+
+
 def _sample_complement(
     exclude: np.ndarray, domain_size: int, count: int, rng: np.random.Generator
 ) -> np.ndarray:
     """Sample ``count`` distinct indices from ``range(domain_size)`` avoiding
-    ``exclude`` (sorted array)."""
+    ``exclude`` (sorted array).
+
+    Works in complement-*position* space: ranks are drawn from
+    ``range(domain_size - len(exclude))`` (so the excluded values never need
+    filtering) and mapped back through
+    :func:`complement_positions_to_indices`. Rejection only has to fight
+    duplicate ranks; each chunk is deduped locally and merged into the
+    sorted accepted array with a ``searchsorted`` membership test.
+    """
     available = domain_size - exclude.size
     if count > available:
         raise PrivacyError("cannot sample more zeros than available")
-    if exclude.size == 0:
-        return rng.choice(domain_size, size=count, replace=False)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    # The rank mapping needs a sorted exclude array; callers usually pass
+    # CSR rows (already sorted) but the contract is not enforced upstream.
+    exclude = np.asarray(exclude, dtype=np.int64)
+    if exclude.size > 1 and not (np.diff(exclude) > 0).all():
+        exclude = np.sort(exclude)
     if count > available // 2:
-        # Dense request: enumerate the complement explicitly.
-        mask = np.ones(domain_size, dtype=bool)
-        mask[exclude] = False
-        complement = np.flatnonzero(mask)
-        return rng.choice(complement, size=count, replace=False)
-    chosen: np.ndarray = np.empty(0, dtype=np.int64)
-    while chosen.size < count:
-        need = count - chosen.size
-        draw = rng.integers(0, domain_size, size=int(need * 1.5) + 8, dtype=np.int64)
-        draw = draw[np.isin(draw, exclude, invert=True)]
-        chosen = np.unique(np.concatenate([chosen, draw]))
-    if chosen.size > count:
-        chosen = rng.choice(chosen, size=count, replace=False)
-    return chosen
+        # Dense request: a permutation of the (position) range is cheaper
+        # than rejection once more than half the range is needed.
+        positions = rng.permutation(available)[:count].astype(np.int64)
+    else:
+        chosen: np.ndarray = np.empty(0, dtype=np.int64)
+        while chosen.size < count:
+            need = count - chosen.size
+            draw = rng.integers(0, available, size=int(need * 1.5) + 8, dtype=np.int64)
+            draw = np.unique(draw)  # dedupe within the chunk only
+            if chosen.size:
+                at = np.searchsorted(chosen, draw)
+                at = np.minimum(at, chosen.size - 1)
+                draw = draw[chosen[at] != draw]
+                # fresh ranks are disjoint from the accepted ones, so a
+                # plain sorted merge keeps `chosen` sorted and unique
+                chosen = np.sort(np.concatenate([chosen, draw]))
+            else:
+                chosen = draw
+        if chosen.size > count:
+            chosen = rng.choice(chosen, size=count, replace=False)
+        positions = chosen
+    return complement_positions_to_indices(exclude, positions)
 
 
 class LaplaceMechanism:

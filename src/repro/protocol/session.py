@@ -195,12 +195,10 @@ class ProtocolSession:
         domain = self.n_opposite
 
         if self.mode is ExecutionMode.MATERIALIZE:
-            # Perturb the dense 0/1 row — O(n_opposite), the vertex-side cost
-            # the paper's complexity analysis assigns to this round.
-            row = np.zeros(domain, dtype=np.int8)
-            row[neighbors] = 1
-            noisy_row = rr.perturb_bits(row, self.rng)
-            noisy = np.flatnonzero(noisy_row).astype(np.int64)
+            # Sparse sampling of the perturbed row: distribution-equivalent
+            # to flipping the dense 0/1 row but O(d + expected noisy edges)
+            # instead of O(n_opposite).
+            noisy = rr.perturb_neighbor_list(neighbors, domain, self.rng)
             handle = NoisyListHandle(vertex, eps_rr, int(noisy.size), noisy)
         else:
             kept = int(self.rng.binomial(degree, 1.0 - rr.flip_probability))

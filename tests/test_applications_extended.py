@@ -119,10 +119,24 @@ class TestTopK:
         )
         assert [vertex for vertex, _ in top] == [1, 2]
 
-    def test_budget_split_across_candidates(self, ranked_graph):
+    def test_batch_search_charges_full_budget_once(self, ranked_graph):
+        """The default batch method runs one shared round: every vertex is
+        charged the whole analyst budget exactly once, so each pair's
+        ingredients carry the full epsilon (no per-comparison split)."""
         top = top_k_similar(
             ranked_graph, Layer.UPPER, 0, [1, 2, 3], k=3,
             total_epsilon=6.0, rng=5,
+        )
+        for _, est in top:
+            assert est.ingredients.epsilon == pytest.approx(6.0)
+            assert est.ingredients.epsilon_degrees + est.ingredients.epsilon_c2 == (
+                pytest.approx(6.0)
+            )
+
+    def test_per_pair_method_splits_budget(self, ranked_graph):
+        top = top_k_similar(
+            ranked_graph, Layer.UPPER, 0, [1, 2, 3], k=3,
+            total_epsilon=6.0, method="multir-ds", rng=5,
         )
         for _, est in top:
             assert est.ingredients.epsilon == pytest.approx(2.0)

@@ -1,0 +1,80 @@
+"""Performance smoke guard: the engine must stay far ahead of the loop.
+
+Not a benchmark (see ``benchmarks/bench_engine_batch.py`` for those
+numbers) — a regression tripwire with generous margins so it never flakes
+on a loaded CI box while still catching an accidental re-introduction of
+per-pair Python work into the engine's hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import BatchQueryEngine
+from repro.estimators.batch import BatchOneRound
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.graph.sampling import sample_query_pairs
+from repro.protocol.session import ExecutionMode
+
+
+def _best_of(runs, fn):
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def large_domain_workload():
+    """1k pairs on a graph whose candidate pool exceeds the AUTO
+    materialization limit, so the engine's default path is the sketch."""
+    graph = random_bipartite(2000, 25_000, 80_000, rng=1)
+    pairs = sample_query_pairs(graph, Layer.UPPER, 1000, rng=2)
+    return graph, pairs
+
+
+@pytest.fixture(scope="module")
+def materialize_workload():
+    graph = random_bipartite(2000, 10_000, 60_000, rng=3)
+    pairs = sample_query_pairs(graph, Layer.UPPER, 1000, rng=4)
+    return graph, pairs
+
+
+def test_engine_default_path_at_least_5x_faster(large_domain_workload):
+    graph, pairs = large_domain_workload
+    loop = BatchOneRound()
+    engine = BatchQueryEngine()
+    loop_time = _best_of(
+        2, lambda: loop.estimate_pairs(graph, Layer.UPPER, pairs, 2.0, rng=7)
+    )
+    engine_time = _best_of(
+        2, lambda: engine.estimate_pairs(graph, Layer.UPPER, pairs, 2.0, rng=7)
+    )
+    assert loop_time >= 5.0 * engine_time, (
+        f"engine default path only {loop_time / engine_time:.1f}x faster "
+        f"({loop_time:.3f}s vs {engine_time:.3f}s)"
+    )
+
+
+def test_engine_materialized_path_faster_than_loop(materialize_workload):
+    """Same mode on both sides: the vectorized materialized path must beat
+    the per-vertex/per-pair loop outright (typically ~2-3x; asserted at a
+    noise-proof 1.2x)."""
+    graph, pairs = materialize_workload
+    loop = BatchOneRound()
+    engine = BatchQueryEngine(mode=ExecutionMode.MATERIALIZE)
+    loop_time = _best_of(
+        2, lambda: loop.estimate_pairs(graph, Layer.UPPER, pairs, 2.0, rng=9)
+    )
+    engine_time = _best_of(
+        2, lambda: engine.estimate_pairs(graph, Layer.UPPER, pairs, 2.0, rng=9)
+    )
+    assert loop_time >= 1.2 * engine_time, (
+        f"materialized engine only {loop_time / engine_time:.1f}x faster "
+        f"({loop_time:.3f}s vs {engine_time:.3f}s)"
+    )
