@@ -70,6 +70,7 @@ from repro.graph import (
 from repro.engine import BatchQueryEngine, EngineResult
 from repro.privacy import BudgetSplit, LaplaceMechanism, RandomizedResponse
 from repro.protocol import ExecutionMode, ProtocolSession, ProtocolTranscript
+from repro.serving import NoisyViewCache, QueryServer, ServedEstimate
 
 __version__ = "1.0.0"
 
@@ -94,6 +95,10 @@ __all__ = [
     "BatchQueryEngine",
     "EngineResult",
     "ProtocolTranscript",
+    # serving
+    "QueryServer",
+    "ServedEstimate",
+    "NoisyViewCache",
     # estimators
     "CommonNeighborEstimator",
     "EstimateResult",

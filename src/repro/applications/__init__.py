@@ -28,7 +28,11 @@ from repro.applications.ingredients import (
     private_pair_ingredients,
 )
 from repro.applications.jaccard import JaccardEstimate, estimate_jaccard
-from repro.applications.recommendation import Recommendation, recommend_items
+from repro.applications.recommendation import (
+    Recommendation,
+    recommend_items,
+    recommend_items_served,
+)
 from repro.applications.projection import (
     exact_projection,
     ldp_projection,
@@ -39,6 +43,7 @@ from repro.applications.similarity import (
     SimilarityEstimate,
     estimate_similarity,
     top_k_similar,
+    top_k_similar_served,
 )
 
 __all__ = [
@@ -54,6 +59,7 @@ __all__ = [
     "pairwise_rand_index",
     "Recommendation",
     "recommend_items",
+    "recommend_items_served",
     "DegreePublication",
     "noisy_degree_histogram",
     "publish_noisy_degrees",
@@ -70,4 +76,5 @@ __all__ = [
     "SimilarityEstimate",
     "estimate_similarity",
     "top_k_similar",
+    "top_k_similar_served",
 ]

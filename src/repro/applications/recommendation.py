@@ -22,11 +22,11 @@ locally to exclude already-owned items).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.applications.similarity import top_k_similar
+from repro.applications.similarity import top_k_similar, top_k_similar_served
 from repro.engine.bulkrr import bulk_randomized_response
 from repro.errors import PrivacyError
 from repro.graph.bipartite import BipartiteGraph, Layer
@@ -34,7 +34,10 @@ from repro.privacy.mechanisms import RandomizedResponse
 from repro.privacy.rng import RngLike, ensure_rng
 from repro.protocol.session import ExecutionMode
 
-__all__ = ["Recommendation", "recommend_items"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving is optional)
+    from repro.serving.server import QueryServer
+
+__all__ = ["Recommendation", "recommend_items", "recommend_items_served"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,57 @@ def recommend_items(
         graph, layer, target, candidates, k, epsilon_similarity,
         kind=similarity_kind, rng=parent, mode=mode,
     )
+    return _aggregate_preferences(
+        graph, layer, target, neighbors, epsilon_lists, top_items,
+        exclude_owned, parent,
+    )
+
+
+async def recommend_items_served(
+    server: "QueryServer",
+    target: int,
+    candidates: Sequence[int],
+    epsilon_lists: float,
+    k: int = 5,
+    top_items: int = 10,
+    exclude_owned: bool = True,
+    similarity_kind: str = "jaccard",
+    *,
+    rng: RngLike = None,
+) -> list[Recommendation]:
+    """Async recommendation with the neighborhood screen served.
+
+    The similarity phase routes through a running :class:`QueryServer`
+    (coalesced ticks, epoch-cached views — screening several targets over
+    overlapping candidate pools in one epoch charges each candidate
+    once); the preference-aggregation phase is unchanged: each selected
+    neighbor releases its item list once at ``epsilon_lists``. The server
+    needs ``degree_epsilon`` for the similarity ingredients.
+    """
+    if epsilon_lists <= 0:
+        raise PrivacyError("epsilon_lists must be positive")
+    if top_items <= 0:
+        raise PrivacyError("top_items must be positive")
+    neighbors = await top_k_similar_served(
+        server, target, candidates, k, kind=similarity_kind
+    )
+    return _aggregate_preferences(
+        server.graph, server.layer, target, neighbors, epsilon_lists,
+        top_items, exclude_owned, ensure_rng(rng),
+    )
+
+
+def _aggregate_preferences(
+    graph: BipartiteGraph,
+    layer: Layer,
+    target: int,
+    neighbors,
+    epsilon_lists: float,
+    top_items: int,
+    exclude_owned: bool,
+    rng: np.random.Generator,
+) -> list[Recommendation]:
+    """Score items by similarity-weighted de-biased noisy membership bits."""
     if not neighbors:
         # No usable neighborhood: recommending from pure noise would be
         # misleading, so return nothing rather than zero-score items.
@@ -104,7 +158,7 @@ def recommend_items(
         # baseline goes to all items and the increment only where a noisy
         # bit is one.
         indptr, noisy_items = bulk_randomized_response(
-            graph, layer, ids, epsilon_lists, parent
+            graph, layer, ids, epsilon_lists, rng
         )
         scores += phi_zero * sims.sum()
         weights = np.repeat(sims / (1.0 - 2.0 * p), np.diff(indptr))

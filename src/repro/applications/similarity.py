@@ -16,9 +16,10 @@ are not unbiased themselves (documented caveat); values are clamped to
 
 from __future__ import annotations
 
+import asyncio
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.applications.ingredients import (
     PairIngredients,
@@ -33,12 +34,16 @@ from repro.privacy.composition import QueryBudgetManager
 from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
 from repro.protocol.session import ExecutionMode
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving is optional)
+    from repro.serving.server import QueryServer
+
 __all__ = [
     "SimilarityEstimate",
     "SIMILARITY_KINDS",
     "BATCH_METHODS",
     "estimate_similarity",
     "top_k_similar",
+    "top_k_similar_served",
 ]
 
 
@@ -192,5 +197,71 @@ def top_k_similar(
                 rng=child, mode=mode,
             )
             scored.append((candidate, estimate))
+    scored.sort(key=lambda item: item[1].value, reverse=True)
+    return scored[:k]
+
+
+async def top_k_similar_served(
+    server: "QueryServer",
+    query_vertex: int,
+    candidates: Sequence[int],
+    k: int,
+    kind: str = "jaccard",
+) -> list[tuple[int, SimilarityEstimate]]:
+    """Async top-k search routed through a running :class:`QueryServer`.
+
+    Each comparison is one served query: the whole candidate screen
+    coalesces into the server's tick batches, and any vertex (or pair)
+    already holding an epoch view is answered from cache for free — a
+    second top-k search over overlapping candidates in the same epoch
+    costs **zero** additional budget. Degrees come from the server's
+    epoch-cached Laplace releases, so the server must be constructed with
+    ``degree_epsilon``.
+    """
+    if server.degree_epsilon is None:
+        raise ReproError(
+            "served similarity needs noisy degrees; construct the "
+            "QueryServer with degree_epsilon"
+        )
+    try:
+        formula = SIMILARITY_KINDS[kind]
+    except KeyError:
+        known = ", ".join(SIMILARITY_KINDS)
+        raise ReproError(f"unknown similarity kind {kind!r}; known: {known}") from None
+    if k <= 0:
+        raise ReproError(f"k must be positive, got {k}")
+    candidates = [int(c) for c in candidates if int(c) != int(query_vertex)]
+    if not candidates:
+        return []
+
+    served = await asyncio.gather(
+        *(server.query(query_vertex, candidate) for candidate in candidates)
+    )
+    scored = []
+    for candidate, estimate in zip(candidates, served):
+        ingredients = PairIngredients(
+            c2_estimate=estimate.value,
+            noisy_degree_u=float(estimate.noisy_degree_a),
+            noisy_degree_w=float(estimate.noisy_degree_b),
+            epsilon=server.epsilon + server.degree_epsilon,
+            epsilon_degrees=server.degree_epsilon,
+            epsilon_c2=server.epsilon,
+        )
+        raw = formula(
+            ingredients.c2_estimate,
+            ingredients.noisy_degree_u,
+            ingredients.noisy_degree_w,
+        )
+        scored.append(
+            (
+                candidate,
+                SimilarityEstimate(
+                    kind=kind,
+                    value=min(max(raw, 0.0), 1.0),
+                    raw_value=raw,
+                    ingredients=ingredients,
+                ),
+            )
+        )
     scored.sort(key=lambda item: item[1].value, reverse=True)
     return scored[:k]

@@ -12,6 +12,8 @@ Subcommands:
 * ``generate`` — synthesize a dataset analogue and write it as a TSV
   edge list.
 * ``summary`` — degree statistics of a dataset (both layers).
+* ``serve`` — run the async serving layer under a simulated concurrent
+  client workload and report coalescing / cache / budget statistics.
 """
 
 from __future__ import annotations
@@ -133,6 +135,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="multir-ds",
         choices=("oner", "multir-ss", "multir-ds", "central-dp"),
     )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="simulate concurrent clients against the async serving layer",
+    )
+    p_srv.add_argument("--dataset", required=True)
+    p_srv.add_argument(
+        "--layer", choices=("upper", "lower"), default="upper",
+        help="layer the query pairs live on",
+    )
+    p_srv.add_argument("--eps", type=float, default=2.0, help="per-epoch RR budget")
+    p_srv.add_argument(
+        "--clients", type=int, default=20, help="concurrent simulated clients"
+    )
+    p_srv.add_argument(
+        "--queries", type=int, default=25, help="queries issued per client"
+    )
+    p_srv.add_argument(
+        "--replays", type=int, default=2,
+        help="times each client replays its workload (replays hit the cache)",
+    )
+    p_srv.add_argument(
+        "--epoch-ticks", type=int, default=None,
+        help="rotate the epoch cache every N ticks (default: never)",
+    )
+    p_srv.add_argument(
+        "--degree-eps", type=float, default=None,
+        help="also serve epoch-cached noisy degrees at this budget",
+    )
+    p_srv.add_argument(
+        "--mode", choices=("auto", "materialize", "sketch"), default="auto",
+    )
+    p_srv.add_argument("--seed", type=int, default=None)
+    p_srv.add_argument("--max-edges", type=int, default=None)
     return parser
 
 
@@ -284,6 +320,43 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.datasets.cache import load_dataset
+    from repro.privacy.rng import ensure_rng, spawn_rngs
+    from repro.protocol.session import ExecutionMode
+    from repro.serving import QueryServer, serving_report, simulate_clients
+
+    graph = load_dataset(args.dataset, args.max_edges)
+    layer = Layer.UPPER if args.layer == "upper" else Layer.LOWER
+    mode = {
+        "auto": ExecutionMode.AUTO,
+        "materialize": ExecutionMode.MATERIALIZE,
+        "sketch": ExecutionMode.SKETCH,
+    }[args.mode]
+    server_rng, client_rng = spawn_rngs(ensure_rng(args.seed), 2)
+
+    async def _drive():
+        async with QueryServer(
+            graph, layer, args.eps,
+            mode=mode,
+            epoch_ticks=args.epoch_ticks,
+            degree_epsilon=args.degree_eps,
+            rng=server_rng,
+        ) as server:
+            result = await simulate_clients(
+                server, args.clients, args.queries,
+                rng=client_rng, replays=args.replays,
+            )
+            return serving_report(server, result)
+
+    print(f"dataset         : {args.dataset} "
+          f"(|E|={graph.num_edges:,}, layer={args.layer})")
+    print(asyncio.run(_drive()))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -302,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_summary(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -19,18 +19,29 @@ from repro.engine.pairwise import (
     HAVE_SCIPY,
     choose_backend,
     debias_pair_counts,
+    pack_bitset_row,
     pairwise_intersections,
 )
-from repro.engine.planner import WorkloadPlan, plan_workload
+from repro.engine.planner import (
+    CacheSplit,
+    WorkloadPlan,
+    pair_keys,
+    plan_workload,
+    split_cached,
+)
 from repro.engine.sketch import sketch_pair_counts
 
 __all__ = [
     "BATCH_METHODS",
     "BatchQueryEngine",
+    "CacheSplit",
     "EngineResult",
     "WorkloadPlan",
+    "pair_keys",
     "plan_workload",
+    "split_cached",
     "workload_party",
+    "pack_bitset_row",
     "bernoulli_hits",
     "bulk_randomized_response",
     "choose_backend",

@@ -19,7 +19,7 @@ composition regardless of how many pairs it answers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -29,9 +29,9 @@ from repro.engine.pairwise import (
     debias_pair_counts,
     pairwise_intersections,
 )
-from repro.engine.planner import WorkloadPlan, plan_workload
+from repro.engine.planner import WorkloadPlan, pair_keys, plan_workload, split_cached
 from repro.engine.sketch import sketch_pair_counts
-from repro.errors import ProtocolError
+from repro.errors import PrivacyError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.sampling import QueryPair
 from repro.privacy.accountant import PrivacyLedger
@@ -40,6 +40,9 @@ from repro.privacy.mechanisms import flip_probability
 from repro.privacy.rng import RngLike, ensure_rng
 from repro.protocol.messages import ID_BYTES, CommunicationLog, Direction
 from repro.protocol.session import _AUTO_MATERIALIZE_LIMIT, ExecutionMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving uses engine)
+    from repro.serving.cache import NoisyViewCache
 
 __all__ = ["BATCH_METHODS", "EngineResult", "BatchQueryEngine", "workload_party"]
 
@@ -109,6 +112,7 @@ class BatchQueryEngine:
         mode: ExecutionMode | None = None,
         ledger: PrivacyLedger | None = None,
         comm: CommunicationLog | None = None,
+        cache: "NoisyViewCache | None" = None,
     ) -> EngineResult:
         """Estimate ``C2`` for every pair from one shared noisy round.
 
@@ -117,9 +121,28 @@ class BatchQueryEngine:
         ``ledger``/``comm`` can be passed when the batch is one round of a
         larger protocol (e.g. batch similarity, which adds a degree round
         against the same ledger).
+
+        ``cache`` (a :class:`~repro.serving.cache.NoisyViewCache`) turns
+        the call into one epoch-cached serving tick: vertices (materialize
+        mode) or pairs (sketch mode) already holding an epoch view are
+        served from the identical cached draw with **zero** additional
+        budget charge; only cache misses are perturbed and charged —
+        through the cache's :class:`~repro.privacy.epoch.EpochAccountant`
+        and, in aggregate, ``ledger.charge_parallel``. Epsilon defaults to
+        (and must match) the cache's pinned budget.
         """
+        if cache is not None:
+            if budget is not None:
+                raise PrivacyError(
+                    "an epoch cache pins the batch epsilon; a budget manager "
+                    "cannot fund cached batches"
+                )
+            if epsilon is None:
+                epsilon = cache.epsilon
         plan = plan_workload(graph, layer, pairs, epsilon, budget=budget)
         rng = ensure_rng(rng)
+        if mode is None and cache is not None:
+            mode = cache.mode
         mode = self._resolve_mode(graph, plan.layer, mode)
         if ledger is None:
             ledger = PrivacyLedger(limit=plan.epsilon)
@@ -127,6 +150,12 @@ class BatchQueryEngine:
             comm = CommunicationLog()
         domain = graph.layer_size(plan.layer.opposite())
         k = plan.num_vertices
+
+        if cache is not None:
+            cache.check_compatible(graph, plan.layer, plan.epsilon, mode)
+            return self._estimate_pairs_cached(
+                graph, plan, mode, cache, rng, ledger, comm, domain, k
+            )
 
         if mode is ExecutionMode.MATERIALIZE:
             indptr, columns = bulk_randomized_response(
@@ -173,6 +202,131 @@ class BatchQueryEngine:
                 "candidate_pool": domain,
                 "backend": backend,
                 "party": party,
+            },
+        )
+
+    def _estimate_pairs_cached(
+        self,
+        graph: BipartiteGraph,
+        plan: WorkloadPlan,
+        mode: ExecutionMode,
+        cache: "NoisyViewCache",
+        rng: np.random.Generator,
+        ledger: PrivacyLedger,
+        comm: CommunicationLog,
+        domain: int,
+        k: int,
+    ) -> EngineResult:
+        """One serving tick: perturb and charge only the cache misses.
+
+        Materialize mode splits the plan's distinct vertex block into
+        cached/uncached halves — the uncached block passes through one
+        bulk RR draw and joins the cache, then the whole tick is answered
+        from cached rows (so a pair repeated within the epoch gets a
+        bit-identical estimate). Sketch mode is pair-granular: repeated
+        pairs replay their cached ``(N1, N2)`` draw; new pairs draw fresh
+        statistics and recharge their endpoints (documented sketch-mode
+        honesty: without a stored list there is nothing to reuse).
+        """
+        accountant = cache.accountant
+        if mode is ExecutionMode.MATERIALIZE:
+            split = split_cached(plan, cache.vertex_cached_mask(plan.vertices))
+            # Charge *before* drawing: a refused charge (epoch allowance,
+            # ledger limit) must leave no stored view behind, or later
+            # queries would ride the uncharged draw for free.
+            party = accountant.charge_vertices(
+                plan.layer, split.uncached, plan.epsilon,
+                "randomized-response", "serve-rr", ledger=ledger,
+            )
+            fresh_bytes = 0
+            if split.num_uncached:
+                fresh_indptr, fresh_columns = bulk_randomized_response(
+                    graph, plan.layer, split.uncached, plan.epsilon, rng
+                )
+                cache.store_views(split.uncached, fresh_indptr, fresh_columns)
+                fresh_bytes = int(fresh_columns.size) * ID_BYTES
+            indptr, columns = cache.gather_views(plan.vertices)
+            sizes = np.diff(indptr)
+            backend = choose_backend(k, plan.num_pairs, domain)
+            packed = (
+                cache.packed_matrix(plan.vertices) if backend == "bitset" else None
+            )
+            n1 = pairwise_intersections(
+                indptr, columns, plan.ia, plan.ib, domain,
+                backend=backend, packed=packed,
+            )
+            n2 = sizes[plan.ia] + sizes[plan.ib] - n1
+            charged = split.uncached
+            hits, misses = split.num_cached, split.num_uncached
+            cache.stats.vertex_hits += hits
+            cache.stats.vertex_misses += misses
+        else:
+            keys = pair_keys(plan)
+            hit_mask = np.fromiter(
+                (cache.has_pair(a, b) for a, b in keys),
+                dtype=bool,
+                count=plan.num_pairs,
+            )
+            backend = "sketch"
+            fresh_bytes = 0
+            charged = np.empty(0, dtype=np.int64)
+            party = None
+            if not hit_mask.all():
+                # Unique missed keys: a pair repeated within the tick draws
+                # once and every occurrence replays that stored draw.
+                miss_keys = np.unique(keys[~hit_mask], axis=0)
+                verts, inverse = np.unique(miss_keys, return_inverse=True)
+                inverse = inverse.reshape(miss_keys.shape)
+                # As above: the charge must precede the draw so a refusal
+                # leaves no uncharged cached statistics behind.
+                party = accountant.charge_vertices(
+                    plan.layer, verts, plan.epsilon,
+                    "randomized-response", "serve-rr", ledger=ledger,
+                )
+                n1_m, n2_m, sizes_m = sketch_pair_counts(
+                    graph, plan.layer, verts,
+                    inverse[:, 0], inverse[:, 1], plan.epsilon, rng,
+                )
+                cache.store_pair_counts(miss_keys, n1_m, n2_m)
+                fresh_bytes = int(sizes_m.sum()) * ID_BYTES
+                charged = verts
+            counts = [cache.pair_counts(a, b) for a, b in keys]
+            n1 = np.array([c[0] for c in counts], dtype=np.int64)
+            n2 = np.array([c[1] for c in counts], dtype=np.int64)
+            hits = int(hit_mask.sum())
+            misses = plan.num_pairs - hits
+            cache.stats.pair_hits += hits
+            cache.stats.pair_misses += misses
+
+        values = debias_pair_counts(n1, n2, domain, plan.epsilon)
+        if fresh_bytes:
+            comm.record(Direction.UPLOAD, fresh_bytes, "engine-batch:edges")
+
+        return EngineResult(
+            layer=plan.layer,
+            epsilon=plan.epsilon,
+            pairs=plan.pairs,
+            values=values,
+            noisy_intersections=np.asarray(n1, dtype=np.int64),
+            noisy_unions=np.asarray(n2, dtype=np.int64),
+            vertices=plan.vertices,
+            ia=plan.ia,
+            ib=plan.ib,
+            upload_bytes=fresh_bytes,
+            num_query_vertices=k,
+            mode=mode,
+            max_epsilon_spent=accountant.max_lifetime_spent(),
+            details={
+                "flip_probability": flip_probability(plan.epsilon),
+                "candidate_pool": domain,
+                "backend": backend,
+                "party": party,
+                "cache": {
+                    "epoch": cache.epoch,
+                    "hits": hits,
+                    "misses": misses,
+                    "charged_vertices": int(charged.size),
+                },
             },
         )
 

@@ -30,6 +30,7 @@ __all__ = [
     "PRODUCT_MAX_ROWS",
     "BITSET_MAX_CELLS",
     "choose_backend",
+    "pack_bitset_row",
     "pairwise_intersections",
     "debias_pair_counts",
 ]
@@ -58,6 +59,18 @@ def choose_backend(rows: int, num_pairs: int, domain: int) -> str:
     return "merge"
 
 
+def pack_bitset_row(columns: np.ndarray, domain: int) -> np.ndarray:
+    """One sorted neighbor list packed into the bitset backend's row format.
+
+    The epoch cache pre-packs each vertex's noisy row once so repeated
+    serving ticks can hand the bitset backend its ``packed`` block without
+    re-scattering a dense boolean matrix per tick.
+    """
+    row = np.zeros(max(int(domain), 1), dtype=bool)
+    row[np.asarray(columns, dtype=np.int64)] = True
+    return np.packbits(row)
+
+
 def pairwise_intersections(
     indptr: np.ndarray,
     columns: np.ndarray,
@@ -66,12 +79,16 @@ def pairwise_intersections(
     domain: int,
     *,
     backend: str | None = None,
+    packed: np.ndarray | None = None,
 ) -> np.ndarray:
     """``|row(ia[j]) ∩ row(ib[j])|`` for every query pair ``j``.
 
     Rows are the (sorted) CSR neighbor lists; ``ia``/``ib`` hold row
     indices. ``backend=None`` picks via :func:`choose_backend`; all
-    backends return identical counts.
+    backends return identical counts. ``packed`` optionally supplies the
+    bitset backend's pre-packed row matrix (one :func:`pack_bitset_row`
+    per CSR row) so callers holding cached masks skip the packing pass;
+    the other backends ignore it.
     """
     ia = np.asarray(ia, dtype=np.int64)
     ib = np.asarray(ib, dtype=np.int64)
@@ -80,7 +97,7 @@ def pairwise_intersections(
     if backend == "bitset":
         if not HAVE_BITWISE_COUNT:
             raise RuntimeError("the bitset backend needs numpy.bitwise_count (NumPy >= 2.0)")
-        return _bitset_intersections(indptr, columns, ia, ib, domain)
+        return _bitset_intersections(indptr, columns, ia, ib, domain, packed=packed)
     if backend == "sparse":
         if not HAVE_SCIPY:
             raise RuntimeError("the sparse backend needs SciPy")
@@ -90,12 +107,17 @@ def pairwise_intersections(
     raise ValueError(f"unknown backend {backend!r}")
 
 
-def _bitset_intersections(indptr, columns, ia, ib, domain) -> np.ndarray:
+def _bitset_intersections(indptr, columns, ia, ib, domain, packed=None) -> np.ndarray:
     rows = indptr.size - 1
-    dense = np.zeros((rows, max(int(domain), 1)), dtype=bool)
-    dense[np.repeat(np.arange(rows), np.diff(indptr)), columns] = True
-    packed = np.packbits(dense, axis=1)
-    del dense
+    if packed is None:
+        dense = np.zeros((rows, max(int(domain), 1)), dtype=bool)
+        dense[np.repeat(np.arange(rows), np.diff(indptr)), columns] = True
+        packed = np.packbits(dense, axis=1)
+        del dense
+    elif packed.shape[0] != rows:
+        raise ValueError(
+            f"precomputed mask has {packed.shape[0]} rows, workload has {rows}"
+        )
     out = np.empty(ia.size, dtype=np.int64)
     for start in range(0, ia.size, _BITSET_PAIR_BLOCK):
         stop = min(start + _BITSET_PAIR_BLOCK, ia.size)

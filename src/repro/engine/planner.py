@@ -7,6 +7,12 @@ slots of its endpoints within that vertex block. Budgets come either as an
 explicit per-batch ``epsilon`` or as one slice of a
 :class:`~repro.privacy.composition.QueryBudgetManager`, so a sequence of
 batches can honestly share an analyst budget.
+
+For epoch-cached serving the plan additionally splits into cached and
+uncached blocks: :func:`split_cached` partitions the distinct vertex block
+by a cache-membership mask (only the uncached block is perturbed — and
+charged — this tick), and :func:`pair_keys` gives every pair its
+order-normalized key for pair-granular (sketch-mode) caching.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.sampling import QueryPair
 from repro.privacy.composition import QueryBudgetManager
 
-__all__ = ["WorkloadPlan", "plan_workload"]
+__all__ = ["WorkloadPlan", "CacheSplit", "plan_workload", "split_cached", "pair_keys"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,52 @@ class WorkloadPlan:
     @property
     def num_vertices(self) -> int:
         return int(self.vertices.size)
+
+
+@dataclass(frozen=True)
+class CacheSplit:
+    """A plan's distinct vertex block partitioned by cache membership."""
+
+    cached: np.ndarray
+    uncached: np.ndarray
+
+    @property
+    def num_cached(self) -> int:
+        return int(self.cached.size)
+
+    @property
+    def num_uncached(self) -> int:
+        return int(self.uncached.size)
+
+
+def split_cached(plan: WorkloadPlan, cached_mask: np.ndarray) -> CacheSplit:
+    """Partition the plan's distinct vertices into cached/uncached blocks.
+
+    ``cached_mask`` is a boolean per entry of ``plan.vertices`` (True when
+    an epoch view already exists). Only the uncached block passes through
+    randomized response — and the privacy charge — this tick.
+    """
+    cached_mask = np.asarray(cached_mask, dtype=bool)
+    if cached_mask.shape != (plan.num_vertices,):
+        raise ProtocolError(
+            f"cache mask shape {cached_mask.shape} does not match the "
+            f"plan's {plan.num_vertices} distinct vertices"
+        )
+    return CacheSplit(
+        cached=plan.vertices[cached_mask],
+        uncached=plan.vertices[~cached_mask],
+    )
+
+
+def pair_keys(plan: WorkloadPlan) -> np.ndarray:
+    """Order-normalized ``(min, max)`` vertex-id key per pair.
+
+    ``C2`` is symmetric, so ``(a, b)`` and ``(b, a)`` must share one cache
+    entry; the key array has shape ``(num_pairs, 2)``.
+    """
+    a = plan.vertices[plan.ia]
+    b = plan.vertices[plan.ib]
+    return np.stack([np.minimum(a, b), np.maximum(a, b)], axis=1)
 
 
 def plan_workload(

@@ -3,6 +3,7 @@
 from repro.privacy.accountant import Charge, PrivacyLedger
 from repro.privacy.budget import BudgetSplit
 from repro.privacy.composition import QueryBudgetManager
+from repro.privacy.epoch import EpochAccountant, EpochCharge
 from repro.privacy.mechanisms import (
     LaplaceMechanism,
     RandomizedResponse,
@@ -20,6 +21,8 @@ __all__ = [
     "PrivacyLedger",
     "BudgetSplit",
     "QueryBudgetManager",
+    "EpochAccountant",
+    "EpochCharge",
     "LaplaceMechanism",
     "RandomizedResponse",
     "flip_probability",

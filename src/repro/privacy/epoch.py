@@ -1,0 +1,185 @@
+"""Per-vertex, per-epoch privacy accounting for the serving layer.
+
+The batch engine's :meth:`~repro.privacy.accountant.PrivacyLedger.charge_parallel`
+path records one aggregated entry per round; that is exact as long as every
+round touches each vertex at most once. A *serving* system breaks that
+assumption: ticks arrive continuously, a vertex may appear in many ticks,
+and within one epoch its cached noisy view must make all but the first
+appearance free. :class:`EpochAccountant` tracks the honest per-vertex
+spend at epoch granularity:
+
+* ``charge_vertices`` records ``epsilon`` against each listed vertex for
+  the current epoch (and its lifetime total), mirrors the round into a
+  :class:`~repro.privacy.accountant.PrivacyLedger` as one epoch-scoped
+  ``charge_parallel`` group, and — when ``epsilon_per_epoch`` is set —
+  refuses any charge that would push a vertex beyond its epoch allowance.
+* ``rotate`` closes the epoch: per-epoch spends reset (views are re-drawn
+  and recharged by the cache layer), lifetime spends keep accumulating.
+
+The ledger thus keeps its group-level parallel-composition view (each
+tick's fresh vertices are disjoint from each other), while the accountant
+holds the exact per-vertex sequential composition across ticks and epochs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BudgetExceededError, PrivacyError
+from repro.graph.bipartite import Layer
+from repro.privacy.accountant import PrivacyLedger
+
+__all__ = ["EpochCharge", "EpochAccountant"]
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class EpochCharge:
+    """One serving round: ``count`` disjoint vertices charged ``epsilon``."""
+
+    epoch: int
+    party: str
+    count: int
+    epsilon: float
+    mechanism: str
+    stage: str
+
+
+class EpochAccountant:
+    """Tracks per-vertex privacy spend within and across serving epochs.
+
+    Parameters
+    ----------
+    epsilon_per_epoch:
+        Optional per-vertex allowance for one epoch. ``None`` (default)
+        records without enforcing — the sketch-mode cache legitimately
+        recharges a vertex when a *new* pair involving it arrives, and the
+        accountant then reports the accumulated loss honestly instead of
+        refusing to serve.
+    """
+
+    def __init__(self, epsilon_per_epoch: float | None = None):
+        if epsilon_per_epoch is not None and epsilon_per_epoch <= 0:
+            raise PrivacyError(
+                f"epsilon_per_epoch must be positive, got {epsilon_per_epoch}"
+            )
+        self.epsilon_per_epoch = epsilon_per_epoch
+        self.epoch = 0
+        self.rounds: list[EpochCharge] = []  # current epoch only (see rotate)
+        self.rounds_completed = 0  # rounds of already-closed epochs
+        self._round_counter = 0
+        self._epoch_spend: dict[tuple[str, int], float] = defaultdict(float)
+        self._lifetime_spend: dict[tuple[str, int], float] = defaultdict(float)
+        self._epoch_peaks: list[float] = []
+
+    # ------------------------------------------------------------------
+    def charge_vertices(
+        self,
+        layer: Layer,
+        vertices,
+        epsilon: float,
+        mechanism: str = "unknown",
+        stage: str = "",
+        *,
+        ledger: PrivacyLedger | None = None,
+    ) -> str | None:
+        """Charge every listed vertex ``epsilon`` for the current epoch.
+
+        Returns the epoch-scoped ledger party label (or ``None`` when the
+        charge is empty). The optional ``ledger`` receives one aggregated
+        ``charge_parallel`` entry — the cache-miss accounting path: cache
+        hits never reach this method, so they are free by construction.
+        """
+        if epsilon < 0:
+            raise PrivacyError(f"cannot charge negative epsilon {epsilon}")
+        vertices = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        if vertices.size == 0 or epsilon == 0:
+            return None
+        keys = [(layer.value, int(v)) for v in vertices]
+        if self.epsilon_per_epoch is not None:
+            for key in keys:
+                spent = self._epoch_spend[key]
+                if epsilon > self.epsilon_per_epoch - spent + _TOLERANCE:
+                    raise BudgetExceededError(
+                        f"epoch[{self.epoch}]:{key[0]}:{key[1]}",
+                        epsilon,
+                        max(self.epsilon_per_epoch - spent, 0.0),
+                    )
+        for key in keys:
+            self._epoch_spend[key] += epsilon
+            self._lifetime_spend[key] += epsilon
+        stage_label = stage or mechanism
+        party = (
+            f"epoch[{self.epoch}]:{layer.value}:"
+            f"{stage_label}[{vertices.size}v]#{self._round_counter}"
+        )
+        self._round_counter += 1
+        charge = EpochCharge(
+            epoch=self.epoch,
+            party=party,
+            count=int(vertices.size),
+            epsilon=float(epsilon),
+            mechanism=mechanism,
+            stage=stage_label,
+        )
+        self.rounds.append(charge)
+        if ledger is not None:
+            ledger.charge_parallel(
+                party, epsilon, mechanism, stage_label, count=int(vertices.size)
+            )
+        return party
+
+    # ------------------------------------------------------------------
+    def epoch_spent(self, layer: Layer, vertex: int) -> float:
+        """``vertex``'s spend within the current epoch."""
+        return self._epoch_spend.get((layer.value, int(vertex)), 0.0)
+
+    def lifetime_spent(self, layer: Layer, vertex: int) -> float:
+        """``vertex``'s spend across all epochs so far."""
+        return self._lifetime_spend.get((layer.value, int(vertex)), 0.0)
+
+    def max_epoch_spent(self) -> float:
+        """The worst per-vertex spend of the current epoch."""
+        return max(self._epoch_spend.values(), default=0.0)
+
+    def max_lifetime_spent(self) -> float:
+        """The worst per-vertex spend across every epoch (the honest total)."""
+        return max(self._lifetime_spend.values(), default=0.0)
+
+    def charged_vertices(self) -> int:
+        """Distinct vertices charged during the current epoch."""
+        return sum(1 for spend in self._epoch_spend.values() if spend > 0)
+
+    def epoch_peaks(self) -> list[float]:
+        """Closed epochs' worst per-vertex spends, in rotation order."""
+        return list(self._epoch_peaks)
+
+    # ------------------------------------------------------------------
+    def rotate(self) -> int:
+        """Close the current epoch and return the new epoch id.
+
+        Per-epoch spends reset (the next view drawn for any vertex is a
+        fresh release and recharges it); lifetime spends persist. The
+        closed epoch's round log is compacted to a counter so a
+        long-lived server's memory stays bounded by one epoch of rounds
+        (the mirrored :class:`PrivacyLedger`, if any, remains the
+        append-only audit log — hand the server a fresh one per epoch if
+        that matters).
+        """
+        self._epoch_peaks.append(self.max_epoch_spent())
+        self._epoch_spend.clear()
+        self.rounds_completed += len(self.rounds)
+        self.rounds.clear()
+        self.epoch += 1
+        return self.epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochAccountant(epoch={self.epoch}, "
+            f"max_epoch={self.max_epoch_spent():.4g}, "
+            f"max_lifetime={self.max_lifetime_spent():.4g})"
+        )

@@ -1,0 +1,24 @@
+"""Async serving layer: coalesced ticks over epoch-cached noisy views.
+
+:class:`QueryServer` turns the batch query engine into a traffic-serving
+system: concurrent single-pair queries coalesce into one engine workload
+per tick, an epoch-scoped :class:`NoisyViewCache` makes repeat touches of
+a vertex (materialize mode) or pair (sketch mode) budget-free within an
+epoch, and an :class:`~repro.privacy.epoch.EpochAccountant` keeps the
+honest per-vertex spend across ticks and epoch rotations.
+"""
+
+from repro.serving.cache import CacheStats, NoisyViewCache
+from repro.serving.driver import SimulationResult, serving_report, simulate_clients
+from repro.serving.server import QueryServer, ServedEstimate, ServerStats
+
+__all__ = [
+    "CacheStats",
+    "NoisyViewCache",
+    "QueryServer",
+    "ServedEstimate",
+    "ServerStats",
+    "SimulationResult",
+    "simulate_clients",
+    "serving_report",
+]

@@ -1,0 +1,237 @@
+"""Epoch-scoped noisy views: perturb once per epoch, serve the rest free.
+
+Both the source paper and the Imola et al. line of graph-LDP protocols
+build on *reusable* per-user randomized reports: once a vertex's neighbor
+list has passed through ε-RR, the released report is data-independent
+noise plus signal and can answer any number of queries without further
+privacy loss. :class:`NoisyViewCache` formalizes that as an epoch-scoped
+store keyed by the serving layer's fixed ``(graph, layer, epsilon,
+mode)``:
+
+* **Materialize mode** caches each vertex's noisy neighbor list (and,
+  lazily, its packed bitset row). A tick only perturbs — and only
+  charges — vertices without a cached view; every later query touching a
+  cached vertex in the same epoch reuses the identical draw, bit for bit.
+* **Sketch mode** never materializes lists, so per-vertex reuse has no
+  state to reuse; the cache is pair-granular instead: a repeated pair is
+  served from its cached ``(N1, N2)`` draw for free, while a *new* pair
+  honestly recharges its endpoints (a fresh marginal draw simulates a
+  fresh release — the :class:`~repro.privacy.epoch.EpochAccountant`
+  records the accumulated loss instead of hiding it).
+
+``rotate()`` starts a new epoch: views are dropped, so the next query
+re-draws and recharges each vertex it touches. The paired accountant
+rotates in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.bulkrr import lengths_to_indptr
+from repro.engine.pairwise import pack_bitset_row
+from repro.errors import ProtocolError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.epoch import EpochAccountant
+from repro.protocol.session import _AUTO_MATERIALIZE_LIMIT, ExecutionMode
+
+__all__ = ["CacheStats", "NoisyViewCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters accumulated across the cache's lifetime."""
+
+    vertex_hits: int = 0
+    vertex_misses: int = 0
+    pair_hits: int = 0
+    pair_misses: int = 0
+    degree_hits: int = 0
+    degree_misses: int = 0
+    rotations: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of vertex/pair lookups served from cache."""
+        hits = self.vertex_hits + self.pair_hits
+        total = hits + self.vertex_misses + self.pair_misses
+        return hits / total if total else 0.0
+
+
+class NoisyViewCache:
+    """Per-vertex (materialize) / per-pair (sketch) noisy views for one epoch.
+
+    Parameters
+    ----------
+    graph, layer, epsilon:
+        The serving context the views are bound to. Epsilon is pinned:
+        reusing a draw at a different budget would mis-debias, so the
+        engine refuses mismatched requests.
+    mode:
+        ``AUTO`` resolves exactly like the engine (materialize while the
+        opposite layer fits the materialization limit, sketch beyond it).
+    epsilon_per_epoch:
+        Forwarded to the paired :class:`EpochAccountant`; ``None`` records
+        without enforcing.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        epsilon: float,
+        *,
+        mode: ExecutionMode = ExecutionMode.AUTO,
+        epsilon_per_epoch: float | None = None,
+    ):
+        if mode is ExecutionMode.AUTO:
+            small = graph.layer_size(layer.opposite()) <= _AUTO_MATERIALIZE_LIMIT
+            mode = ExecutionMode.MATERIALIZE if small else ExecutionMode.SKETCH
+        self.graph = graph
+        self.layer = layer
+        self.epsilon = float(epsilon)
+        self.mode = mode
+        self.domain = graph.layer_size(layer.opposite())
+        self.epoch = 0
+        self.stats = CacheStats()
+        self.accountant = EpochAccountant(epsilon_per_epoch)
+        self._rows: dict[int, np.ndarray] = {}
+        self._packed: dict[int, np.ndarray] = {}
+        self._pair_counts: dict[tuple[int, int], tuple[int, int]] = {}
+        self._degrees: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Materialize mode: per-vertex noisy neighbor lists
+    # ------------------------------------------------------------------
+    def has_view(self, vertex: int) -> bool:
+        return int(vertex) in self._rows
+
+    def view(self, vertex: int) -> np.ndarray:
+        """The cached noisy neighbor list (sorted column ids)."""
+        return self._rows[int(vertex)]
+
+    def vertex_cached_mask(self, vertices: np.ndarray) -> np.ndarray:
+        """Boolean per entry: does an epoch view already exist?"""
+        return np.fromiter(
+            (int(v) in self._rows for v in vertices),
+            dtype=bool,
+            count=len(vertices),
+        )
+
+    def store_views(
+        self, vertices: np.ndarray, indptr: np.ndarray, columns: np.ndarray
+    ) -> None:
+        """Adopt freshly drawn CSR rows as this epoch's views."""
+        for i, vertex in enumerate(vertices):
+            self._rows[int(vertex)] = np.array(
+                columns[indptr[i] : indptr[i + 1]], dtype=np.int64
+            )
+
+    def gather_views(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the cached rows of ``vertices`` into one CSR block."""
+        rows = [self._rows[int(v)] for v in vertices]
+        lengths = np.fromiter((r.size for r in rows), dtype=np.int64, count=len(rows))
+        columns = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        return lengths_to_indptr(lengths), columns
+
+    def packed_matrix(self, vertices: np.ndarray) -> np.ndarray:
+        """The bitset backend's pre-packed row block for ``vertices``.
+
+        Rows are packed once per vertex per epoch and reused by every
+        later tick (the ``packed=`` fast path of
+        :func:`~repro.engine.pairwise.pairwise_intersections`).
+        """
+        packed = []
+        for v in vertices:
+            v = int(v)
+            row = self._packed.get(v)
+            if row is None:
+                row = pack_bitset_row(self._rows[v], self.domain)
+                self._packed[v] = row
+            packed.append(row)
+        return np.vstack(packed)
+
+    # ------------------------------------------------------------------
+    # Sketch mode: per-pair sufficient statistics
+    # ------------------------------------------------------------------
+    def has_pair(self, a: int, b: int) -> bool:
+        return self._key(a, b) in self._pair_counts
+
+    def pair_counts(self, a: int, b: int) -> tuple[int, int]:
+        """The cached ``(N1, N2)`` draw for a pair."""
+        return self._pair_counts[self._key(a, b)]
+
+    def store_pair_counts(
+        self, keys: np.ndarray, n1: np.ndarray, n2: np.ndarray
+    ) -> None:
+        """Adopt freshly drawn per-pair counts (keys from ``pair_keys``)."""
+        for i in range(len(keys)):
+            key = (int(keys[i][0]), int(keys[i][1]))
+            self._pair_counts[key] = (int(n1[i]), int(n2[i]))
+
+    @staticmethod
+    def _key(a: int, b: int) -> tuple[int, int]:
+        a, b = int(a), int(b)
+        return (a, b) if a <= b else (b, a)
+
+    # ------------------------------------------------------------------
+    # Noisy degrees (either mode; used by the serving degree option)
+    # ------------------------------------------------------------------
+    def has_degree(self, vertex: int) -> bool:
+        return int(vertex) in self._degrees
+
+    def degree(self, vertex: int) -> float:
+        return self._degrees[int(vertex)]
+
+    def store_degrees(self, vertices: np.ndarray, values: np.ndarray) -> None:
+        for vertex, value in zip(vertices, values):
+            self._degrees[int(vertex)] = float(value)
+
+    # ------------------------------------------------------------------
+    def check_compatible(
+        self, graph: BipartiteGraph, layer: Layer, epsilon: float, mode: ExecutionMode
+    ) -> None:
+        """Refuse to serve a request the cached draws were not made for."""
+        if graph is not self.graph:
+            raise ProtocolError("epoch cache is bound to a different graph")
+        if layer is not self.layer:
+            raise ProtocolError(
+                f"epoch cache is bound to the {self.layer} layer, not {layer}"
+            )
+        if abs(float(epsilon) - self.epsilon) > 1e-12:
+            raise ProtocolError(
+                f"epoch cache draws are at epsilon={self.epsilon:g}; "
+                f"cannot serve epsilon={epsilon:g} from them"
+            )
+        if mode is not self.mode:
+            raise ProtocolError(
+                f"epoch cache holds {self.mode.value} views; cannot serve "
+                f"{mode.value} requests from them"
+            )
+
+    def cached_vertices(self) -> int:
+        """Vertices holding a view (materialize) or degree-only entries."""
+        return len(self._rows) if self._rows else len(self._degrees)
+
+    def cached_pairs(self) -> int:
+        return len(self._pair_counts)
+
+    def rotate(self) -> int:
+        """Drop every view and start the next epoch (accountant in lockstep)."""
+        self._rows.clear()
+        self._packed.clear()
+        self._pair_counts.clear()
+        self._degrees.clear()
+        self.stats.rotations += 1
+        self.epoch = self.accountant.rotate()
+        return self.epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"NoisyViewCache(layer={self.layer.value}, mode={self.mode.value}, "
+            f"epsilon={self.epsilon:g}, epoch={self.epoch}, "
+            f"views={len(self._rows)}, pairs={len(self._pair_counts)})"
+        )

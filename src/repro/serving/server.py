@@ -1,0 +1,303 @@
+"""Asyncio front end: coalesce concurrent pair queries into engine ticks.
+
+:class:`QueryServer` accepts single ``C2(a, b)`` queries from any number
+of concurrent callers, gathers everything that arrives within one *tick*
+into a single :class:`~repro.engine.BatchQueryEngine` workload, and
+resolves each caller's future with its own estimate. The per-tick batch
+runs against the server's epoch-scoped
+:class:`~repro.serving.cache.NoisyViewCache`, so:
+
+* the bulk RR draw (the expensive, budget-charging step) is amortized
+  across every caller in the tick;
+* a vertex perturbed earlier in the epoch serves later queries from its
+  cached noisy view at **zero** additional budget — replaying a workload
+  within one epoch costs exactly the one-shot batch spend;
+* ``rotate_epoch`` (manual, or automatic every ``epoch_ticks`` ticks)
+  drops the views: the next queries re-draw and recharge.
+
+The tick loop runs on the event loop itself (the engine's array work is
+fast and releasing the GIL would not help a single-process server); with
+``tick_interval=0`` a tick fires as soon as the loop drains the currently
+runnable callers, which coalesces any burst issued in one scheduling
+round into one batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.core import BatchQueryEngine
+from repro.errors import GraphError, ProtocolError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.sampling import QueryPair
+from repro.privacy.accountant import PrivacyLedger
+from repro.privacy.mechanisms import LaplaceMechanism
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.privacy.sensitivity import degree_sensitivity
+from repro.protocol.messages import FLOAT_BYTES, CommunicationLog, Direction
+from repro.protocol.session import ExecutionMode
+from repro.serving.cache import NoisyViewCache
+
+__all__ = ["ServedEstimate", "ServerStats", "QueryServer"]
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """One caller's answer: the estimate plus its serving provenance."""
+
+    pair: QueryPair
+    value: float
+    noisy_intersection: int
+    noisy_union: int
+    epoch: int
+    tick: int
+    cache_hit: bool  # True when the query triggered no fresh charge
+    epsilon: float
+    noisy_degree_a: float | None = None
+    noisy_degree_b: float | None = None
+
+
+@dataclass
+class ServerStats:
+    """Lifetime serving counters (cache counters live on the cache)."""
+
+    ticks: int = 0
+    queries_served: int = 0
+    max_coalesced: int = 0
+    ticks_in_epoch: int = 0
+    epochs_completed: int = 0
+    errors: int = 0
+
+    def mean_coalesced(self) -> float:
+        return self.queries_served / self.ticks if self.ticks else 0.0
+
+
+class QueryServer:
+    """Serve single-pair C2 queries from coalesced, epoch-cached batches.
+
+    Parameters
+    ----------
+    graph, layer, epsilon:
+        The serving context; every query runs at the same pinned epsilon
+        (the epoch cache's draws are only valid at their own budget).
+    mode:
+        Engine execution mode; ``AUTO`` resolves by candidate-pool size.
+    tick_interval:
+        Seconds to linger before closing a tick (``0`` coalesces exactly
+        the burst that is runnable when the first query lands).
+    epoch_ticks:
+        Rotate the epoch automatically after this many ticks (``None`` =
+        manual rotation only).
+    degree_epsilon:
+        When set, every answer also carries epoch-cached noisy Laplace
+        degrees for both endpoints (first release per vertex per epoch is
+        charged, later ones are free) — the ingredients similarity-style
+        applications need.
+    epsilon_per_epoch:
+        Per-vertex epoch allowance enforced by the accountant. The
+        default (``"auto"``) caps materialize-mode serving at
+        ``epsilon + degree_epsilon`` — which cache-hit accounting never
+        exceeds — and leaves sketch mode unenforced, since new
+        overlapping pairs legitimately recharge there. Pass ``None`` to
+        disable enforcement entirely, or a float to cap explicitly.
+    ledger, rng:
+        Optional long-lived ledger (default: a fresh unlimited one) and
+        the server's random stream.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        epsilon: float,
+        *,
+        mode: ExecutionMode = ExecutionMode.AUTO,
+        tick_interval: float = 0.0,
+        epoch_ticks: int | None = None,
+        degree_epsilon: float | None = None,
+        epsilon_per_epoch: float | str | None = "auto",
+        ledger: PrivacyLedger | None = None,
+        rng: RngLike = None,
+    ):
+        if epoch_ticks is not None and epoch_ticks <= 0:
+            raise ProtocolError(f"epoch_ticks must be positive, got {epoch_ticks}")
+        if degree_epsilon is not None and degree_epsilon <= 0:
+            raise ProtocolError("degree_epsilon must be positive when given")
+        cache = NoisyViewCache(graph, layer, epsilon, mode=mode)
+        if epsilon_per_epoch == "auto":
+            if cache.mode is ExecutionMode.MATERIALIZE:
+                epsilon_per_epoch = float(epsilon) + (degree_epsilon or 0.0)
+            else:
+                epsilon_per_epoch = None
+        cache.accountant.epsilon_per_epoch = epsilon_per_epoch
+
+        self.graph = graph
+        self.layer = layer
+        self.epsilon = float(epsilon)
+        self.cache = cache
+        self.mode = cache.mode
+        self.tick_interval = float(tick_interval)
+        self.epoch_ticks = epoch_ticks
+        self.degree_epsilon = degree_epsilon
+        self.ledger = ledger if ledger is not None else PrivacyLedger()
+        self.comm = CommunicationLog()
+        self.engine = BatchQueryEngine(mode=self.mode)
+        self.rng = ensure_rng(rng)
+        self.stats = ServerStats()
+        self._pending: list[tuple[QueryPair, asyncio.Future]] = []
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    @property
+    def accountant(self):
+        """The cache's per-vertex epoch accountant."""
+        return self.cache.accountant
+
+    @property
+    def epoch(self) -> int:
+        return self.cache.epoch
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._task is not None:
+            raise ProtocolError("server is already running")
+        self._closing = False
+        self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        """Serve whatever is still pending, then shut the tick loop down."""
+        if self._task is None:
+            return
+        self._closing = True
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    async def __aenter__(self) -> "QueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def query(self, a: int, b: int) -> ServedEstimate:
+        """Estimate ``C2(a, b)``; resolves after the coalescing tick runs."""
+        pair = QueryPair(self.layer, a, b)  # validates distinctness
+        n_layer = self.graph.layer_size(self.layer)
+        if not (0 <= pair.a < n_layer and 0 <= pair.b < n_layer):
+            raise GraphError(
+                f"query vertex out of range for {self.layer} layer of size {n_layer}"
+            )
+        if self._task is None or self._closing:
+            raise ProtocolError("server is not running (use `async with` or start())")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((pair, future))
+        self._wake.set()
+        return await future
+
+    async def query_pair(self, pair: QueryPair) -> ServedEstimate:
+        return await self.query(pair.a, pair.b)
+
+    def rotate_epoch(self) -> int:
+        """Start a new epoch: views dropped, next queries re-draw and recharge."""
+        epoch = self.cache.rotate()
+        self.stats.epochs_completed += 1
+        self.stats.ticks_in_epoch = 0
+        return epoch
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            await self._wake.wait()
+            if self.tick_interval > 0:
+                await asyncio.sleep(self.tick_interval)
+            else:
+                # One extra scheduling round so every caller made runnable
+                # by the same burst lands in this tick.
+                await asyncio.sleep(0)
+            batch, self._pending = self._pending, []
+            self._wake.clear()
+            if batch:
+                self._serve_tick(batch)
+            if self._closing and not self._pending:
+                return
+
+    def _serve_tick(self, batch: list[tuple[QueryPair, asyncio.Future]]) -> None:
+        pairs = [pair for pair, _ in batch]
+        epoch = self.cache.epoch
+        self.stats.ticks += 1
+        self.stats.ticks_in_epoch += 1
+        self.stats.max_coalesced = max(self.stats.max_coalesced, len(batch))
+        tick = self.stats.ticks
+        hits = self._pre_tick_hits(pairs)
+        try:
+            result = self.engine.estimate_pairs(
+                self.graph, self.layer, pairs, self.epsilon,
+                rng=self.rng, mode=self.mode,
+                ledger=self.ledger, comm=self.comm, cache=self.cache,
+            )
+            degrees = self._release_degrees(result.vertices)
+        except Exception as exc:  # noqa: BLE001 - routed to the callers
+            self.stats.errors += 1
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for j, (pair, future) in enumerate(batch):
+            estimate = ServedEstimate(
+                pair=pair,
+                value=float(result.values[j]),
+                noisy_intersection=int(result.noisy_intersections[j]),
+                noisy_union=int(result.noisy_unions[j]),
+                epoch=epoch,
+                tick=tick,
+                cache_hit=hits[j],
+                epsilon=self.epsilon,
+                noisy_degree_a=None if degrees is None else degrees[pair.a],
+                noisy_degree_b=None if degrees is None else degrees[pair.b],
+            )
+            if not future.done():
+                future.set_result(estimate)
+        self.stats.queries_served += len(batch)
+        if self.epoch_ticks is not None and self.stats.ticks_in_epoch >= self.epoch_ticks:
+            self.rotate_epoch()
+
+    def _pre_tick_hits(self, pairs: list[QueryPair]) -> list[bool]:
+        """Per-caller hit flags, taken before the tick mutates the cache."""
+        if self.mode is ExecutionMode.MATERIALIZE:
+            return [
+                self.cache.has_view(p.a) and self.cache.has_view(p.b) for p in pairs
+            ]
+        return [self.cache.has_pair(p.a, p.b) for p in pairs]
+
+    def _release_degrees(self, vertices: np.ndarray) -> dict[int, float] | None:
+        """Epoch-cached noisy degrees for the tick's distinct vertices."""
+        if self.degree_epsilon is None:
+            return None
+        fresh = np.array(
+            [v for v in vertices if not self.cache.has_degree(v)], dtype=np.int64
+        )
+        if fresh.size:
+            # Charge first: a refused charge must not leave cached degrees
+            # behind to be served free (and unaccounted) on later ticks.
+            self.accountant.charge_vertices(
+                self.layer, fresh, self.degree_epsilon,
+                "laplace-degree", "serve-degrees", ledger=self.ledger,
+            )
+            mech = LaplaceMechanism(self.degree_epsilon, degree_sensitivity())
+            values = mech.release_many(
+                self.graph.degrees(self.layer)[fresh], self.rng
+            )
+            self.cache.store_degrees(fresh, values)
+            self.comm.record(
+                Direction.UPLOAD, int(fresh.size) * FLOAT_BYTES, "serve:degrees"
+            )
+            self.cache.stats.degree_misses += int(fresh.size)
+        self.cache.stats.degree_hits += int(len(vertices) - fresh.size)
+        return {int(v): self.cache.degree(v) for v in vertices}

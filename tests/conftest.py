@@ -1,12 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus pinned hypothesis profiles."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.generators import random_bipartite
+
+# CI pins the "ci" profile (HYPOTHESIS_PROFILE=ci) so property tests —
+# including the chi-square statistical harness — replay the exact same
+# examples on every run instead of flaking on a fresh random draw.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture()

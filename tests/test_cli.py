@@ -94,3 +94,22 @@ class TestCommands:
     def test_experiment_fig2_quick(self, capsys):
         assert main(["experiment", "fig2", "--quick", "--seed", "4"]) == 0
         assert "Fig. 2" in capsys.readouterr().out
+
+    def test_serve_simulates_clients(self, capsys):
+        code = main(
+            ["serve", "--dataset", "RM", "--max-edges", "3000",
+             "--clients", "5", "--queries", "6", "--replays", "2",
+             "--degree-eps", "0.5", "--seed", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries served  : 60" in out
+        assert "hit rate" in out
+        assert "budget (total)" in out
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--dataset", "RM"])
+        assert args.command == "serve"
+        assert args.clients == 20
+        assert args.replays == 2
+        assert args.mode == "auto"

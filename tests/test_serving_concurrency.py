@@ -1,0 +1,277 @@
+"""Concurrency guarantees of the async serving layer.
+
+The contract under contention: however many clients race into a tick,
+(1) each distinct uncached vertex is charged exactly once per epoch —
+never double-charged because two pairs happened to share it — and
+(2) every caller's future resolves with the answer to *its own* pair.
+Routing is proven with a near-noiseless budget (epsilon large enough
+that the flip probability underflows to ~0), where each served estimate
+must equal its pair's exact common-neighbor count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetExceededError, GraphError, PrivacyError, ProtocolError
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.graph.sampling import QueryPair, sample_query_pairs
+from repro.privacy.composition import QueryBudgetManager
+from repro.protocol.session import ExecutionMode
+from repro.serving import NoisyViewCache, QueryServer
+
+MODES = (ExecutionMode.MATERIALIZE, ExecutionMode.SKETCH)
+EPSILON = 2.0
+
+
+@pytest.fixture()
+def graph():
+    return random_bipartite(60, 50, 520, rng=7)
+
+
+class TestSingleChargeUnderContention:
+    def test_racing_clients_coalesce_and_charge_each_vertex_once(self, graph):
+        """40 star queries + 20 duplicates land in one burst: 41 distinct
+        vertices, each charged exactly epsilon, nothing twice."""
+
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE, rng=3,
+            ) as server:
+                results = await asyncio.gather(
+                    *(server.query(0, i) for i in range(1, 41)),
+                    *(server.query(0, i) for i in range(1, 21)),
+                )
+                return server, results
+
+        server, results = asyncio.run(run())
+        assert len(results) == 60
+        # The burst coalesced rather than running one engine call each.
+        assert server.stats.ticks <= 2
+        assert server.stats.max_coalesced >= 30
+        # Exactly one charge per distinct uncached vertex (0..40), despite
+        # vertex 0 joining all 60 pairs and 20 pairs arriving twice.
+        accountant = server.accountant
+        for vertex in range(41):
+            assert accountant.lifetime_spent(Layer.UPPER, vertex) == pytest.approx(
+                EPSILON
+            ), f"vertex {vertex} was not charged exactly once"
+        assert accountant.max_lifetime_spent() == pytest.approx(EPSILON)
+        assert server.cache.stats.vertex_misses == 41
+        assert server.ledger.max_spent() == pytest.approx(EPSILON)
+
+    def test_two_waves_same_epoch_do_not_recharge(self, graph):
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE, rng=5,
+            ) as server:
+                await asyncio.gather(*(server.query(0, i) for i in range(1, 16)))
+                first_wave = server.accountant.max_lifetime_spent()
+                # Second wave overlaps the first's vertex set entirely.
+                await asyncio.gather(*(server.query(i, 0) for i in range(1, 16)))
+                return server, first_wave
+
+        server, first_wave = asyncio.run(run())
+        assert first_wave == pytest.approx(EPSILON)
+        assert server.accountant.max_lifetime_spent() == pytest.approx(EPSILON)
+        assert server.stats.ticks >= 2
+        assert server.cache.stats.vertex_misses == 16
+        assert server.cache.stats.vertex_hits >= 16
+
+
+class TestRouting:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    def test_each_caller_gets_its_own_pair(self, graph, mode):
+        """At epsilon=64 the flip probability underflows to ~1e-28, so a
+        correctly routed answer equals the caller's exact count."""
+        pairs = sample_query_pairs(graph, Layer.UPPER, 30, rng=2)
+
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, 64.0, mode=mode, rng=9
+            ) as server:
+                return await asyncio.gather(
+                    *(server.query_pair(pair) for pair in pairs)
+                )
+
+        results = asyncio.run(run())
+        for pair, estimate in zip(pairs, results):
+            assert estimate.pair == pair
+            exact = graph.count_common_neighbors(Layer.UPPER, pair.a, pair.b)
+            assert estimate.value == pytest.approx(exact, abs=1e-6), (
+                f"estimate for {pair} does not match its exact count"
+            )
+
+    def test_duplicate_pair_callers_share_one_draw(self, graph):
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.SKETCH, rng=1,
+            ) as server:
+                return await asyncio.gather(
+                    *(server.query(4, 9) for _ in range(6))
+                )
+
+        results = asyncio.run(run())
+        values = {estimate.value for estimate in results}
+        assert len(values) == 1  # one tick, one cached draw for all six
+
+
+class TestLifecycleAndErrors:
+    def test_stop_serves_pending_queries(self, graph):
+        async def run():
+            server = QueryServer(
+                graph, Layer.UPPER, EPSILON, mode=ExecutionMode.MATERIALIZE, rng=2
+            )
+            await server.start()
+            tasks = [
+                asyncio.create_task(server.query(i, i + 1)) for i in range(8)
+            ]
+            await asyncio.sleep(0)  # let every client enqueue
+            await server.stop()
+            return await asyncio.gather(*tasks)
+
+        results = asyncio.run(run())
+        assert len(results) == 8
+        assert all(np.isfinite(estimate.value) for estimate in results)
+
+    def test_invalid_queries_fail_their_caller_only(self, graph):
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON, rng=4
+            ) as server:
+                good = asyncio.gather(*(server.query(0, i) for i in range(1, 5)))
+                with pytest.raises(GraphError):
+                    await server.query(3, 3)  # identical endpoints
+                with pytest.raises(GraphError):
+                    await server.query(0, 10_000)  # out of range
+                return await good
+
+        results = asyncio.run(run())
+        assert len(results) == 4
+
+    def test_query_requires_running_server(self, graph):
+        server = QueryServer(graph, Layer.UPPER, EPSILON)
+
+        async def run():
+            await server.query(0, 1)
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_refused_charge_leaves_no_free_views(self, graph):
+        """Fail closed: when the epoch allowance refuses a charge, no view
+        (and no degree) may be cached — otherwise later queries would ride
+        the uncharged draw for free."""
+
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE,
+                degree_epsilon=0.5, epsilon_per_epoch=1.0, rng=3,
+            ) as server:
+                with pytest.raises(BudgetExceededError):
+                    await server.query(0, 1)
+                with pytest.raises(BudgetExceededError):
+                    await server.query(0, 1)  # still refused, not a free hit
+                return server
+
+        server = asyncio.run(run())
+        assert server.accountant.max_lifetime_spent() == 0.0
+        assert server.cache.cached_vertices() == 0
+        assert server.ledger.max_spent() == 0.0
+
+    def test_materialize_epoch_cap_is_enforced(self, graph):
+        """The auto epoch allowance equals epsilon (+ degree epsilon); a
+        direct attempt to overcharge a vertex within the epoch is refused."""
+        server = QueryServer(
+            graph, Layer.UPPER, EPSILON, mode=ExecutionMode.MATERIALIZE
+        )
+        server.accountant.charge_vertices(Layer.UPPER, [3], EPSILON, "randomized-response")
+        with pytest.raises(BudgetExceededError):
+            server.accountant.charge_vertices(
+                Layer.UPPER, [3], EPSILON, "randomized-response"
+            )
+
+    def test_budget_manager_cannot_fund_cached_batches(self, graph):
+        from repro.engine.core import BatchQueryEngine
+
+        cache = NoisyViewCache(graph, Layer.UPPER, EPSILON)
+        engine = BatchQueryEngine()
+        pair = QueryPair(Layer.UPPER, 0, 1)
+        with pytest.raises(PrivacyError):
+            engine.estimate_pairs(
+                graph, Layer.UPPER, [pair],
+                budget=QueryBudgetManager(4.0, num_queries=2),
+                cache=cache,
+            )
+
+    def test_cache_refuses_mismatched_epsilon(self, graph):
+        from repro.engine.core import BatchQueryEngine
+
+        cache = NoisyViewCache(graph, Layer.UPPER, EPSILON)
+        engine = BatchQueryEngine()
+        pair = QueryPair(Layer.UPPER, 0, 1)
+        with pytest.raises(ProtocolError):
+            engine.estimate_pairs(graph, Layer.UPPER, [pair], 1.0, cache=cache)
+
+
+class TestServedApplications:
+    def test_top_k_similar_served_charges_each_candidate_once(self, graph):
+        from repro.applications.similarity import top_k_similar_served
+
+        candidates = list(range(1, 21))
+
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE, degree_epsilon=0.5, rng=6,
+            ) as server:
+                ranked = await top_k_similar_served(server, 0, candidates, k=5)
+                # A second, overlapping screen in the same epoch is free.
+                again = await top_k_similar_served(server, 0, candidates, k=5)
+                return server, ranked, again
+
+        server, ranked, again = asyncio.run(run())
+        assert len(ranked) == 5
+        assert all(0.0 <= est.value <= 1.0 for _, est in ranked)
+        # One RR charge + one degree charge per vertex, never more.
+        assert server.accountant.max_lifetime_spent() == pytest.approx(
+            EPSILON + 0.5
+        )
+        assert [c for c, _ in ranked] == [c for c, _ in again]
+
+    def test_top_k_similar_served_needs_degrees(self, graph):
+        from repro.applications.similarity import top_k_similar_served
+        from repro.errors import ReproError
+
+        async def run():
+            async with QueryServer(graph, Layer.UPPER, EPSILON, rng=6) as server:
+                await top_k_similar_served(server, 0, [1, 2, 3], k=2)
+
+        with pytest.raises(ReproError):
+            asyncio.run(run())
+
+    def test_recommend_items_served(self, graph):
+        from repro.applications.recommendation import recommend_items_served
+
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE, degree_epsilon=0.5, rng=8,
+            ) as server:
+                return await recommend_items_served(
+                    server, 0, list(range(1, 16)), epsilon_lists=1.0,
+                    k=4, top_items=5, rng=9,
+                )
+
+        recommendations = asyncio.run(run())
+        assert len(recommendations) <= 5
+        owned = set(graph.neighbors(Layer.UPPER, 0).tolist())
+        assert all(rec.item not in owned for rec in recommendations)
