@@ -1,0 +1,197 @@
+"""Multi-tenant serving under a cache memory budget.
+
+Two tenants share one hot vertex pool on a materialize-path graph — the
+shared-report scenario the multi-tenant layer exists for. The benchmark
+drives the same skewed traffic through three cache configurations:
+
+* ``unbounded`` — the PR-2 baseline: every noisy view stays resident
+  until rotation;
+* ``bounded`` — an LRU byte budget of roughly a third of the unbounded
+  working set: memory stays under the cap while evicted views are
+  reconstructed deterministically (privacy-free) on re-touch;
+* ``bounded+warm`` — the same with an epoch rotation mid-run and warm
+  pre-drawing of the hottest vertices.
+
+Reported per configuration: peak resident bytes, hit rate,
+evictions/recharges, throughput, and the tenant ledger — which must show
+perfect isolation (tenant budgets only ever move on their own misses)
+and per-tenant spends summing to the accountant's true charges.
+
+Run directly (``python benchmarks/bench_multitenant.py``) or via pytest
+(``pytest benchmarks/bench_multitenant.py -s``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.protocol.session import ExecutionMode
+from repro.serving import QueryServer, TenantRegistry, simulate_clients
+
+N_UPPER, N_LOWER, N_EDGES = 2000, 10_000, 60_000
+NUM_CLIENTS = 40
+QUERIES_PER_CLIENT = 10
+HOT_POOL = 120
+EPSILON = 2.0
+TENANT_BUDGET = 400.0  # ample: isolation, not refusal, is under test here
+
+
+def _run_config(
+    graph, pool, *, cache_bytes=None, rotate_mid_run=False, warm=0
+) -> dict:
+    registry = TenantRegistry()
+    registry.register("alice", TENANT_BUDGET)
+    registry.register("bob", TENANT_BUDGET)
+
+    async def drive():
+        async with QueryServer(
+            graph, Layer.UPPER, EPSILON,
+            mode=ExecutionMode.MATERIALIZE,
+            cache_bytes=cache_bytes,
+            warm_vertices=warm,
+            tenants=registry,
+            rng=7,
+        ) as server:
+            peak = 0
+
+            async def watch_peak():
+                nonlocal peak
+                while True:
+                    peak = max(peak, server.cache.nbytes())
+                    await asyncio.sleep(0)
+
+            watcher = asyncio.create_task(watch_peak())
+            start = time.perf_counter()
+            result = await simulate_clients(
+                server, NUM_CLIENTS, QUERIES_PER_CLIENT, rng=11,
+                replays=1, pool=pool,
+            )
+            if rotate_mid_run:
+                server.rotate_epoch()
+            replay = await simulate_clients(
+                server, NUM_CLIENTS, QUERIES_PER_CLIENT, rng=11,
+                replays=1, pool=pool,
+            )
+            elapsed = time.perf_counter() - start
+            watcher.cancel()
+            peak = max(peak, server.cache.nbytes())
+            served = len(result.estimates) + len(replay.estimates)
+            alice, bob = registry.get("alice"), registry.get("bob")
+            charged_vertices = {
+                v
+                for v in range(graph.layer_size(Layer.UPPER))
+                if server.accountant.lifetime_spent(Layer.UPPER, v) > 0
+            }
+            true_spend = sum(
+                server.accountant.lifetime_spent(Layer.UPPER, v)
+                for v in charged_vertices
+            )
+            return {
+                "served": served,
+                "throughput": served / elapsed,
+                "peak_bytes": peak,
+                "resident_bytes": server.cache.nbytes(),
+                "hit_rate": server.cache.stats.hit_rate(),
+                "evictions": server.cache.stats.evictions,
+                "recharges": server.cache.stats.recharges,
+                "warmed": server.stats.warmed_vertices,
+                "alice_spent": alice.budget.spent,
+                "bob_spent": bob.budget.spent,
+                "metered_total": alice.stats.epsilon_charged
+                + bob.stats.epsilon_charged,
+                "true_spend": true_spend,
+                "max_vertex_spend": server.accountant.max_lifetime_spent(),
+            }
+
+    return asyncio.run(drive())
+
+
+def run_multitenant_comparison() -> tuple[str, dict]:
+    graph = random_bipartite(N_UPPER, N_LOWER, N_EDGES, rng=20260727)
+    pool = np.flatnonzero(graph.degrees(Layer.UPPER) > 0)[:HOT_POOL]
+
+    unbounded = _run_config(graph, pool)
+    byte_budget = max(int(unbounded["resident_bytes"] / 3), 1)
+    bounded = _run_config(graph, pool, cache_bytes=byte_budget)
+    warm = _run_config(
+        graph, pool, cache_bytes=byte_budget, rotate_mid_run=True, warm=40
+    )
+
+    rows = {
+        "byte_budget": byte_budget,
+        "unbounded": unbounded,
+        "bounded": bounded,
+        "bounded_warm": warm,
+    }
+    header = (
+        f"{'configuration':<16} {'peak KiB':>9} {'hit rate':>9} "
+        f"{'evict':>6} {'recharge':>9} {'q/s':>9}"
+    )
+    fmt = (
+        "{name:<16} {peak:>9.0f} {hit:>8.1%} {ev:>6d} {re:>9d} {qs:>9,.0f}"
+    )
+    lines = [
+        f"two tenants x {NUM_CLIENTS // 2} clients each, "
+        f"{QUERIES_PER_CLIENT} queries + full second pass, "
+        f"{HOT_POOL}-vertex hot pool on {N_UPPER} x {N_LOWER} "
+        f"({N_EDGES} edges), epsilon={EPSILON}",
+        f"cache byte budget for bounded runs: {byte_budget:,} B "
+        f"(~1/3 of the unbounded working set)",
+        "",
+        header,
+    ]
+    for name, r in (
+        ("unbounded", unbounded),
+        ("bounded", bounded),
+        ("bounded+warm", warm),
+    ):
+        lines.append(
+            fmt.format(
+                name=name, peak=r["peak_bytes"] / 1024, hit=r["hit_rate"],
+                ev=r["evictions"], re=r["recharges"], qs=r["throughput"],
+            )
+        )
+    lines += [
+        "",
+        f"tenant isolation (bounded): alice spent "
+        f"{bounded['alice_spent']:.1f} eps, bob {bounded['bob_spent']:.1f} eps; "
+        f"metered total {bounded['metered_total']:.1f} = "
+        f"accountant total {bounded['true_spend']:.1f}",
+        f"max per-vertex spend stays one epsilon under eviction: "
+        f"{bounded['max_vertex_spend']:.3f}",
+    ]
+    return "\n".join(lines), rows
+
+
+def test_multitenant_bounded_cache(emit):
+    text, rows = run_multitenant_comparison()
+    emit("multitenant", text)
+
+    bounded = rows["bounded"]
+    # The byte budget actually bounds resident memory (peak may include
+    # one in-flight tick's working set on top of the cap).
+    assert bounded["resident_bytes"] <= rows["byte_budget"]
+    assert bounded["peak_bytes"] < rows["unbounded"]["peak_bytes"]
+    assert bounded["evictions"] > 0
+    # Hot-pool traffic still hits the cache meaningfully under eviction.
+    assert bounded["hit_rate"] >= 0.20
+    # Analyst-side metering equals the privacy-side truth, and no tenant
+    # paid for the other: each spend is itself bounded by the total.
+    assert bounded["metered_total"] == pytest.approx(bounded["true_spend"])
+    assert (
+        bounded["alice_spent"] + bounded["bob_spent"]
+        == pytest.approx(bounded["true_spend"])
+    )
+    # Eviction/redraw cycles never double-charge a vertex within an epoch.
+    assert bounded["max_vertex_spend"] <= EPSILON + 1e-9
+
+
+if __name__ == "__main__":
+    text, _ = run_multitenant_comparison()
+    print(text)

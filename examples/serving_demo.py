@@ -10,7 +10,13 @@ shows the three headline behaviors:
 2. a full workload replay inside one epoch costing zero extra budget
    (and returning bit-identical estimates),
 3. an epoch rotation dropping the views, so the next pass re-draws and
-   honestly recharges.
+   honestly recharges,
+4. multi-tenant metering: two analysts share the hot views, each pays
+   only for its own misses, and an exhausted quota refuses only its
+   owner's queries,
+5. a cache byte budget: resident memory stays bounded while evicted
+   views are reconstructed deterministically — charged exactly once per
+   epoch no matter how often they churn.
 
 Run:  python examples/serving_demo.py
 """
@@ -24,7 +30,13 @@ import numpy as np
 import repro
 from repro import Layer
 from repro.applications.similarity import top_k_similar_served
-from repro.serving import QueryServer, serving_report, simulate_clients
+from repro.errors import BudgetExceededError
+from repro.serving import (
+    QueryServer,
+    TenantRegistry,
+    serving_report,
+    simulate_clients,
+)
 
 EPSILON = 2.0
 
@@ -77,6 +89,42 @@ async def demo() -> None:
         print()
 
         print(serving_report(server, result))
+
+    # --- 4. multi-tenant metering over one shared cache ------------
+    tenants = TenantRegistry()
+    tenants.register("alice", total_epsilon=8.0)
+    tenants.register("bob", total_epsilon=80.0)
+    async with QueryServer(
+        graph, Layer.UPPER, EPSILON, tenants=tenants, rng=11
+    ) as server:
+        await server.query(3, 7, tenant="alice")  # alice pays both vertices
+        await server.query(3, 7, tenant="bob")  # cache hit: bob pays nothing
+        await server.query(5, 8, tenant="alice")  # alice's quota is now gone
+        try:
+            await server.query(9, 11, tenant="alice")
+        except BudgetExceededError:
+            print("alice is out of quota; bob keeps being served:")
+        await server.query(9, 11, tenant="bob")
+        print(tenants.report())
+        print()
+
+    # --- 5. bounded cache: evictions recharge free -----------------
+    async with QueryServer(
+        graph, Layer.UPPER, EPSILON, cache_bytes=50_000, rng=11
+    ) as server:
+        first = [await server.query(0, i) for i in range(1, 40)]
+        second = [await server.query(0, i) for i in range(1, 40)]
+        stats = server.cache.stats
+        identical = [e.value for e in first] == [e.value for e in second]
+        print(
+            f"50 KB cache budget: {server.cache.nbytes():,} B resident, "
+            f"{stats.evictions} evictions, {stats.recharges} recharges"
+        )
+        print(
+            f"  replay bit-identical: {identical}, max per-vertex spend "
+            f"{server.accountant.max_epoch_spent():.1f} "
+            f"(charged once despite the churn)"
+        )
 
 
 if __name__ == "__main__":

@@ -70,7 +70,12 @@ from repro.graph import (
 from repro.engine import BatchQueryEngine, EngineResult
 from repro.privacy import BudgetSplit, LaplaceMechanism, RandomizedResponse
 from repro.protocol import ExecutionMode, ProtocolSession, ProtocolTranscript
-from repro.serving import NoisyViewCache, QueryServer, ServedEstimate
+from repro.serving import (
+    NoisyViewCache,
+    QueryServer,
+    ServedEstimate,
+    TenantRegistry,
+)
 
 __version__ = "1.0.0"
 
@@ -99,6 +104,7 @@ __all__ = [
     "QueryServer",
     "ServedEstimate",
     "NoisyViewCache",
+    "TenantRegistry",
     # estimators
     "CommonNeighborEstimator",
     "EstimateResult",

@@ -105,6 +105,7 @@ async def recommend_items_served(
     exclude_owned: bool = True,
     similarity_kind: str = "jaccard",
     *,
+    tenant: str | None = None,
     rng: RngLike = None,
 ) -> list[Recommendation]:
     """Async recommendation with the neighborhood screen served.
@@ -121,7 +122,7 @@ async def recommend_items_served(
     if top_items <= 0:
         raise PrivacyError("top_items must be positive")
     neighbors = await top_k_similar_served(
-        server, target, candidates, k, kind=similarity_kind
+        server, target, candidates, k, kind=similarity_kind, tenant=tenant
     )
     return _aggregate_preferences(
         server.graph, server.layer, target, neighbors, epsilon_lists,

@@ -207,6 +207,8 @@ async def top_k_similar_served(
     candidates: Sequence[int],
     k: int,
     kind: str = "jaccard",
+    *,
+    tenant: str | None = None,
 ) -> list[tuple[int, SimilarityEstimate]]:
     """Async top-k search routed through a running :class:`QueryServer`.
 
@@ -216,7 +218,8 @@ async def top_k_similar_served(
     second top-k search over overlapping candidates in the same epoch
     costs **zero** additional budget. Degrees come from the server's
     epoch-cached Laplace releases, so the server must be constructed with
-    ``degree_epsilon``.
+    ``degree_epsilon``. On a multi-tenant server, ``tenant`` names the
+    analyst whose budget funds the screen's cache misses.
     """
     if server.degree_epsilon is None:
         raise ReproError(
@@ -235,7 +238,10 @@ async def top_k_similar_served(
         return []
 
     served = await asyncio.gather(
-        *(server.query(query_vertex, candidate) for candidate in candidates)
+        *(
+            server.query(query_vertex, candidate, tenant=tenant)
+            for candidate in candidates
+        )
     )
     scored = []
     for candidate, estimate in zip(candidates, served):

@@ -161,6 +161,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="rotate the epoch cache every N ticks (default: never)",
     )
     p_srv.add_argument(
+        "--epoch-seconds", type=float, default=None,
+        help="rotate the epoch cache on a wall clock every T seconds",
+    )
+    p_srv.add_argument(
+        "--warm", type=int, default=0, metavar="K",
+        help="pre-draw the K hottest vertices at every rotation",
+    )
+    p_srv.add_argument(
+        "--tenants", type=int, default=0, metavar="N",
+        help="register N metered tenants; clients are assigned round-robin",
+    )
+    p_srv.add_argument(
+        "--tenant-eps", type=float, default=50.0,
+        help="total budget per tenant (misses debit it; hits are free)",
+    )
+    p_srv.add_argument(
+        "--cache-budget", type=int, default=None, metavar="BYTES",
+        help="LRU byte budget for the noisy-view cache (eviction on)",
+    )
+    p_srv.add_argument(
+        "--cache-entries", type=int, default=None, metavar="N",
+        help="LRU entry budget for the noisy-view cache (eviction on)",
+    )
+    p_srv.add_argument(
         "--degree-eps", type=float, default=None,
         help="also serve epoch-cached noisy degrees at this budget",
     )
@@ -326,7 +350,12 @@ def _cmd_serve(args) -> int:
     from repro.datasets.cache import load_dataset
     from repro.privacy.rng import ensure_rng, spawn_rngs
     from repro.protocol.session import ExecutionMode
-    from repro.serving import QueryServer, serving_report, simulate_clients
+    from repro.serving import (
+        QueryServer,
+        TenantRegistry,
+        serving_report,
+        simulate_clients,
+    )
 
     graph = load_dataset(args.dataset, args.max_edges)
     layer = Layer.UPPER if args.layer == "upper" else Layer.LOWER
@@ -336,12 +365,22 @@ def _cmd_serve(args) -> int:
         "sketch": ExecutionMode.SKETCH,
     }[args.mode]
     server_rng, client_rng = spawn_rngs(ensure_rng(args.seed), 2)
+    registry = None
+    if args.tenants > 0:
+        registry = TenantRegistry()
+        for i in range(args.tenants):
+            registry.register(f"tenant-{i}", args.tenant_eps)
 
     async def _drive():
         async with QueryServer(
             graph, layer, args.eps,
             mode=mode,
             epoch_ticks=args.epoch_ticks,
+            epoch_seconds=args.epoch_seconds,
+            warm_vertices=args.warm,
+            cache_bytes=args.cache_budget,
+            cache_entries=args.cache_entries,
+            tenants=registry,
             degree_epsilon=args.degree_eps,
             rng=server_rng,
         ) as server:

@@ -231,20 +231,20 @@ class BatchQueryEngine:
         accountant = cache.accountant
         if mode is ExecutionMode.MATERIALIZE:
             split = split_cached(plan, cache.vertex_cached_mask(plan.vertices))
-            # Charge *before* drawing: a refused charge (epoch allowance,
-            # ledger limit) must leave no stored view behind, or later
-            # queries would ride the uncharged draw for free.
+            # Only vertices never drawn this epoch are charged: a bounded
+            # cache reconstructs evicted views deterministically, so their
+            # redraw is privacy-free. Charge *before* drawing: a refused
+            # charge (epoch allowance, ledger limit) must leave no stored
+            # view behind, or later queries would ride the uncharged draw
+            # for free.
+            charged = cache.uncharged(split.uncached)
             party = accountant.charge_vertices(
-                plan.layer, split.uncached, plan.epsilon,
+                plan.layer, charged, plan.epsilon,
                 "randomized-response", "serve-rr", ledger=ledger,
             )
             fresh_bytes = 0
             if split.num_uncached:
-                fresh_indptr, fresh_columns = bulk_randomized_response(
-                    graph, plan.layer, split.uncached, plan.epsilon, rng
-                )
-                cache.store_views(split.uncached, fresh_indptr, fresh_columns)
-                fresh_bytes = int(fresh_columns.size) * ID_BYTES
+                fresh_bytes = cache.materialize_fresh(split.uncached, rng) * ID_BYTES
             indptr, columns = cache.gather_views(plan.vertices)
             sizes = np.diff(indptr)
             backend = choose_backend(k, plan.num_pairs, domain)
@@ -256,7 +256,6 @@ class BatchQueryEngine:
                 backend=backend, packed=packed,
             )
             n2 = sizes[plan.ia] + sizes[plan.ib] - n1
-            charged = split.uncached
             hits, misses = split.num_cached, split.num_uncached
             cache.stats.vertex_hits += hits
             cache.stats.vertex_misses += misses
@@ -273,22 +272,24 @@ class BatchQueryEngine:
             party = None
             if not hit_mask.all():
                 # Unique missed keys: a pair repeated within the tick draws
-                # once and every occurrence replays that stored draw.
+                # once and every occurrence replays that stored draw. Only
+                # pairs never drawn this epoch recharge their endpoints —
+                # a bounded cache replays evicted pairs deterministically.
                 miss_keys = np.unique(keys[~hit_mask], axis=0)
-                verts, inverse = np.unique(miss_keys, return_inverse=True)
-                inverse = inverse.reshape(miss_keys.shape)
+                new_keys = cache.unseen_pairs(miss_keys)
+                verts = (
+                    np.unique(new_keys)
+                    if new_keys.size
+                    else np.empty(0, dtype=np.int64)
+                )
                 # As above: the charge must precede the draw so a refusal
                 # leaves no uncharged cached statistics behind.
                 party = accountant.charge_vertices(
                     plan.layer, verts, plan.epsilon,
                     "randomized-response", "serve-rr", ledger=ledger,
                 )
-                n1_m, n2_m, sizes_m = sketch_pair_counts(
-                    graph, plan.layer, verts,
-                    inverse[:, 0], inverse[:, 1], plan.epsilon, rng,
-                )
-                cache.store_pair_counts(miss_keys, n1_m, n2_m)
-                fresh_bytes = int(sizes_m.sum()) * ID_BYTES
+                _, _, upload_ids = cache.sketch_fresh(miss_keys, rng)
+                fresh_bytes = upload_ids * ID_BYTES
                 charged = verts
             counts = [cache.pair_counts(a, b) for a, b in keys]
             n1 = np.array([c[0] for c in counts], dtype=np.int64)
@@ -301,6 +302,9 @@ class BatchQueryEngine:
         values = debias_pair_counts(n1, n2, domain, plan.epsilon)
         if fresh_bytes:
             comm.record(Direction.UPLOAD, fresh_bytes, "engine-batch:edges")
+        # The tick is done with its working set: enforce the LRU budget
+        # (no-op on unbounded caches).
+        cache.evict_to_budget()
 
         return EngineResult(
             layer=plan.layer,

@@ -28,7 +28,15 @@ from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.sampling import QueryPair
 from repro.privacy.composition import QueryBudgetManager
 
-__all__ = ["WorkloadPlan", "CacheSplit", "plan_workload", "split_cached", "pair_keys"]
+__all__ = [
+    "WorkloadPlan",
+    "CacheSplit",
+    "TenantSlice",
+    "plan_workload",
+    "split_cached",
+    "pair_keys",
+    "slice_by_tenant",
+]
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,55 @@ def split_cached(plan: WorkloadPlan, cached_mask: np.ndarray) -> CacheSplit:
     )
 
 
+@dataclass(frozen=True)
+class TenantSlice:
+    """One tenant's share of a multi-tenant workload plan."""
+
+    tenant: str
+    indices: np.ndarray  # slots of this tenant's pairs within `plan.pairs`
+    vertices: np.ndarray  # sorted distinct vertices those pairs touch
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.indices.size)
+
+
+def slice_by_tenant(
+    plan: WorkloadPlan, tags: Sequence[str]
+) -> dict[str, TenantSlice]:
+    """Partition a plan's pairs into per-tenant slices.
+
+    ``tags`` gives the requesting tenant of each pair, aligned with
+    ``plan.pairs``. Returns one :class:`TenantSlice` per distinct tag,
+    in first-appearance order — the view the serving layer's per-tenant
+    accounting and reports are built on. Slices share vertices freely
+    (that sharing is exactly what makes the common epoch cache pay off);
+    whether a shared vertex's charge lands on one tenant or another is
+    decided at serving time by arrival order, not here.
+
+    Raises
+    ------
+    ProtocolError
+        If ``tags`` is not aligned with the plan's pairs.
+    """
+    if len(tags) != plan.num_pairs:
+        raise ProtocolError(
+            f"{len(tags)} tenant tags do not match the plan's "
+            f"{plan.num_pairs} pairs"
+        )
+    order: dict[str, list[int]] = {}
+    for i, tag in enumerate(tags):
+        order.setdefault(str(tag), []).append(i)
+    slices: dict[str, TenantSlice] = {}
+    for tag, indices in order.items():
+        idx = np.asarray(indices, dtype=np.int64)
+        verts = np.unique(
+            np.concatenate([plan.vertices[plan.ia[idx]], plan.vertices[plan.ib[idx]]])
+        )
+        slices[tag] = TenantSlice(tenant=tag, indices=idx, vertices=verts)
+    return slices
+
+
 def pair_keys(plan: WorkloadPlan) -> np.ndarray:
     """Order-normalized ``(min, max)`` vertex-id key per pair.
 
@@ -110,6 +167,39 @@ def plan_workload(
     Exactly one of ``epsilon`` and ``budget`` funds the batch; with a
     manager, one slice is reserved per call (a batch is one query against
     the analyst's total, however many pairs it answers).
+
+    Parameters
+    ----------
+    graph, layer:
+        The serving context; every pair must live on ``layer`` and its
+        endpoints must be valid vertex ids there.
+    pairs:
+        The same-layer :class:`~repro.graph.sampling.QueryPair` workload
+        (at least one pair; duplicates are allowed and deduplicate into
+        shared vertex slots).
+    epsilon:
+        Explicit per-batch budget. Mutually exclusive with ``budget``.
+    budget:
+        A :class:`~repro.privacy.composition.QueryBudgetManager`; one
+        slice is reserved by this call and funds the whole batch.
+
+    Returns
+    -------
+    WorkloadPlan
+        The validated plan: resolved ``epsilon``, the sorted distinct
+        query vertices, and each pair's endpoint slots within them.
+
+    Raises
+    ------
+    ProtocolError
+        If the workload is empty or a pair sits on the wrong layer.
+    PrivacyError
+        If both or neither of ``epsilon``/``budget`` are given, or the
+        resolved epsilon is not a positive finite number.
+    GraphError
+        If any endpoint is out of range for ``layer``.
+    BudgetExceededError
+        Propagated from ``budget`` when its total is exhausted.
     """
     if not pairs:
         raise ProtocolError("batch needs at least one query pair")

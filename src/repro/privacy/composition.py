@@ -15,6 +15,12 @@ Policies
 * ``geometric`` — slices decay by ``ratio`` so that *any* number of
   queries stays within the total (``eps_i = total·(1-r)·r^i``); useful
   when the query count is unknown up front and early queries matter most.
+* ``metered`` — no slice schedule at all: the owner debits arbitrary
+  amounts via :meth:`QueryBudgetManager.debit` as costs materialize.
+  This is the multi-tenant serving policy, where a query's cost depends
+  on the shared epoch cache (hits are free, misses cost the tick's
+  epsilon per fresh vertex) and cannot be known when the budget is set
+  up.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from repro.errors import BudgetExceededError, PrivacyError
 
 __all__ = ["QueryBudgetManager"]
 
-_POLICIES = ("uniform", "fixed", "geometric")
+_POLICIES = ("uniform", "fixed", "geometric", "metered")
 
 
 class QueryBudgetManager:
@@ -102,14 +108,61 @@ class QueryBudgetManager:
         # geometric: eps_i = total * (1 - r) * r^i sums to total over i >= 0.
         return self.total_epsilon * (1.0 - self.ratio) * self.ratio**self._issued
 
+    def debit(self, epsilon: float, party: str = "analyst") -> float:
+        """Reserve an arbitrary ``epsilon`` amount against the total.
+
+        The metered counterpart of :meth:`next_budget`, for costs that
+        only materialize at serving time (a cache miss's fresh vertices).
+        Works under every policy; a zero debit is free and always allowed.
+
+        Returns the amount debited. Raises
+        :class:`~repro.errors.BudgetExceededError` (tagged with
+        ``party``) when ``epsilon`` exceeds the remaining budget, and
+        :class:`~repro.errors.PrivacyError` for a negative amount.
+        """
+        if epsilon < 0:
+            raise PrivacyError(f"cannot debit negative epsilon {epsilon}")
+        if epsilon == 0:
+            return 0.0
+        if epsilon > self.remaining + 1e-12:
+            raise BudgetExceededError(party, epsilon, self.remaining)
+        self._spent += epsilon
+        self._issued += 1
+        return epsilon
+
+    def credit(self, epsilon: float) -> None:
+        """Return a previously debited amount to the budget.
+
+        Only for rolling back a :meth:`debit` whose query was never
+        answered (e.g. the serving tick failed after admission): nothing
+        was released, so the reservation is undone. Never credit spend
+        that produced an answer.
+
+        Raises :class:`PrivacyError` if ``epsilon`` is negative or
+        exceeds what was spent.
+        """
+        if epsilon < 0:
+            raise PrivacyError(f"cannot credit negative epsilon {epsilon}")
+        if epsilon > self._spent + 1e-12:
+            raise PrivacyError(
+                f"cannot credit eps={epsilon:g}: only {self._spent:g} was spent"
+            )
+        self._spent = max(self._spent - epsilon, 0.0)
+
     def next_budget(self) -> float:
         """Reserve and return the next query's budget slice.
 
         Raises :class:`BudgetExceededError` once the total is exhausted
         (for ``uniform``: after ``num_queries`` slices; for ``fixed``:
         when the next slice would not fit; ``geometric`` never exhausts
-        but slices shrink toward zero).
+        but slices shrink toward zero) and :class:`PrivacyError` under
+        the ``metered`` policy, which has no slice schedule — use
+        :meth:`debit`.
         """
+        if self.policy == "metered":
+            raise PrivacyError(
+                "the metered policy hands out no slices; debit() actual costs"
+            )
         slice_eps = self._slice()
         if self.policy == "uniform" and self._issued >= (self.num_queries or 0):
             raise BudgetExceededError("analyst", slice_eps, 0.0)

@@ -89,10 +89,39 @@ class EpochAccountant:
     ) -> str | None:
         """Charge every listed vertex ``epsilon`` for the current epoch.
 
-        Returns the epoch-scoped ledger party label (or ``None`` when the
-        charge is empty). The optional ``ledger`` receives one aggregated
-        ``charge_parallel`` entry — the cache-miss accounting path: cache
-        hits never reach this method, so they are free by construction.
+        Parameters
+        ----------
+        layer:
+            The layer the vertices live on (spend is keyed per
+            ``(layer, vertex)``).
+        vertices:
+            Vertex ids (scalar or array-like); each is charged the full
+            ``epsilon``. An empty list is a no-op.
+        epsilon:
+            Per-vertex charge for this round; ``0`` is a recorded no-op.
+        mechanism, stage:
+            Labels carried into the round log and the ledger entry.
+        ledger:
+            Optional :class:`PrivacyLedger` that receives one aggregated
+            ``charge_parallel`` entry for the round — the cache-miss
+            accounting path: cache hits never reach this method, so they
+            are free by construction.
+
+        Returns
+        -------
+        str | None
+            The epoch-scoped ledger party label, or ``None`` when the
+            charge was empty (no vertices, or zero epsilon).
+
+        Raises
+        ------
+        PrivacyError
+            If ``epsilon`` is negative.
+        BudgetExceededError
+            When ``epsilon_per_epoch`` is set and the charge would push
+            any listed vertex past its allowance for the current epoch.
+            Nothing is recorded in that case — callers rely on charges
+            being all-or-nothing to keep cache state and spend in sync.
         """
         if epsilon < 0:
             raise PrivacyError(f"cannot charge negative epsilon {epsilon}")

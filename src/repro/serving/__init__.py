@@ -5,12 +5,19 @@ system: concurrent single-pair queries coalesce into one engine workload
 per tick, an epoch-scoped :class:`NoisyViewCache` makes repeat touches of
 a vertex (materialize mode) or pair (sketch mode) budget-free within an
 epoch, and an :class:`~repro.privacy.epoch.EpochAccountant` keeps the
-honest per-vertex spend across ticks and epoch rotations.
+honest per-vertex spend across ticks and epoch rotations. On top of
+that, a :class:`TenantRegistry` meters many analysts against one shared
+cache (hits free for everyone, misses debiting the requesting tenant),
+the cache takes an optional LRU byte/entry budget (eviction is
+privacy-free: evicted views reconstruct deterministically), and epochs
+can rotate on a wall clock with warm pre-drawing of the hottest
+vertices. See ``docs/serving-guide.md`` for the tutorial.
 """
 
 from repro.serving.cache import CacheStats, NoisyViewCache
 from repro.serving.driver import SimulationResult, serving_report, simulate_clients
 from repro.serving.server import QueryServer, ServedEstimate, ServerStats
+from repro.serving.tenants import Tenant, TenantRegistry, TenantStats
 
 __all__ = [
     "CacheStats",
@@ -19,6 +26,9 @@ __all__ = [
     "ServedEstimate",
     "ServerStats",
     "SimulationResult",
+    "Tenant",
+    "TenantRegistry",
+    "TenantStats",
     "simulate_clients",
     "serving_report",
 ]

@@ -22,27 +22,60 @@ mode)``:
 ``rotate()`` starts a new epoch: views are dropped, so the next query
 re-draws and recharges each vertex it touches. The paired accountant
 rotates in lockstep.
+
+Bounded memory (``max_bytes`` / ``max_entries``)
+------------------------------------------------
+An unbounded cache holds every view until rotation; a long epoch over a
+large graph therefore holds the whole noisy graph in memory. Passing a
+byte and/or entry budget turns on LRU eviction: whenever a store pushes
+the cache over budget, the least-recently-touched views are dropped
+until it fits again.
+
+Eviction is **privacy-free**. A bounded cache draws every view from a
+deterministic per-``(epoch, vertex)`` (or per-``(epoch, pair)``) random
+stream — the serving analogue of RAPPOR's *memoized* permanent
+randomized response — so the next touch of an evicted entry reconstructs
+the **bit-identical** report instead of drawing fresh noise. The
+reconstruction re-runs the perturbation (CPU) and re-uploads the report
+(bytes, counted in the tick's communication log) but releases nothing
+new, so the :class:`EpochAccountant` is charged exactly once per vertex
+per epoch no matter how many evict/redraw cycles happen. The tunable
+tradeoff is therefore memory versus recharge latency/communication —
+never privacy — and :class:`CacheStats` counts ``evictions`` and
+``recharges`` so the tradeoff is observable.
+
+The one cost of the bounded mode: fresh draws run per entry (each needs
+its own keyed stream) instead of through the single vectorized bulk-RR
+pass, so an unbounded cache stays the fastest choice when memory is not
+a concern.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.bulkrr import lengths_to_indptr
+from repro.engine.bulkrr import bulk_randomized_response, lengths_to_indptr
 from repro.engine.pairwise import pack_bitset_row
+from repro.engine.sketch import sketch_pair_counts
 from repro.errors import ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.privacy.epoch import EpochAccountant
+from repro.privacy.rng import RngLike, ensure_rng
 from repro.protocol.session import _AUTO_MATERIALIZE_LIMIT, ExecutionMode
 
 __all__ = ["CacheStats", "NoisyViewCache"]
 
+# Bookkeeping cost of one sketch-mode pair entry: the (min, max) key and
+# the (N1, N2) counts, as four 8-byte integers.
+_PAIR_ENTRY_BYTES = 32
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters accumulated across the cache's lifetime."""
+    """Hit/miss/eviction counters accumulated across the cache's lifetime."""
 
     vertex_hits: int = 0
     vertex_misses: int = 0
@@ -51,6 +84,9 @@ class CacheStats:
     degree_hits: int = 0
     degree_misses: int = 0
     rotations: int = 0
+    evictions: int = 0  # entries dropped by the LRU budget
+    recharges: int = 0  # evicted entries reconstructed on a later touch
+    warm_draws: int = 0  # views pre-drawn at rotation (server warming)
 
     def hit_rate(self) -> float:
         """Fraction of vertex/pair lookups served from cache."""
@@ -74,6 +110,29 @@ class NoisyViewCache:
     epsilon_per_epoch:
         Forwarded to the paired :class:`EpochAccountant`; ``None`` records
         without enforcing.
+    max_bytes, max_entries:
+        Optional LRU budget (see the module docs). Either bound — or both
+        — turns on the *bounded* cache: stores evict least-recently-used
+        entries past the budget, and every draw becomes deterministic per
+        ``(epoch, vertex)`` / ``(epoch, pair)`` so evicted entries can be
+        reconstructed bit-identically without a fresh privacy charge.
+        The budget is a soft cap, enforced at tick boundaries: a tick
+        stores its fresh draws first and evicts afterwards, so one
+        tick's working set may transiently overshoot. Note that the
+        *charge memory* (which keys were drawn this epoch) survives
+        eviction by design and is not part of the byte accounting; it
+        is O(distinct keys per epoch) — bounded by the layer size in
+        materialize mode, by rotation cadence in sketch mode.
+    rng:
+        Entropy source for the bounded mode's deterministic streams (one
+        integer is drawn at construction; pass the server's generator for
+        reproducible serving runs). Unused — and never consumed — when
+        the cache is unbounded.
+
+    Raises
+    ------
+    ProtocolError
+        If ``max_bytes`` or ``max_entries`` is not positive.
     """
 
     def __init__(
@@ -84,10 +143,17 @@ class NoisyViewCache:
         *,
         mode: ExecutionMode = ExecutionMode.AUTO,
         epsilon_per_epoch: float | None = None,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        rng: RngLike = None,
     ):
         if mode is ExecutionMode.AUTO:
             small = graph.layer_size(layer.opposite()) <= _AUTO_MATERIALIZE_LIMIT
             mode = ExecutionMode.MATERIALIZE if small else ExecutionMode.SKETCH
+        if max_bytes is not None and max_bytes <= 0:
+            raise ProtocolError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries is not None and max_entries <= 0:
+            raise ProtocolError(f"max_entries must be positive, got {max_entries}")
         self.graph = graph
         self.layer = layer
         self.epsilon = float(epsilon)
@@ -96,27 +162,65 @@ class NoisyViewCache:
         self.epoch = 0
         self.stats = CacheStats()
         self.accountant = EpochAccountant(epsilon_per_epoch)
-        self._rows: dict[int, np.ndarray] = {}
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.bounded = max_bytes is not None or max_entries is not None
+        # Entropy for the bounded mode's keyed streams. Only drawn when
+        # bounded so an unbounded cache never consumes caller randomness.
+        self._entropy = (
+            int(ensure_rng(rng).integers(1 << 62)) if self.bounded else 0
+        )
+        self._bytes = 0
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._packed: dict[int, np.ndarray] = {}
-        self._pair_counts: dict[tuple[int, int], tuple[int, int]] = {}
+        self._pair_counts: OrderedDict[tuple[int, int], tuple[int, int]] = (
+            OrderedDict()
+        )
         self._degrees: dict[int, float] = {}
+        # Epoch-scoped charge memory: which vertices/pairs have already
+        # been drawn (and charged) this epoch, surviving eviction.
+        self._drawn_vertices: set[int] = set()
+        self._drawn_pairs: set[tuple[int, int]] = set()
+        # Touch counts feed the warm pre-draw at rotation.
+        self._touches: Counter[int] = Counter()
+        self._hot_last_epoch: list[int] = []
 
     # ------------------------------------------------------------------
     # Materialize mode: per-vertex noisy neighbor lists
     # ------------------------------------------------------------------
     def has_view(self, vertex: int) -> bool:
+        """True when ``vertex`` holds a resident noisy view this epoch."""
         return int(vertex) in self._rows
 
     def view(self, vertex: int) -> np.ndarray:
-        """The cached noisy neighbor list (sorted column ids)."""
+        """The cached noisy neighbor list (sorted column ids).
+
+        Raises
+        ------
+        KeyError
+            If the vertex holds no resident view (check :meth:`has_view`).
+        """
         return self._rows[int(vertex)]
 
     def vertex_cached_mask(self, vertices: np.ndarray) -> np.ndarray:
-        """Boolean per entry: does an epoch view already exist?"""
+        """Boolean per entry: does a resident epoch view already exist?"""
         return np.fromiter(
             (int(v) in self._rows for v in vertices),
             dtype=bool,
             count=len(vertices),
+        )
+
+    def uncharged(self, vertices: np.ndarray) -> np.ndarray:
+        """The subset of ``vertices`` not yet drawn (= charged) this epoch.
+
+        In an unbounded cache every uncached vertex is uncharged; in a
+        bounded cache an evicted vertex stays *charged* — its next draw
+        is a free deterministic reconstruction, so it must not be charged
+        again.
+        """
+        return np.array(
+            [int(v) for v in vertices if int(v) not in self._drawn_vertices],
+            dtype=np.int64,
         )
 
     def store_views(
@@ -124,13 +228,72 @@ class NoisyViewCache:
     ) -> None:
         """Adopt freshly drawn CSR rows as this epoch's views."""
         for i, vertex in enumerate(vertices):
-            self._rows[int(vertex)] = np.array(
-                columns[indptr[i] : indptr[i + 1]], dtype=np.int64
+            row = np.array(columns[indptr[i] : indptr[i + 1]], dtype=np.int64)
+            self._store_row(int(vertex), row)
+
+    def _store_row(self, vertex: int, row: np.ndarray) -> None:
+        old = self._rows.pop(vertex, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._rows[vertex] = row
+        self._bytes += row.nbytes
+        self._drawn_vertices.add(vertex)
+
+    def materialize_fresh(self, vertices: np.ndarray, rng: RngLike = None) -> int:
+        """Draw and store noisy views for every listed (uncached) vertex.
+
+        Returns the number of column ids drawn — the upload size of the
+        (re-)released reports. Unbounded caches draw the whole block
+        through the vectorized bulk-RR pass using ``rng``; bounded caches
+        draw each vertex from its deterministic ``(epoch, vertex)``
+        stream (``rng`` is ignored), so a redraw of an evicted vertex
+        reproduces the original report bit for bit. Evicted-vertex
+        redraws are counted in ``stats.recharges``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return 0
+        if not self.bounded:
+            indptr, columns = bulk_randomized_response(
+                self.graph, self.layer, vertices, self.epsilon, ensure_rng(rng)
             )
+            self.store_views(vertices, indptr, columns)
+            return int(columns.size)
+        total = 0
+        for v in vertices:
+            v = int(v)
+            if v in self._drawn_vertices:
+                self.stats.recharges += 1
+            row = self._draw_row(v)
+            self._store_row(v, row)
+            total += int(row.size)
+        return total
+
+    def _draw_row(self, vertex: int) -> np.ndarray:
+        """Deterministic noisy row for ``(epoch, vertex)`` (bounded mode)."""
+        keyed = np.random.default_rng([self._entropy, self.epoch, vertex])
+        _, columns = bulk_randomized_response(
+            self.graph,
+            self.layer,
+            np.array([vertex], dtype=np.int64),
+            self.epsilon,
+            keyed,
+        )
+        return np.asarray(columns, dtype=np.int64)
 
     def gather_views(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Stack the cached rows of ``vertices`` into one CSR block."""
-        rows = [self._rows[int(v)] for v in vertices]
+        """Stack the cached rows of ``vertices`` into one CSR block.
+
+        Also the cache's read barrier: every gathered vertex counts one
+        touch (feeding the hottest-vertex snapshot) and moves to the
+        LRU tail.
+        """
+        rows = []
+        for v in vertices:
+            v = int(v)
+            self._touches[v] += 1
+            self._rows.move_to_end(v)
+            rows.append(self._rows[v])
         lengths = np.fromiter((r.size for r in rows), dtype=np.int64, count=len(rows))
         columns = (
             np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
@@ -151,6 +314,7 @@ class NoisyViewCache:
             if row is None:
                 row = pack_bitset_row(self._rows[v], self.domain)
                 self._packed[v] = row
+                self._bytes += row.nbytes
             packed.append(row)
         return np.vstack(packed)
 
@@ -158,11 +322,40 @@ class NoisyViewCache:
     # Sketch mode: per-pair sufficient statistics
     # ------------------------------------------------------------------
     def has_pair(self, a: int, b: int) -> bool:
+        """True when the pair holds a resident ``(N1, N2)`` draw this epoch."""
         return self._key(a, b) in self._pair_counts
 
     def pair_counts(self, a: int, b: int) -> tuple[int, int]:
-        """The cached ``(N1, N2)`` draw for a pair."""
-        return self._pair_counts[self._key(a, b)]
+        """The cached ``(N1, N2)`` draw for a pair (touches its LRU slot).
+
+        Raises
+        ------
+        KeyError
+            If the pair holds no resident entry (check :meth:`has_pair`).
+        """
+        key = self._key(a, b)
+        self._pair_counts.move_to_end(key)
+        self._touches[key[0]] += 1
+        self._touches[key[1]] += 1
+        return self._pair_counts[key]
+
+    def unseen_pairs(self, keys: np.ndarray) -> np.ndarray:
+        """The subset of pair ``keys`` never drawn (= charged) this epoch.
+
+        Mirrors :meth:`uncharged` at pair granularity: an evicted pair's
+        redraw is deterministic and free, so only genuinely new pairs
+        recharge their endpoints.
+        """
+        fresh = [
+            (int(k[0]), int(k[1]))
+            for k in keys
+            if (int(k[0]), int(k[1])) not in self._drawn_pairs
+        ]
+        return (
+            np.array(fresh, dtype=np.int64)
+            if fresh
+            else np.empty((0, 2), dtype=np.int64)
+        )
 
     def store_pair_counts(
         self, keys: np.ndarray, n1: np.ndarray, n2: np.ndarray
@@ -170,31 +363,174 @@ class NoisyViewCache:
         """Adopt freshly drawn per-pair counts (keys from ``pair_keys``)."""
         for i in range(len(keys)):
             key = (int(keys[i][0]), int(keys[i][1]))
-            self._pair_counts[key] = (int(n1[i]), int(n2[i]))
+            self._store_pair(key, (int(n1[i]), int(n2[i])))
+
+    def _store_pair(self, key: tuple[int, int], counts: tuple[int, int]) -> None:
+        if key not in self._pair_counts:
+            self._bytes += _PAIR_ENTRY_BYTES
+        self._pair_counts[key] = counts
+        self._pair_counts.move_to_end(key)
+        self._drawn_pairs.add(key)
+
+    def sketch_fresh(
+        self, keys: np.ndarray, rng: RngLike = None
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Draw and store ``(N1, N2)`` for every listed (uncached) pair key.
+
+        Returns ``(n1, n2, upload_ids)`` aligned with ``keys``. Unbounded
+        caches draw the whole block at once with ``rng``; bounded caches
+        draw each pair from its deterministic ``(epoch, a, b)`` stream so
+        an evicted pair's redraw replays the original draw (counted in
+        ``stats.recharges``).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                0,
+            )
+        if not self.bounded:
+            verts, inverse = np.unique(keys, return_inverse=True)
+            inverse = inverse.reshape(keys.shape)
+            n1, n2, sizes = sketch_pair_counts(
+                self.graph, self.layer, verts,
+                inverse[:, 0], inverse[:, 1], self.epsilon, ensure_rng(rng),
+            )
+            self.store_pair_counts(keys, n1, n2)
+            return n1, n2, int(sizes.sum())
+        n1 = np.empty(len(keys), dtype=np.int64)
+        n2 = np.empty(len(keys), dtype=np.int64)
+        total = 0
+        for i, key in enumerate(keys):
+            key = (int(key[0]), int(key[1]))
+            if key in self._drawn_pairs:
+                self.stats.recharges += 1
+            keyed = np.random.default_rng(
+                [self._entropy, self.epoch, key[0], key[1]]
+            )
+            pair_n1, pair_n2, sizes = sketch_pair_counts(
+                self.graph,
+                self.layer,
+                np.array(key, dtype=np.int64),
+                np.array([0]),
+                np.array([1]),
+                self.epsilon,
+                keyed,
+            )
+            n1[i], n2[i] = int(pair_n1[0]), int(pair_n2[0])
+            self._store_pair(key, (n1[i], n2[i]))
+            total += int(sizes.sum())
+        return n1, n2, total
 
     @staticmethod
     def _key(a: int, b: int) -> tuple[int, int]:
         a, b = int(a), int(b)
         return (a, b) if a <= b else (b, a)
 
+    def pair_key(self, a: int, b: int) -> tuple[int, int]:
+        """Order-normalized cache key of a (symmetric) pair."""
+        return self._key(a, b)
+
+    def pair_charge_free(self, a: int, b: int) -> bool:
+        """True when serving this pair will charge no privacy budget.
+
+        Resident pairs replay their stored draw; in a bounded cache an
+        evicted-but-drawn pair reconstructs it deterministically. Either
+        way the accountant sees nothing.
+        """
+        return self._key(a, b) in self._drawn_pairs or self.has_pair(a, b)
+
+    def vertex_charge_free(self, vertex: int) -> bool:
+        """True when serving this vertex will charge no privacy budget."""
+        return int(vertex) in self._drawn_vertices or self.has_view(vertex)
+
     # ------------------------------------------------------------------
     # Noisy degrees (either mode; used by the serving degree option)
     # ------------------------------------------------------------------
     def has_degree(self, vertex: int) -> bool:
+        """True when ``vertex`` holds an epoch-cached noisy degree."""
         return int(vertex) in self._degrees
 
     def degree(self, vertex: int) -> float:
+        """The epoch-cached noisy Laplace degree of ``vertex``.
+
+        Raises
+        ------
+        KeyError
+            If no degree was released for the vertex this epoch.
+        """
         return self._degrees[int(vertex)]
 
     def store_degrees(self, vertices: np.ndarray, values: np.ndarray) -> None:
+        """Adopt freshly released noisy degrees (never evicted: ~16 B each)."""
         for vertex, value in zip(vertices, values):
             self._degrees[int(vertex)] = float(value)
+
+    # ------------------------------------------------------------------
+    # Memory budget
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Approximate resident payload bytes (rows + packed rows + pairs)."""
+        return self._bytes
+
+    def entries(self) -> int:
+        """Resident cache entries (vertex views plus pair draws)."""
+        return len(self._rows) + len(self._pair_counts)
+
+    def over_budget(self) -> bool:
+        """True when either configured bound is currently exceeded."""
+        if self.max_bytes is not None and self._bytes > self.max_bytes:
+            return True
+        if self.max_entries is not None and self.entries() > self.max_entries:
+            return True
+        return False
+
+    def evict_to_budget(self, pin: frozenset | set = frozenset()) -> int:
+        """Evict least-recently-used entries until the budget fits.
+
+        ``pin`` names vertices (materialize) or pair keys (sketch) to
+        skip — for callers that must keep part of the working set
+        resident while trimming (the engine itself evicts at the end of
+        each tick with nothing pinned). A fully pinned store can stay
+        over budget: the bound is a soft cap. Returns the number of
+        entries evicted. No-op on an unbounded cache.
+        """
+        if not self.bounded:
+            return 0
+        evicted = 0
+        store = self._rows if self.mode is ExecutionMode.MATERIALIZE else (
+            self._pair_counts
+        )
+        while self.over_budget():
+            victim = next((k for k in store if k not in pin), None)
+            if victim is None:
+                break
+            if store is self._rows:
+                row = store.pop(victim)
+                self._bytes -= row.nbytes
+                packed = self._packed.pop(victim, None)
+                if packed is not None:
+                    self._bytes -= packed.nbytes
+            else:
+                store.pop(victim)
+                self._bytes -= _PAIR_ENTRY_BYTES
+            evicted += 1
+        self.stats.evictions += evicted
+        return evicted
 
     # ------------------------------------------------------------------
     def check_compatible(
         self, graph: BipartiteGraph, layer: Layer, epsilon: float, mode: ExecutionMode
     ) -> None:
-        """Refuse to serve a request the cached draws were not made for."""
+        """Refuse to serve a request the cached draws were not made for.
+
+        Raises
+        ------
+        ProtocolError
+            If ``graph``, ``layer``, ``epsilon`` or ``mode`` differs from
+            the serving context the cache is bound to.
+        """
         if graph is not self.graph:
             raise ProtocolError("epoch cache is bound to a different graph")
         if layer is not self.layer:
@@ -217,14 +553,34 @@ class NoisyViewCache:
         return len(self._rows) if self._rows else len(self._degrees)
 
     def cached_pairs(self) -> int:
+        """Resident sketch-mode pair entries."""
         return len(self._pair_counts)
 
+    def hottest_last_epoch(self, k: int) -> list[int]:
+        """The ``k`` most-touched vertices of the epoch closed by the
+        latest :meth:`rotate` call (most-touched first).
+
+        Feeds the server's warm pre-draw: re-drawing these immediately
+        after rotation keeps the first post-rotation tick from stampeding
+        on the hot pool. Empty before the first rotation.
+        """
+        return self._hot_last_epoch[: max(0, int(k))]
+
     def rotate(self) -> int:
-        """Drop every view and start the next epoch (accountant in lockstep)."""
+        """Drop every view and start the next epoch (accountant in lockstep).
+
+        Returns the new epoch id. Also snapshots the closed epoch's
+        hottest vertices for :meth:`hottest_last_epoch`.
+        """
+        self._hot_last_epoch = [v for v, _ in self._touches.most_common()]
+        self._touches.clear()
         self._rows.clear()
         self._packed.clear()
         self._pair_counts.clear()
         self._degrees.clear()
+        self._drawn_vertices.clear()
+        self._drawn_pairs.clear()
+        self._bytes = 0
         self.stats.rotations += 1
         self.epoch = self.accountant.rotate()
         return self.epoch
@@ -233,5 +589,10 @@ class NoisyViewCache:
         return (
             f"NoisyViewCache(layer={self.layer.value}, mode={self.mode.value}, "
             f"epsilon={self.epsilon:g}, epoch={self.epoch}, "
-            f"views={len(self._rows)}, pairs={len(self._pair_counts)})"
+            f"views={len(self._rows)}, pairs={len(self._pair_counts)}, "
+            f"bytes={self._bytes}"
+            + (
+                f"/{self.max_bytes}" if self.max_bytes is not None else ""
+            )
+            + ")"
         )

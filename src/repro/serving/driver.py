@@ -5,7 +5,12 @@ same thing: many concurrent clients issuing single-pair queries with
 optional think time, against one server, with summary statistics at the
 end. :func:`simulate_clients` provides that driver and
 :func:`serving_report` renders the outcome (coalescing, cache hit rate,
-per-epoch budget spend) as text.
+eviction pressure, per-epoch budget spend, per-tenant metering) as text.
+
+On a multi-tenant server, clients are assigned round-robin to the
+registry's tenants and a client whose tenant runs out of quota simply
+has that query refused — the refusal is counted, the client carries on,
+exactly like an analyst whose API key hit its cap.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import BudgetExceededError
 from repro.graph.sampling import QueryPair, sample_query_pairs
 from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
 from repro.serving.server import QueryServer, ServedEstimate
@@ -32,6 +38,7 @@ class SimulationResult:
     elapsed_seconds: float
     num_clients: int
     queries_per_client: int
+    rejected: int = 0  # tenant-budget refusals absorbed by the clients
 
     @property
     def throughput(self) -> float:
@@ -70,6 +77,11 @@ async def simulate_clients(
     between a client's queries. ``pool`` restricts every client's pairs
     to a hot vertex subset — the skewed traffic shape where the epoch
     cache pays off even before any replay.
+
+    When the server carries a :class:`~repro.serving.TenantRegistry`,
+    clients are assigned round-robin to its tenants and tag every query;
+    per-query :class:`~repro.errors.BudgetExceededError` refusals are
+    swallowed and counted in ``SimulationResult.rejected``.
     """
     parent = ensure_rng(rng)
     workloads = [
@@ -79,27 +91,37 @@ async def simulate_clients(
         for child in spawn_rngs(parent, num_clients)
     ]
     pause_rngs = spawn_rngs(parent, num_clients)
+    tenant_names = server.tenants.names() if server.tenants is not None else None
 
-    async def one_client(index: int) -> list[ServedEstimate]:
+    async def one_client(index: int) -> tuple[list[ServedEstimate], int]:
+        tenant = (
+            tenant_names[index % len(tenant_names)] if tenant_names else None
+        )
         out: list[ServedEstimate] = []
+        refused = 0
         for _ in range(max(1, replays)):
             for pair in workloads[index]:
                 if think_time > 0:
                     await asyncio.sleep(think_time * pause_rngs[index].random())
-                out.append(await server.query_pair(pair))
-        return out
+                try:
+                    out.append(await server.query_pair(pair, tenant=tenant))
+                except BudgetExceededError:
+                    refused += 1
+        return out, refused
 
     start = time.perf_counter()
     per_client = await asyncio.gather(
         *(one_client(i) for i in range(num_clients))
     )
     elapsed = time.perf_counter() - start
-    estimates = [estimate for client in per_client for estimate in client]
+    estimates = [estimate for client, _ in per_client for estimate in client]
+    rejected = sum(refused for _, refused in per_client)
     return SimulationResult(
         estimates=estimates,
         elapsed_seconds=elapsed,
         num_clients=num_clients,
         queries_per_client=queries_per_client,
+        rejected=rejected,
     )
 
 
@@ -110,7 +132,9 @@ def serving_report(server: QueryServer, result: SimulationResult) -> str:
     lines = [
         f"mode            : {server.mode.value} (epsilon={server.epsilon:g})",
         f"queries served  : {stats.queries_served} "
-        f"({result.num_clients} clients x {result.queries_per_client} queries)",
+        f"({result.num_clients} clients x {result.queries_per_client} queries"
+        + (f", {result.rejected} refused" if result.rejected else "")
+        + ")",
         f"ticks           : {stats.ticks} "
         f"(mean {stats.mean_coalesced():.1f} queries/tick, "
         f"max {stats.max_coalesced})",
@@ -119,12 +143,32 @@ def serving_report(server: QueryServer, result: SimulationResult) -> str:
         f"cache           : {cache.stats.vertex_hits + cache.stats.pair_hits} hits / "
         f"{cache.stats.vertex_misses + cache.stats.pair_misses} misses "
         f"(hit rate {cache.stats.hit_rate():.1%})",
+    ]
+    if cache.bounded:
+        budget = (
+            f"{cache.max_bytes:,} B" if cache.max_bytes is not None
+            else f"{cache.max_entries} entries"
+        )
+        lines.append(
+            f"memory          : {cache.nbytes():,} B resident "
+            f"({cache.entries()} entries, budget {budget}, "
+            f"{cache.stats.evictions} evictions, "
+            f"{cache.stats.recharges} recharges)"
+        )
+    lines += [
         f"epochs          : {cache.epoch + 1} "
-        f"(rotations: {cache.stats.rotations})",
+        f"(rotations: {cache.stats.rotations}"
+        + (f", timed: {stats.timed_rotations}" if stats.timed_rotations else "")
+        + (f", warmed: {stats.warmed_vertices} views" if stats.warmed_vertices else "")
+        + ")",
         f"budget (epoch)  : max per-vertex spend {accountant.max_epoch_spent():.4f}",
         f"budget (total)  : max per-vertex spend {accountant.max_lifetime_spent():.4f}",
         f"ledger          : max party spend {server.ledger.max_spent():.4f} "
         f"across {len(server.ledger.charges)} aggregated charges",
         f"upload          : {server.comm.total_bytes():,} bytes",
     ]
+    if server.tenants is not None:
+        lines.append("tenants         :")
+        for line in server.tenants.report().splitlines():
+            lines.append(f"  {line}")
     return "\n".join(lines)

@@ -12,8 +12,18 @@ runs against the server's epoch-scoped
 * a vertex perturbed earlier in the epoch serves later queries from its
   cached noisy view at **zero** additional budget — replaying a workload
   within one epoch costs exactly the one-shot batch spend;
-* ``rotate_epoch`` (manual, or automatic every ``epoch_ticks`` ticks)
-  drops the views: the next queries re-draw and recharge.
+* ``rotate_epoch`` (manual, automatic every ``epoch_ticks`` ticks, or on
+  a wall clock every ``epoch_seconds``) drops the views: the next
+  queries re-draw and recharge. A rotation can *warm* the new epoch by
+  pre-drawing the previous epoch's hottest vertices so the first
+  post-rotation tick doesn't stampede on the hot pool.
+
+Multi-tenant serving hands the server a
+:class:`~repro.serving.tenants.TenantRegistry`: every query is tagged
+with its tenant, cache hits stay free for everyone, and a tick's fresh
+vertices are paid for by the first tenant that needs them — a tenant out
+of quota gets :class:`~repro.errors.BudgetExceededError` on its own
+queries while the rest of the tick proceeds.
 
 The tick loop runs on the event loop itself (the engine's array work is
 fast and releasing the GIL would not help a single-process server); with
@@ -25,7 +35,7 @@ round into one batch.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,9 +47,15 @@ from repro.privacy.accountant import PrivacyLedger
 from repro.privacy.mechanisms import LaplaceMechanism
 from repro.privacy.rng import RngLike, ensure_rng
 from repro.privacy.sensitivity import degree_sensitivity
-from repro.protocol.messages import FLOAT_BYTES, CommunicationLog, Direction
+from repro.protocol.messages import (
+    FLOAT_BYTES,
+    ID_BYTES,
+    CommunicationLog,
+    Direction,
+)
 from repro.protocol.session import ExecutionMode
 from repro.serving.cache import NoisyViewCache
+from repro.serving.tenants import TenantRegistry
 
 __all__ = ["ServedEstimate", "ServerStats", "QueryServer"]
 
@@ -58,6 +74,7 @@ class ServedEstimate:
     epsilon: float
     noisy_degree_a: float | None = None
     noisy_degree_b: float | None = None
+    tenant: str | None = None
 
 
 @dataclass
@@ -66,12 +83,16 @@ class ServerStats:
 
     ticks: int = 0
     queries_served: int = 0
+    queries_rejected: int = 0  # tenant-budget refusals
     max_coalesced: int = 0
     ticks_in_epoch: int = 0
     epochs_completed: int = 0
+    timed_rotations: int = 0  # rotations fired by the wall-clock timer
+    warmed_vertices: int = 0  # views pre-drawn across all rotations
     errors: int = 0
 
     def mean_coalesced(self) -> float:
+        """Mean queries per tick across the server's lifetime."""
         return self.queries_served / self.ticks if self.ticks else 0.0
 
 
@@ -90,7 +111,28 @@ class QueryServer:
         the burst that is runnable when the first query lands).
     epoch_ticks:
         Rotate the epoch automatically after this many ticks (``None`` =
-        manual rotation only).
+        no tick-based rotation).
+    epoch_seconds:
+        Rotate the epoch on a wall clock, every this many seconds, from
+        a background task that runs for the server's lifetime (``None``
+        = no timed rotation). Composes with ``epoch_ticks``; whichever
+        fires first rotates.
+    warm_vertices:
+        At every rotation, pre-draw (and charge) the closed epoch's this
+        many hottest vertices into the fresh epoch, so the first
+        post-rotation tick over the hot pool doesn't stampede into one
+        giant miss batch. Materialize mode only; ``0`` disables warming.
+    cache_bytes, cache_entries:
+        Optional LRU budget for the noisy-view cache (see
+        :class:`~repro.serving.cache.NoisyViewCache`): stores evict
+        least-recently-used views past the budget, and evicted views are
+        reconstructed deterministically — privacy-free — on their next
+        touch.
+    tenants:
+        A :class:`~repro.serving.tenants.TenantRegistry` turns on
+        multi-tenant serving: every :meth:`query` must then carry a
+        registered ``tenant`` name, cache misses debit that tenant's
+        budget, and over-quota queries are refused individually.
     degree_epsilon:
         When set, every answer also carries epoch-cached noisy Laplace
         degrees for both endpoints (first release per vertex per epoch is
@@ -100,12 +142,20 @@ class QueryServer:
         Per-vertex epoch allowance enforced by the accountant. The
         default (``"auto"``) caps materialize-mode serving at
         ``epsilon + degree_epsilon`` — which cache-hit accounting never
-        exceeds — and leaves sketch mode unenforced, since new
-        overlapping pairs legitimately recharge there. Pass ``None`` to
-        disable enforcement entirely, or a float to cap explicitly.
+        exceeds, even through evict/redraw cycles and warm pre-draws —
+        and leaves sketch mode unenforced, since new overlapping pairs
+        legitimately recharge there. Pass ``None`` to disable
+        enforcement entirely, or a float to cap explicitly.
     ledger, rng:
         Optional long-lived ledger (default: a fresh unlimited one) and
         the server's random stream.
+
+    Raises
+    ------
+    ProtocolError
+        If ``epoch_ticks``/``epoch_seconds`` are not positive,
+        ``warm_vertices`` is negative, ``degree_epsilon`` is not
+        positive when given, or the cache bounds are invalid.
     """
 
     def __init__(
@@ -117,6 +167,11 @@ class QueryServer:
         mode: ExecutionMode = ExecutionMode.AUTO,
         tick_interval: float = 0.0,
         epoch_ticks: int | None = None,
+        epoch_seconds: float | None = None,
+        warm_vertices: int = 0,
+        cache_bytes: int | None = None,
+        cache_entries: int | None = None,
+        tenants: TenantRegistry | None = None,
         degree_epsilon: float | None = None,
         epsilon_per_epoch: float | str | None = "auto",
         ledger: PrivacyLedger | None = None,
@@ -124,9 +179,22 @@ class QueryServer:
     ):
         if epoch_ticks is not None and epoch_ticks <= 0:
             raise ProtocolError(f"epoch_ticks must be positive, got {epoch_ticks}")
+        if epoch_seconds is not None and epoch_seconds <= 0:
+            raise ProtocolError(
+                f"epoch_seconds must be positive, got {epoch_seconds}"
+            )
+        if warm_vertices < 0:
+            raise ProtocolError(f"warm_vertices must be >= 0, got {warm_vertices}")
         if degree_epsilon is not None and degree_epsilon <= 0:
             raise ProtocolError("degree_epsilon must be positive when given")
-        cache = NoisyViewCache(graph, layer, epsilon, mode=mode)
+        self.rng = ensure_rng(rng)
+        cache = NoisyViewCache(
+            graph, layer, epsilon,
+            mode=mode,
+            max_bytes=cache_bytes,
+            max_entries=cache_entries,
+            rng=self.rng,
+        )
         if epsilon_per_epoch == "auto":
             if cache.mode is ExecutionMode.MATERIALIZE:
                 epsilon_per_epoch = float(epsilon) + (degree_epsilon or 0.0)
@@ -141,15 +209,18 @@ class QueryServer:
         self.mode = cache.mode
         self.tick_interval = float(tick_interval)
         self.epoch_ticks = epoch_ticks
+        self.epoch_seconds = None if epoch_seconds is None else float(epoch_seconds)
+        self.warm_vertices = int(warm_vertices)
+        self.tenants = tenants
         self.degree_epsilon = degree_epsilon
         self.ledger = ledger if ledger is not None else PrivacyLedger()
         self.comm = CommunicationLog()
         self.engine = BatchQueryEngine(mode=self.mode)
-        self.rng = ensure_rng(rng)
         self.stats = ServerStats()
-        self._pending: list[tuple[QueryPair, asyncio.Future]] = []
+        self._pending: list[tuple[QueryPair, str | None, asyncio.Future]] = []
         self._wake = asyncio.Event()
         self._task: asyncio.Task | None = None
+        self._rotator: asyncio.Task | None = None
         self._closing = False
 
     # ------------------------------------------------------------------
@@ -160,20 +231,37 @@ class QueryServer:
 
     @property
     def epoch(self) -> int:
+        """The current serving epoch (starts at 0)."""
         return self.cache.epoch
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        """Start the tick loop (and the wall-clock rotator, if configured).
+
+        Raises
+        ------
+        ProtocolError
+            If the server is already running.
+        """
         if self._task is not None:
             raise ProtocolError("server is already running")
         self._closing = False
         self._task = asyncio.create_task(self._run())
+        if self.epoch_seconds is not None:
+            self._rotator = asyncio.create_task(self._rotate_loop())
 
     async def stop(self) -> None:
         """Serve whatever is still pending, then shut the tick loop down."""
         if self._task is None:
             return
         self._closing = True
+        if self._rotator is not None:
+            self._rotator.cancel()
+            try:
+                await self._rotator
+            except asyncio.CancelledError:
+                pass
+            self._rotator = None
         self._wake.set()
         await self._task
         self._task = None
@@ -186,30 +274,99 @@ class QueryServer:
         await self.stop()
 
     # ------------------------------------------------------------------
-    async def query(self, a: int, b: int) -> ServedEstimate:
-        """Estimate ``C2(a, b)``; resolves after the coalescing tick runs."""
+    async def query(
+        self, a: int, b: int, *, tenant: str | None = None
+    ) -> ServedEstimate:
+        """Estimate ``C2(a, b)``; resolves after the coalescing tick runs.
+
+        Parameters
+        ----------
+        a, b:
+            Distinct query vertices on the server's layer.
+        tenant:
+            The requesting analyst's registered name. Required when the
+            server has a :class:`TenantRegistry`; forbidden otherwise.
+
+        Returns
+        -------
+        ServedEstimate
+            The caller's answer with its serving provenance (epoch, tick,
+            cache-hit flag, optional noisy degrees).
+
+        Raises
+        ------
+        GraphError
+            If a vertex id is out of range for the serving layer.
+        ProtocolError
+            If the server is not running, the pair is degenerate, or the
+            tenant tag is missing/unknown/unexpected.
+        BudgetExceededError
+            If the requesting tenant cannot cover the query's marginal
+            cost, or (enforced accountants) a vertex would exceed its
+            epoch allowance.
+        """
         pair = QueryPair(self.layer, a, b)  # validates distinctness
         n_layer = self.graph.layer_size(self.layer)
         if not (0 <= pair.a < n_layer and 0 <= pair.b < n_layer):
             raise GraphError(
                 f"query vertex out of range for {self.layer} layer of size {n_layer}"
             )
+        if self.tenants is not None:
+            if tenant is None:
+                raise ProtocolError(
+                    "this server is multi-tenant: pass tenant=<registered name>"
+                )
+            self.tenants.get(tenant)  # raises ProtocolError when unknown
+        elif tenant is not None:
+            raise ProtocolError(
+                "tenant tags need a TenantRegistry (pass tenants= to the server)"
+            )
         if self._task is None or self._closing:
             raise ProtocolError("server is not running (use `async with` or start())")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append((pair, future))
+        self._pending.append((pair, tenant, future))
         self._wake.set()
         return await future
 
-    async def query_pair(self, pair: QueryPair) -> ServedEstimate:
-        return await self.query(pair.a, pair.b)
+    async def query_pair(
+        self, pair: QueryPair, *, tenant: str | None = None
+    ) -> ServedEstimate:
+        """:meth:`query` for an existing :class:`QueryPair`."""
+        return await self.query(pair.a, pair.b, tenant=tenant)
 
     def rotate_epoch(self) -> int:
-        """Start a new epoch: views dropped, next queries re-draw and recharge."""
+        """Start a new epoch: views dropped, next queries re-draw and recharge.
+
+        When ``warm_vertices > 0`` (materialize mode), the closed epoch's
+        hottest vertices are immediately re-drawn — and charged — into
+        the fresh epoch, server-funded: tenants see them as cache hits.
+
+        Returns the new epoch id.
+        """
         epoch = self.cache.rotate()
         self.stats.epochs_completed += 1
         self.stats.ticks_in_epoch = 0
+        if self.warm_vertices and self.mode is ExecutionMode.MATERIALIZE:
+            self._prewarm(self.cache.hottest_last_epoch(self.warm_vertices))
         return epoch
+
+    def _prewarm(self, hot: list[int]) -> None:
+        """Charge and pre-draw the given vertices into the fresh epoch."""
+        if not hot:
+            return
+        vertices = np.asarray(hot, dtype=np.int64)
+        self.accountant.charge_vertices(
+            self.layer, self.cache.uncharged(vertices), self.epsilon,
+            "randomized-response", "warm-rr", ledger=self.ledger,
+        )
+        drawn_ids = self.cache.materialize_fresh(vertices, self.rng)
+        if drawn_ids:
+            self.comm.record(
+                Direction.UPLOAD, drawn_ids * ID_BYTES, "serve:warm"
+            )
+        self.cache.stats.warm_draws += int(vertices.size)
+        self.stats.warmed_vertices += int(vertices.size)
+        self.cache.evict_to_budget()
 
     # ------------------------------------------------------------------
     async def _run(self) -> None:
@@ -228,8 +385,42 @@ class QueryServer:
             if self._closing and not self._pending:
                 return
 
-    def _serve_tick(self, batch: list[tuple[QueryPair, asyncio.Future]]) -> None:
-        pairs = [pair for pair, _ in batch]
+    async def _rotate_loop(self) -> None:
+        """Wall-clock epoch rotation, cancelled on :meth:`stop`.
+
+        A failed warm pre-draw (e.g. a capped ledger refusing the warm
+        charge) must not kill the timer: the rotation itself has already
+        happened by then, so the error is counted and the clock keeps
+        running — silently stopping rotation would stretch epochs
+        indefinitely, which is privacy-relevant.
+        """
+        assert self.epoch_seconds is not None
+        while True:
+            await asyncio.sleep(self.epoch_seconds)
+            try:
+                self.rotate_epoch()
+            except Exception:  # noqa: BLE001 - keep the clock alive
+                self.stats.errors += 1
+            self.stats.timed_rotations += 1
+
+    def _serve_tick(
+        self, batch: list[tuple[QueryPair, str | None, asyncio.Future]]
+    ) -> None:
+        admission = tagged = None
+        if self.tenants is not None:
+            tagged = [(pair, tenant) for pair, tenant, _ in batch]
+            admission = self.tenants.admit(
+                tagged, self.cache, degree_epsilon=self.degree_epsilon
+            )
+            for position, exc in admission.rejected:
+                future = batch[position][2]
+                if not future.done():
+                    future.set_exception(exc)
+            self.stats.queries_rejected += len(admission.rejected)
+            batch = [batch[position] for position in admission.admitted]
+            if not batch:
+                return
+        pairs = [pair for pair, _, _ in batch]
         epoch = self.cache.epoch
         self.stats.ticks += 1
         self.stats.ticks_in_epoch += 1
@@ -245,11 +436,19 @@ class QueryServer:
             degrees = self._release_degrees(result.vertices)
         except Exception as exc:  # noqa: BLE001 - routed to the callers
             self.stats.errors += 1
-            for _, future in batch:
+            if self.tenants is not None:
+                # Nobody was answered and nothing was released: undo the
+                # admission debits so quotas track real spend only.
+                self.tenants.refund(tagged, admission)
+            for _, _, future in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for j, (pair, future) in enumerate(batch):
+        if self.tenants is not None:
+            self.tenants.settle(
+                [(pair, tenant) for pair, tenant, _ in batch], hits
+            )
+        for j, (pair, tenant, future) in enumerate(batch):
             estimate = ServedEstimate(
                 pair=pair,
                 value=float(result.values[j]),
@@ -261,6 +460,7 @@ class QueryServer:
                 epsilon=self.epsilon,
                 noisy_degree_a=None if degrees is None else degrees[pair.a],
                 noisy_degree_b=None if degrees is None else degrees[pair.b],
+                tenant=tenant,
             )
             if not future.done():
                 future.set_result(estimate)
