@@ -18,12 +18,14 @@ perfect isolation (tenant budgets only ever move on their own misses)
 and per-tenant spends summing to the accountant's true charges.
 
 Run directly (``python benchmarks/bench_multitenant.py``) or via pytest
-(``pytest benchmarks/bench_multitenant.py -s``).
+(``pytest benchmarks/bench_multitenant.py -s``). ``REPRO_BENCH_QUICK=1``
+shrinks the workload to a seconds-long smoke run for CI.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 
 import numpy as np
@@ -34,10 +36,13 @@ from repro.graph.generators import random_bipartite
 from repro.protocol.session import ExecutionMode
 from repro.serving import QueryServer, TenantRegistry, simulate_clients
 
-N_UPPER, N_LOWER, N_EDGES = 2000, 10_000, 60_000
-NUM_CLIENTS = 40
-QUERIES_PER_CLIENT = 10
-HOT_POOL = 120
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+if QUICK:
+    N_UPPER, N_LOWER, N_EDGES = 300, 1_000, 6_000
+    NUM_CLIENTS, QUERIES_PER_CLIENT, HOT_POOL = 10, 6, 40
+else:
+    N_UPPER, N_LOWER, N_EDGES = 2000, 10_000, 60_000
+    NUM_CLIENTS, QUERIES_PER_CLIENT, HOT_POOL = 40, 10, 120
 EPSILON = 2.0
 TENANT_BUDGET = 400.0  # ample: isolation, not refusal, is under test here
 

@@ -229,6 +229,7 @@ class BatchQueryEngine:
         honesty: without a stored list there is nothing to reuse).
         """
         accountant = cache.accountant
+        recharges_before = cache.stats.recharges
         if mode is ExecutionMode.MATERIALIZE:
             split = split_cached(plan, cache.vertex_cached_mask(plan.vertices))
             # Only vertices never drawn this epoch are charged: a bounded
@@ -330,6 +331,9 @@ class BatchQueryEngine:
                     "hits": hits,
                     "misses": misses,
                     "charged_vertices": int(charged.size),
+                    # Evicted entries redrawn (privacy-free) by this tick:
+                    # re-upload work the byte budget traded for memory.
+                    "recharges": cache.stats.recharges - recharges_before,
                 },
             },
         )

@@ -44,10 +44,16 @@ tradeoff is therefore memory versus recharge latency/communication —
 never privacy — and :class:`CacheStats` counts ``evictions`` and
 ``recharges`` so the tradeoff is observable.
 
-The one cost of the bounded mode: fresh draws run per entry (each needs
-its own keyed stream) instead of through the single vectorized bulk-RR
-pass, so an unbounded cache stays the fastest choice when memory is not
-a concern.
+The bounded mode's keyed streams are *counter-based*: every draw comes
+from ``np.random.Philox`` with the fixed counter layout defined in
+:mod:`repro.engine.bulkrr` (key ``[entropy, domain-tag]``, counter
+``[block, stage, vertex, epoch]``; pairs use ``[block, b, a, epoch]``).
+Because each vertex owns a private counter range, a whole miss block is
+drawn through one vectorized pass
+(:func:`~repro.engine.bulkrr.keyed_bulk_randomized_response`) that is
+bit-identical to drawing each vertex alone — bounded caches keep the
+bulk-RR speed of the unbounded path, paying only the generator's keying
+overhead.
 """
 
 from __future__ import annotations
@@ -57,12 +63,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.bulkrr import bulk_randomized_response, lengths_to_indptr
+from repro.engine.bulkrr import (
+    bulk_randomized_response,
+    keyed_bulk_randomized_response,
+    keyed_laplace_noise,
+    keyed_pair_generator,
+    lengths_to_indptr,
+)
 from repro.engine.pairwise import pack_bitset_row
 from repro.engine.sketch import sketch_pair_counts
 from repro.errors import ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.privacy.epoch import EpochAccountant
+from repro.privacy.mechanisms import LaplaceMechanism
 from repro.privacy.rng import RngLike, ensure_rng
 from repro.protocol.session import _AUTO_MATERIALIZE_LIMIT, ExecutionMode
 
@@ -71,6 +84,9 @@ __all__ = ["CacheStats", "NoisyViewCache"]
 # Bookkeeping cost of one sketch-mode pair entry: the (min, max) key and
 # the (N1, N2) counts, as four 8-byte integers.
 _PAIR_ENTRY_BYTES = 32
+# Bookkeeping cost of one noisy-degree entry: the vertex key and the
+# released float, as two 8-byte words.
+_DEGREE_ENTRY_BYTES = 16
 
 
 @dataclass
@@ -176,11 +192,12 @@ class NoisyViewCache:
         self._pair_counts: OrderedDict[tuple[int, int], tuple[int, int]] = (
             OrderedDict()
         )
-        self._degrees: dict[int, float] = {}
-        # Epoch-scoped charge memory: which vertices/pairs have already
-        # been drawn (and charged) this epoch, surviving eviction.
+        self._degrees: OrderedDict[int, float] = OrderedDict()
+        # Epoch-scoped charge memory: which vertices/pairs/degrees have
+        # already been drawn (and charged) this epoch, surviving eviction.
         self._drawn_vertices: set[int] = set()
         self._drawn_pairs: set[tuple[int, int]] = set()
+        self._drawn_degrees: set[int] = set()
         # Touch counts feed the warm pre-draw at rotation.
         self._touches: Counter[int] = Counter()
         self._hot_last_epoch: list[int] = []
@@ -245,10 +262,12 @@ class NoisyViewCache:
         Returns the number of column ids drawn — the upload size of the
         (re-)released reports. Unbounded caches draw the whole block
         through the vectorized bulk-RR pass using ``rng``; bounded caches
-        draw each vertex from its deterministic ``(epoch, vertex)``
-        stream (``rng`` is ignored), so a redraw of an evicted vertex
-        reproduces the original report bit for bit. Evicted-vertex
-        redraws are counted in ``stats.recharges``.
+        draw the block through the *keyed* vectorized pass (``rng`` is
+        ignored): every vertex's bits come from its own deterministic
+        ``(entropy, epoch, vertex)`` Philox stream, so a redraw of an
+        evicted vertex reproduces the original report bit for bit whether
+        it is drawn alone or inside any block. Evicted-vertex redraws are
+        counted in ``stats.recharges``.
         """
         vertices = np.asarray(vertices, dtype=np.int64)
         if vertices.size == 0:
@@ -257,27 +276,30 @@ class NoisyViewCache:
             indptr, columns = bulk_randomized_response(
                 self.graph, self.layer, vertices, self.epsilon, ensure_rng(rng)
             )
-            self.store_views(vertices, indptr, columns)
-            return int(columns.size)
-        total = 0
-        for v in vertices:
-            v = int(v)
-            if v in self._drawn_vertices:
-                self.stats.recharges += 1
-            row = self._draw_row(v)
-            self._store_row(v, row)
-            total += int(row.size)
-        return total
+        else:
+            self.stats.recharges += sum(
+                1 for v in vertices if int(v) in self._drawn_vertices
+            )
+            indptr, columns = keyed_bulk_randomized_response(
+                self.graph, self.layer, vertices, self.epsilon,
+                entropy=self._entropy, epoch=self.epoch,
+            )
+        self.store_views(vertices, indptr, columns)
+        return int(columns.size)
 
     def _draw_row(self, vertex: int) -> np.ndarray:
-        """Deterministic noisy row for ``(epoch, vertex)`` (bounded mode)."""
-        keyed = np.random.default_rng([self._entropy, self.epoch, vertex])
-        _, columns = bulk_randomized_response(
+        """Deterministic noisy row for ``(epoch, vertex)`` (bounded mode).
+
+        The solo form of the keyed pass — bit-identical to the same
+        vertex's row inside any :meth:`materialize_fresh` block.
+        """
+        _, columns = keyed_bulk_randomized_response(
             self.graph,
             self.layer,
             np.array([vertex], dtype=np.int64),
             self.epsilon,
-            keyed,
+            entropy=self._entropy,
+            epoch=self.epoch,
         )
         return np.asarray(columns, dtype=np.int64)
 
@@ -379,8 +401,10 @@ class NoisyViewCache:
 
         Returns ``(n1, n2, upload_ids)`` aligned with ``keys``. Unbounded
         caches draw the whole block at once with ``rng``; bounded caches
-        draw each pair from its deterministic ``(epoch, a, b)`` stream so
-        an evicted pair's redraw replays the original draw (counted in
+        draw each pair from its deterministic keyed Philox stream
+        (counter ``[block, b, a, epoch]``, see
+        :func:`~repro.engine.bulkrr.keyed_pair_generator`) so an evicted
+        pair's redraw replays the original draw (counted in
         ``stats.recharges``).
         """
         keys = np.asarray(keys, dtype=np.int64)
@@ -406,9 +430,7 @@ class NoisyViewCache:
             key = (int(key[0]), int(key[1]))
             if key in self._drawn_pairs:
                 self.stats.recharges += 1
-            keyed = np.random.default_rng(
-                [self._entropy, self.epoch, key[0], key[1]]
-            )
+            keyed = keyed_pair_generator(self._entropy, self.epoch, *key)
             pair_n1, pair_n2, sizes = sketch_pair_counts(
                 self.graph,
                 self.layer,
@@ -449,34 +471,99 @@ class NoisyViewCache:
     # Noisy degrees (either mode; used by the serving degree option)
     # ------------------------------------------------------------------
     def has_degree(self, vertex: int) -> bool:
-        """True when ``vertex`` holds an epoch-cached noisy degree."""
+        """True when ``vertex`` holds a *resident* epoch-cached noisy degree."""
         return int(vertex) in self._degrees
 
     def degree(self, vertex: int) -> float:
         """The epoch-cached noisy Laplace degree of ``vertex``.
 
+        Touches the entry's LRU slot (degrees are evictable in a bounded
+        cache, like every other store).
+
         Raises
         ------
         KeyError
-            If no degree was released for the vertex this epoch.
+            If no degree is resident for the vertex (check
+            :meth:`has_degree`).
         """
-        return self._degrees[int(vertex)]
+        vertex = int(vertex)
+        self._degrees.move_to_end(vertex)
+        return self._degrees[vertex]
+
+    def degree_charge_free(self, vertex: int) -> bool:
+        """True when releasing this vertex's degree charges no budget.
+
+        Resident degrees replay their stored release; in a bounded cache
+        an evicted-but-drawn degree reconstructs it deterministically.
+        """
+        return int(vertex) in self._drawn_degrees or self.has_degree(vertex)
+
+    def uncharged_degrees(self, vertices: np.ndarray) -> np.ndarray:
+        """The subset of ``vertices`` with no degree drawn (= charged)
+        this epoch — :meth:`uncharged` at degree granularity."""
+        return np.array(
+            [int(v) for v in vertices if int(v) not in self._drawn_degrees],
+            dtype=np.int64,
+        )
 
     def store_degrees(self, vertices: np.ndarray, values: np.ndarray) -> None:
-        """Adopt freshly released noisy degrees (never evicted: ~16 B each)."""
+        """Adopt freshly released noisy degrees as this epoch's entries."""
         for vertex, value in zip(vertices, values):
-            self._degrees[int(vertex)] = float(value)
+            vertex = int(vertex)
+            if vertex not in self._degrees:
+                self._bytes += _DEGREE_ENTRY_BYTES
+            self._degrees[vertex] = float(value)
+            self._degrees.move_to_end(vertex)
+            self._drawn_degrees.add(vertex)
+
+    def degree_fresh(
+        self,
+        vertices: np.ndarray,
+        mechanism: LaplaceMechanism,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Draw and store noisy degrees for every listed (non-resident) vertex.
+
+        Returns the released values aligned with ``vertices``. Unbounded
+        caches add independent Laplace noise from ``rng``; bounded caches
+        draw each vertex's noise from its deterministic keyed stream
+        (:func:`~repro.engine.bulkrr.keyed_laplace_noise`; ``rng`` is
+        ignored), so an evicted degree's redraw replays the identical
+        release — counted in ``stats.recharges`` — and eviction stays
+        privacy-free at degree granularity too.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return np.empty(0, dtype=np.float64)
+        true = self.graph.degrees(self.layer)[vertices].astype(np.float64)
+        if not self.bounded:
+            values = mechanism.release_many(true, ensure_rng(rng))
+        else:
+            self.stats.recharges += sum(
+                1 for v in vertices if int(v) in self._drawn_degrees
+            )
+            values = true + keyed_laplace_noise(
+                self._entropy, self.epoch, vertices, mechanism.scale
+            )
+        self.store_degrees(vertices, values)
+        return values
 
     # ------------------------------------------------------------------
     # Memory budget
     # ------------------------------------------------------------------
     def nbytes(self) -> int:
-        """Approximate resident payload bytes (rows + packed rows + pairs)."""
+        """Approximate resident payload bytes.
+
+        Counts every store the budget governs: noisy rows, their packed
+        bitset mirrors, sketch-mode pair draws, and noisy-degree entries
+        (``_DEGREE_ENTRY_BYTES`` each — degrees are part of the budget,
+        not free riders).
+        """
         return self._bytes
 
     def entries(self) -> int:
-        """Resident cache entries (vertex views plus pair draws)."""
-        return len(self._rows) + len(self._pair_counts)
+        """Resident cache entries (vertex views, pair draws, and degrees)."""
+        return len(self._rows) + len(self._pair_counts) + len(self._degrees)
 
     def over_budget(self) -> bool:
         """True when either configured bound is currently exceeded."""
@@ -492,17 +579,32 @@ class NoisyViewCache:
         ``pin`` names vertices (materialize) or pair keys (sketch) to
         skip — for callers that must keep part of the working set
         resident while trimming (the engine itself evicts at the end of
-        each tick with nothing pinned). A fully pinned store can stay
-        over budget: the bound is a soft cap. Returns the number of
-        entries evicted. No-op on an unbounded cache.
+        each tick with nothing pinned). Degree entries are evicted LRU
+        *first* (they are the cheapest to reconstruct: one keyed Philox
+        block), then the mode's primary store; a pinned vertex also pins
+        its degree. A fully pinned cache can stay over budget: the bound
+        is a soft cap. Returns the number of entries evicted. No-op on
+        an unbounded cache.
         """
         if not self.bounded:
             return 0
         evicted = 0
+        # Vertices named by the pin, either directly or via pair keys.
+        pinned_vertices = {
+            v for key in pin for v in (key if isinstance(key, tuple) else (key,))
+        }
         store = self._rows if self.mode is ExecutionMode.MATERIALIZE else (
             self._pair_counts
         )
         while self.over_budget():
+            victim = next(
+                (v for v in self._degrees if v not in pinned_vertices), None
+            )
+            if victim is not None:
+                self._degrees.pop(victim)
+                self._bytes -= _DEGREE_ENTRY_BYTES
+                evicted += 1
+                continue
             victim = next((k for k in store if k not in pin), None)
             if victim is None:
                 break
@@ -580,6 +682,7 @@ class NoisyViewCache:
         self._degrees.clear()
         self._drawn_vertices.clear()
         self._drawn_pairs.clear()
+        self._drawn_degrees.clear()
         self._bytes = 0
         self.stats.rotations += 1
         self.epoch = self.accountant.rotate()

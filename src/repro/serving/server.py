@@ -392,16 +392,29 @@ class QueryServer:
         charge) must not kill the timer: the rotation itself has already
         happened by then, so the error is counted and the clock keeps
         running — silently stopping rotation would stretch epochs
-        indefinitely, which is privacy-relevant.
+        indefinitely, which is privacy-relevant. Only successful
+        rotations count toward ``stats.timed_rotations``.
+
+        Deadlines are absolute: each rotation is scheduled
+        ``epoch_seconds`` after the *previous deadline*, not after the
+        previous rotation finished, so rotation/warm-draw time does not
+        drift the epoch clock (a tardy loop catches up instead of
+        compounding the delay).
         """
         assert self.epoch_seconds is not None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.epoch_seconds
         while True:
-            await asyncio.sleep(self.epoch_seconds)
+            delay = deadline - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            deadline += self.epoch_seconds
             try:
                 self.rotate_epoch()
             except Exception:  # noqa: BLE001 - keep the clock alive
                 self.stats.errors += 1
-            self.stats.timed_rotations += 1
+            else:
+                self.stats.timed_rotations += 1
 
     def _serve_tick(
         self, batch: list[tuple[QueryPair, str | None, asyncio.Future]]
@@ -477,7 +490,13 @@ class QueryServer:
         return [self.cache.has_pair(p.a, p.b) for p in pairs]
 
     def _release_degrees(self, vertices: np.ndarray) -> dict[int, float] | None:
-        """Epoch-cached noisy degrees for the tick's distinct vertices."""
+        """Epoch-cached noisy degrees for the tick's distinct vertices.
+
+        Only degrees never *drawn* this epoch are charged: a bounded
+        cache reconstructs an evicted degree from its keyed stream —
+        privacy-free, like evicted rows — so the redraw re-uploads but
+        must not recharge (or trip the epoch allowance).
+        """
         if self.degree_epsilon is None:
             return None
         fresh = np.array(
@@ -486,18 +505,21 @@ class QueryServer:
         if fresh.size:
             # Charge first: a refused charge must not leave cached degrees
             # behind to be served free (and unaccounted) on later ticks.
+            charged = self.cache.uncharged_degrees(fresh)
             self.accountant.charge_vertices(
-                self.layer, fresh, self.degree_epsilon,
+                self.layer, charged, self.degree_epsilon,
                 "laplace-degree", "serve-degrees", ledger=self.ledger,
             )
             mech = LaplaceMechanism(self.degree_epsilon, degree_sensitivity())
-            values = mech.release_many(
-                self.graph.degrees(self.layer)[fresh], self.rng
-            )
-            self.cache.store_degrees(fresh, values)
+            self.cache.degree_fresh(fresh, mech, self.rng)
             self.comm.record(
                 Direction.UPLOAD, int(fresh.size) * FLOAT_BYTES, "serve:degrees"
             )
             self.cache.stats.degree_misses += int(fresh.size)
         self.cache.stats.degree_hits += int(len(vertices) - fresh.size)
-        return {int(v): self.cache.degree(v) for v in vertices}
+        released = {int(v): self.cache.degree(v) for v in vertices}
+        if fresh.size:
+            # Degrees count against the LRU budget like everything else;
+            # the engine's end-of-tick eviction ran before they landed.
+            self.cache.evict_to_budget()
+        return released

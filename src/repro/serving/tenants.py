@@ -242,8 +242,11 @@ class TenantRegistry:
                             fresh_vertices.append(v)
             fresh_degrees: list[int] = []
             if degree_epsilon is not None:
+                # degree_charge_free, not has_degree: an evicted-but-drawn
+                # degree reconstructs privacy-free, so no tenant pays for
+                # it (keeping tenant debits == accountant charges).
                 for v in (int(pair.a), int(pair.b)):
-                    if v in covered_degrees or cache.has_degree(v):
+                    if v in covered_degrees or cache.degree_charge_free(v):
                         continue
                     fresh_degrees.append(v)
             cost = epsilon * len(fresh_vertices) + (degree_epsilon or 0.0) * len(

@@ -15,11 +15,15 @@ import asyncio
 
 import numpy as np
 import pytest
+from scipy import stats as sps
 
+from repro.engine.core import BatchQueryEngine
 from repro.errors import ProtocolError
 from repro.graph.bipartite import Layer
 from repro.graph.generators import random_bipartite
 from repro.graph.sampling import QueryPair, sample_query_pairs
+from repro.privacy.mechanisms import LaplaceMechanism
+from repro.privacy.sensitivity import degree_sensitivity
 from repro.protocol.session import ExecutionMode
 from repro.serving import NoisyViewCache, QueryServer
 
@@ -139,6 +143,180 @@ class TestEvictionAccounting:
         )
         assert server.accountant.max_lifetime_spent() == pytest.approx(2 * EPSILON)
         assert server.accountant.max_epoch_spent() == pytest.approx(EPSILON)
+
+
+class TestDegreeAccounting:
+    """Noisy degrees are budgeted, evictable, and privacy-free to redraw."""
+
+    def test_degrees_count_toward_bytes_and_entries(self, graph):
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            mode=ExecutionMode.MATERIALIZE, max_bytes=10_000, rng=4,
+        )
+        mech = LaplaceMechanism(0.5, degree_sensitivity())
+        before_bytes, before_entries = cache.nbytes(), cache.entries()
+        cache.degree_fresh(np.arange(10, dtype=np.int64), mech)
+        assert cache.entries() == before_entries + 10
+        assert cache.nbytes() == before_bytes + 10 * 16
+
+    def test_degree_entry_budget_is_enforced(self, graph):
+        """The satellite bug: degree entries used to be invisible to the
+        LRU budget, so a degree-serving bounded cache grew without bound."""
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            mode=ExecutionMode.MATERIALIZE, max_entries=6, rng=4,
+        )
+        mech = LaplaceMechanism(0.5, degree_sensitivity())
+        cache.degree_fresh(np.arange(40, dtype=np.int64), mech)
+        cache.evict_to_budget()
+        assert cache.entries() <= 6
+        assert cache.stats.evictions >= 34
+
+    def test_evicted_degree_reconstructs_bit_identically_and_free(self, graph):
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            mode=ExecutionMode.MATERIALIZE, max_entries=2, rng=4,
+        )
+        mech = LaplaceMechanism(0.5, degree_sensitivity())
+        vertices = np.arange(5, dtype=np.int64)
+        first = cache.degree_fresh(vertices, mech)
+        cache.evict_to_budget()
+        assert cache.entries() <= 2
+        evicted = [v for v in range(5) if not cache.has_degree(v)]
+        assert evicted
+        # All five stay charge-free: the redraw is a deterministic replay.
+        assert cache.uncharged_degrees(vertices).size == 0
+        recharges_before = cache.stats.recharges
+        second = cache.degree_fresh(np.array(evicted, dtype=np.int64), mech)
+        np.testing.assert_array_equal(second, first[evicted])
+        assert cache.stats.recharges == recharges_before + len(evicted)
+
+    def test_served_degrees_bounded_and_charged_once(self, graph):
+        """End to end: a bounded degree-serving server keeps resident
+        entries within budget while every vertex pays epsilon +
+        degree_epsilon exactly once per epoch — eviction churn included —
+        and replays identical noisy degrees."""
+        degree_epsilon = 0.5
+
+        async def main():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE, cache_entries=4,
+                degree_epsilon=degree_epsilon, rng=11,
+            ) as server:
+                first = [await server.query(0, i) for i in range(1, 10)]
+                second = [await server.query(0, i) for i in range(1, 10)]
+                return server, first, second
+
+        server, first, second = asyncio.run(main())
+        assert server.cache.entries() <= 4
+        for v in range(10):
+            assert server.accountant.epoch_spent(Layer.UPPER, v) == pytest.approx(
+                EPSILON + degree_epsilon
+            )
+        # The enforced auto allowance (epsilon + degree_epsilon) held even
+        # though evicted degrees were re-released repeatedly.
+        assert server.accountant.epsilon_per_epoch == pytest.approx(
+            EPSILON + degree_epsilon
+        )
+        for e1, e2 in zip(first, second):
+            assert e1.value == e2.value
+            assert e1.noisy_degree_a == e2.noisy_degree_a
+            assert e1.noisy_degree_b == e2.noisy_degree_b
+
+    def test_sketch_mode_degree_entries_respect_budget(self, graph):
+        degree_epsilon = 0.5
+
+        async def script(server):
+            pairs = sample_query_pairs(graph, Layer.UPPER, 25, rng=6)
+            for pair in pairs:
+                await server.query_pair(pair)
+            return server.cache.entries()
+
+        resident = run_server(
+            graph, script, mode=ExecutionMode.SKETCH, cache_entries=8,
+            degree_epsilon=degree_epsilon,
+        )
+        assert resident <= 8
+
+
+class TestRechargeCounting:
+    def test_recharges_count_exactly_once_per_evicted_then_touched_entry(
+        self, graph
+    ):
+        """`recharges` is the precise re-upload meter: one count per
+        evicted entry per redraw, never for first draws."""
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            mode=ExecutionMode.MATERIALIZE, max_entries=2, rng=9,
+        )
+        cache.materialize_fresh(np.array([0, 1, 2], dtype=np.int64))
+        assert cache.stats.recharges == 0  # first draws are not recharges
+        cache.evict_to_budget()  # LRU drops vertex 0
+        assert not cache.has_view(0)
+        cache.materialize_fresh(np.array([0], dtype=np.int64))
+        assert cache.stats.recharges == 1
+        cache.evict_to_budget()  # LRU drops vertex 1
+        assert not cache.has_view(1)
+        # A mixed block: one redraw (1) and one first draw (5).
+        cache.materialize_fresh(np.array([1, 5], dtype=np.int64))
+        assert cache.stats.recharges == 2
+        assert cache.uncharged(np.array([0, 1, 2, 5])).size == 0
+
+    def test_tick_details_report_recharges(self, graph):
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            mode=ExecutionMode.MATERIALIZE, max_entries=2, rng=9,
+        )
+        engine = BatchQueryEngine(mode=ExecutionMode.MATERIALIZE)
+        pair = [QueryPair(Layer.UPPER, 0, 1)]
+        first = engine.estimate_pairs(graph, Layer.UPPER, pair, rng=1, cache=cache)
+        assert first.details["cache"]["recharges"] == 0
+        engine.estimate_pairs(
+            graph, Layer.UPPER, [QueryPair(Layer.UPPER, 2, 3)], rng=1, cache=cache
+        )
+        again = engine.estimate_pairs(graph, Layer.UPPER, pair, rng=1, cache=cache)
+        assert again.details["cache"]["recharges"] == 2
+        np.testing.assert_array_equal(
+            first.noisy_intersections, again.noisy_intersections
+        )
+
+
+class TestBoundedUnbiasedness:
+    def test_bounded_and_unbounded_estimates_agree_in_distribution(self):
+        """Across epochs (fresh streams each), the bounded cache's keyed
+        draws and the unbounded cache's shared-rng draws must produce
+        the same estimate distribution — eviction determinism must not
+        bias the estimator."""
+        graph = random_bipartite(30, 40, 360, rng=21)
+        pair = [QueryPair(Layer.UPPER, 0, 1)]
+        trials = 150
+
+        def sample(**cache_kwargs):
+            cache = NoisyViewCache(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE, rng=5, **cache_kwargs,
+            )
+            engine = BatchQueryEngine(mode=ExecutionMode.MATERIALIZE)
+            rng = np.random.default_rng(99)
+            values = []
+            for _ in range(trials):
+                result = engine.estimate_pairs(
+                    graph, Layer.UPPER, pair, rng=rng, cache=cache
+                )
+                values.append(float(result.values[0]))
+                cache.rotate()
+            return np.asarray(values)
+
+        bounded = sample(max_entries=1)  # every tick evicts below its pair
+        unbounded = sample()
+        result = sps.ks_2samp(bounded, unbounded)
+        assert result.pvalue > 1e-4, (
+            f"bounded vs unbounded estimate distributions differ "
+            f"(p={result.pvalue:.2e})"
+        )
+        exact = graph.count_common_neighbors(Layer.UPPER, 0, 1)
+        assert abs(bounded.mean() - exact) < 6 * bounded.std(ddof=1) / np.sqrt(trials)
 
 
 class TestBoundedCacheUnit:

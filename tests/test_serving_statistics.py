@@ -27,7 +27,7 @@ from hypothesis import strategies as st
 from scipy import stats as sps
 
 from repro.analysis.loss import oner_variance
-from repro.engine.bulkrr import bulk_randomized_response
+from repro.engine.bulkrr import bulk_randomized_response, keyed_bulk_randomized_response
 from repro.engine.core import BatchQueryEngine
 from repro.engine.pairwise import pairwise_intersections
 from repro.engine.sketch import sketch_pair_counts
@@ -112,6 +112,59 @@ class TestBulkRRLaw:
                 f"bulk RR deviates from the per-bit law "
                 f"(p={result.pvalue:.2e}, universe={params})"
             )
+
+
+# ----------------------------------------------------------------------
+# 1a'. Keyed bulk RR (the bounded cache's Philox streams) vs. the same law
+# ----------------------------------------------------------------------
+class TestKeyedRRLaw:
+    """The keyed-stream path must satisfy the identical per-bit RR law.
+
+    Keyed draws are deterministic per ``(entropy, epoch, vertex)``, so
+    independent samples come from *distinct vertices*: the graph holds
+    ``trials`` upper vertices sharing one neighbor pattern, and one keyed
+    block draw yields ``trials`` independent noisy lists.
+    """
+
+    TRIALS = 4000
+
+    @pytest.mark.parametrize(
+        "domain,neighbors,epsilon",
+        [(3, (0, 2), 1.5), (4, (1,), 0.8), (5, (0, 1, 3, 4), 2.5)],
+    )
+    def test_outcome_distribution_matches_enumeration(
+        self, domain, neighbors, epsilon
+    ):
+        trials = self.TRIALS
+        graph = BipartiteGraph(
+            trials, domain, [(t, v) for t in range(trials) for v in neighbors]
+        )
+        indptr, columns = keyed_bulk_randomized_response(
+            graph, Layer.UPPER, np.arange(trials, dtype=np.int64), epsilon,
+            entropy=abs(hash((domain, neighbors, epsilon))) % 2**62, epoch=1,
+        )
+        segment = np.repeat(np.arange(trials), np.diff(indptr))
+        outcomes = np.bincount(
+            segment, weights=2.0 ** columns, minlength=trials
+        ).astype(np.int64)
+        observed = np.bincount(outcomes, minlength=2**domain)
+
+        p = flip_probability(epsilon)
+        probs = np.empty(2**domain)
+        for outcome in range(2**domain):
+            prob = 1.0
+            for column in range(domain):
+                reported = (outcome >> column) & 1
+                if column in neighbors:
+                    prob *= (1.0 - p) if reported else p
+                else:
+                    prob *= p if reported else (1.0 - p)
+            probs[outcome] = prob
+        result = _chisquare_binned(observed, trials * probs)
+        assert result is not None and result.pvalue > P_FLOOR, (
+            f"keyed RR deviates from the per-bit law "
+            f"(p={result.pvalue:.2e}, domain={domain}, neighbors={neighbors})"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -201,6 +201,50 @@ class TestRefusals:
         )
         assert tenant.stats.vertices_paid == 2
 
+    def test_failed_tick_after_partial_rejection_refunds_admitted_only(
+        self, graph
+    ):
+        """Regression for the refund/admission position contract: a tick
+        holding both a *rejected* query (tenant out of quota) and an
+        *admitted* one (debited) fails in the engine after admission —
+        the refund must credit exactly the admitted debit, keyed by the
+        query's position in the original batch, and must not touch the
+        rejected query's tenant."""
+        registry = make_registry(0.5, 100.0)  # t0 cannot afford one miss
+        poor, rich = registry.get("t0"), registry.get("t1")
+
+        async def script(server):
+            await server.query(0, 1, tenant="t1")  # t1 pays 2 eps, tick 1
+            spent_mid = rich.budget.spent
+            # One coalesced tick: t0 first (rejected at admission), then
+            # t1 with a new overlapping pair the enforced allowance will
+            # refuse inside the engine after t1 was already debited.
+            results = await asyncio.gather(
+                server.query(5, 6, tenant="t0"),
+                server.query(0, 2, tenant="t1"),
+                return_exceptions=True,
+            )
+            return spent_mid, results, server.stats.ticks
+
+        spent_mid, results, ticks = serve(
+            graph, registry, script,
+            mode=ExecutionMode.SKETCH, epsilon_per_epoch=EPSILON,
+        )
+        assert all(isinstance(r, BudgetExceededError) for r in results)
+        # The rejected query was never debited and never refunded.
+        assert poor.budget.spent == 0.0
+        assert poor.stats.rejected == 1
+        assert poor.stats.epsilon_charged == 0.0
+        assert poor.stats.vertices_paid == 0
+        # The admitted query's debit was rolled back exactly.
+        assert spent_mid == pytest.approx(2 * EPSILON)
+        assert rich.budget.spent == pytest.approx(2 * EPSILON)
+        assert rich.stats.epsilon_charged == pytest.approx(2 * EPSILON)
+        assert rich.stats.vertices_paid == 2
+        # Metering still equals the accountant's truth after the rollback.
+        server_total = rich.stats.epsilon_charged + poor.stats.epsilon_charged
+        assert server_total == pytest.approx(2 * EPSILON)
+
     def test_tenant_tag_validation(self, graph):
         registry = make_registry(10.0)
 
