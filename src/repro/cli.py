@@ -135,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="multir-ds",
         choices=("oner", "multir-ss", "multir-ds", "central-dp"),
     )
+    p_plan.add_argument(
+        "--shard-mem", type=int, default=None, metavar="BYTES",
+        help="also size a shard plan: per-worker budget for the expected "
+             "noisy payload at the required epsilon",
+    )
+    p_plan.add_argument(
+        "--vertices", type=int, default=None,
+        help="workload vertices to shard (default: the full --pool layer)",
+    )
 
     p_srv = sub.add_parser(
         "serve",
@@ -183,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--cache-entries", type=int, default=None, metavar="N",
         help="LRU entry budget for the noisy-view cache (eviction on)",
+    )
+    p_srv.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard miss draws across N forked worker processes "
+             "(bit-identical output; materialize mode only)",
+    )
+    p_srv.add_argument(
+        "--shard-mem", type=int, default=None, metavar="BYTES",
+        help="per-shard noisy-payload budget for sharded miss draws "
+             "(workers capped at the cpu count)",
     )
     p_srv.add_argument(
         "--degree-eps", type=float, default=None,
@@ -308,6 +327,24 @@ def _cmd_plan(args) -> int:
     print(f"target MAE      : {args.target_mae:g}")
     print(f"required epsilon: {eps:.4f}")
     print(f"predicted L2    : {loss:.4f}")
+    if args.shard_mem is not None:
+        import math as _math
+
+        import numpy as np
+
+        from repro.engine.planner import estimate_noisy_row_bytes
+
+        vertices = args.vertices if args.vertices is not None else args.pool
+        mean_deg = (args.du + args.dw) / 2.0
+        per_vertex = float(
+            estimate_noisy_row_bytes(np.array([mean_deg]), args.pool, eps)[0]
+        )
+        total = per_vertex * vertices
+        shards = max(1, _math.ceil(total / args.shard_mem))
+        print(f"noisy bytes/row : {per_vertex:,.0f} (expected, at required eps)")
+        print(f"workload payload: {total:,.0f} bytes over {vertices:,} vertices")
+        print(f"shards needed   : {shards} x {args.shard_mem:,}-byte budget"
+              f" (serve --shards {shards})")
     return 0
 
 
@@ -380,6 +417,8 @@ def _cmd_serve(args) -> int:
             warm_vertices=args.warm,
             cache_bytes=args.cache_budget,
             cache_entries=args.cache_entries,
+            shards=args.shards,
+            shard_mem_bytes=args.shard_mem,
             tenants=registry,
             degree_epsilon=args.degree_eps,
             rng=server_rng,

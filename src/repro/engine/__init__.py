@@ -5,10 +5,19 @@ response over every distinct workload vertex, sparse-matrix pairwise
 counting (SciPy Gram product with a ``searchsorted`` merge fallback), a
 bulk sketch-mode path for million-vertex candidate pools, and a workload
 planner that dedupes vertices, honors analyst budget managers, and emits
-one privacy/communication accounting per batch.
+one privacy/communication accounting per batch. For workloads whose
+noisy output exceeds one worker's memory, the shard planner
+(:func:`plan_shards`) and process-parallel :class:`ShardedRunner`
+partition the keyed bulk-RR + pairwise stages over contiguous vertex
+ranges with bit-identical output (``docs/sharding-guide.md``).
 """
 
-from repro.engine.bulkrr import bernoulli_hits, bulk_randomized_response
+from repro.engine.bulkrr import (
+    bernoulli_hits,
+    bulk_randomized_response,
+    keyed_bulk_randomized_response,
+    shard_bulk_randomized_response,
+)
 from repro.engine.core import (
     BATCH_METHODS,
     BatchQueryEngine,
@@ -24,11 +33,15 @@ from repro.engine.pairwise import (
 )
 from repro.engine.planner import (
     CacheSplit,
+    ShardPlan,
     WorkloadPlan,
+    estimate_noisy_row_bytes,
     pair_keys,
+    plan_shards,
     plan_workload,
     split_cached,
 )
+from repro.engine.sharded import ShardDraw, ShardedRunner, fork_available
 from repro.engine.sketch import sketch_pair_counts
 
 __all__ = [
@@ -36,14 +49,22 @@ __all__ = [
     "BatchQueryEngine",
     "CacheSplit",
     "EngineResult",
+    "ShardDraw",
+    "ShardPlan",
+    "ShardedRunner",
     "WorkloadPlan",
+    "estimate_noisy_row_bytes",
+    "fork_available",
     "pair_keys",
+    "plan_shards",
     "plan_workload",
     "split_cached",
     "workload_party",
     "pack_bitset_row",
     "bernoulli_hits",
     "bulk_randomized_response",
+    "keyed_bulk_randomized_response",
+    "shard_bulk_randomized_response",
     "choose_backend",
     "pairwise_intersections",
     "debias_pair_counts",

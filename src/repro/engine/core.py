@@ -29,7 +29,15 @@ from repro.engine.pairwise import (
     debias_pair_counts,
     pairwise_intersections,
 )
-from repro.engine.planner import WorkloadPlan, pair_keys, plan_workload, split_cached
+from repro.engine.planner import (
+    ShardPlan,
+    WorkloadPlan,
+    pair_keys,
+    plan_shards,
+    plan_workload,
+    split_cached,
+)
+from repro.engine.sharded import ShardedRunner
 from repro.engine.sketch import sketch_pair_counts
 from repro.errors import PrivacyError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
@@ -39,7 +47,7 @@ from repro.privacy.composition import QueryBudgetManager
 from repro.privacy.mechanisms import flip_probability
 from repro.privacy.rng import RngLike, ensure_rng
 from repro.protocol.messages import ID_BYTES, CommunicationLog, Direction
-from repro.protocol.session import _AUTO_MATERIALIZE_LIMIT, ExecutionMode
+from repro.protocol.session import ExecutionMode, resolve_mode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving uses engine)
     from repro.serving.cache import NoisyViewCache
@@ -92,13 +100,84 @@ class EngineResult:
 
 
 class BatchQueryEngine:
-    """Answers same-layer pair workloads with array-level work only."""
+    """Answers same-layer pair workloads with array-level work only.
+
+    Parameters
+    ----------
+    mode:
+        Default execution mode (``AUTO`` resolves by candidate-pool
+        size).
+    shards, shard_mem_bytes:
+        Turn on sharded execution of the materialize-mode bulk-RR +
+        pairwise stages: the workload's vertex block is split into
+        contiguous ranges, each range is drawn from the keyed Philox
+        kernel by a forked worker process, and pairwise N1 reduces over
+        shard blocks with a per-block backend re-choice. When only
+        ``shards`` is given it is both the range count and the worker
+        cap; ``shard_mem_bytes`` sizes ranges by their expected noisy
+        payload instead (workers then default to the cpu count, or to
+        ``shards`` when both are given — the same semantics the
+        :class:`~repro.serving.server.QueryServer` options use). The
+        drawn bits are shard-invariant (see ``docs/sharding-guide.md``),
+        and ``details["shards"]`` records every range and backend
+        choice. Sketch mode has no rows to shard and ignores both
+        options.
+
+    A sharding engine owns a worker pool; call :meth:`close` (or use the
+    engine as a context manager) to free the processes.
+    """
 
     name = "engine-batch"
     unbiased = True
 
-    def __init__(self, *, mode: ExecutionMode = ExecutionMode.AUTO):
+    def __init__(
+        self,
+        *,
+        mode: ExecutionMode = ExecutionMode.AUTO,
+        shards: int | None = None,
+        shard_mem_bytes: int | None = None,
+    ):
+        if shards is not None and shards <= 0:
+            raise ProtocolError(f"shards must be positive, got {shards}")
+        if shard_mem_bytes is not None and shard_mem_bytes <= 0:
+            raise ProtocolError(
+                f"shard_mem_bytes must be positive, got {shard_mem_bytes}"
+            )
         self.mode = mode
+        self.shards = shards
+        self.shard_mem_bytes = shard_mem_bytes
+        self._runner: ShardedRunner | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sharding(self) -> bool:
+        """True when this engine shards its materialize-mode draws."""
+        return self.shards is not None or self.shard_mem_bytes is not None
+
+    def close(self) -> None:
+        """Release the sharded runner's worker pool (no-op otherwise)."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    def __enter__(self) -> "BatchQueryEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _shard_runner(self, graph: BipartiteGraph, layer: Layer) -> ShardedRunner:
+        """The engine's runner, rebound when the serving context changes."""
+        runner = self._runner
+        if runner is not None and (
+            runner.graph is not graph or runner.layer is not layer
+        ):
+            runner.close()
+            runner = None
+        if runner is None:
+            runner = ShardedRunner(graph, layer, max_workers=self.shards)
+            self._runner = runner
+        return runner
 
     def estimate_pairs(
         self,
@@ -130,6 +209,13 @@ class BatchQueryEngine:
         through the cache's :class:`~repro.privacy.epoch.EpochAccountant`
         and, in aggregate, ``ledger.charge_parallel``. Epsilon defaults to
         (and must match) the cache's pinned budget.
+
+        A sharding engine (``shards=`` / ``shard_mem_bytes=`` at
+        construction) executes the uncached materialize path as a fanned
+        keyed draw plus a per-shard-block pairwise reduce, reporting
+        every range and backend choice in ``details["shards"]``; cached
+        ticks shard inside the cache instead (attach a runner to the
+        cache / server).
         """
         if cache is not None:
             if budget is not None:
@@ -157,7 +243,37 @@ class BatchQueryEngine:
                 graph, plan, mode, cache, rng, ledger, comm, domain, k
             )
 
-        if mode is ExecutionMode.MATERIALIZE:
+        shard_details = None
+        if mode is ExecutionMode.MATERIALIZE and self.sharding:
+            # Sharded path: keyed draws (entropy from the caller's rng, so
+            # the run is reproducible per seed) fanned over the plan's
+            # ranges; shard boundaries never change the drawn bits.
+            # A mem budget sizes the ranges; an explicit count only
+            # applies without one (it then still caps the workers).
+            shard_plan = plan_shards(
+                graph, plan.layer, plan.vertices, plan.epsilon,
+                shards=None if self.shard_mem_bytes is not None else self.shards,
+                mem_bytes=self.shard_mem_bytes,
+            )
+            runner = self._shard_runner(graph, plan.layer)
+            entropy = int(rng.integers(1 << 62))
+            drawn = runner.draw(
+                shard_plan, plan.epsilon, entropy=entropy, epoch=0
+            )
+            indptr, columns = drawn.indptr, drawn.columns
+            sizes = np.diff(indptr)
+            n1, block_log = runner.pairwise(
+                shard_plan, indptr, columns, plan.ia, plan.ib, domain
+            )
+            n2 = sizes[plan.ia] + sizes[plan.ib] - n1
+            backend = "sharded"
+            shard_details = {
+                "count": shard_plan.num_shards,
+                "mem_bytes": shard_plan.mem_bytes,
+                "draw": drawn.shards,
+                "pairwise": block_log,
+            }
+        elif mode is ExecutionMode.MATERIALIZE:
             indptr, columns = bulk_randomized_response(
                 graph, plan.layer, plan.vertices, plan.epsilon, rng
             )
@@ -202,6 +318,7 @@ class BatchQueryEngine:
                 "candidate_pool": domain,
                 "backend": backend,
                 "party": party,
+                **({"shards": shard_details} if shard_details else {}),
             },
         )
 
@@ -244,6 +361,7 @@ class BatchQueryEngine:
                 "randomized-response", "serve-rr", ledger=ledger,
             )
             fresh_bytes = 0
+            cache.last_shard_draw = []
             if split.num_uncached:
                 fresh_bytes = cache.materialize_fresh(split.uncached, rng) * ID_BYTES
             indptr, columns = cache.gather_views(plan.vertices)
@@ -335,14 +453,15 @@ class BatchQueryEngine:
                     # re-upload work the byte budget traded for memory.
                     "recharges": cache.stats.recharges - recharges_before,
                 },
+                **(
+                    {"shards": {"draw": cache.last_shard_draw}}
+                    if cache.shard_runner is not None and cache.last_shard_draw
+                    else {}
+                ),
             },
         )
 
     def _resolve_mode(
         self, graph: BipartiteGraph, layer: Layer, mode: ExecutionMode | None
     ) -> ExecutionMode:
-        mode = mode if mode is not None else self.mode
-        if mode is ExecutionMode.AUTO:
-            small = graph.layer_size(layer.opposite()) <= _AUTO_MATERIALIZE_LIMIT
-            return ExecutionMode.MATERIALIZE if small else ExecutionMode.SKETCH
-        return mode
+        return resolve_mode(graph, layer, mode if mode is not None else self.mode)

@@ -51,7 +51,41 @@ _BITSET_PAIR_BLOCK = 16_384
 
 
 def choose_backend(rows: int, num_pairs: int, domain: int) -> str:
-    """Pick the counting backend for a workload shape."""
+    """Pick the counting backend for a workload shape.
+
+    The thresholds are static memory guards: ``bitset`` while the dense
+    ``rows x domain`` scratch stays under :data:`BITSET_MAX_CELLS`,
+    ``sparse`` while the Gram output square stays under
+    :data:`PRODUCT_MAX_ROWS` rows *and* the workload is pair-dense, else
+    the dependency-free ``merge``. Because they are per-*shape*, a
+    sharded workload must call this per shard block, not once for the
+    whole workload: a 100k-row workload as a whole overflows the bitset
+    scratch, while each of its 10k-row shard blocks fits comfortably —
+    the shard runner therefore re-chooses per block
+    (:meth:`repro.engine.sharded.ShardedRunner.pairwise`) and logs every
+    choice in ``details["shards"]``.
+
+    Parameters
+    ----------
+    rows:
+        Distinct noisy rows the backend must hold (the workload's — or
+        shard block's — vertex count).
+    num_pairs:
+        Query pairs to answer over those rows.
+    domain:
+        Opposite-layer size (columns of every row).
+
+    Returns
+    -------
+    str
+        ``"bitset"``, ``"sparse"`` or ``"merge"`` — all three return
+        identical counts; only speed and scratch memory differ.
+
+    Example
+    -------
+    >>> choose_backend(100, 1000, 1000) in {"bitset", "sparse", "merge"}
+    True
+    """
     if HAVE_BITWISE_COUNT and rows * max(domain, 1) <= BITSET_MAX_CELLS:
         return "bitset"
     if HAVE_SCIPY and rows <= PRODUCT_MAX_ROWS and num_pairs > rows:

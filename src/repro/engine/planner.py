@@ -27,16 +27,25 @@ from repro.errors import GraphError, PrivacyError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.sampling import QueryPair
 from repro.privacy.composition import QueryBudgetManager
+from repro.privacy.mechanisms import flip_probability
 
 __all__ = [
     "WorkloadPlan",
     "CacheSplit",
     "TenantSlice",
+    "ShardPlan",
     "plan_workload",
     "split_cached",
     "pair_keys",
     "slice_by_tenant",
+    "estimate_noisy_row_bytes",
+    "plan_shards",
 ]
+
+# Bytes per transmitted column id of a noisy row (mirrors
+# ``repro.protocol.messages.ID_BYTES`` without importing the protocol
+# layer into the planner).
+_ROW_ID_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -143,6 +152,211 @@ def slice_by_tenant(
     return slices
 
 
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous vertex ranges covering one workload's distinct vertices.
+
+    Shard ``s`` owns ``vertices[offsets[s]:offsets[s + 1]]``; the ranges
+    are contiguous, disjoint and cover the whole block in order, so
+    concatenating per-shard CSR fragments in shard order reproduces the
+    unsharded row layout exactly. ``est_bytes`` carries the planner's
+    expected noisy-payload size per shard (see
+    :func:`estimate_noisy_row_bytes`) — the quantity the memory budget
+    sized the ranges by.
+    """
+
+    vertices: np.ndarray  # the full sorted distinct vertex block
+    offsets: np.ndarray  # shard s = vertices[offsets[s]:offsets[s + 1]]
+    est_bytes: np.ndarray  # expected noisy payload bytes per shard
+    mem_bytes: int | None  # the budget that sized the plan (None: count-sized)
+
+    @property
+    def num_shards(self) -> int:
+        return int(self.offsets.size - 1)
+
+    @property
+    def max_shard_bytes(self) -> int:
+        """The largest per-shard estimate — what one worker must hold."""
+        return int(self.est_bytes.max()) if self.num_shards else 0
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """Per-shard ``(lo, hi)`` index ranges into :attr:`vertices`."""
+        return [
+            (int(self.offsets[s]), int(self.offsets[s + 1]))
+            for s in range(self.num_shards)
+        ]
+
+    def shard_vertices(self, shard: int) -> np.ndarray:
+        """The vertex ids owned by one shard."""
+        return self.vertices[self.offsets[shard] : self.offsets[shard + 1]]
+
+    def shard_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """The shard owning each workload row slot (vectorized lookup)."""
+        return np.searchsorted(self.offsets, rows, side="right") - 1
+
+
+def estimate_noisy_row_bytes(
+    degrees: np.ndarray, domain: int, epsilon: float
+) -> np.ndarray:
+    """Expected noisy-report size, in bytes, per vertex.
+
+    Under ε-randomized response a degree-``d`` vertex reports each of its
+    ``d`` edges with probability ``1 - p`` and each of its ``domain - d``
+    non-edges with probability ``p``, so the expected report length is
+    ``d (1 - p) + (domain - d) p`` column ids of 8 bytes each. This is
+    the quantity :func:`plan_shards` packs against a memory budget — the
+    noisy output dominates a shard's working set.
+
+    Parameters
+    ----------
+    degrees:
+        True degree per vertex (array or scalar).
+    domain:
+        Opposite-layer size (the candidate pool each row ranges over).
+    epsilon:
+        The RR budget the rows will be drawn at.
+
+    Returns
+    -------
+    numpy.ndarray
+        Expected bytes per vertex, as float64 (same shape as
+        ``degrees``).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> est = estimate_noisy_row_bytes(np.array([10, 0]), 1000, 2.0)
+    >>> bool((est > 0).all())
+    True
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    p = flip_probability(epsilon)
+    expected_ids = degrees * (1.0 - p) + (domain - degrees) * p
+    return expected_ids * _ROW_ID_BYTES
+
+
+def plan_shards(
+    graph: BipartiteGraph,
+    layer: Layer,
+    vertices: np.ndarray,
+    epsilon: float,
+    *,
+    shards: int | None = None,
+    mem_bytes: int | None = None,
+) -> ShardPlan:
+    """Split a workload's vertex block into contiguous budget-sized ranges.
+
+    Exactly one of ``shards`` and ``mem_bytes`` sizes the plan (neither
+    means one shard). With ``mem_bytes`` the block is packed greedily:
+    each range takes vertices until its expected noisy payload
+    (:func:`estimate_noisy_row_bytes`) would exceed the budget — a single
+    vertex whose own estimate exceeds the budget still gets a
+    (one-vertex, over-budget) shard, since rows are indivisible. With
+    ``shards`` the block is cut at the byte-balanced quantiles, so the
+    requested number of ranges carry roughly equal expected payloads.
+
+    Shard boundaries never change the drawn bits: the keyed kernel gives
+    every vertex a private counter-based stream, so any plan's per-shard
+    draws concatenate to the byte-identical unsharded output (see
+    ``docs/sharding-guide.md``).
+
+    Parameters
+    ----------
+    graph, layer:
+        The serving context; ``vertices`` must be valid ids on ``layer``.
+    vertices:
+        The workload's (typically sorted distinct) vertex block.
+    epsilon:
+        The RR budget the rows will be drawn at (fixes the flip
+        probability the size estimate depends on).
+    shards:
+        Explicit shard count (positive). Mutually exclusive with
+        ``mem_bytes``.
+    mem_bytes:
+        Per-shard byte budget for the expected noisy payload (positive).
+        Mutually exclusive with ``shards``.
+
+    Returns
+    -------
+    ShardPlan
+        The contiguous ranges with their per-shard byte estimates. An
+        empty vertex block yields a zero-shard plan.
+
+    Raises
+    ------
+    ProtocolError
+        If both ``shards`` and ``mem_bytes`` are given, or either is not
+        positive.
+    GraphError
+        If a vertex id is out of range for ``layer``.
+
+    Example
+    -------
+    >>> from repro.graph.generators import random_bipartite
+    >>> from repro.graph.bipartite import Layer
+    >>> g = random_bipartite(40, 30, 200, rng=0)
+    >>> plan = plan_shards(g, Layer.UPPER, np.arange(40), 2.0, shards=4)
+    >>> plan.num_shards, int(plan.offsets[0]), int(plan.offsets[-1])
+    (4, 0, 40)
+    """
+    if shards is not None and mem_bytes is not None:
+        raise ProtocolError("pass either shards or mem_bytes, not both")
+    if shards is not None and shards <= 0:
+        raise ProtocolError(f"shards must be positive, got {shards}")
+    if mem_bytes is not None and mem_bytes <= 0:
+        raise ProtocolError(f"mem_bytes must be positive, got {mem_bytes}")
+    vertices = np.asarray(vertices, dtype=np.int64)
+    k = vertices.size
+    n_layer = graph.layer_size(layer)
+    if k and (vertices.min() < 0 or vertices.max() >= n_layer):
+        raise GraphError(f"shard vertex out of range for {layer} layer")
+    domain = graph.layer_size(layer.opposite())
+    per_vertex = (
+        estimate_noisy_row_bytes(
+            graph.degrees(layer)[vertices], domain, epsilon
+        )
+        if k
+        else np.empty(0, dtype=np.float64)
+    )
+    if k == 0:
+        return ShardPlan(
+            vertices=vertices,
+            offsets=np.zeros(1, dtype=np.int64),
+            est_bytes=np.empty(0, dtype=np.int64),
+            mem_bytes=mem_bytes,
+        )
+    cumulative = np.concatenate(([0.0], np.cumsum(per_vertex)))
+    if mem_bytes is not None:
+        # Greedy packing: each cut lands on the last vertex that still
+        # fits the running budget; a single over-budget vertex advances
+        # by one (rows are indivisible).
+        cuts = [0]
+        while cuts[-1] < k:
+            start = cuts[-1]
+            fit = int(
+                np.searchsorted(
+                    cumulative, cumulative[start] + mem_bytes, side="right"
+                )
+                - 1
+            )
+            cuts.append(max(fit, start + 1))
+        offsets = np.asarray(cuts, dtype=np.int64)
+    elif shards is not None and shards > 1:
+        # Byte-balanced quantile cuts (deduplicated: never more shards
+        # than vertices, every shard nonempty).
+        targets = cumulative[-1] * np.arange(1, shards) / shards
+        interior = np.searchsorted(cumulative[1:-1], targets, side="left") + 1
+        offsets = np.unique(
+            np.concatenate(([0], np.minimum(interior, k - 1), [k]))
+        ).astype(np.int64)
+    else:
+        offsets = np.array([0, k], dtype=np.int64)
+    est = np.diff(cumulative[offsets]).astype(np.int64)
+    return ShardPlan(
+        vertices=vertices, offsets=offsets, est_bytes=est, mem_bytes=mem_bytes
+    )
+
+
 def pair_keys(plan: WorkloadPlan) -> np.ndarray:
     """Order-normalized ``(min, max)`` vertex-id key per pair.
 
@@ -200,6 +414,19 @@ def plan_workload(
         If any endpoint is out of range for ``layer``.
     BudgetExceededError
         Propagated from ``budget`` when its total is exhausted.
+
+    Example
+    -------
+    >>> from repro.graph.generators import random_bipartite
+    >>> from repro.graph.sampling import QueryPair
+    >>> g = random_bipartite(10, 8, 30, rng=0)
+    >>> plan = plan_workload(
+    ...     g, Layer.UPPER,
+    ...     [QueryPair(Layer.UPPER, 1, 4), QueryPair(Layer.UPPER, 4, 2)],
+    ...     epsilon=2.0,
+    ... )
+    >>> plan.num_pairs, plan.vertices.tolist()
+    (2, [1, 2, 4])
     """
     if not pairs:
         raise ProtocolError("batch needs at least one query pair")

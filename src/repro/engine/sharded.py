@@ -1,0 +1,435 @@
+"""Process-parallel sharded execution of the keyed bulk-RR + pairwise stages.
+
+The one-round bulk RR pass produces noisy output linear in
+``n_vertices x domain`` expected bits, which caps the graph one worker
+can serve long before the estimator math does. PR 4's keyed Philox
+streams make the pass embarrassingly partitionable: every vertex's bits
+are a pure function of ``(entropy, epoch, vertex)``, so any split of the
+vertex block into contiguous ranges draws byte-identical rows. This
+module exploits that:
+
+* :class:`ShardedRunner` fans a :class:`~repro.engine.planner.ShardPlan`'s
+  ranges out to forked worker processes (``ProcessPoolExecutor`` with
+  the ``fork`` start method, so the immutable CSR graph is shared
+  copy-on-write instead of pickled), streams each shard's CSR fragment
+  back as it completes, and reassembles them in shard order — the result
+  is asserted byte-identical to the serial keyed pass.
+* The pairwise N1 stage reduces over shard *blocks*: pairs are grouped
+  by the ``(shard(a), shard(b))`` block they span, each block stacks only
+  its two fragments and re-chooses the counting backend for its own
+  shape (bitset popcount and merge partials reduce by disjoint scatter;
+  the Gram backend reduces via per-block sparse products), and the
+  partial counts scatter into the global answer. The per-block backend
+  choices are surfaced in ``EngineResult.details["shards"]``.
+
+Workers inherit the graph at fork time; only the small per-range vertex
+slices and the returned fragments cross the process boundary. Platforms
+without ``fork`` (and single-worker runners) execute the same code path
+inline, so the runner is always safe to use — it degrades to
+:func:`~repro.engine.bulkrr.shard_bulk_randomized_response`.
+
+See ``docs/sharding-guide.md`` for the determinism contract, the memory
+sizing model, and when *not* to shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tracemalloc
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.engine.bulkrr import (
+    keyed_bulk_randomized_response,
+    merge_csr_fragments,
+)
+from repro.engine.pairwise import choose_backend, pairwise_intersections
+from repro.engine.planner import ShardPlan
+from repro.errors import ProtocolError
+from repro.graph.bipartite import BipartiteGraph, Layer
+
+__all__ = ["ShardDraw", "ShardedRunner", "fork_available"]
+
+# Worker-side context registry. Entries are registered in the parent
+# *before* its pool forks, so every worker inherits them copy-on-write;
+# tasks then reference their context by token instead of pickling the
+# graph per range.
+_WORKER_CONTEXTS: dict[int, tuple[BipartiteGraph, Layer]] = {}
+_NEXT_TOKEN = 0
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _draw_range(
+    token: int,
+    vertices: np.ndarray,
+    epsilon: float,
+    entropy: int,
+    epoch: int,
+    measure: bool,
+    via_shm: bool,
+) -> tuple:
+    """One shard's keyed draw (runs in a worker, or inline when serial).
+
+    Returns ``(indptr, payload, size, peak_bytes)``. In-process calls
+    return the columns array itself as ``payload``; pool calls
+    (``via_shm``) write the columns into a ``SharedMemory`` block and
+    return its name instead — shipping multi-MB fragments through the
+    result pipe interleaves 64 KiB reads with the other workers' compute
+    and costs ~40% of the draw, while an shm handoff is one parent-side
+    memcpy after the workers finish. ``peak_bytes`` is the tracemalloc
+    high-water mark of the draw when ``measure`` is set (the benchmark's
+    per-worker memory probe), else 0.
+    """
+    graph, layer = _WORKER_CONTEXTS[token]
+    if measure:
+        tracemalloc.start()
+    indptr, columns = keyed_bulk_randomized_response(
+        graph, layer, vertices, epsilon, entropy=entropy, epoch=epoch
+    )
+    peak = 0
+    if measure:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    if not via_shm:
+        return indptr, columns, int(columns.size), int(peak)
+    block = shared_memory.SharedMemory(create=True, size=max(1, columns.nbytes))
+    np.ndarray(columns.shape, dtype=np.int64, buffer=block.buf)[:] = columns
+    name = block.name
+    block.close()  # parent unlinks after copying
+    return indptr, name, int(columns.size), int(peak)
+
+
+def _fetch_columns(payload, size: int) -> np.ndarray:
+    """Materialize a task's columns, copying out of shared memory if used."""
+    if isinstance(payload, np.ndarray):
+        return payload
+    block = shared_memory.SharedMemory(name=payload)
+    try:
+        return np.ndarray((size,), dtype=np.int64, buffer=block.buf).copy()
+    finally:
+        block.close()
+        block.unlink()
+
+
+def _discard_payload(payload) -> None:
+    """Unlink a result's shm block without reading it (error cleanup)."""
+    if isinstance(payload, np.ndarray):
+        return
+    try:
+        block = shared_memory.SharedMemory(name=payload)
+    except FileNotFoundError:  # pragma: no cover - already gone
+        return
+    block.close()
+    block.unlink()
+
+
+def _release_runner(token: int, pool_box: list) -> None:
+    """Free a runner's worker pool and context registration.
+
+    Shared by :meth:`ShardedRunner.close` and the runner's GC finalizer,
+    so a runner dropped without ``close()`` (pre-sharding call sites
+    never needed one) cannot pin its graph in ``_WORKER_CONTEXTS`` or
+    leave worker processes behind for the interpreter's lifetime.
+    """
+    pool = pool_box[0]
+    if pool is not None:
+        pool.shutdown(wait=True)
+        pool_box[0] = None
+    _WORKER_CONTEXTS.pop(token, None)
+
+
+@dataclass
+class ShardDraw:
+    """One sharded draw's reassembled output plus per-shard provenance."""
+
+    indptr: np.ndarray
+    columns: np.ndarray
+    shards: list[dict] = field(default_factory=list)
+
+
+class ShardedRunner:
+    """Fan a shard plan's vertex ranges out to forked worker processes.
+
+    Parameters
+    ----------
+    graph, layer:
+        The serving context the runner is bound to. The graph is
+        registered for copy-on-write inheritance before the pool forks;
+        a runner never serves a different graph.
+    max_workers:
+        Worker process cap. Defaults to ``os.cpu_count()``; a cap of 1
+        (or a platform without ``fork``) runs every range inline in the
+        parent — same output, no processes.
+
+    Raises
+    ------
+    ProtocolError
+        If ``max_workers`` is not positive.
+
+    Example
+    -------
+    >>> from repro.graph.generators import random_bipartite
+    >>> from repro.graph.bipartite import Layer
+    >>> from repro.engine.planner import plan_shards
+    >>> import numpy as np
+    >>> g = random_bipartite(20, 10, 60, rng=0)
+    >>> plan = plan_shards(g, Layer.UPPER, np.arange(20), 2.0, shards=2)
+    >>> with ShardedRunner(g, Layer.UPPER, max_workers=1) as runner:
+    ...     draw = runner.draw(plan, 2.0, entropy=7, epoch=0)
+    >>> len(draw.shards)
+    2
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        *,
+        max_workers: int | None = None,
+    ):
+        global _NEXT_TOKEN
+        if max_workers is not None and max_workers <= 0:
+            raise ProtocolError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.graph = graph
+        self.layer = layer
+        self.max_workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        # Register before any pool can fork so workers inherit the graph.
+        self._token = _NEXT_TOKEN
+        _NEXT_TOKEN += 1
+        _WORKER_CONTEXTS[self._token] = (graph, layer)
+        # The pool lives in a one-slot box so the GC finalizer can free
+        # it without holding a reference to the runner itself.
+        self._pool_box: list = [None]
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _release_runner, self._token, self._pool_box
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """True when draws actually fan out to worker processes."""
+        return self.max_workers > 1 and fork_available()
+
+    def _ensure_pool(self, num_tasks: int) -> ProcessPoolExecutor | None:
+        if not self.parallel or num_tasks <= 1:
+            return None
+        if self._pool_box[0] is None:
+            # Start the shm resource tracker *before* forking so every
+            # worker inherits it: create (worker) and unlink (parent)
+            # then talk to one tracker and nothing is reported leaked.
+            # Sized by the worker cap alone — workers fork lazily on
+            # demand, and sizing by the first draw's range count would
+            # permanently under-parallelize every later, larger draw.
+            resource_tracker.ensure_running()
+            self._pool_box[0] = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._pool_box[0]
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; frees the processes).
+
+        A closed runner may be used again: the next :meth:`draw`
+        re-registers its context and forks a fresh pool, so a restarted
+        server reuses its runner safely. A runner dropped *without*
+        ``close()`` is released by its GC finalizer.
+        """
+        _release_runner(self._token, self._pool_box)
+        self._closed = True
+
+    def __enter__(self) -> "ShardedRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def draw(
+        self,
+        plan: ShardPlan,
+        epsilon: float,
+        *,
+        entropy: int,
+        epoch: int,
+        measure_memory: bool = False,
+    ) -> ShardDraw:
+        """Draw every shard's keyed rows and reassemble them in shard order.
+
+        Ranges are submitted to the pool together and their CSR fragments
+        stream back as each worker finishes; the reassembled
+        ``(indptr, columns)`` is byte-identical to the unsharded keyed
+        pass whatever the plan's boundaries (every vertex owns a private
+        counter stream). Per-shard provenance — vertex range, drawn ids,
+        planner byte estimate, and (with ``measure_memory``) the worker's
+        tracemalloc peak — lands in :attr:`ShardDraw.shards`.
+
+        """
+        if self._closed:
+            # Re-open: register the context again before any pool forks.
+            _WORKER_CONTEXTS[self._token] = (self.graph, self.layer)
+            self._closed = False
+        ranges = plan.ranges()
+        pool = self._ensure_pool(len(ranges))
+        args = [
+            (
+                self._token,
+                plan.vertices[lo:hi],
+                float(epsilon),
+                int(entropy),
+                int(epoch),
+                measure_memory,
+                pool is not None,
+            )
+            for lo, hi in ranges
+        ]
+        if pool is None:
+            results = [_draw_range(*a) for a in args]
+        else:
+            futures = [pool.submit(_draw_range, *a) for a in args]
+            results = []
+            failure: BaseException | None = None
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failure = failure if failure is not None else exc
+            if failure is not None:
+                # The successful workers' fragments live in shm blocks
+                # whose names exist only in these results: unlink them
+                # or a server with repeatedly failing ticks would pile
+                # up multi-MB /dev/shm segments until process exit.
+                for _, payload, _, _ in results:
+                    _discard_payload(payload)
+                raise failure
+        fragments = [
+            (ip, _fetch_columns(payload, size))
+            for ip, payload, size, _ in results
+        ]
+        indptr, columns = merge_csr_fragments(fragments)
+        shards = [
+            {
+                "range": (int(lo), int(hi)),
+                "vertices": int(hi - lo),
+                "noisy_ids": int(size),
+                "est_bytes": int(plan.est_bytes[s]),
+                "peak_bytes": int(peak),
+            }
+            for s, ((lo, hi), (_, _, size, peak)) in enumerate(
+                zip(ranges, results)
+            )
+        ]
+        return ShardDraw(indptr=indptr, columns=columns, shards=shards)
+
+    # ------------------------------------------------------------------
+    def pairwise(
+        self,
+        plan: ShardPlan,
+        indptr: np.ndarray,
+        columns: np.ndarray,
+        ia: np.ndarray,
+        ib: np.ndarray,
+        domain: int,
+    ) -> tuple[np.ndarray, list[dict]]:
+        """Reduce pairwise N1 over shard blocks, re-choosing backends.
+
+        Pairs are grouped by the (order-normalized) shard block their
+        endpoints span. Each block stacks only its one or two fragments
+        and calls :func:`~repro.engine.pairwise.choose_backend` on its
+        *own* shape — the whole-workload choice systematically mispicks
+        per shard, e.g. a workload too big for one bitset scratch whose
+        individual blocks fit it comfortably. Block partials scatter
+        into the global ``n1`` (bitset/merge) or come from the block's
+        sparse Gram product; either way the reduction over blocks is
+        exact, and every block's choice is returned for
+        ``details["shards"]``.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, list[dict]]
+            ``(n1, blocks)``: the per-pair intersection counts, and one
+            ``{"block", "rows", "pairs", "backend"}`` record per shard
+            block that held pairs.
+        """
+        ia = np.asarray(ia, dtype=np.int64)
+        ib = np.asarray(ib, dtype=np.int64)
+        n1 = np.zeros(ia.size, dtype=np.int64)
+        if ia.size == 0:
+            return n1, []
+        sa = plan.shard_of_rows(ia)
+        sb = plan.shard_of_rows(ib)
+        lo_blk = np.minimum(sa, sb)
+        hi_blk = np.maximum(sa, sb)
+        order = np.lexsort((hi_blk, lo_blk))
+        keys = lo_blk[order] * plan.num_shards + hi_blk[order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(keys)) + 1, [keys.size])
+        )
+        blocks: list[dict] = []
+        for b0, b1 in zip(starts[:-1], starts[1:]):
+            members = order[b0:b1]
+            s, t = int(lo_blk[members[0]]), int(hi_blk[members[0]])
+            slo, shi = int(plan.offsets[s]), int(plan.offsets[s + 1])
+            tlo, thi = int(plan.offsets[t]), int(plan.offsets[t + 1])
+            # Stack the block's fragment(s) into one local CSR.
+            if s == t:
+                sub_indptr = indptr[slo : shi + 1] - indptr[slo]
+                sub_columns = columns[indptr[slo] : indptr[shi]]
+                rows = shi - slo
+
+                def local(r: np.ndarray) -> np.ndarray:
+                    return r - slo
+
+            else:
+                lengths = np.concatenate(
+                    (
+                        np.diff(indptr[slo : shi + 1]),
+                        np.diff(indptr[tlo : thi + 1]),
+                    )
+                )
+                sub_columns = np.concatenate(
+                    (
+                        columns[indptr[slo] : indptr[shi]],
+                        columns[indptr[tlo] : indptr[thi]],
+                    )
+                )
+                sub_indptr = np.zeros(lengths.size + 1, dtype=np.int64)
+                np.cumsum(lengths, out=sub_indptr[1:])
+                rows = (shi - slo) + (thi - tlo)
+                s_rows = shi - slo
+
+                def local(r: np.ndarray) -> np.ndarray:
+                    return np.where(r < shi, r - slo, s_rows + (r - tlo))
+
+            backend = choose_backend(rows, members.size, domain)
+            n1[members] = pairwise_intersections(
+                sub_indptr,
+                sub_columns,
+                local(ia[members]),
+                local(ib[members]),
+                domain,
+                backend=backend,
+            )
+            blocks.append(
+                {
+                    "block": (s, t),
+                    "rows": int(rows),
+                    "pairs": int(members.size),
+                    "backend": backend,
+                }
+            )
+        return n1, blocks

@@ -57,7 +57,13 @@ from repro.protocol.messages import (
 )
 from repro.protocol.noisy import NoisyListHandle
 
-__all__ = ["ExecutionMode", "DegreeRound", "ProtocolTranscript", "ProtocolSession"]
+__all__ = [
+    "ExecutionMode",
+    "DegreeRound",
+    "ProtocolTranscript",
+    "ProtocolSession",
+    "resolve_mode",
+]
 
 # Graphs whose opposite layer is at most this size are materialized under AUTO.
 _AUTO_MATERIALIZE_LIMIT = 20_000
@@ -72,6 +78,20 @@ class ExecutionMode(enum.Enum):
     MATERIALIZE = "materialize"
     SKETCH = "sketch"
     AUTO = "auto"
+
+
+def resolve_mode(graph, layer, mode: "ExecutionMode") -> "ExecutionMode":
+    """Resolve ``AUTO`` by candidate-pool size (the one shared rule).
+
+    Every ``AUTO`` consumer — session, engine, cache, server — must
+    agree on the resolution, so they all call this helper: materialize
+    while the opposite layer fits ``_AUTO_MATERIALIZE_LIMIT``, sketch
+    beyond it. Non-``AUTO`` modes pass through unchanged.
+    """
+    if mode is not ExecutionMode.AUTO:
+        return mode
+    small = graph.layer_size(layer.opposite()) <= _AUTO_MATERIALIZE_LIMIT
+    return ExecutionMode.MATERIALIZE if small else ExecutionMode.SKETCH
 
 
 @dataclass(frozen=True)
@@ -149,10 +169,7 @@ class ProtocolSession:
         self.w = int(w)
         self.epsilon = float(epsilon)
         self.rng = ensure_rng(rng)
-        if mode is ExecutionMode.AUTO:
-            small = graph.layer_size(self.opposite) <= _AUTO_MATERIALIZE_LIMIT
-            mode = ExecutionMode.MATERIALIZE if small else ExecutionMode.SKETCH
-        self.mode = mode
+        self.mode = resolve_mode(graph, layer, mode)
         self.ledger = PrivacyLedger(limit=self.epsilon)
         self.comm = CommunicationLog()
         self.rounds = 0

@@ -71,13 +71,15 @@ from repro.engine.bulkrr import (
     lengths_to_indptr,
 )
 from repro.engine.pairwise import pack_bitset_row
+from repro.engine.planner import plan_shards
+from repro.engine.sharded import ShardedRunner
 from repro.engine.sketch import sketch_pair_counts
 from repro.errors import ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.privacy.epoch import EpochAccountant
 from repro.privacy.mechanisms import LaplaceMechanism
 from repro.privacy.rng import RngLike, ensure_rng
-from repro.protocol.session import _AUTO_MATERIALIZE_LIMIT, ExecutionMode
+from repro.protocol.session import ExecutionMode, resolve_mode
 
 __all__ = ["CacheStats", "NoisyViewCache"]
 
@@ -140,10 +142,22 @@ class NoisyViewCache:
         is O(distinct keys per epoch) — bounded by the layer size in
         materialize mode, by rotation cadence in sketch mode.
     rng:
-        Entropy source for the bounded mode's deterministic streams (one
-        integer is drawn at construction; pass the server's generator for
+        Entropy source for the keyed deterministic streams (one integer
+        is drawn at construction; pass the server's generator for
         reproducible serving runs). Unused — and never consumed — when
-        the cache is unbounded.
+        the cache is unbounded and unsharded.
+    shard_runner, shard_mem_bytes:
+        A :class:`~repro.engine.sharded.ShardedRunner` turns every
+        materialize-mode miss block into a sharded draw: the block is
+        split into contiguous ranges (sized by ``shard_mem_bytes``
+        expected noisy payload per shard, or byte-balanced over the
+        runner's workers when ``None``) and fanned out to the runner's
+        forked workers. A sharded cache always draws from the keyed
+        Philox streams — the contract that makes shard boundaries
+        invisible in the bits — even when it has no LRU budget, so
+        attaching a runner to an unbounded cache changes *which* (still
+        distribution-identical) bits are drawn. The last sharded draw's
+        per-shard log is kept in :attr:`last_shard_draw`.
 
     Raises
     ------
@@ -162,10 +176,10 @@ class NoisyViewCache:
         max_bytes: int | None = None,
         max_entries: int | None = None,
         rng: RngLike = None,
+        shard_runner: "ShardedRunner | None" = None,
+        shard_mem_bytes: int | None = None,
     ):
-        if mode is ExecutionMode.AUTO:
-            small = graph.layer_size(layer.opposite()) <= _AUTO_MATERIALIZE_LIMIT
-            mode = ExecutionMode.MATERIALIZE if small else ExecutionMode.SKETCH
+        mode = resolve_mode(graph, layer, mode)
         if max_bytes is not None and max_bytes <= 0:
             raise ProtocolError(f"max_bytes must be positive, got {max_bytes}")
         if max_entries is not None and max_entries <= 0:
@@ -181,11 +195,26 @@ class NoisyViewCache:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.bounded = max_bytes is not None or max_entries is not None
-        # Entropy for the bounded mode's keyed streams. Only drawn when
-        # bounded so an unbounded cache never consumes caller randomness.
+        if shard_runner is not None and (
+            shard_runner.graph is not graph or shard_runner.layer is not layer
+        ):
+            # A mismatched runner would draw rows from *its* graph while
+            # the plan sizes ranges from ours — silently wrong estimates.
+            raise ProtocolError(
+                "shard_runner is bound to a different graph/layer than "
+                "this cache"
+            )
+        self.shard_runner = shard_runner
+        self.shard_mem_bytes = shard_mem_bytes
+        # Keyed caches (bounded, or sharded) draw deterministically per
+        # (entropy, epoch, key); a plain unbounded cache keeps the shared
+        # rng stream. Entropy is only drawn when keyed so a plain cache
+        # never consumes caller randomness.
+        self.keyed = self.bounded or shard_runner is not None
         self._entropy = (
-            int(ensure_rng(rng).integers(1 << 62)) if self.bounded else 0
+            int(ensure_rng(rng).integers(1 << 62)) if self.keyed else 0
         )
+        self.last_shard_draw: list[dict] = []
         self._bytes = 0
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._packed: dict[int, np.ndarray] = {}
@@ -272,14 +301,35 @@ class NoisyViewCache:
         vertices = np.asarray(vertices, dtype=np.int64)
         if vertices.size == 0:
             return 0
-        if not self.bounded:
+        if self.bounded:
+            self.stats.recharges += sum(
+                1 for v in vertices if int(v) in self._drawn_vertices
+            )
+        if self.shard_runner is not None:
+            # Sharded draw: the miss block fans out over the runner's
+            # workers, each range from the same keyed streams — the
+            # reassembled rows are byte-identical to the unsharded keyed
+            # pass (and to any earlier draw of the same vertices).
+            shard_plan = plan_shards(
+                self.graph, self.layer, vertices, self.epsilon,
+                shards=(
+                    None
+                    if self.shard_mem_bytes is not None
+                    else self.shard_runner.max_workers
+                ),
+                mem_bytes=self.shard_mem_bytes,
+            )
+            drawn = self.shard_runner.draw(
+                shard_plan, self.epsilon,
+                entropy=self._entropy, epoch=self.epoch,
+            )
+            self.last_shard_draw = drawn.shards
+            indptr, columns = drawn.indptr, drawn.columns
+        elif not self.keyed:
             indptr, columns = bulk_randomized_response(
                 self.graph, self.layer, vertices, self.epsilon, ensure_rng(rng)
             )
         else:
-            self.stats.recharges += sum(
-                1 for v in vertices if int(v) in self._drawn_vertices
-            )
             indptr, columns = keyed_bulk_randomized_response(
                 self.graph, self.layer, vertices, self.epsilon,
                 entropy=self._entropy, epoch=self.epoch,
@@ -414,7 +464,7 @@ class NoisyViewCache:
                 np.empty(0, dtype=np.int64),
                 0,
             )
-        if not self.bounded:
+        if not self.keyed:
             verts, inverse = np.unique(keys, return_inverse=True)
             inverse = inverse.reshape(keys.shape)
             n1, n2, sizes = sketch_pair_counts(
@@ -428,7 +478,7 @@ class NoisyViewCache:
         total = 0
         for i, key in enumerate(keys):
             key = (int(key[0]), int(key[1]))
-            if key in self._drawn_pairs:
+            if self.bounded and key in self._drawn_pairs:
                 self.stats.recharges += 1
             keyed = keyed_pair_generator(self._entropy, self.epoch, *key)
             pair_n1, pair_n2, sizes = sketch_pair_counts(
@@ -536,12 +586,13 @@ class NoisyViewCache:
         if vertices.size == 0:
             return np.empty(0, dtype=np.float64)
         true = self.graph.degrees(self.layer)[vertices].astype(np.float64)
-        if not self.bounded:
+        if not self.keyed:
             values = mechanism.release_many(true, ensure_rng(rng))
         else:
-            self.stats.recharges += sum(
-                1 for v in vertices if int(v) in self._drawn_degrees
-            )
+            if self.bounded:
+                self.stats.recharges += sum(
+                    1 for v in vertices if int(v) in self._drawn_degrees
+                )
             values = true + keyed_laplace_noise(
                 self._entropy, self.epoch, vertices, mechanism.scale
             )

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.core import BatchQueryEngine
+from repro.engine.sharded import ShardedRunner
 from repro.errors import GraphError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.sampling import QueryPair
@@ -53,7 +54,7 @@ from repro.protocol.messages import (
     CommunicationLog,
     Direction,
 )
-from repro.protocol.session import ExecutionMode
+from repro.protocol.session import ExecutionMode, resolve_mode
 from repro.serving.cache import NoisyViewCache
 from repro.serving.tenants import TenantRegistry
 
@@ -128,6 +129,16 @@ class QueryServer:
         least-recently-used views past the budget, and evicted views are
         reconstructed deterministically — privacy-free — on their next
         touch.
+    shards, shard_mem_bytes:
+        Shard every materialize-mode miss draw across forked worker
+        processes (``shards`` worker cap and range count, or
+        ``shard_mem_bytes`` per-shard noisy-payload budget with a
+        cpu-count worker cap). Sharded serving draws from the keyed
+        Philox streams, so the served bits are identical whatever the
+        shard boundaries; the server owns the
+        :class:`~repro.engine.sharded.ShardedRunner` and frees its
+        workers on :meth:`stop`. Ignored in sketch mode (there are no
+        rows to shard). See ``docs/sharding-guide.md``.
     tenants:
         A :class:`~repro.serving.tenants.TenantRegistry` turns on
         multi-tenant serving: every :meth:`query` must then carry a
@@ -171,6 +182,8 @@ class QueryServer:
         warm_vertices: int = 0,
         cache_bytes: int | None = None,
         cache_entries: int | None = None,
+        shards: int | None = None,
+        shard_mem_bytes: int | None = None,
         tenants: TenantRegistry | None = None,
         degree_epsilon: float | None = None,
         epsilon_per_epoch: float | str | None = "auto",
@@ -187,13 +200,26 @@ class QueryServer:
             raise ProtocolError(f"warm_vertices must be >= 0, got {warm_vertices}")
         if degree_epsilon is not None and degree_epsilon <= 0:
             raise ProtocolError("degree_epsilon must be positive when given")
+        if shards is not None and shards <= 0:
+            raise ProtocolError(f"shards must be positive, got {shards}")
+        if shard_mem_bytes is not None and shard_mem_bytes <= 0:
+            raise ProtocolError(
+                f"shard_mem_bytes must be positive, got {shard_mem_bytes}"
+            )
         self.rng = ensure_rng(rng)
+        runner = None
+        if shards is not None or shard_mem_bytes is not None:
+            if resolve_mode(graph, layer, mode) is ExecutionMode.MATERIALIZE:
+                runner = ShardedRunner(graph, layer, max_workers=shards)
+        self._shard_runner = runner
         cache = NoisyViewCache(
             graph, layer, epsilon,
             mode=mode,
             max_bytes=cache_bytes,
             max_entries=cache_entries,
             rng=self.rng,
+            shard_runner=runner,
+            shard_mem_bytes=shard_mem_bytes,
         )
         if epsilon_per_epoch == "auto":
             if cache.mode is ExecutionMode.MATERIALIZE:
@@ -265,6 +291,8 @@ class QueryServer:
         self._wake.set()
         await self._task
         self._task = None
+        if self._shard_runner is not None:
+            self._shard_runner.close()
 
     async def __aenter__(self) -> "QueryServer":
         await self.start()
