@@ -38,9 +38,14 @@ from repro.errors import (
     DatasetError,
     GraphError,
     OptimizationError,
+    PayloadIntegrityError,
     PrivacyError,
     ProtocolError,
+    QueryDeadlineError,
     ReproError,
+    ServerOverloadedError,
+    ServerStalledError,
+    ShardExecutionError,
 )
 from repro.estimators import (
     CentralDPEstimator,
@@ -141,6 +146,11 @@ __all__ = [
     "BudgetExceededError",
     "ProtocolError",
     "OptimizationError",
+    "ShardExecutionError",
+    "PayloadIntegrityError",
+    "ServerOverloadedError",
+    "QueryDeadlineError",
+    "ServerStalledError",
 ]
 
 

@@ -204,6 +204,26 @@ def build_parser() -> argparse.ArgumentParser:
              "(workers capped at the cpu count)",
     )
     p_srv.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard-task deadline; a late fragment is re-dispatched "
+             "(byte-identical retry under the keyed streams)",
+    )
+    p_srv.add_argument(
+        "--shard-retries", type=int, default=2, metavar="N",
+        help="re-dispatch rounds against a rebuilt pool before a failed "
+             "range degrades to inline execution (default: 2)",
+    )
+    p_srv.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="bound the admission queue; overflow sheds the "
+             "oldest-deadline query without charging any tenant",
+    )
+    p_srv.add_argument(
+        "--query-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline; queries still pending past it fail "
+             "without being charged",
+    )
+    p_srv.add_argument(
         "--degree-eps", type=float, default=None,
         help="also serve epoch-cached noisy degrees at this budget",
     )
@@ -419,6 +439,10 @@ def _cmd_serve(args) -> int:
             cache_entries=args.cache_entries,
             shards=args.shards,
             shard_mem_bytes=args.shard_mem,
+            shard_timeout_s=args.shard_timeout,
+            shard_retries=args.shard_retries,
+            max_pending=args.max_pending,
+            query_deadline_s=args.query_deadline,
             tenants=registry,
             degree_epsilon=args.degree_eps,
             rng=server_rng,

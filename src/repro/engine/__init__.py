@@ -24,6 +24,7 @@ from repro.engine.core import (
     EngineResult,
     workload_party,
 )
+from repro.engine.faults import FaultAction, FaultPlan
 from repro.engine.pairwise import (
     HAVE_SCIPY,
     choose_backend,
@@ -49,6 +50,8 @@ __all__ = [
     "BatchQueryEngine",
     "CacheSplit",
     "EngineResult",
+    "FaultAction",
+    "FaultPlan",
     "ShardDraw",
     "ShardPlan",
     "ShardedRunner",

@@ -122,6 +122,11 @@ class BatchQueryEngine:
         and ``details["shards"]`` records every range and backend
         choice. Sketch mode has no rows to shard and ignores both
         options.
+    shard_timeout_s, shard_retries:
+        Resilience knobs forwarded to the :class:`ShardedRunner`: the
+        per-task deadline and the re-dispatch budget before a failed
+        range degrades to inline execution. Whatever the resilience
+        envelope did is reported in ``details["shards"]["faults"]``.
 
     A sharding engine owns a worker pool; call :meth:`close` (or use the
     engine as a context manager) to free the processes.
@@ -136,6 +141,8 @@ class BatchQueryEngine:
         mode: ExecutionMode = ExecutionMode.AUTO,
         shards: int | None = None,
         shard_mem_bytes: int | None = None,
+        shard_timeout_s: float | None = None,
+        shard_retries: int = 2,
     ):
         if shards is not None and shards <= 0:
             raise ProtocolError(f"shards must be positive, got {shards}")
@@ -146,6 +153,8 @@ class BatchQueryEngine:
         self.mode = mode
         self.shards = shards
         self.shard_mem_bytes = shard_mem_bytes
+        self.shard_timeout_s = shard_timeout_s
+        self.shard_retries = shard_retries
         self._runner: ShardedRunner | None = None
 
     # ------------------------------------------------------------------
@@ -175,7 +184,13 @@ class BatchQueryEngine:
             runner.close()
             runner = None
         if runner is None:
-            runner = ShardedRunner(graph, layer, max_workers=self.shards)
+            runner = ShardedRunner(
+                graph,
+                layer,
+                max_workers=self.shards,
+                timeout_s=self.shard_timeout_s,
+                max_retries=self.shard_retries,
+            )
             self._runner = runner
         return runner
 
@@ -272,6 +287,7 @@ class BatchQueryEngine:
                 "mem_bytes": shard_plan.mem_bytes,
                 "draw": drawn.shards,
                 "pairwise": block_log,
+                "faults": drawn.faults,
             }
         elif mode is ExecutionMode.MATERIALIZE:
             indptr, columns = bulk_randomized_response(
@@ -362,6 +378,7 @@ class BatchQueryEngine:
             )
             fresh_bytes = 0
             cache.last_shard_draw = []
+            cache.last_shard_faults = {}
             if split.num_uncached:
                 fresh_bytes = cache.materialize_fresh(split.uncached, rng) * ID_BYTES
             indptr, columns = cache.gather_views(plan.vertices)
@@ -454,7 +471,12 @@ class BatchQueryEngine:
                     "recharges": cache.stats.recharges - recharges_before,
                 },
                 **(
-                    {"shards": {"draw": cache.last_shard_draw}}
+                    {
+                        "shards": {
+                            "draw": cache.last_shard_draw,
+                            "faults": cache.last_shard_faults,
+                        }
+                    }
                     if cache.shard_runner is not None and cache.last_shard_draw
                     else {}
                 ),

@@ -22,6 +22,37 @@ module exploits that:
   partial counts scatter into the global answer. The per-block backend
   choices are surfaced in ``EngineResult.details["shards"]``.
 
+Fault tolerance (see ``docs/resilience-guide.md``)
+--------------------------------------------------
+Because a shard task is a pure function of its arguments, a failed or
+slow task can be re-dispatched anywhere, any number of times, with zero
+privacy cost and zero result drift — retries replay the identical keyed
+draw instead of collecting fresh noise. :meth:`ShardedRunner.draw`
+therefore wraps every task in a resilience envelope:
+
+* a per-task deadline (``timeout_s``) bounds how long the parent waits
+  on any one fragment;
+* worker death (``BrokenProcessPool``), deadline expiry, transport
+  errors and payload-checksum mismatches all classify as *worker
+  faults*: the failed ranges are re-dispatched to a **rebuilt** pool
+  under capped exponential backoff whose jitter comes from the keyed
+  Philox stream (deterministic per ``(entropy, epoch, attempt)``, never
+  wall-clock randomness) — up to ``max_retries`` rounds;
+* after the retry budget is exhausted, the remaining ranges degrade to
+  inline single-process execution in the parent — the terminal fallback
+  that cannot fail the way a worker can;
+* every ``SharedMemory`` fragment name is parent-chosen and registered
+  *before* dispatch, so a worker dying between ``shm.create`` and the
+  parent's fetch cannot leak the segment: failure paths sweep the
+  registry, and :meth:`ShardedRunner.close` performs a final sweep after
+  joining any zombie workers.
+
+Everything the envelope did is reported in :attr:`ShardDraw.faults`
+(and surfaced by the engine as ``details["shards"]["faults"]``):
+re-dispatches, backoff waits, deadline expiries, worker deaths, payload
+errors, degraded ranges and reclaimed segments. A deterministic chaos
+harness for all of it lives in :mod:`repro.engine.faults`.
+
 Workers inherit the graph at fork time; only the small per-range vertex
 slices and the returned fragments cross the process boundary. Platforms
 without ``fork`` (and single-worker runners) execute the same code path
@@ -36,9 +67,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import tracemalloc
 import weakref
+import zlib
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 
@@ -48,9 +84,10 @@ from repro.engine.bulkrr import (
     keyed_bulk_randomized_response,
     merge_csr_fragments,
 )
+from repro.engine.faults import FAULT_EXIT_CODE, FaultPlan
 from repro.engine.pairwise import choose_backend, pairwise_intersections
 from repro.engine.planner import ShardPlan
-from repro.errors import ProtocolError
+from repro.errors import PayloadIntegrityError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 
 __all__ = ["ShardDraw", "ShardedRunner", "fork_available"]
@@ -62,10 +99,33 @@ __all__ = ["ShardDraw", "ShardedRunner", "fork_available"]
 _WORKER_CONTEXTS: dict[int, tuple[BipartiteGraph, Layer]] = {}
 _NEXT_TOKEN = 0
 
+# Keyed-stream domain tag for retry-backoff jitter ("BACK"): the jitter
+# that decorrelates retry stampedes must itself be deterministic per
+# (entropy, epoch, attempt), or reruns of the same failure schedule
+# would not be reproducible.
+_BACKOFF_TAG = 0x4241434B
+
+# Exceptions that classify as *worker faults* — transient, re-dispatchable
+# failures of the execution substrate rather than of the draw itself.
+# Anything else (a PrivacyError from bad epsilon, a GraphError) is a real
+# bug and propagates immediately after the segment sweep.
+_WORKER_FAULTS = (
+    BrokenProcessPool,
+    FutureTimeoutError,
+    TimeoutError,
+    PayloadIntegrityError,
+    OSError,
+)
+
 
 def fork_available() -> bool:
     """True when the ``fork`` start method exists on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _columns_checksum(columns: np.ndarray) -> int:
+    """CRC32 of a fragment's column bytes — the shm transport integrity tag."""
+    return int(zlib.crc32(np.ascontiguousarray(columns)))
 
 
 def _draw_range(
@@ -75,21 +135,43 @@ def _draw_range(
     entropy: int,
     epoch: int,
     measure: bool,
-    via_shm: bool,
+    shm_name: str | None,
+    shard_index: int,
+    attempt: int,
 ) -> tuple:
     """One shard's keyed draw (runs in a worker, or inline when serial).
 
-    Returns ``(indptr, payload, size, peak_bytes)``. In-process calls
-    return the columns array itself as ``payload``; pool calls
-    (``via_shm``) write the columns into a ``SharedMemory`` block and
-    return its name instead — shipping multi-MB fragments through the
-    result pipe interleaves 64 KiB reads with the other workers' compute
-    and costs ~40% of the draw, while an shm handoff is one parent-side
-    memcpy after the workers finish. ``peak_bytes`` is the tracemalloc
-    high-water mark of the draw when ``measure`` is set (the benchmark's
-    per-worker memory probe), else 0.
+    Returns ``(indptr, payload, size, peak_bytes, checksum)``. In-process
+    calls (``shm_name is None``) return the columns array itself as
+    ``payload``; pool calls write the columns into a ``SharedMemory``
+    block *created under the parent-chosen name* and return that name —
+    shipping multi-MB fragments through the result pipe interleaves
+    64 KiB reads with the other workers' compute and costs ~40% of the
+    draw, while an shm handoff is one parent-side memcpy after the
+    workers finish. The parent owning the name is what makes the handoff
+    leak-proof: a worker that dies after ``create`` leaves a segment the
+    parent already knows how to unlink. ``checksum`` is the CRC32 of the
+    column bytes, verified parent-side after the copy. ``peak_bytes`` is
+    the tracemalloc high-water mark of the draw when ``measure`` is set
+    (the benchmark's per-worker memory probe), else 0.
+
+    ``shard_index``/``attempt`` identify the task to the chaos hook: a
+    :class:`~repro.engine.faults.FaultPlan` installed in the parent's
+    environment (inherited across the fork) can deterministically kill,
+    delay or poison chosen ``(shard, attempt)`` tasks. Faults apply only
+    to pool tasks — inline execution has no worker to kill and no shm
+    payload to poison, which is exactly why it is the terminal fallback.
     """
     graph, layer = _WORKER_CONTEXTS[token]
+    action = None
+    if shm_name is not None:
+        plan = FaultPlan.from_env()
+        if plan is not None:
+            action = plan.action_for(shard_index, attempt)
+    if action is not None and action.kind == "kill":
+        os._exit(FAULT_EXIT_CODE)
+    if action is not None and action.kind == "delay":
+        time.sleep(action.delay_s)
     if measure:
         tracemalloc.start()
     indptr, columns = keyed_bulk_randomized_response(
@@ -99,52 +181,88 @@ def _draw_range(
     if measure:
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
-    if not via_shm:
-        return indptr, columns, int(columns.size), int(peak)
-    block = shared_memory.SharedMemory(create=True, size=max(1, columns.nbytes))
+    checksum = _columns_checksum(columns)
+    if shm_name is None:
+        return indptr, columns, int(columns.size), int(peak), checksum
+    block = shared_memory.SharedMemory(
+        create=True, name=shm_name, size=max(1, columns.nbytes)
+    )
     np.ndarray(columns.shape, dtype=np.int64, buffer=block.buf)[:] = columns
-    name = block.name
+    if action is not None and action.kind == "poison":
+        # Corrupt the transported payload *after* the checksum was taken
+        # from the good draw, so the parent's verification must catch it.
+        if columns.nbytes:
+            view = np.ndarray(columns.shape, dtype=np.int64, buffer=block.buf)
+            view[0] = ~view[0]
+        else:
+            checksum ^= 1
     block.close()  # parent unlinks after copying
-    return indptr, name, int(columns.size), int(peak)
+    if action is not None and action.kind == "kill_after_write":
+        os._exit(FAULT_EXIT_CODE)  # the leak window the registry sweep covers
+    return indptr, shm_name, int(columns.size), int(peak), checksum
 
 
-def _fetch_columns(payload, size: int) -> np.ndarray:
-    """Materialize a task's columns, copying out of shared memory if used."""
-    if isinstance(payload, np.ndarray):
-        return payload
-    block = shared_memory.SharedMemory(name=payload)
-    try:
-        return np.ndarray((size,), dtype=np.int64, buffer=block.buf).copy()
-    finally:
+def _sweep_segments(names: set[str], *, drop_missing: bool) -> int:
+    """Unlink every registered segment that exists; return the count.
+
+    Names whose segment does not (yet) exist are kept in the registry
+    unless ``drop_missing`` — a delayed zombie worker may still create
+    its segment later, and only :meth:`ShardedRunner.close` (which joins
+    every worker first) can prove nobody ever will.
+    """
+    reclaimed = 0
+    for name in list(names):
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            if drop_missing:
+                names.discard(name)
+            continue
         block.close()
-        block.unlink()
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced another sweep
+            pass
+        names.discard(name)
+        reclaimed += 1
+    return reclaimed
 
 
-def _discard_payload(payload) -> None:
-    """Unlink a result's shm block without reading it (error cleanup)."""
-    if isinstance(payload, np.ndarray):
-        return
-    try:
-        block = shared_memory.SharedMemory(name=payload)
-    except FileNotFoundError:  # pragma: no cover - already gone
-        return
-    block.close()
-    block.unlink()
-
-
-def _release_runner(token: int, pool_box: list) -> None:
-    """Free a runner's worker pool and context registration.
+def _release_runner(
+    token: int, pool_box: list, retired: list, segments: set
+) -> None:
+    """Free a runner's worker pools, context registration and segments.
 
     Shared by :meth:`ShardedRunner.close` and the runner's GC finalizer,
     so a runner dropped without ``close()`` (pre-sharding call sites
-    never needed one) cannot pin its graph in ``_WORKER_CONTEXTS`` or
-    leave worker processes behind for the interpreter's lifetime.
+    never needed one) cannot pin its graph in ``_WORKER_CONTEXTS``,
+    leave worker processes behind for the interpreter's lifetime, or
+    strand ``/dev/shm`` segments created by zombie workers. Retired
+    pools (torn down with ``wait=False`` after a fault) are joined here
+    so every would-be segment creator is provably gone before the final
+    sweep.
     """
     pool = pool_box[0]
     if pool is not None:
         pool.shutdown(wait=True)
         pool_box[0] = None
+    for old in retired:
+        old.shutdown(wait=True)
+    retired.clear()
     _WORKER_CONTEXTS.pop(token, None)
+    _sweep_segments(segments, drop_missing=True)
+
+
+def _empty_faults() -> dict:
+    return {
+        "retries": 0,  # task re-dispatches to a rebuilt pool
+        "timeouts": 0,  # per-task deadline expiries
+        "worker_deaths": 0,  # BrokenProcessPool / dead workers
+        "payload_errors": 0,  # checksum mismatches on the shm handoff
+        "backoff_s": [],  # keyed-jitter waits before each retry round
+        "degraded_ranges": [],  # ranges that fell back to inline execution
+        "reclaimed_segments": 0,  # orphaned shm segments swept and unlinked
+    }
 
 
 @dataclass
@@ -154,6 +272,7 @@ class ShardDraw:
     indptr: np.ndarray
     columns: np.ndarray
     shards: list[dict] = field(default_factory=list)
+    faults: dict = field(default_factory=_empty_faults)
 
 
 class ShardedRunner:
@@ -169,11 +288,30 @@ class ShardedRunner:
         Worker process cap. Defaults to ``os.cpu_count()``; a cap of 1
         (or a platform without ``fork``) runs every range inline in the
         parent — same output, no processes.
+    timeout_s:
+        Per-task deadline in seconds. A fragment not back within the
+        deadline classifies as a worker fault and is re-dispatched;
+        ``None`` waits indefinitely (the pre-resilience behavior).
+    max_retries:
+        Re-dispatch rounds against a rebuilt pool before the remaining
+        ranges degrade to inline execution. ``0`` degrades immediately
+        on the first fault.
+    backoff_base_s, backoff_cap_s:
+        Exponential backoff before retry round ``r`` waits
+        ``min(cap, base * 2**(r-1))`` scaled by a jitter factor in
+        ``[0.5, 1.0]`` drawn from the keyed Philox stream (key
+        ``[entropy ^ BACKOFF_TAG]``, counter ``[attempt, epoch]``) — the
+        schedule is deterministic per draw, not wall-clock random.
+    verify_payloads:
+        Verify the CRC32 of every fragment copied out of shared memory
+        (on by default; the benchmark's overhead knob).
 
     Raises
     ------
     ProtocolError
-        If ``max_workers`` is not positive.
+        If ``max_workers`` is not positive, ``timeout_s`` is not
+        positive when given, ``max_retries`` is negative, or a backoff
+        parameter is negative.
 
     Example
     -------
@@ -195,27 +333,57 @@ class ShardedRunner:
         layer: Layer,
         *,
         max_workers: int | None = None,
+        timeout_s: float | None = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        verify_payloads: bool = True,
     ):
         global _NEXT_TOKEN
         if max_workers is not None and max_workers <= 0:
             raise ProtocolError(
                 f"max_workers must be positive, got {max_workers}"
             )
+        if timeout_s is not None and timeout_s <= 0:
+            raise ProtocolError(f"timeout_s must be positive, got {timeout_s}")
+        if max_retries < 0:
+            raise ProtocolError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ProtocolError("backoff parameters must be >= 0")
         self.graph = graph
         self.layer = layer
         self.max_workers = (
             max_workers if max_workers is not None else (os.cpu_count() or 1)
         )
+        self.timeout_s = timeout_s
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.verify_payloads = bool(verify_payloads)
+        # Lifetime fault counters across every draw (the serving report
+        # reads these to make degraded behavior visible from the CLI).
+        self.fault_totals: Counter = Counter()
         # Register before any pool can fork so workers inherit the graph.
         self._token = _NEXT_TOKEN
         _NEXT_TOKEN += 1
         _WORKER_CONTEXTS[self._token] = (graph, layer)
         # The pool lives in a one-slot box so the GC finalizer can free
-        # it without holding a reference to the runner itself.
+        # it without holding a reference to the runner itself; pools torn
+        # down after a fault are parked in `_retired` (they may still
+        # host a zombie worker) and joined at close time. `_segments`
+        # holds every parent-issued shm name not yet unlinked.
         self._pool_box: list = [None]
+        self._retired: list = []
+        self._segments: set[str] = set()
+        self._seq = 0
         self._closed = False
         self._finalizer = weakref.finalize(
-            self, _release_runner, self._token, self._pool_box
+            self,
+            _release_runner,
+            self._token,
+            self._pool_box,
+            self._retired,
+            self._segments,
         )
 
     # ------------------------------------------------------------------
@@ -241,15 +409,93 @@ class ShardedRunner:
             )
         return self._pool_box[0]
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent; frees the processes).
+    def _retire_pool(self) -> None:
+        """Tear the current pool down without waiting (it is suspect).
 
-        A closed runner may be used again: the next :meth:`draw`
-        re-registers its context and forks a fresh pool, so a restarted
-        server reuses its runner safely. A runner dropped *without*
-        ``close()`` is released by its GC finalizer.
+        A stuck or dead pool must not block the retry path, so teardown
+        is non-blocking; the executor is parked in ``_retired`` and
+        joined by :meth:`close`, at which point any zombie worker has
+        finished and its segment can be swept.
         """
-        _release_runner(self._token, self._pool_box)
+        pool = self._pool_box[0]
+        if pool is None:
+            return
+        self._pool_box[0] = None
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may object
+            pass
+        self._retired.append(pool)
+
+    def _new_segment_name(self, shard: int, attempt: int) -> str:
+        """A fresh parent-owned shm name, registered before dispatch.
+
+        Including the attempt keeps a retry's segment distinct from one
+        a delayed zombie dispatch of the same shard may create later.
+        """
+        self._seq += 1
+        name = f"repro_{os.getpid():x}_{self._seq:x}_{shard}_{attempt}"
+        self._segments.add(name)
+        return name
+
+    def _backoff_wait(self, entropy: int, epoch: int, attempt: int) -> float:
+        """Capped exponential backoff, jittered from the keyed stream."""
+        base = min(
+            self.backoff_cap_s, self.backoff_base_s * (2 ** max(0, attempt - 1))
+        )
+        if base <= 0:
+            return 0.0
+        bitgen = np.random.Philox(
+            counter=[int(attempt), int(epoch), 0, 0],
+            key=[int(entropy) ^ _BACKOFF_TAG, _BACKOFF_TAG],
+        )
+        jitter = 0.5 + 0.5 * float(np.random.Generator(bitgen).random())
+        return base * jitter
+
+    def _fetch_verified(self, payload, size: int, checksum: int) -> np.ndarray:
+        """Materialize a task's columns, unlinking and verifying its segment.
+
+        Raises
+        ------
+        PayloadIntegrityError
+            If the copied bytes fail checksum verification (the segment
+            is already unlinked either way — a corrupt fragment must not
+            outlive its detection).
+        """
+        if isinstance(payload, np.ndarray):
+            return payload
+        block = shared_memory.SharedMemory(name=payload)
+        try:
+            columns = np.ndarray((size,), dtype=np.int64, buffer=block.buf).copy()
+        finally:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - raced a sweep
+                pass
+            self._segments.discard(payload)
+        if self.verify_payloads and _columns_checksum(columns) != checksum:
+            raise PayloadIntegrityError(
+                f"shard fragment {payload!r} failed checksum verification "
+                f"({size} ids)"
+            )
+        return columns
+
+    def close(self) -> None:
+        """Shut every worker pool down and sweep the segment registry.
+
+        Idempotent. Retired pools (torn down after faults) are joined
+        here, so any zombie worker still holding a delayed task finishes
+        first — only then can the final registry sweep prove no
+        ``SharedMemory`` segment outlives the runner. A closed runner
+        may be used again: the next :meth:`draw` re-registers its
+        context and forks a fresh pool, so a restarted server reuses its
+        runner safely. A runner dropped *without* ``close()`` is
+        released by its GC finalizer.
+        """
+        _release_runner(
+            self._token, self._pool_box, self._retired, self._segments
+        )
         self._closed = True
 
     def __enter__(self) -> "ShardedRunner":
@@ -274,66 +520,160 @@ class ShardedRunner:
         stream back as each worker finishes; the reassembled
         ``(indptr, columns)`` is byte-identical to the unsharded keyed
         pass whatever the plan's boundaries (every vertex owns a private
-        counter stream). Per-shard provenance — vertex range, drawn ids,
-        planner byte estimate, and (with ``measure_memory``) the worker's
-        tracemalloc peak — lands in :attr:`ShardDraw.shards`.
+        counter stream) — **and whatever faults occur**: a range whose
+        worker dies, stalls past ``timeout_s``, or returns a corrupt
+        fragment is re-dispatched to a rebuilt pool (capped keyed-jitter
+        backoff, up to ``max_retries`` rounds) and finally drawn inline,
+        replaying the identical keyed stream each time. Per-shard
+        provenance — vertex range, drawn ids, planner byte estimate,
+        dispatch attempts, degraded flag, and (with ``measure_memory``)
+        the worker's tracemalloc peak — lands in :attr:`ShardDraw.shards`;
+        everything the resilience envelope did lands in
+        :attr:`ShardDraw.faults`.
 
+        Raises
+        ------
+        ReproError
+            Non-fault worker exceptions (a :class:`PrivacyError` from a
+            bad epsilon, a :class:`GraphError`) are *not* retried: they
+            propagate after the segment sweep, because re-dispatching a
+            deterministic bug reproduces it.
         """
         if self._closed:
             # Re-open: register the context again before any pool forks.
             _WORKER_CONTEXTS[self._token] = (self.graph, self.layer)
             self._closed = False
         ranges = plan.ranges()
+        faults = _empty_faults()
+        results: dict[int, tuple] = {}  # shard -> (indptr, columns, size, peak)
+        dispatches: Counter = Counter()
+        pending: dict[int, tuple[int, int]] = dict(enumerate(ranges))
         pool = self._ensure_pool(len(ranges))
-        args = [
-            (
+
+        if pool is not None:
+            attempt = 0
+            while pending and attempt <= self.max_retries:
+                if attempt:
+                    wait = self._backoff_wait(entropy, epoch, attempt)
+                    faults["backoff_s"].append(round(wait, 6))
+                    faults["retries"] += len(pending)
+                    if wait > 0:
+                        time.sleep(wait)
+                    pool = self._ensure_pool(len(ranges))
+                submitted: dict[int, tuple] = {}
+                failed: dict[int, tuple[int, int]] = {}
+                for s, (lo, hi) in pending.items():
+                    name = self._new_segment_name(s, attempt)
+                    try:
+                        future = pool.submit(
+                            _draw_range,
+                            self._token,
+                            plan.vertices[lo:hi],
+                            float(epsilon),
+                            int(entropy),
+                            int(epoch),
+                            measure_memory,
+                            name,
+                            s,
+                            attempt,
+                        )
+                    except BrokenProcessPool:
+                        # The pool died mid-submission: everything not
+                        # yet submitted fails this round too.
+                        faults["worker_deaths"] += 1
+                        failed[s] = (lo, hi)
+                        continue
+                    dispatches[s] += 1
+                    submitted[s] = future
+                for s, future in submitted.items():
+                    try:
+                        indptr, payload, size, peak, checksum = future.result(
+                            timeout=self.timeout_s
+                        )
+                        columns = self._fetch_verified(payload, size, checksum)
+                        results[s] = (indptr, columns, size, peak)
+                    except (FutureTimeoutError, TimeoutError):
+                        faults["timeouts"] += 1
+                        failed[s] = pending[s]
+                    except BrokenProcessPool:
+                        faults["worker_deaths"] += 1
+                        failed[s] = pending[s]
+                    except PayloadIntegrityError:
+                        faults["payload_errors"] += 1
+                        failed[s] = pending[s]
+                    except OSError:
+                        faults["worker_deaths"] += 1
+                        failed[s] = pending[s]
+                    except BaseException:
+                        # A deterministic bug, not a worker fault: sweep
+                        # the outstanding segments and let it propagate.
+                        faults["reclaimed_segments"] += _sweep_segments(
+                            self._segments, drop_missing=False
+                        )
+                        self.fault_totals.update(
+                            {
+                                k: v
+                                for k, v in faults.items()
+                                if isinstance(v, int)
+                            }
+                        )
+                        raise
+                if failed:
+                    # The pool is suspect (dead workers, or a stuck one
+                    # we cannot cancel): rebuild it for the next round
+                    # and reclaim whatever orphaned segments exist now.
+                    self._retire_pool()
+                    faults["reclaimed_segments"] += _sweep_segments(
+                        self._segments, drop_missing=False
+                    )
+                pending = failed
+                attempt += 1
+            if pending:
+                # Terminal fallback: the remaining ranges run inline in
+                # the parent — single-process, no shm, cannot fault.
+                for s, (lo, hi) in sorted(pending.items()):
+                    faults["degraded_ranges"].append((int(lo), int(hi)))
+        for s, (lo, hi) in sorted(pending.items()):
+            indptr, columns, size, peak, _ = _draw_range(
                 self._token,
                 plan.vertices[lo:hi],
                 float(epsilon),
                 int(entropy),
                 int(epoch),
                 measure_memory,
-                pool is not None,
+                None,
+                s,
+                -1,
             )
-            for lo, hi in ranges
-        ]
-        if pool is None:
-            results = [_draw_range(*a) for a in args]
-        else:
-            futures = [pool.submit(_draw_range, *a) for a in args]
-            results = []
-            failure: BaseException | None = None
-            for future in futures:
-                try:
-                    results.append(future.result())
-                except BaseException as exc:  # noqa: BLE001 - re-raised below
-                    failure = failure if failure is not None else exc
-            if failure is not None:
-                # The successful workers' fragments live in shm blocks
-                # whose names exist only in these results: unlink them
-                # or a server with repeatedly failing ticks would pile
-                # up multi-MB /dev/shm segments until process exit.
-                for _, payload, _, _ in results:
-                    _discard_payload(payload)
-                raise failure
+            dispatches[s] += 1
+            results[s] = (indptr, columns, size, peak)
+
         fragments = [
-            (ip, _fetch_columns(payload, size))
-            for ip, payload, size, _ in results
+            (results[s][0], results[s][1]) for s in range(len(ranges))
         ]
         indptr, columns = merge_csr_fragments(fragments)
+        degraded = {
+            (int(lo), int(hi)) for lo, hi in faults["degraded_ranges"]
+        }
         shards = [
             {
                 "range": (int(lo), int(hi)),
                 "vertices": int(hi - lo),
-                "noisy_ids": int(size),
+                "noisy_ids": int(results[s][2]),
                 "est_bytes": int(plan.est_bytes[s]),
-                "peak_bytes": int(peak),
+                "peak_bytes": int(results[s][3]),
+                "attempts": int(dispatches[s]),
+                "degraded": (int(lo), int(hi)) in degraded,
             }
-            for s, ((lo, hi), (_, _, size, peak)) in enumerate(
-                zip(ranges, results)
-            )
+            for s, (lo, hi) in enumerate(ranges)
         ]
-        return ShardDraw(indptr=indptr, columns=columns, shards=shards)
+        self.fault_totals.update(
+            {k: v for k, v in faults.items() if isinstance(v, int)}
+        )
+        self.fault_totals["degraded_ranges"] += len(faults["degraded_ranges"])
+        return ShardDraw(
+            indptr=indptr, columns=columns, shards=shards, faults=faults
+        )
 
     # ------------------------------------------------------------------
     def pairwise(

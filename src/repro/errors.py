@@ -43,3 +43,37 @@ class ProtocolError(ReproError):
 
 class OptimizationError(ReproError):
     """The budget-allocation optimizer failed to produce a feasible point."""
+
+
+class ShardExecutionError(ReproError):
+    """A shard task failed in a way the resilience layer could not mask."""
+
+
+class PayloadIntegrityError(ShardExecutionError):
+    """A shard fragment's checksum did not match after the shm handoff.
+
+    Raised parent-side when the columns copied out of a worker's
+    ``SharedMemory`` block fail checksum verification (a torn write, a
+    worker that died mid-copy, or an injected poison fault). The runner
+    treats it like any other worker fault: the range is re-dispatched —
+    the keyed draw makes the retry byte-identical — so this error only
+    escapes if corruption outlives every retry *and* the inline fallback,
+    which never computes a checksum because nothing crosses a process
+    boundary.
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """The serving admission queue is full; this query was shed unserved.
+
+    Load shedding happens *before* tenant admission, so a shed query
+    never debits any tenant's budget.
+    """
+
+
+class QueryDeadlineError(ReproError):
+    """A query's deadline expired before its tick ran; nothing was charged."""
+
+
+class ServerStalledError(ReproError):
+    """The tick watchdog abandoned a stuck tick; this query was failed."""

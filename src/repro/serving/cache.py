@@ -157,7 +157,9 @@ class NoisyViewCache:
         invisible in the bits — even when it has no LRU budget, so
         attaching a runner to an unbounded cache changes *which* (still
         distribution-identical) bits are drawn. The last sharded draw's
-        per-shard log is kept in :attr:`last_shard_draw`.
+        per-shard log is kept in :attr:`last_shard_draw` and its
+        resilience log (retries, degraded ranges, reclaimed segments) in
+        :attr:`last_shard_faults`.
 
     Raises
     ------
@@ -215,6 +217,7 @@ class NoisyViewCache:
             int(ensure_rng(rng).integers(1 << 62)) if self.keyed else 0
         )
         self.last_shard_draw: list[dict] = []
+        self.last_shard_faults: dict = {}
         self._bytes = 0
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._packed: dict[int, np.ndarray] = {}
@@ -324,6 +327,7 @@ class NoisyViewCache:
                 entropy=self._entropy, epoch=self.epoch,
             )
             self.last_shard_draw = drawn.shards
+            self.last_shard_faults = drawn.faults
             indptr, columns = drawn.indptr, drawn.columns
         elif not self.keyed:
             indptr, columns = bulk_randomized_response(

@@ -22,7 +22,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import BudgetExceededError
+from repro.errors import (
+    BudgetExceededError,
+    QueryDeadlineError,
+    ServerOverloadedError,
+)
 from repro.graph.sampling import QueryPair, sample_query_pairs
 from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
 from repro.serving.server import QueryServer, ServedEstimate
@@ -39,6 +43,8 @@ class SimulationResult:
     num_clients: int
     queries_per_client: int
     rejected: int = 0  # tenant-budget refusals absorbed by the clients
+    shed: int = 0  # admission-queue refusals (ServerOverloadedError)
+    expired: int = 0  # per-query deadline expiries (QueryDeadlineError)
 
     @property
     def throughput(self) -> float:
@@ -81,7 +87,12 @@ async def simulate_clients(
     When the server carries a :class:`~repro.serving.TenantRegistry`,
     clients are assigned round-robin to its tenants and tag every query;
     per-query :class:`~repro.errors.BudgetExceededError` refusals are
-    swallowed and counted in ``SimulationResult.rejected``.
+    swallowed and counted in ``SimulationResult.rejected``. Resilience
+    refusals behave the same way: a query shed by the admission queue
+    (:class:`~repro.errors.ServerOverloadedError`) or expired past its
+    deadline (:class:`~repro.errors.QueryDeadlineError`) is counted in
+    ``shed`` / ``expired`` and the client carries on — neither refusal
+    charges anyone anything.
     """
     parent = ensure_rng(rng)
     workloads = [
@@ -93,12 +104,14 @@ async def simulate_clients(
     pause_rngs = spawn_rngs(parent, num_clients)
     tenant_names = server.tenants.names() if server.tenants is not None else None
 
-    async def one_client(index: int) -> tuple[list[ServedEstimate], int]:
+    async def one_client(
+        index: int,
+    ) -> tuple[list[ServedEstimate], int, int, int]:
         tenant = (
             tenant_names[index % len(tenant_names)] if tenant_names else None
         )
         out: list[ServedEstimate] = []
-        refused = 0
+        refused = shed = expired = 0
         for _ in range(max(1, replays)):
             for pair in workloads[index]:
                 if think_time > 0:
@@ -107,21 +120,26 @@ async def simulate_clients(
                     out.append(await server.query_pair(pair, tenant=tenant))
                 except BudgetExceededError:
                     refused += 1
-        return out, refused
+                except ServerOverloadedError:
+                    shed += 1
+                except QueryDeadlineError:
+                    expired += 1
+        return out, refused, shed, expired
 
     start = time.perf_counter()
     per_client = await asyncio.gather(
         *(one_client(i) for i in range(num_clients))
     )
     elapsed = time.perf_counter() - start
-    estimates = [estimate for client, _ in per_client for estimate in client]
-    rejected = sum(refused for _, refused in per_client)
+    estimates = [estimate for client, _, _, _ in per_client for estimate in client]
     return SimulationResult(
         estimates=estimates,
         elapsed_seconds=elapsed,
         num_clients=num_clients,
         queries_per_client=queries_per_client,
-        rejected=rejected,
+        rejected=sum(refused for _, refused, _, _ in per_client),
+        shed=sum(shed for _, _, shed, _ in per_client),
+        expired=sum(expired for _, _, _, expired in per_client),
     )
 
 
@@ -167,6 +185,24 @@ def serving_report(server: QueryServer, result: SimulationResult) -> str:
         f"across {len(server.ledger.charges)} aggregated charges",
         f"upload          : {server.comm.total_bytes():,} bytes",
     ]
+    # Degraded behavior must be visible from the demo: refusals the
+    # clients absorbed, plus whatever the shard resilience layer did.
+    if result.shed or result.expired or stats.stalled_ticks:
+        lines.append(
+            f"resilience      : {result.shed} shed, "
+            f"{result.expired} expired, {stats.stalled_ticks} stalled ticks"
+        )
+    runner = server._shard_runner
+    if runner is not None and any(runner.fault_totals.values()):
+        totals = runner.fault_totals
+        lines.append(
+            f"shard faults    : {totals['retries']} retries "
+            f"({totals['worker_deaths']} worker deaths, "
+            f"{totals['timeouts']} timeouts, "
+            f"{totals['payload_errors']} payload errors), "
+            f"{totals['degraded_ranges']} degraded ranges, "
+            f"{totals['reclaimed_segments']} segments reclaimed"
+        )
     if server.tenants is not None:
         lines.append("tenants         :")
         for line in server.tenants.report().splitlines():

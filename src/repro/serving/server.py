@@ -41,7 +41,13 @@ import numpy as np
 
 from repro.engine.core import BatchQueryEngine
 from repro.engine.sharded import ShardedRunner
-from repro.errors import GraphError, ProtocolError
+from repro.errors import (
+    GraphError,
+    ProtocolError,
+    QueryDeadlineError,
+    ServerOverloadedError,
+    ServerStalledError,
+)
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.sampling import QueryPair
 from repro.privacy.accountant import PrivacyLedger
@@ -85,6 +91,10 @@ class ServerStats:
     ticks: int = 0
     queries_served: int = 0
     queries_rejected: int = 0  # tenant-budget refusals
+    queries_shed: int = 0  # admission-queue overflow refusals (no debit)
+    deadline_expired: int = 0  # queries whose deadline passed pre-tick
+    stalled_ticks: int = 0  # ticks abandoned by the watchdog
+    deferred_rotations: int = 0  # timed rotations skipped mid-tick
     max_coalesced: int = 0
     ticks_in_epoch: int = 0
     epochs_completed: int = 0
@@ -139,6 +149,31 @@ class QueryServer:
         :class:`~repro.engine.sharded.ShardedRunner` and frees its
         workers on :meth:`stop`. Ignored in sketch mode (there are no
         rows to shard). See ``docs/sharding-guide.md``.
+    shard_timeout_s, shard_retries:
+        Resilience knobs forwarded to the sharded runner: the per-task
+        deadline and the re-dispatch budget before a failed range
+        degrades to inline execution (see ``docs/resilience-guide.md``).
+    max_pending:
+        Bound on the admission queue. When a new query would push the
+        queue past the bound, the query with the *oldest deadline* is
+        refused with :class:`~repro.errors.ServerOverloadedError`
+        (queries without deadlines are never preferred as victims; if no
+        queued query carries an earlier deadline, the newcomer itself is
+        refused). Shedding happens before tenant admission, so a shed
+        query never debits any tenant. ``None`` = unbounded.
+    query_deadline_s:
+        Default per-query deadline. A query still pending when its
+        deadline passes is failed with
+        :class:`~repro.errors.QueryDeadlineError` at the next tick
+        *before* tenant admission — its untouched budget stays with the
+        tenant. :meth:`query` accepts a per-call ``deadline_s``
+        override. ``None`` = no deadline.
+    tick_watchdog_s:
+        When set, each tick's engine call runs on a worker thread under
+        this deadline; a stuck tick is abandoned — its callers get
+        :class:`~repro.errors.ServerStalledError` and admission debits
+        are refunded — instead of hanging every client forever. Timed
+        rotations are deferred while a watched tick is in flight.
     tenants:
         A :class:`~repro.serving.tenants.TenantRegistry` turns on
         multi-tenant serving: every :meth:`query` must then carry a
@@ -184,6 +219,11 @@ class QueryServer:
         cache_entries: int | None = None,
         shards: int | None = None,
         shard_mem_bytes: int | None = None,
+        shard_timeout_s: float | None = None,
+        shard_retries: int = 2,
+        max_pending: int | None = None,
+        query_deadline_s: float | None = None,
+        tick_watchdog_s: float | None = None,
         tenants: TenantRegistry | None = None,
         degree_epsilon: float | None = None,
         epsilon_per_epoch: float | str | None = "auto",
@@ -206,11 +246,27 @@ class QueryServer:
             raise ProtocolError(
                 f"shard_mem_bytes must be positive, got {shard_mem_bytes}"
             )
+        if max_pending is not None and max_pending <= 0:
+            raise ProtocolError(f"max_pending must be positive, got {max_pending}")
+        if query_deadline_s is not None and query_deadline_s <= 0:
+            raise ProtocolError(
+                f"query_deadline_s must be positive, got {query_deadline_s}"
+            )
+        if tick_watchdog_s is not None and tick_watchdog_s <= 0:
+            raise ProtocolError(
+                f"tick_watchdog_s must be positive, got {tick_watchdog_s}"
+            )
         self.rng = ensure_rng(rng)
         runner = None
         if shards is not None or shard_mem_bytes is not None:
             if resolve_mode(graph, layer, mode) is ExecutionMode.MATERIALIZE:
-                runner = ShardedRunner(graph, layer, max_workers=shards)
+                runner = ShardedRunner(
+                    graph,
+                    layer,
+                    max_workers=shards,
+                    timeout_s=shard_timeout_s,
+                    max_retries=shard_retries,
+                )
         self._shard_runner = runner
         cache = NoisyViewCache(
             graph, layer, epsilon,
@@ -237,17 +293,29 @@ class QueryServer:
         self.epoch_ticks = epoch_ticks
         self.epoch_seconds = None if epoch_seconds is None else float(epoch_seconds)
         self.warm_vertices = int(warm_vertices)
+        self.max_pending = max_pending
+        self.query_deadline_s = (
+            None if query_deadline_s is None else float(query_deadline_s)
+        )
+        self.tick_watchdog_s = (
+            None if tick_watchdog_s is None else float(tick_watchdog_s)
+        )
         self.tenants = tenants
         self.degree_epsilon = degree_epsilon
         self.ledger = ledger if ledger is not None else PrivacyLedger()
         self.comm = CommunicationLog()
         self.engine = BatchQueryEngine(mode=self.mode)
         self.stats = ServerStats()
-        self._pending: list[tuple[QueryPair, str | None, asyncio.Future]] = []
+        # Pending entries carry an absolute loop-clock deadline (None =
+        # no deadline) used by load shedding and pre-tick pruning.
+        self._pending: list[
+            tuple[QueryPair, str | None, asyncio.Future, float | None]
+        ] = []
         self._wake = asyncio.Event()
         self._task: asyncio.Task | None = None
         self._rotator: asyncio.Task | None = None
         self._closing = False
+        self._tick_busy = False
 
     # ------------------------------------------------------------------
     @property
@@ -303,7 +371,12 @@ class QueryServer:
 
     # ------------------------------------------------------------------
     async def query(
-        self, a: int, b: int, *, tenant: str | None = None
+        self,
+        a: int,
+        b: int,
+        *,
+        tenant: str | None = None,
+        deadline_s: float | None = None,
     ) -> ServedEstimate:
         """Estimate ``C2(a, b)``; resolves after the coalescing tick runs.
 
@@ -314,6 +387,9 @@ class QueryServer:
         tenant:
             The requesting analyst's registered name. Required when the
             server has a :class:`TenantRegistry`; forbidden otherwise.
+        deadline_s:
+            Per-call deadline override (seconds from now); defaults to
+            the server's ``query_deadline_s``.
 
         Returns
         -------
@@ -326,12 +402,20 @@ class QueryServer:
         GraphError
             If a vertex id is out of range for the serving layer.
         ProtocolError
-            If the server is not running, the pair is degenerate, or the
-            tenant tag is missing/unknown/unexpected.
+            If the server is not running, the pair is degenerate, the
+            tenant tag is missing/unknown/unexpected, or ``deadline_s``
+            is not positive.
         BudgetExceededError
             If the requesting tenant cannot cover the query's marginal
             cost, or (enforced accountants) a vertex would exceed its
             epoch allowance.
+        ServerOverloadedError
+            If the admission queue is full and this query holds the
+            oldest deadline among the shedding candidates. Nothing was
+            charged.
+        QueryDeadlineError
+            If the query's deadline passed before its tick ran. Nothing
+            was charged.
         """
         pair = QueryPair(self.layer, a, b)  # validates distinctness
         n_layer = self.graph.layer_size(self.layer)
@@ -349,18 +433,65 @@ class QueryServer:
             raise ProtocolError(
                 "tenant tags need a TenantRegistry (pass tenants= to the server)"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ProtocolError(f"deadline_s must be positive, got {deadline_s}")
         if self._task is None or self._closing:
             raise ProtocolError("server is not running (use `async with` or start())")
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append((pair, tenant, future))
+        loop = asyncio.get_running_loop()
+        if deadline_s is None:
+            deadline_s = self.query_deadline_s
+        deadline = None if deadline_s is None else loop.time() + float(deadline_s)
+        if (
+            self.max_pending is not None
+            and len(self._pending) >= self.max_pending
+        ):
+            self._shed_for(pair, deadline)
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((pair, tenant, future, deadline))
         self._wake.set()
         return await future
 
+    def _shed_for(self, pair: QueryPair, deadline: float | None) -> None:
+        """Make room for a new query by refusing the oldest-deadline one.
+
+        The victim is the queued query with the earliest deadline, unless
+        the newcomer's own deadline is at least as early (or nothing
+        queued carries one) — then the newcomer is refused instead, by
+        raising out of :meth:`query` before its future exists. Either
+        way the refusal precedes tenant admission, so no budget moves.
+        """
+        victim = None
+        victim_deadline = deadline  # the newcomer's; None sorts last
+        for i, (_, _, _, d) in enumerate(self._pending):
+            if d is not None and (victim_deadline is None or d < victim_deadline):
+                victim, victim_deadline = i, d
+        self.stats.queries_shed += 1
+        if victim is None:
+            raise ServerOverloadedError(
+                f"admission queue is full ({self.max_pending} pending); "
+                f"query {(pair.a, pair.b)} shed unserved (nothing charged)"
+            )
+        vpair, _, vfuture, _ = self._pending.pop(victim)
+        if not vfuture.done():
+            vfuture.set_exception(
+                ServerOverloadedError(
+                    f"admission queue is full ({self.max_pending} pending); "
+                    f"query {(vpair.a, vpair.b)} shed unserved "
+                    "(nothing charged)"
+                )
+            )
+
     async def query_pair(
-        self, pair: QueryPair, *, tenant: str | None = None
+        self,
+        pair: QueryPair,
+        *,
+        tenant: str | None = None,
+        deadline_s: float | None = None,
     ) -> ServedEstimate:
         """:meth:`query` for an existing :class:`QueryPair`."""
-        return await self.query(pair.a, pair.b, tenant=tenant)
+        return await self.query(
+            pair.a, pair.b, tenant=tenant, deadline_s=deadline_s
+        )
 
     def rotate_epoch(self) -> int:
         """Start a new epoch: views dropped, next queries re-draw and recharge.
@@ -374,7 +505,13 @@ class QueryServer:
         epoch = self.cache.rotate()
         self.stats.epochs_completed += 1
         self.stats.ticks_in_epoch = 0
-        if self.warm_vertices and self.mode is ExecutionMode.MATERIALIZE:
+        # No warming during shutdown: the pre-draw may fan out to the
+        # shard runner, which stop() is about to free.
+        if (
+            self.warm_vertices
+            and self.mode is ExecutionMode.MATERIALIZE
+            and not self._closing
+        ):
             self._prewarm(self.cache.hottest_last_epoch(self.warm_vertices))
         return epoch
 
@@ -408,10 +545,40 @@ class QueryServer:
                 await asyncio.sleep(0)
             batch, self._pending = self._pending, []
             self._wake.clear()
+            batch = self._prune_expired(batch)
             if batch:
-                self._serve_tick(batch)
+                await self._serve_tick(batch)
             if self._closing and not self._pending:
                 return
+
+    def _prune_expired(
+        self,
+        batch: list[tuple[QueryPair, str | None, asyncio.Future, float | None]],
+    ) -> list[tuple[QueryPair, str | None, asyncio.Future, float | None]]:
+        """Fail queries whose deadline passed before their tick ran.
+
+        Pruning happens *before* tenant admission, so an expired query's
+        budget is untouched — the "refund" is that nothing was ever
+        debited for it.
+        """
+        if all(deadline is None for _, _, _, deadline in batch):
+            return batch
+        now = asyncio.get_running_loop().time()
+        live = []
+        for entry in batch:
+            pair, _, future, deadline = entry
+            if deadline is not None and deadline <= now:
+                self.stats.deadline_expired += 1
+                if not future.done():
+                    future.set_exception(
+                        QueryDeadlineError(
+                            f"deadline expired before the tick for query "
+                            f"{(pair.a, pair.b)} (nothing charged)"
+                        )
+                    )
+            else:
+                live.append(entry)
+        return live
 
     async def _rotate_loop(self) -> None:
         """Wall-clock epoch rotation, cancelled on :meth:`stop`.
@@ -436,7 +603,20 @@ class QueryServer:
             delay = deadline - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
+            # Shutdown check *after* the sleep: stop() takes the closing
+            # flag before anything is freed, so a rotation that wakes
+            # inside the shutdown window must not touch the cache or the
+            # shard runner it is about to lose.
+            if self._closing:
+                return
             deadline += self.epoch_seconds
+            if self._tick_busy:
+                # A watched tick is running on a worker thread; rotating
+                # under it would swap the cache epoch mid-draw. Skip —
+                # the absolute deadline already advanced, so the next
+                # window rotates on schedule.
+                self.stats.deferred_rotations += 1
+                continue
             try:
                 self.rotate_epoch()
             except Exception:  # noqa: BLE001 - keep the clock alive
@@ -444,12 +624,13 @@ class QueryServer:
             else:
                 self.stats.timed_rotations += 1
 
-    def _serve_tick(
-        self, batch: list[tuple[QueryPair, str | None, asyncio.Future]]
+    async def _serve_tick(
+        self,
+        batch: list[tuple[QueryPair, str | None, asyncio.Future, float | None]],
     ) -> None:
         admission = tagged = None
         if self.tenants is not None:
-            tagged = [(pair, tenant) for pair, tenant, _ in batch]
+            tagged = [(pair, tenant) for pair, tenant, _, _ in batch]
             admission = self.tenants.admit(
                 tagged, self.cache, degree_epsilon=self.degree_epsilon
             )
@@ -461,7 +642,7 @@ class QueryServer:
             batch = [batch[position] for position in admission.admitted]
             if not batch:
                 return
-        pairs = [pair for pair, _, _ in batch]
+        pairs = [pair for pair, _, _, _ in batch]
         epoch = self.cache.epoch
         self.stats.ticks += 1
         self.stats.ticks_in_epoch += 1
@@ -469,11 +650,7 @@ class QueryServer:
         tick = self.stats.ticks
         hits = self._pre_tick_hits(pairs)
         try:
-            result = self.engine.estimate_pairs(
-                self.graph, self.layer, pairs, self.epsilon,
-                rng=self.rng, mode=self.mode,
-                ledger=self.ledger, comm=self.comm, cache=self.cache,
-            )
+            result = await self._run_engine(pairs)
             degrees = self._release_degrees(result.vertices)
         except Exception as exc:  # noqa: BLE001 - routed to the callers
             self.stats.errors += 1
@@ -481,15 +658,15 @@ class QueryServer:
                 # Nobody was answered and nothing was released: undo the
                 # admission debits so quotas track real spend only.
                 self.tenants.refund(tagged, admission)
-            for _, _, future in batch:
+            for _, _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
         if self.tenants is not None:
             self.tenants.settle(
-                [(pair, tenant) for pair, tenant, _ in batch], hits
+                [(pair, tenant) for pair, tenant, _, _ in batch], hits
             )
-        for j, (pair, tenant, future) in enumerate(batch):
+        for j, (pair, tenant, future, _) in enumerate(batch):
             estimate = ServedEstimate(
                 pair=pair,
                 value=float(result.values[j]),
@@ -508,6 +685,46 @@ class QueryServer:
         self.stats.queries_served += len(batch)
         if self.epoch_ticks is not None and self.stats.ticks_in_epoch >= self.epoch_ticks:
             self.rotate_epoch()
+
+    async def _run_engine(self, pairs: list[QueryPair]):
+        """The tick's engine call, watched when ``tick_watchdog_s`` is set.
+
+        The default path runs the engine inline on the event loop — the
+        array work is fast and a single-process server gains nothing
+        from a thread. With a watchdog the call moves to a worker thread
+        under ``asyncio.wait_for``: a tick stuck past the deadline is
+        abandoned (its callers get
+        :class:`~repro.errors.ServerStalledError` and the tick's
+        admission debits are refunded by the caller's error path) rather
+        than hanging every client. The abandoned thread still holds the
+        engine — the watchdog trades that (bounded: one thread per
+        stall) for responsiveness; timed rotations are deferred while a
+        watched tick runs so the stalled call cannot race an epoch swap.
+        """
+
+        def call():
+            return self.engine.estimate_pairs(
+                self.graph, self.layer, pairs, self.epsilon,
+                rng=self.rng, mode=self.mode,
+                ledger=self.ledger, comm=self.comm, cache=self.cache,
+            )
+
+        if self.tick_watchdog_s is None:
+            return call()
+        loop = asyncio.get_running_loop()
+        self._tick_busy = True
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(None, call), timeout=self.tick_watchdog_s
+            )
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            self.stats.stalled_ticks += 1
+            raise ServerStalledError(
+                f"tick stuck past the {self.tick_watchdog_s}s watchdog; "
+                "pending queries failed instead of hanging"
+            ) from exc
+        finally:
+            self._tick_busy = False
 
     def _pre_tick_hits(self, pairs: list[QueryPair]) -> list[bool]:
         """Per-caller hit flags, taken before the tick mutates the cache."""
