@@ -30,8 +30,11 @@ privacy cost and zero result drift — retries replay the identical keyed
 draw instead of collecting fresh noise. :meth:`ShardedRunner.draw`
 therefore wraps every task in a resilience envelope:
 
-* a per-task deadline (``timeout_s``) bounds how long the parent waits
-  on any one fragment;
+* a per-task deadline (``timeout_s``) bounds each fragment's
+  *execution*: a retry round waits one deadline per execution wave
+  (``ceil(tasks / max_workers)``), so a task queued behind other shards
+  is never charged for queue time and the round's total wall wait stays
+  bounded by ``waves * timeout_s``;
 * worker death (``BrokenProcessPool``), deadline expiry, transport
   errors and payload-checksum mismatches all classify as *worker
   faults*: the failed ranges are re-dispatched to a **rebuilt** pool
@@ -74,6 +77,7 @@ import zlib
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as _wait_futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
@@ -116,6 +120,26 @@ _WORKER_FAULTS = (
     PayloadIntegrityError,
     OSError,
 )
+
+
+def _fault_kind(exc: BaseException) -> str:
+    """Map a caught worker fault to its ``faults`` counter key.
+
+    The deadline check precedes the transport bucket because
+    ``TimeoutError`` is an ``OSError`` subclass.
+    """
+    if isinstance(exc, (FutureTimeoutError, TimeoutError)):
+        return "timeouts"
+    if isinstance(exc, PayloadIntegrityError):
+        return "payload_errors"
+    return "worker_deaths"
+
+
+# Bounded grace for joining worker pools at close/release time. A worker
+# that never exits is exactly the stall ``timeout_s`` defends against,
+# so teardown escalates to terminate (then kill) instead of inheriting
+# the hang — close() and interpreter shutdown must stay bounded.
+_JOIN_GRACE_S = 5.0
 
 
 def fork_available() -> bool:
@@ -228,6 +252,33 @@ def _sweep_segments(names: set[str], *, drop_missing: bool) -> int:
     return reclaimed
 
 
+def _join_pool(pool: ProcessPoolExecutor, grace_s: float | None = None) -> None:
+    """Join a pool's workers under a bounded grace, then force the rest.
+
+    Healthy workers drain and exit within the grace; a permanently
+    wedged one — the stall ``timeout_s`` exists to defend against — is
+    terminated (and, failing that, killed) so close() and interpreter
+    shutdown never inherit the hang.
+    """
+    if grace_s is None:
+        grace_s = _JOIN_GRACE_S
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken pools may object
+        pass
+    deadline = time.monotonic() + grace_s
+    for proc in procs:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            proc.kill()
+            proc.join(timeout=1.0)
+
+
 def _release_runner(
     token: int, pool_box: list, retired: list, segments: set
 ) -> None:
@@ -239,15 +290,16 @@ def _release_runner(
     leave worker processes behind for the interpreter's lifetime, or
     strand ``/dev/shm`` segments created by zombie workers. Retired
     pools (torn down with ``wait=False`` after a fault) are joined here
-    so every would-be segment creator is provably gone before the final
-    sweep.
+    under :data:`_JOIN_GRACE_S`, with stragglers terminated, so every
+    would-be segment creator is provably gone — without an unbounded
+    wait — before the final sweep.
     """
     pool = pool_box[0]
     if pool is not None:
-        pool.shutdown(wait=True)
+        _join_pool(pool)
         pool_box[0] = None
-    for old in retired:
-        old.shutdown(wait=True)
+    for old_pool, _names in retired:
+        _join_pool(old_pool)
     retired.clear()
     _WORKER_CONTEXTS.pop(token, None)
     _sweep_segments(segments, drop_missing=True)
@@ -289,9 +341,14 @@ class ShardedRunner:
         (or a platform without ``fork``) runs every range inline in the
         parent — same output, no processes.
     timeout_s:
-        Per-task deadline in seconds. A fragment not back within the
-        deadline classifies as a worker fault and is re-dispatched;
-        ``None`` waits indefinitely (the pre-resilience behavior).
+        Per-task execution deadline in seconds. Each retry round waits
+        one deadline per execution *wave* (``ceil(tasks /
+        max_workers)`` waves), so a task queued behind other shards is
+        not charged for its queue time and the round's wall wait is
+        bounded by ``waves * timeout_s`` rather than ``tasks *
+        timeout_s``. Tasks unfinished at the round deadline classify as
+        worker faults and are re-dispatched; ``None`` waits
+        indefinitely (the pre-resilience behavior).
     max_retries:
         Re-dispatch rounds against a rebuilt pool before the remaining
         ranges degrade to inline execution. ``0`` degrades immediately
@@ -369,9 +426,11 @@ class ShardedRunner:
         _WORKER_CONTEXTS[self._token] = (graph, layer)
         # The pool lives in a one-slot box so the GC finalizer can free
         # it without holding a reference to the runner itself; pools torn
-        # down after a fault are parked in `_retired` (they may still
-        # host a zombie worker) and joined at close time. `_segments`
-        # holds every parent-issued shm name not yet unlinked.
+        # down after a fault are parked in `_retired` as `(pool, names)`
+        # — the segment names their zombie workers might still create —
+        # reaped once every worker has exited, and force-joined (bounded)
+        # at close time. `_segments` holds every parent-issued shm name
+        # not yet unlinked.
         self._pool_box: list = [None]
         self._retired: list = []
         self._segments: set[str] = set()
@@ -409,13 +468,16 @@ class ShardedRunner:
             )
         return self._pool_box[0]
 
-    def _retire_pool(self) -> None:
+    def _retire_pool(self, zombie_names: set[str]) -> None:
         """Tear the current pool down without waiting (it is suspect).
 
         A stuck or dead pool must not block the retry path, so teardown
-        is non-blocking; the executor is parked in ``_retired`` and
-        joined by :meth:`close`, at which point any zombie worker has
-        finished and its segment can be swept.
+        is non-blocking; the executor is parked in ``_retired`` together
+        with ``zombie_names`` — the parent-issued segment names its
+        workers might still create. :meth:`_reap_retired` drops the pool
+        (and any of its names that never materialized) once every worker
+        has provably exited; :meth:`close` force-joins whatever is left
+        under a bounded grace.
         """
         pool = self._pool_box[0]
         if pool is None:
@@ -425,7 +487,31 @@ class ShardedRunner:
             pool.shutdown(wait=False, cancel_futures=True)
         except Exception:  # pragma: no cover - broken pools may object
             pass
-        self._retired.append(pool)
+        self._retired.append((pool, set(zombie_names)))
+
+    def _reap_retired(self) -> int:
+        """Reap retired pools whose workers all exited; returns reclaimed.
+
+        Non-blocking: pools with a still-live worker are kept. A dead
+        pool can never create another segment, so whichever of its
+        registered names exist are unlinked and the still-missing ones
+        leave the registry for good — without this, a long-running
+        server with recurring worker faults would grow ``_segments``
+        without bound (one name per dispatch whose worker died before
+        ``shm.create``).
+        """
+        reclaimed = 0
+        survivors = []
+        for pool, names in self._retired:
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            if any(proc.is_alive() for proc in procs):
+                survivors.append((pool, names))
+                continue
+            doomed = names & self._segments
+            reclaimed += _sweep_segments(doomed, drop_missing=True)
+            self._segments -= names
+        self._retired[:] = survivors
+        return reclaimed
 
     def _new_segment_name(self, shard: int, attempt: int) -> str:
         """A fresh parent-owned shm name, registered before dispatch.
@@ -485,9 +571,11 @@ class ShardedRunner:
         """Shut every worker pool down and sweep the segment registry.
 
         Idempotent. Retired pools (torn down after faults) are joined
-        here, so any zombie worker still holding a delayed task finishes
-        first — only then can the final registry sweep prove no
-        ``SharedMemory`` segment outlives the runner. A closed runner
+        here under a bounded grace — a zombie worker still holding a
+        delayed task gets :data:`_JOIN_GRACE_S` to finish, after which
+        it is terminated — so every would-be segment creator is
+        provably gone before the final registry sweep, and a
+        permanently wedged worker cannot hang shutdown. A closed runner
         may be used again: the next :meth:`draw` re-registers its
         context and forks a fresh pool, so a restarted server reuses its
         runner safely. A runner dropped *without* ``close()`` is
@@ -545,6 +633,9 @@ class ShardedRunner:
             self._closed = False
         ranges = plan.ranges()
         faults = _empty_faults()
+        # Earlier draws' retired pools may have finished dying since:
+        # reap them now so recurring faults cannot grow the registry.
+        faults["reclaimed_segments"] += self._reap_retired()
         results: dict[int, tuple] = {}  # shard -> (indptr, columns, size, peak)
         dispatches: Counter = Counter()
         pending: dict[int, tuple[int, int]] = dict(enumerate(ranges))
@@ -560,7 +651,8 @@ class ShardedRunner:
                     if wait > 0:
                         time.sleep(wait)
                     pool = self._ensure_pool(len(ranges))
-                submitted: dict[int, tuple] = {}
+                submitted: dict[int, object] = {}
+                round_names: dict[int, str] = {}
                 failed: dict[int, tuple[int, int]] = {}
                 for s, (lo, hi) in pending.items():
                     name = self._new_segment_name(s, attempt)
@@ -577,32 +669,44 @@ class ShardedRunner:
                             s,
                             attempt,
                         )
-                    except BrokenProcessPool:
-                        # The pool died mid-submission: everything not
-                        # yet submitted fails this round too.
-                        faults["worker_deaths"] += 1
+                    except BrokenProcessPool as exc:
+                        # The pool died mid-submission: the task never
+                        # reached a worker, so nobody can ever create
+                        # this segment — drop its name immediately.
+                        faults[_fault_kind(exc)] += 1
+                        self._segments.discard(name)
                         failed[s] = (lo, hi)
                         continue
                     dispatches[s] += 1
                     submitted[s] = future
-                for s, future in submitted.items():
-                    try:
-                        indptr, payload, size, peak, checksum = future.result(
-                            timeout=self.timeout_s
+                    round_names[s] = name
+                # One wait for the whole round. The deadline bounds a
+                # task's *execution*, not its queue position: with more
+                # ranges than workers a queued task is healthy, so the
+                # round gets one timeout per execution wave the pool
+                # needs — which also caps the total wall wait at
+                # waves * timeout_s instead of tasks * timeout_s.
+                expired: set = set()
+                if submitted:
+                    if self.timeout_s is None:
+                        _wait_futures(list(submitted.values()))
+                    else:
+                        waves = -(-len(submitted) // self.max_workers)
+                        _, expired = _wait_futures(
+                            list(submitted.values()),
+                            timeout=self.timeout_s * waves,
                         )
-                        columns = self._fetch_verified(payload, size, checksum)
-                        results[s] = (indptr, columns, size, peak)
-                    except (FutureTimeoutError, TimeoutError):
+                for s, future in submitted.items():
+                    if future in expired:
                         faults["timeouts"] += 1
                         failed[s] = pending[s]
-                    except BrokenProcessPool:
-                        faults["worker_deaths"] += 1
-                        failed[s] = pending[s]
-                    except PayloadIntegrityError:
-                        faults["payload_errors"] += 1
-                        failed[s] = pending[s]
-                    except OSError:
-                        faults["worker_deaths"] += 1
+                        continue
+                    try:
+                        indptr, payload, size, peak, checksum = future.result()
+                        columns = self._fetch_verified(payload, size, checksum)
+                        results[s] = (indptr, columns, size, peak)
+                    except _WORKER_FAULTS as exc:
+                        faults[_fault_kind(exc)] += 1
                         failed[s] = pending[s]
                     except BaseException:
                         # A deterministic bug, not a worker fault: sweep
@@ -620,12 +724,16 @@ class ShardedRunner:
                         raise
                 if failed:
                     # The pool is suspect (dead workers, or a stuck one
-                    # we cannot cancel): rebuild it for the next round
+                    # we cannot cancel): retire it with the names its
+                    # zombies might still create, rebuild next round,
                     # and reclaim whatever orphaned segments exist now.
-                    self._retire_pool()
+                    self._retire_pool(
+                        {round_names[s] for s in failed if s in round_names}
+                    )
                     faults["reclaimed_segments"] += _sweep_segments(
                         self._segments, drop_missing=False
                     )
+                    faults["reclaimed_segments"] += self._reap_retired()
                 pending = failed
                 attempt += 1
             if pending:

@@ -35,6 +35,7 @@ round into one batch.
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,6 +66,12 @@ from repro.serving.cache import NoisyViewCache
 from repro.serving.tenants import TenantRegistry
 
 __all__ = ["ServedEstimate", "ServerStats", "QueryServer"]
+
+# Bounded grace stop() gives a tick the watchdog abandoned: the zombie
+# engine call still holds the cache and shard runner, so shutdown waits
+# this long for it to drain before freeing them (then proceeds anyway —
+# shutdown must stay bounded even under a permanently wedged engine).
+_STOP_GRACE_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -169,11 +176,15 @@ class QueryServer:
         tenant. :meth:`query` accepts a per-call ``deadline_s``
         override. ``None`` = no deadline.
     tick_watchdog_s:
-        When set, each tick's engine call runs on a worker thread under
-        this deadline; a stuck tick is abandoned — its callers get
-        :class:`~repro.errors.ServerStalledError` and admission debits
-        are refunded — instead of hanging every client forever. Timed
-        rotations are deferred while a watched tick is in flight.
+        When set, each tick's engine call runs on a dedicated worker
+        thread under this deadline; a stuck tick is abandoned — its
+        callers get :class:`~repro.errors.ServerStalledError` and
+        admission debits are refunded — instead of hanging every client
+        forever. The abandoned call keeps the tick thread until it
+        actually finishes, and timed rotations *and later ticks* wait
+        for it (a later tick stalls in turn if the zombie outlives its
+        own watchdog window), so an abandoned call can never race an
+        epoch swap or another engine call on the shared cache.
     tenants:
         A :class:`~repro.serving.tenants.TenantRegistry` turns on
         multi-tenant serving: every :meth:`query` must then carry a
@@ -315,7 +326,15 @@ class QueryServer:
         self._task: asyncio.Task | None = None
         self._rotator: asyncio.Task | None = None
         self._closing = False
+        # True while an engine call — live *or* abandoned by the
+        # watchdog — is running on the tick thread; cleared only when
+        # the call actually finishes. Rotations and later ticks gate on
+        # it so a zombie call can never race them on the shared cache,
+        # ledger and rng. `_tick_idle` is the awaitable complement.
         self._tick_busy = False
+        self._tick_idle = asyncio.Event()
+        self._tick_idle.set()
+        self._tick_pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -359,6 +378,19 @@ class QueryServer:
         self._wake.set()
         await self._task
         self._task = None
+        if self._tick_busy:
+            # A tick the watchdog abandoned may still be running on the
+            # tick thread; give it a bounded grace to drain before the
+            # shard runner and cache underneath it are freed.
+            try:
+                await asyncio.wait_for(
+                    self._tick_idle.wait(), timeout=_STOP_GRACE_S
+                )
+            except (asyncio.TimeoutError, TimeoutError):  # pragma: no cover
+                pass
+        if self._tick_pool is not None:
+            self._tick_pool.shutdown(wait=False, cancel_futures=True)
+            self._tick_pool = None
         if self._shard_runner is not None:
             self._shard_runner.close()
 
@@ -611,10 +643,11 @@ class QueryServer:
                 return
             deadline += self.epoch_seconds
             if self._tick_busy:
-                # A watched tick is running on a worker thread; rotating
-                # under it would swap the cache epoch mid-draw. Skip —
-                # the absolute deadline already advanced, so the next
-                # window rotates on schedule.
+                # A watched tick — possibly one the watchdog already
+                # abandoned — is still running on the tick thread;
+                # rotating under it would swap the cache epoch mid-draw.
+                # Skip — the absolute deadline already advanced, so the
+                # next window rotates on schedule.
                 self.stats.deferred_rotations += 1
                 continue
             try:
@@ -691,15 +724,21 @@ class QueryServer:
 
         The default path runs the engine inline on the event loop — the
         array work is fast and a single-process server gains nothing
-        from a thread. With a watchdog the call moves to a worker thread
-        under ``asyncio.wait_for``: a tick stuck past the deadline is
-        abandoned (its callers get
+        from a thread. With a watchdog the call moves to a dedicated
+        single-thread executor under ``asyncio.wait_for``: a tick stuck
+        past the deadline is abandoned (its callers get
         :class:`~repro.errors.ServerStalledError` and the tick's
         admission debits are refunded by the caller's error path) rather
-        than hanging every client. The abandoned thread still holds the
-        engine — the watchdog trades that (bounded: one thread per
-        stall) for responsiveness; timed rotations are deferred while a
-        watched tick runs so the stalled call cannot race an epoch swap.
+        than hanging every client. ``_tick_busy`` stays set until the
+        abandoned call *actually finishes* — a done-callback on the
+        executor future clears it — so timed rotations stay deferred and
+        later ticks wait for the zombie instead of racing it on the
+        shared cache, ledger and rng; a later tick whose wait outlives
+        its own watchdog window is stalled in turn. A zombie that
+        eventually completes has still charged the cache accountant for
+        the views it drew; its tick's admission debits were refunded, so
+        those views are server-funded — later queries see them as free
+        cache hits, exactly like epoch warming.
         """
 
         def call():
@@ -711,11 +750,42 @@ class QueryServer:
 
         if self.tick_watchdog_s is None:
             return call()
+        if self._tick_busy:
+            # An abandoned tick's engine call is still running; starting
+            # another beside it would corrupt shared state.
+            try:
+                await asyncio.wait_for(
+                    self._tick_idle.wait(), timeout=self.tick_watchdog_s
+                )
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                self.stats.stalled_ticks += 1
+                raise ServerStalledError(
+                    f"a previous tick is still stuck past the "
+                    f"{self.tick_watchdog_s}s watchdog; this tick failed "
+                    "instead of racing it"
+                ) from exc
         loop = asyncio.get_running_loop()
+        if self._tick_pool is None:
+            self._tick_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-tick"
+            )
         self._tick_busy = True
+        self._tick_idle.clear()
+        tick_future = self._tick_pool.submit(call)
+
+        def finished(_future) -> None:
+            # Runs on the tick thread when the call truly completes —
+            # including long after the watchdog abandoned it.
+            try:
+                loop.call_soon_threadsafe(self._tick_finished)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                self._tick_busy = False
+
+        tick_future.add_done_callback(finished)
         try:
             return await asyncio.wait_for(
-                loop.run_in_executor(None, call), timeout=self.tick_watchdog_s
+                asyncio.wrap_future(tick_future, loop=loop),
+                timeout=self.tick_watchdog_s,
             )
         except (asyncio.TimeoutError, TimeoutError) as exc:
             self.stats.stalled_ticks += 1
@@ -723,8 +793,10 @@ class QueryServer:
                 f"tick stuck past the {self.tick_watchdog_s}s watchdog; "
                 "pending queries failed instead of hanging"
             ) from exc
-        finally:
-            self._tick_busy = False
+
+    def _tick_finished(self) -> None:
+        self._tick_busy = False
+        self._tick_idle.set()
 
     def _pre_tick_hits(self, pairs: list[QueryPair]) -> list[bool]:
         """Per-caller hit flags, taken before the tick mutates the cache."""

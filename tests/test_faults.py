@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import glob
 import os
+import time
 
 import numpy as np
 import pytest
@@ -247,6 +248,79 @@ def test_kill_after_write_reclaims_orphaned_segment(graph, plan):
         assert drawn.faults["reclaimed_segments"] >= 1
         assert not shm_residue(), "orphan must be swept during the draw"
     assert not runner._segments
+
+
+@needs_fork
+def test_queued_tasks_do_not_spuriously_time_out(graph, reference):
+    """The deadline bounds *execution*, not queue position: with more
+    ranges than workers, a healthy task queued behind a full first wave
+    must not be declared timed out (the round waits one deadline per
+    execution wave)."""
+    ref_indptr, ref_columns = reference
+    plan4 = plan_shards(
+        graph, Layer.UPPER, np.arange(90, dtype=np.int64), EPS, shards=4
+    )
+    with ShardedRunner(
+        graph, Layer.UPPER,
+        max_workers=2, timeout_s=0.45, max_retries=2, backoff_base_s=0.0,
+    ) as runner:
+        # Every task runs ~0.25s, so the second wave finishes ~0.5s
+        # after dispatch — past one deadline, comfortably inside the
+        # two-wave round budget of 0.9s.
+        with FaultPlan.delay_shards(None, 0.25).active():
+            drawn = runner.draw(plan4, EPS, entropy=ENTROPY, epoch=0)
+    assert np.array_equal(drawn.indptr, ref_indptr)
+    assert np.array_equal(drawn.columns, ref_columns)
+    assert drawn.faults["timeouts"] == 0
+    assert drawn.faults["retries"] == 0
+    assert not drawn.faults["degraded_ranges"]
+
+
+@needs_fork
+def test_close_is_bounded_with_a_wedged_worker(graph, plan, monkeypatch):
+    """Regression: close() used to join retired pools with ``wait=True``,
+    so a permanently stuck worker hung shutdown forever. The bounded
+    join terminates stragglers instead."""
+    import repro.engine.sharded as sharded_mod
+
+    monkeypatch.setattr(sharded_mod, "_JOIN_GRACE_S", 0.3)
+    with ShardedRunner(
+        graph, Layer.UPPER,
+        max_workers=2, timeout_s=0.2, max_retries=0, backoff_base_s=0.0,
+    ) as runner:
+        with FaultPlan.delay_shards([0], 60.0).active():
+            drawn = runner.draw(plan, EPS, entropy=ENTROPY, epoch=0)
+        assert drawn.faults["timeouts"] >= 1
+        start = time.monotonic()
+    elapsed = time.monotonic() - start  # `with` exit ran close()
+    assert elapsed < 5.0, "close() must not inherit a wedged worker's hang"
+    assert not runner._segments
+    assert not shm_residue()
+
+
+@needs_fork
+def test_recurring_faults_do_not_grow_the_segment_registry(graph, plan):
+    """Regression: names registered for dispatches whose worker died
+    before ``shm.create`` stayed in the registry until close(). Retired
+    pools are now reaped once their workers exit, dropping names nobody
+    can ever create, so a long-running server under recurring faults
+    keeps a bounded registry."""
+    with ShardedRunner(
+        graph, Layer.UPPER,
+        max_workers=2, timeout_s=2.0, max_retries=2, backoff_base_s=0.0,
+    ) as runner:
+        for _ in range(3):
+            with FaultPlan.kill_shards([0]).active():
+                runner.draw(plan, EPS, entropy=ENTROPY, epoch=0)
+        # Give each retired pool's surviving workers a moment to exit,
+        # then reap: nothing may accumulate across faulted draws.
+        deadline = time.monotonic() + 5.0
+        while runner._segments and time.monotonic() < deadline:
+            runner._reap_retired()
+            time.sleep(0.05)
+        assert not runner._segments
+        assert not runner._retired
+    assert not shm_residue()
 
 
 @needs_fork

@@ -12,6 +12,7 @@ debits. The server itself survives all of it and keeps serving.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 
 import pytest
@@ -214,6 +215,10 @@ class TestTickWatchdog:
                 with pytest.raises(ServerStalledError):
                     await server.query(0, 1, tenant="t0")
                 spent_after_stall = registry.get("t0").stats.epsilon_charged
+                # The abandoned call keeps running as a zombie and later
+                # ticks wait for it: let it drain before re-querying.
+                while server._tick_busy:
+                    await asyncio.sleep(0.02)
                 # Un-wedge the engine: the server must still serve.
                 server.engine.estimate_pairs = real
                 estimate = await server.query(2, 3, tenant="t1")
@@ -224,6 +229,56 @@ class TestTickWatchdog:
         assert server.stats.errors >= 1
         assert spent_after_stall == 0.0, "stalled tick must refund admission"
         assert estimate.pair.a == 2
+        assert server.stats.queries_served == 1
+
+    def test_zombie_tick_serializes_later_ticks(self, graph):
+        """Regression: the watchdog used to clear the busy flag on
+        timeout while the abandoned engine call kept running, so the
+        next tick could mutate the cache, ledger and rng concurrently
+        with the zombie. The flag now holds until the call actually
+        finishes: later ticks wait for it (or stall in turn), and
+        engine calls never overlap."""
+
+        async def run():
+            async with QueryServer(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE, tick_watchdog_s=0.15, rng=3,
+            ) as server:
+                real = server.engine.estimate_pairs
+                release = threading.Event()
+                state = {"active": 0, "max_active": 0, "stalled_once": False}
+
+                def slow(*args, **kwargs):
+                    state["active"] += 1
+                    state["max_active"] = max(
+                        state["max_active"], state["active"]
+                    )
+                    try:
+                        if not state["stalled_once"]:
+                            state["stalled_once"] = True
+                            release.wait(5.0)  # wedged until we say so
+                        return real(*args, **kwargs)
+                    finally:
+                        state["active"] -= 1
+
+                server.engine.estimate_pairs = slow
+                with pytest.raises(ServerStalledError):
+                    await server.query(0, 1)
+                assert server._tick_busy, "zombie must keep the tick slot"
+                # The zombie is still wedged: the next tick must refuse
+                # to run beside it and stall in its turn.
+                with pytest.raises(ServerStalledError):
+                    await server.query(2, 3)
+                release.set()
+                while server._tick_busy:
+                    await asyncio.sleep(0.02)
+                estimate = await server.query(4, 5)
+                return server, state, estimate
+
+        server, state, estimate = asyncio.run(run())
+        assert state["max_active"] == 1, "engine calls must never overlap"
+        assert server.stats.stalled_ticks == 2
+        assert estimate.pair.a == 4
         assert server.stats.queries_served == 1
 
     def test_fast_ticks_pass_under_watchdog(self, graph):
