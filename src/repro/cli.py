@@ -144,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--vertices", type=int, default=None,
         help="workload vertices to shard (default: the full --pool layer)",
     )
+    p_plan.add_argument(
+        "--sketch", choices=("bloom", "voc", "hll"), default=None,
+        help="also plan sublinear sketch views: compare the expected "
+             "noisy-row bytes against a fixed per-vertex sketch",
+    )
+    p_plan.add_argument(
+        "--sketch-bytes", type=int, default=64, metavar="BYTES",
+        help="per-vertex sketch view budget (default 64)",
+    )
 
     p_srv = sub.add_parser(
         "serve",
@@ -228,7 +237,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also serve epoch-cached noisy degrees at this budget",
     )
     p_srv.add_argument(
-        "--mode", choices=("auto", "materialize", "sketch"), default="auto",
+        "--sketch-bits", type=int, default=None, metavar="BITS",
+        help="serve fixed-size blipped-Bloom sketch views of this many "
+             "bits per vertex (implies --mode sketch-view)",
+    )
+    p_srv.add_argument(
+        "--mode",
+        choices=("auto", "materialize", "sketch", "sketch-view"),
+        default="auto",
     )
     p_srv.add_argument("--seed", type=int, default=None)
     p_srv.add_argument("--max-edges", type=int, default=None)
@@ -365,6 +381,27 @@ def _cmd_plan(args) -> int:
         print(f"workload payload: {total:,.0f} bytes over {vertices:,} vertices")
         print(f"shards needed   : {shards} x {args.shard_mem:,}-byte budget"
               f" (serve --shards {shards})")
+    if args.sketch is not None:
+        import numpy as np
+
+        from repro.engine.planner import estimate_noisy_row_bytes
+        from repro.engine.sketches import SketchConfig
+
+        config = SketchConfig.for_budget(args.sketch, args.sketch_bytes)
+        mean_deg = (args.du + args.dw) / 2.0
+        row = float(
+            estimate_noisy_row_bytes(np.array([mean_deg]), args.pool, eps)[0]
+        )
+        verdict = "sketch" if row > config.bytes_per_vertex else "list"
+        print(f"sketch view     : {config.kind} m={config.m} "
+              f"({config.bytes_per_vertex} B/vertex vs {row:,.0f} B noisy row)")
+        print(f"view decision   : {verdict} "
+              f"(planner sketches when the row is larger)")
+        if verdict == "sketch":
+            if config.kind == "bloom":
+                print(f"serve with      : serve --sketch-bits {config.m}")
+            else:
+                print("serve with      : BatchQueryEngine(sketch=...)")
     return 0
 
 
@@ -420,6 +457,7 @@ def _cmd_serve(args) -> int:
         "auto": ExecutionMode.AUTO,
         "materialize": ExecutionMode.MATERIALIZE,
         "sketch": ExecutionMode.SKETCH,
+        "sketch-view": ExecutionMode.SKETCH_VIEW,
     }[args.mode]
     server_rng, client_rng = spawn_rngs(ensure_rng(args.seed), 2)
     registry = None
@@ -432,6 +470,7 @@ def _cmd_serve(args) -> int:
         async with QueryServer(
             graph, layer, args.eps,
             mode=mode,
+            sketch_bits=args.sketch_bits,
             epoch_ticks=args.epoch_ticks,
             epoch_seconds=args.epoch_seconds,
             warm_vertices=args.warm,

@@ -9,13 +9,18 @@ one privacy/communication accounting per batch. For workloads whose
 noisy output exceeds one worker's memory, the shard planner
 (:func:`plan_shards`) and process-parallel :class:`ShardedRunner`
 partition the keyed bulk-RR + pairwise stages over contiguous vertex
-ranges with bit-identical output (``docs/sharding-guide.md``).
+ranges with bit-identical output (``docs/sharding-guide.md``). Sublinear
+per-vertex memory comes from sketch views (:mod:`repro.engine.sketches`):
+blipped Bloom, vector-of-counts, and HLL encodings that
+:func:`plan_views` assigns per vertex under a byte budget
+(``docs/sketch-guide.md``).
 """
 
 from repro.engine.bulkrr import (
     bernoulli_hits,
     bulk_randomized_response,
     keyed_bulk_randomized_response,
+    keyed_sketch_uniforms,
     shard_bulk_randomized_response,
 )
 from repro.engine.core import (
@@ -35,15 +40,26 @@ from repro.engine.pairwise import (
 from repro.engine.planner import (
     CacheSplit,
     ShardPlan,
+    ViewPlan,
     WorkloadPlan,
     estimate_noisy_row_bytes,
     pair_keys,
     plan_shards,
+    plan_views,
     plan_workload,
     split_cached,
 )
 from repro.engine.sharded import ShardDraw, ShardedRunner, fork_available
 from repro.engine.sketch import sketch_pair_counts
+from repro.engine.sketches import (
+    SKETCH_KINDS,
+    BloomSketch,
+    HllSketch,
+    SketchConfig,
+    SketchFamily,
+    VectorOfCountsSketch,
+    sketch_family,
+)
 
 __all__ = [
     "BATCH_METHODS",
@@ -55,18 +71,28 @@ __all__ = [
     "ShardDraw",
     "ShardPlan",
     "ShardedRunner",
+    "SketchConfig",
+    "SketchFamily",
+    "BloomSketch",
+    "VectorOfCountsSketch",
+    "HllSketch",
+    "SKETCH_KINDS",
+    "ViewPlan",
     "WorkloadPlan",
     "estimate_noisy_row_bytes",
     "fork_available",
     "pair_keys",
     "plan_shards",
+    "plan_views",
     "plan_workload",
+    "sketch_family",
     "split_cached",
     "workload_party",
     "pack_bitset_row",
     "bernoulli_hits",
     "bulk_randomized_response",
     "keyed_bulk_randomized_response",
+    "keyed_sketch_uniforms",
     "shard_bulk_randomized_response",
     "choose_backend",
     "pairwise_intersections",

@@ -39,6 +39,7 @@ from repro.engine.planner import (
 )
 from repro.engine.sharded import ShardedRunner
 from repro.engine.sketch import sketch_pair_counts
+from repro.engine.sketches import SketchConfig, sketch_family
 from repro.errors import PrivacyError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.sampling import QueryPair
@@ -127,6 +128,17 @@ class BatchQueryEngine:
         per-task deadline and the re-dispatch budget before a failed
         range degrades to inline execution. Whatever the resilience
         envelope did is reported in ``details["shards"]["faults"]``.
+    sketch, view_mem_bytes:
+        A :class:`~repro.engine.sketches.SketchConfig` turns on
+        sublinear-memory sketch views. Under ``SKETCH_VIEW`` mode every
+        workload vertex releases one fixed-size sketch; under
+        ``MATERIALIZE`` the planner decides per vertex (hybrid): a
+        vertex whose expected noisy row outweighs the sketch — or that
+        the optional ``view_mem_bytes`` workload budget forces out — is
+        sketched, and the decision is closed over pairs so every pair is
+        answered from one view kind (see
+        :func:`~repro.engine.planner.plan_views`). The decision is
+        reported in ``details["planner"]``.
 
     A sharding engine owns a worker pool; call :meth:`close` (or use the
     engine as a context manager) to free the processes.
@@ -143,6 +155,8 @@ class BatchQueryEngine:
         shard_mem_bytes: int | None = None,
         shard_timeout_s: float | None = None,
         shard_retries: int = 2,
+        sketch: "SketchConfig | None" = None,
+        view_mem_bytes: int | None = None,
     ):
         if shards is not None and shards <= 0:
             raise ProtocolError(f"shards must be positive, got {shards}")
@@ -150,11 +164,19 @@ class BatchQueryEngine:
             raise ProtocolError(
                 f"shard_mem_bytes must be positive, got {shard_mem_bytes}"
             )
+        if view_mem_bytes is not None and sketch is None:
+            raise ProtocolError("view_mem_bytes requires a sketch config")
+        if mode is ExecutionMode.SKETCH_VIEW and sketch is None:
+            raise ProtocolError(
+                "sketch-view mode needs a SketchConfig (pass sketch=)"
+            )
         self.mode = mode
         self.shards = shards
         self.shard_mem_bytes = shard_mem_bytes
         self.shard_timeout_s = shard_timeout_s
         self.shard_retries = shard_retries
+        self.sketch = sketch
+        self.view_mem_bytes = view_mem_bytes
         self._runner: ShardedRunner | None = None
 
     # ------------------------------------------------------------------
@@ -240,11 +262,38 @@ class BatchQueryEngine:
                 )
             if epsilon is None:
                 epsilon = cache.epsilon
-        plan = plan_workload(graph, layer, pairs, epsilon, budget=budget)
         rng = ensure_rng(rng)
         if mode is None and cache is not None:
             mode = cache.mode
-        mode = self._resolve_mode(graph, plan.layer, mode)
+        mode = self._resolve_mode(graph, layer, mode)
+        sketch = self.sketch
+        if sketch is None and cache is not None:
+            sketch = cache.sketch
+        if mode is ExecutionMode.SKETCH_VIEW and sketch is None:
+            raise ProtocolError(
+                "sketch-view mode needs a SketchConfig (pass sketch= to the "
+                "engine or serve from a sketch-view cache)"
+            )
+        # Uncached batches with a sketch config carry a per-vertex
+        # list-vs-sketch plan: forced all-sketch in SKETCH_VIEW mode,
+        # decided by row economics / the view budget under MATERIALIZE.
+        plan_sketch = (
+            cache is None
+            and sketch is not None
+            and mode in (ExecutionMode.MATERIALIZE, ExecutionMode.SKETCH_VIEW)
+        )
+        plan = plan_workload(
+            graph, layer, pairs, epsilon, budget=budget,
+            **(
+                {
+                    "sketch_bytes": sketch.bytes_per_vertex,
+                    "view_mem_bytes": self.view_mem_bytes,
+                    "force_sketch": mode is ExecutionMode.SKETCH_VIEW,
+                }
+                if plan_sketch
+                else {}
+            ),
+        )
         if ledger is None:
             ledger = PrivacyLedger(limit=plan.epsilon)
         if comm is None:
@@ -253,9 +302,13 @@ class BatchQueryEngine:
         k = plan.num_vertices
 
         if cache is not None:
-            cache.check_compatible(graph, plan.layer, plan.epsilon, mode)
+            cache.check_compatible(graph, plan.layer, plan.epsilon, mode, self.sketch)
             return self._estimate_pairs_cached(
                 graph, plan, mode, cache, rng, ledger, comm, domain, k
+            )
+        if plan.views is not None and plan.views.num_sketched:
+            return self._estimate_pairs_views(
+                graph, plan, mode, sketch, rng, ledger, comm, domain, k
             )
 
         shard_details = None
@@ -338,6 +391,178 @@ class BatchQueryEngine:
             },
         )
 
+    @staticmethod
+    def _planner_details(vp) -> dict:
+        """The ``details["planner"]`` payload for a view-planned batch."""
+        return {
+            "sketched_vertices": vp.num_sketched,
+            "listed_vertices": vp.num_listed,
+            "promoted": vp.promoted,
+            "sketch_bytes_per_vertex": vp.sketch_bytes,
+            "est_view_bytes": vp.est_view_bytes,
+        }
+
+    def _estimate_pairs_views(
+        self,
+        graph: BipartiteGraph,
+        plan: WorkloadPlan,
+        mode: ExecutionMode,
+        sketch: SketchConfig,
+        rng: np.random.Generator,
+        ledger: PrivacyLedger,
+        comm: CommunicationLog,
+        domain: int,
+        k: int,
+    ) -> EngineResult:
+        """One view-planned batch: sketched and listed sub-blocks side by side.
+
+        The plan's sketch mask is pair-closed, so every pair is answered
+        from exactly one view kind: sketched pairs through the family's
+        debiased intersection estimator, listed pairs through the usual
+        bulk-RR + pairwise + Theorem-3 pipeline. Each vertex releases
+        exactly one ε-LDP view either way, so the batch privacy charge is
+        unchanged. The sketch entropy is drawn from ``rng`` *before* any
+        listed randomness, making the sketch bits invariant to the listed
+        path's backend and sharding (and bit-reproducible per seed).
+
+        Sketched pairs have no ``(N1, N2)`` counts; their slots carry the
+        ``-1`` sentinel in ``noisy_intersections``/``noisy_unions``.
+        ``details["sketch_variance"]`` carries the closed-form variance of
+        each sketched pair's estimate (0 for listed pairs).
+        """
+        vp = plan.views
+        family = sketch_family(sketch)
+        sk = vp.sketch_mask
+        pair_sk = sk[plan.ia]  # closure: sk[ia] == sk[ib] for every pair
+
+        # --- sketched sub-block (entropy first: see docstring) ---------
+        sk_slots = np.flatnonzero(sk)
+        pos_sk = np.full(k, -1, dtype=np.int64)
+        pos_sk[sk_slots] = np.arange(sk_slots.size)
+        entropy = int(rng.integers(1 << 62))
+        views = family.encode_release(
+            graph, plan.layer, plan.vertices[sk_slots], plan.epsilon,
+            entropy=entropy, epoch=0,
+        )
+        ia_sk = pos_sk[plan.ia[pair_sk]]
+        ib_sk = pos_sk[plan.ib[pair_sk]]
+        sketch_values = family.intersect(views, ia_sk, ib_sk, plan.epsilon)
+        sketch_bytes = int(views.nbytes)
+
+        # --- listed sub-block ------------------------------------------
+        listed_slots = np.flatnonzero(~sk)
+        pos_li = np.full(k, -1, dtype=np.int64)
+        pos_li[listed_slots] = np.arange(listed_slots.size)
+        ia_li = pos_li[plan.ia[~pair_sk]]
+        ib_li = pos_li[plan.ib[~pair_sk]]
+        n1 = np.full(plan.num_pairs, -1, dtype=np.int64)
+        n2 = np.full(plan.num_pairs, -1, dtype=np.int64)
+        values = np.empty(plan.num_pairs, dtype=np.float64)
+        values[pair_sk] = sketch_values
+        listed_bytes = 0
+        shard_details = None
+        backend = "sketch-view"
+        if listed_slots.size:
+            listed = plan.vertices[listed_slots]
+            if self.sharding:
+                shard_plan = plan_shards(
+                    graph, plan.layer, listed, plan.epsilon,
+                    shards=(
+                        None if self.shard_mem_bytes is not None else self.shards
+                    ),
+                    mem_bytes=self.shard_mem_bytes,
+                )
+                runner = self._shard_runner(graph, plan.layer)
+                drawn = runner.draw(
+                    shard_plan, plan.epsilon,
+                    entropy=int(rng.integers(1 << 62)), epoch=0,
+                )
+                indptr, columns = drawn.indptr, drawn.columns
+                li_n1, block_log = runner.pairwise(
+                    shard_plan, indptr, columns, ia_li, ib_li, domain
+                )
+                backend = "sketch-view+sharded"
+                shard_details = {
+                    "count": shard_plan.num_shards,
+                    "mem_bytes": shard_plan.mem_bytes,
+                    "draw": drawn.shards,
+                    "pairwise": block_log,
+                    "faults": drawn.faults,
+                }
+            else:
+                indptr, columns = bulk_randomized_response(
+                    graph, plan.layer, listed, plan.epsilon, rng
+                )
+                li_backend = choose_backend(
+                    listed.size, int(ia_li.size), domain
+                )
+                li_n1 = pairwise_intersections(
+                    indptr, columns, ia_li, ib_li, domain, backend=li_backend
+                )
+                backend = f"sketch-view+{li_backend}"
+            sizes = np.diff(indptr)
+            li_n2 = sizes[ia_li] + sizes[ib_li] - li_n1
+            n1[~pair_sk] = li_n1
+            n2[~pair_sk] = li_n2
+            values[~pair_sk] = debias_pair_counts(
+                li_n1, li_n2, domain, plan.epsilon
+            )
+            listed_bytes = int(columns.size) * ID_BYTES
+
+        # Closed-form variance of every sketched estimate (listed slots 0),
+        # from the family's conservative bound at the estimated degrees.
+        deg_hat = np.clip(family.cardinality(views, plan.epsilon), 0.0, None)
+        variance = np.zeros(plan.num_pairs, dtype=np.float64)
+        variance[pair_sk] = family.intersection_variance(
+            deg_hat[ia_sk], deg_hat[ib_sk],
+            np.clip(sketch_values, 0.0, None), plan.epsilon,
+        )
+
+        upload_bytes = listed_bytes + sketch_bytes
+        party = workload_party(plan.layer, k)
+        # Every vertex — sketched or listed — releases exactly one ε-LDP
+        # view, so the batch charge is the same parallel composition as
+        # the all-materialized path.
+        ledger.charge_parallel(
+            party, plan.epsilon, "randomized-response", "engine-batch-rr", count=k
+        )
+        comm.record(Direction.UPLOAD, upload_bytes, "engine-batch:views")
+        ledger.assert_within(
+            ledger.limit if ledger.limit is not None else plan.epsilon
+        )
+
+        return EngineResult(
+            layer=plan.layer,
+            epsilon=plan.epsilon,
+            pairs=plan.pairs,
+            values=values,
+            noisy_intersections=n1,
+            noisy_unions=n2,
+            vertices=plan.vertices,
+            ia=plan.ia,
+            ib=plan.ib,
+            upload_bytes=upload_bytes,
+            num_query_vertices=k,
+            mode=mode,
+            max_epsilon_spent=ledger.max_spent(),
+            details={
+                "flip_probability": flip_probability(plan.epsilon),
+                "candidate_pool": domain,
+                "backend": backend,
+                "party": party,
+                "planner": {
+                    **self._planner_details(vp),
+                    "sketch_kind": sketch.kind,
+                    "sketch_buckets": sketch.m,
+                    "sketch_pairs": int(np.count_nonzero(pair_sk)),
+                    "listed_pairs": int(np.count_nonzero(~pair_sk)),
+                },
+                "sketch_entropy": entropy,
+                "sketch_variance": variance,
+                **({"shards": shard_details} if shard_details else {}),
+            },
+        )
+
     def _estimate_pairs_cached(
         self,
         graph: BipartiteGraph,
@@ -395,6 +620,31 @@ class BatchQueryEngine:
             hits, misses = split.num_cached, split.num_uncached
             cache.stats.vertex_hits += hits
             cache.stats.vertex_misses += misses
+            values = None
+        elif mode is ExecutionMode.SKETCH_VIEW:
+            # Vertex-granular like materialize: a resident sketch view is
+            # reused bit for bit, only never-drawn vertices are charged,
+            # and evicted views reconstruct from their keyed streams.
+            split = split_cached(
+                plan, cache.sketch_view_cached_mask(plan.vertices)
+            )
+            charged = cache.uncharged(split.uncached)
+            party = accountant.charge_vertices(
+                plan.layer, charged, plan.epsilon,
+                "randomized-response", "serve-rr", ledger=ledger,
+            )
+            fresh_bytes = 0
+            if split.num_uncached:
+                fresh_bytes = cache.sketch_view_fresh(split.uncached, rng)
+            views = cache.gather_sketch_views(plan.vertices)
+            family = sketch_family(cache.sketch)
+            values = family.intersect(views, plan.ia, plan.ib, plan.epsilon)
+            n1 = np.full(plan.num_pairs, -1, dtype=np.int64)
+            n2 = np.full(plan.num_pairs, -1, dtype=np.int64)
+            backend = "sketch-view"
+            hits, misses = split.num_cached, split.num_uncached
+            cache.stats.vertex_hits += hits
+            cache.stats.vertex_misses += misses
         else:
             keys = pair_keys(plan)
             hit_mask = np.fromiter(
@@ -434,8 +684,10 @@ class BatchQueryEngine:
             misses = plan.num_pairs - hits
             cache.stats.pair_hits += hits
             cache.stats.pair_misses += misses
+            values = None
 
-        values = debias_pair_counts(n1, n2, domain, plan.epsilon)
+        if values is None:
+            values = debias_pair_counts(n1, n2, domain, plan.epsilon)
         if fresh_bytes:
             comm.record(Direction.UPLOAD, fresh_bytes, "engine-batch:edges")
         # The tick is done with its working set: enforce the LRU budget

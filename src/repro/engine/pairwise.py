@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.privacy.debias import debias_intersection_counts
 from repro.privacy.mechanisms import flip_probability
 
 try:  # SciPy is optional: the other backends cover its absence.
@@ -194,14 +195,7 @@ def debias_pair_counts(
     """OneR's unbiased C2 estimate for every pair in one expression.
 
     ``f̃2 = [N1 (1-p)² - (N2 - N1) p(1-p) + (domain - N2) p²] / (1-2p)²``
-    applied element-wise over the whole workload (paper Theorem 3).
+    applied element-wise over the whole workload (paper Theorem 3); the
+    algebra lives in :func:`repro.privacy.debias.debias_intersection_counts`.
     """
-    p = flip_probability(epsilon)
-    n1 = np.asarray(n1, dtype=np.float64)
-    n2 = np.asarray(n2, dtype=np.float64)
-    denom = (1.0 - 2.0 * p) ** 2
-    return (
-        n1 * (1.0 - p) ** 2
-        - (n2 - n1) * p * (1.0 - p)
-        + (domain - n2) * p * p
-    ) / denom
+    return debias_intersection_counts(n1, n2, domain, flip_probability(epsilon))

@@ -13,6 +13,15 @@ uncached blocks: :func:`split_cached` partitions the distinct vertex block
 by a cache-membership mask (only the uncached block is perturbed — and
 charged — this tick), and :func:`pair_keys` gives every pair its
 order-normalized key for pair-granular (sketch-mode) caching.
+
+Sketch-view planning (:func:`plan_views`) adds the per-vertex list-vs-
+sketch decision: a vertex whose expected noisy row outweighs the
+configured sketch keeps a fixed-size sketch view instead of a
+materialized list, sized so the workload's total view memory fits an
+optional byte budget. The decision is closed over the pair graph —
+if either endpoint of a pair is sketched, both are ("sketch contagion")
+— so every pair is answered homogeneously (list×list or sketch×sketch)
+and each vertex still releases exactly one ε-LDP view.
 """
 
 from __future__ import annotations
@@ -34,12 +43,14 @@ __all__ = [
     "CacheSplit",
     "TenantSlice",
     "ShardPlan",
+    "ViewPlan",
     "plan_workload",
     "split_cached",
     "pair_keys",
     "slice_by_tenant",
     "estimate_noisy_row_bytes",
     "plan_shards",
+    "plan_views",
 ]
 
 # Bytes per transmitted column id of a noisy row (mirrors
@@ -58,6 +69,9 @@ class WorkloadPlan:
     vertices: np.ndarray  # sorted distinct query vertices
     ia: np.ndarray  # slot of pair.a within `vertices`, per pair
     ib: np.ndarray  # slot of pair.b within `vertices`, per pair
+    # Optional per-vertex list-vs-sketch decision (see plan_views);
+    # None when the workload was planned without a sketch config.
+    views: "ViewPlan | None" = None
 
     @property
     def num_pairs(self) -> int:
@@ -235,6 +249,168 @@ def estimate_noisy_row_bytes(
     return expected_ids * _ROW_ID_BYTES
 
 
+@dataclass(frozen=True)
+class ViewPlan:
+    """Per-vertex list-vs-sketch decision for one workload.
+
+    ``sketch_mask[i]`` is True when ``vertices[i]`` releases a fixed-size
+    sketch view instead of a materialized noisy row. The mask is closed
+    over the workload's pair graph: every pair is either list×list or
+    sketch×sketch (a mixed pair would need exploding-variance product
+    estimators, and answering it from *both* view kinds would double-
+    charge the vertex). ``promoted`` counts vertices sketched only by
+    that closure; ``row_bytes`` carries the planner's expected
+    materialized size per vertex and ``sketch_bytes`` the fixed
+    per-vertex sketch size the decision traded it against.
+    """
+
+    vertices: np.ndarray  # the plan's sorted distinct vertices
+    sketch_mask: np.ndarray  # bool per vertex: True -> sketch view
+    row_bytes: np.ndarray  # expected noisy-row bytes if materialized
+    sketch_bytes: int  # fixed per-vertex sketch view bytes
+    promoted: int  # vertices sketched only by the pair closure
+
+    @property
+    def num_sketched(self) -> int:
+        return int(np.count_nonzero(self.sketch_mask))
+
+    @property
+    def num_listed(self) -> int:
+        return int(self.sketch_mask.size - self.num_sketched)
+
+    @property
+    def est_view_bytes(self) -> int:
+        """Expected total view memory under this plan's decisions."""
+        listed = self.row_bytes[~self.sketch_mask].sum()
+        return int(listed + self.num_sketched * self.sketch_bytes)
+
+    def per_vertex_bytes(self) -> np.ndarray:
+        """Expected view bytes per vertex (rows where listed, else sketch)."""
+        return np.where(
+            self.sketch_mask, float(self.sketch_bytes), self.row_bytes
+        )
+
+
+def plan_views(
+    graph: BipartiteGraph,
+    layer: Layer,
+    vertices: np.ndarray,
+    epsilon: float,
+    *,
+    ia: np.ndarray,
+    ib: np.ndarray,
+    sketch_bytes: int,
+    mem_bytes: int | None = None,
+    force_sketch: bool = False,
+) -> ViewPlan:
+    """Decide list-vs-sketch per vertex, driven by degree and memory budget.
+
+    The decision has three stages:
+
+    1. **Economy** — a vertex is sketched when its expected noisy-row
+       bytes (:func:`estimate_noisy_row_bytes`, a monotone function of
+       its degree) exceed ``sketch_bytes``; a sketch that is bigger than
+       the row it replaces never pays.
+    2. **Budget** — with ``mem_bytes``, still-listed vertices are flipped
+       to sketch largest-row-first until the workload's total expected
+       view memory fits the budget (sketching cheap rows is pointless, so
+       flips start at the most expensive). The budget is a soft cap: if
+       every vertex is sketched and the total still exceeds it, the plan
+       reports the overshoot via :attr:`ViewPlan.est_view_bytes`.
+    3. **Pair closure** — any pair with one sketched endpoint promotes
+       the other endpoint to sketch too, iterated to a fixpoint over the
+       workload's pair graph. Every pair is then answered from one view
+       kind and each vertex still releases exactly one ε-LDP view.
+
+    ``force_sketch`` short-circuits all three stages (the pure
+    sketch-view execution mode).
+
+    Parameters
+    ----------
+    graph, layer, vertices, epsilon:
+        As for :func:`plan_shards`; ``epsilon`` fixes the expected noisy
+        row size.
+    ia, ib:
+        Per-pair endpoint slots within ``vertices`` (the closure runs
+        over them).
+    sketch_bytes:
+        Fixed per-vertex sketch view size (positive) —
+        ``SketchConfig.bytes_per_vertex``.
+    mem_bytes:
+        Optional workload-wide expected view memory budget (positive).
+    force_sketch:
+        Sketch every vertex regardless of economy or budget.
+
+    Returns
+    -------
+    ViewPlan
+
+    Raises
+    ------
+    ProtocolError
+        If ``sketch_bytes`` or ``mem_bytes`` is not positive.
+    GraphError
+        If a vertex id is out of range for ``layer``.
+    """
+    if sketch_bytes <= 0:
+        raise ProtocolError(f"sketch_bytes must be positive, got {sketch_bytes}")
+    if mem_bytes is not None and mem_bytes <= 0:
+        raise ProtocolError(f"mem_bytes must be positive, got {mem_bytes}")
+    vertices = np.asarray(vertices, dtype=np.int64)
+    k = vertices.size
+    n_layer = graph.layer_size(layer)
+    if k and (vertices.min() < 0 or vertices.max() >= n_layer):
+        raise GraphError(f"view-plan vertex out of range for {layer} layer")
+    domain = graph.layer_size(layer.opposite())
+    row_bytes = (
+        estimate_noisy_row_bytes(graph.degrees(layer)[vertices], domain, epsilon)
+        if k
+        else np.empty(0, dtype=np.float64)
+    )
+    if force_sketch:
+        return ViewPlan(
+            vertices=vertices,
+            sketch_mask=np.ones(k, dtype=bool),
+            row_bytes=row_bytes,
+            sketch_bytes=int(sketch_bytes),
+            promoted=0,
+        )
+    mask = row_bytes > float(sketch_bytes)
+    if mem_bytes is not None and k:
+        total = row_bytes[~mask].sum() + np.count_nonzero(mask) * sketch_bytes
+        # Flip the most expensive still-listed rows until the budget fits
+        # (each flip replaces row_bytes with sketch_bytes, and flips are
+        # only attempted where that shrinks the total).
+        order = np.argsort(row_bytes)[::-1]
+        for slot in order:
+            if total <= mem_bytes:
+                break
+            if mask[slot] or row_bytes[slot] <= sketch_bytes:
+                continue
+            total += sketch_bytes - row_bytes[slot]
+            mask[slot] = True
+    budgeted = int(np.count_nonzero(mask))
+    ia = np.asarray(ia, dtype=np.int64)
+    ib = np.asarray(ib, dtype=np.int64)
+    # Pair closure to a fixpoint: sketching spreads over pair-graph
+    # connected components (each sweep extends the mask by one hop, so
+    # the loop runs at most the largest component's diameter).
+    while True:
+        pair_sketch = mask[ia] | mask[ib]
+        before = int(np.count_nonzero(mask))
+        mask[ia[pair_sketch]] = True
+        mask[ib[pair_sketch]] = True
+        if int(np.count_nonzero(mask)) == before:
+            break
+    return ViewPlan(
+        vertices=vertices,
+        sketch_mask=mask,
+        row_bytes=row_bytes,
+        sketch_bytes=int(sketch_bytes),
+        promoted=int(np.count_nonzero(mask)) - budgeted,
+    )
+
+
 def plan_shards(
     graph: BipartiteGraph,
     layer: Layer,
@@ -243,6 +419,7 @@ def plan_shards(
     *,
     shards: int | None = None,
     mem_bytes: int | None = None,
+    view_plan: "ViewPlan | None" = None,
 ) -> ShardPlan:
     """Split a workload's vertex block into contiguous budget-sized ranges.
 
@@ -275,6 +452,12 @@ def plan_shards(
     mem_bytes:
         Per-shard byte budget for the expected noisy payload (positive).
         Mutually exclusive with ``shards``.
+    view_plan:
+        Optional :class:`ViewPlan` over the same vertex block. When
+        given, packing uses its per-vertex view bytes (fixed
+        ``sketch_bytes`` for sketched vertices, expected row bytes for
+        listed ones) instead of assuming every vertex materializes —
+        sketched shards pack far more vertices per budget.
 
     Returns
     -------
@@ -311,13 +494,21 @@ def plan_shards(
     if k and (vertices.min() < 0 or vertices.max() >= n_layer):
         raise GraphError(f"shard vertex out of range for {layer} layer")
     domain = graph.layer_size(layer.opposite())
-    per_vertex = (
-        estimate_noisy_row_bytes(
-            graph.degrees(layer)[vertices], domain, epsilon
+    if view_plan is not None:
+        if view_plan.sketch_mask.shape != (k,):
+            raise ProtocolError(
+                f"view plan covers {view_plan.sketch_mask.size} vertices, "
+                f"shard plan needs {k}"
+            )
+        per_vertex = view_plan.per_vertex_bytes()
+    else:
+        per_vertex = (
+            estimate_noisy_row_bytes(
+                graph.degrees(layer)[vertices], domain, epsilon
+            )
+            if k
+            else np.empty(0, dtype=np.float64)
         )
-        if k
-        else np.empty(0, dtype=np.float64)
-    )
     if k == 0:
         return ShardPlan(
             vertices=vertices,
@@ -375,12 +566,20 @@ def plan_workload(
     epsilon: float | None = None,
     *,
     budget: QueryBudgetManager | None = None,
+    sketch_bytes: int | None = None,
+    view_mem_bytes: int | None = None,
+    force_sketch: bool = False,
 ) -> WorkloadPlan:
     """Validate a pair workload and resolve its batch budget.
 
     Exactly one of ``epsilon`` and ``budget`` funds the batch; with a
     manager, one slice is reserved per call (a batch is one query against
     the analyst's total, however many pairs it answers).
+
+    With ``sketch_bytes`` the plan additionally carries a
+    :class:`ViewPlan` (see :func:`plan_views`): the per-vertex
+    list-vs-sketch decision, sized against ``view_mem_bytes`` when given
+    and forced all-sketch by ``force_sketch``.
 
     Parameters
     ----------
@@ -396,6 +595,15 @@ def plan_workload(
     budget:
         A :class:`~repro.privacy.composition.QueryBudgetManager`; one
         slice is reserved by this call and funds the whole batch.
+    sketch_bytes:
+        Fixed per-vertex sketch view size; enables sketch-view planning
+        (``SketchConfig.bytes_per_vertex``).
+    view_mem_bytes:
+        Optional workload-wide view memory budget for the list-vs-sketch
+        decision. Requires ``sketch_bytes``.
+    force_sketch:
+        Sketch every vertex (pure sketch-view mode). Requires
+        ``sketch_bytes``.
 
     Returns
     -------
@@ -450,11 +658,32 @@ def plan_workload(
         raise GraphError(f"query vertex out of range for {layer} layer of size {n_layer}")
     vertices, inverse = np.unique(endpoints, return_inverse=True)
     inverse = inverse.reshape(endpoints.shape)
+    ia = np.ascontiguousarray(inverse[:, 0])
+    ib = np.ascontiguousarray(inverse[:, 1])
+    if sketch_bytes is None:
+        if view_mem_bytes is not None or force_sketch:
+            raise ProtocolError(
+                "view_mem_bytes/force_sketch require sketch_bytes"
+            )
+        views = None
+    else:
+        views = plan_views(
+            graph,
+            layer,
+            vertices,
+            epsilon,
+            ia=ia,
+            ib=ib,
+            sketch_bytes=sketch_bytes,
+            mem_bytes=view_mem_bytes,
+            force_sketch=force_sketch,
+        )
     return WorkloadPlan(
         layer=layer,
         epsilon=epsilon,
         pairs=tuple(pairs),
         vertices=vertices,
-        ia=np.ascontiguousarray(inverse[:, 0]),
-        ib=np.ascontiguousarray(inverse[:, 1]),
+        ia=ia,
+        ib=ib,
+        views=views,
     )

@@ -21,6 +21,7 @@ import numpy as np
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.engine.bulkrr import gather_rows
 from repro.engine.pairwise import pairwise_intersections
+from repro.privacy.debias import joint_report_probs
 from repro.privacy.mechanisms import flip_probability
 from repro.privacy.rng import RngLike, ensure_rng
 
@@ -68,10 +69,7 @@ def sketch_pair_counts(
     n1 = np.zeros(ia.size, dtype=np.int64)
     union = np.zeros(ia.size, dtype=np.int64)
     for count, qa, qb in categories:
-        draws = rng.multinomial(
-            count,
-            [qa * qb, qa * (1.0 - qb), (1.0 - qa) * qb, (1.0 - qa) * (1.0 - qb)],
-        )
+        draws = rng.multinomial(count, joint_report_probs(qa, qb))
         n1 += draws[:, 0]
         union += draws[:, 0] + draws[:, 1] + draws[:, 2]
 

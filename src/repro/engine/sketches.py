@@ -1,0 +1,590 @@
+"""Sublinear-memory sketch views: blipped Bloom, vector-of-counts, HLL.
+
+A materialized noisy row costs O(domain) expected bytes per vertex — the
+memory wall between the engine and million-vertex serving. A *sketch
+view* replaces the row with a fixed-size summary released once under the
+same ε-edge-LDP budget:
+
+* **Blipped Bloom** (``bloom``) — the RAPPOR construction: each neighbor
+  hashes into one of ``m`` bits, every bit then passes through Warner RR
+  at ``p = 1/(1 + e^ε)``. One edge change toggles at most one bit, so the
+  release is ε-edge LDP. Stored packed: ``m/8`` bytes per vertex.
+* **Vector of counts** (``voc``) — neighbors hash into ``m`` buckets of
+  *counts*; each bucket gets independent Laplace(1/ε) noise. One edge
+  change moves one bucket by 1 (sensitivity 1). ``8 m`` bytes per vertex.
+* **HLL-style registers** (``hll``) — each neighbor hashes to a bucket
+  and a geometric rank (trailing zeros of a second hash word); a register
+  keeps the max rank. One edge change perturbs at most one register, so
+  a k-ary randomized response over the register's value domain at budget
+  ε makes the release ε-edge LDP. ``m`` bytes per vertex.
+
+Estimation inverts each mechanism with the shared algebra in
+:mod:`repro.privacy.debias`:
+
+* VoC: ``Σ_j ã_j b̃_j`` has expectation ``c (1 - 1/m) + d_a d_b / m``, so
+  ``ĉ = (Σ ã b̃ - d̂_a d̂_b / m) / (1 - 1/m)`` is exactly unbiased
+  (independent noise on the two sides; ``d̂ = Σ ã_j`` is the exact-count
+  sum plus Laplace noise).
+* Bloom: the per-bit zero indicator ``ẑ_j = 1 - φ(y_j)`` is unbiased for
+  "bucket j empty", ``E[Σ ẑ_j] = m (1 - 1/m)^d``, so linear counting
+  ``d̂ = ln(Σ ẑ / m) / ln(1 - 1/m)`` estimates the cardinality and the
+  per-bucket *product* ``ẑ^a_j ẑ^b_j`` (independent sides) estimates the
+  union; the intersection is inclusion–exclusion. Asymptotically
+  unbiased (the log is nonlinear), with a closed-form delta-method
+  variance.
+* HLL: for a threshold ``t``, ``P(register ≤ t) = (1 - 2^{-t}/m)^d`` —
+  Bloom is the ``t = 0`` special case with ``2^{-t}/m`` replaced by
+  ``1/m``. The k-RR CDF debias gives an unbiased per-register indicator
+  estimate; threshold-``t`` linear counting with a per-pair adaptive
+  ``t`` (the one keeping the debiased CDF nearest 1/2, where the log
+  inversion is best conditioned) yields cardinalities and, via register
+  products, unions.
+
+Every noise draw can come from the keyed Philox sketch streams
+(:func:`~repro.engine.bulkrr.keyed_sketch_uniforms`, counter ``[block,
+family-stage, vertex, epoch]``), making sketch views redraw-deterministic
+under the bounded-cache contract and shard-invariant by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.engine.bulkrr import (
+    KEYED_STAGE_SKETCH_BLOOM,
+    KEYED_STAGE_SKETCH_HLL,
+    KEYED_STAGE_SKETCH_VOC,
+    gather_rows,
+    keyed_sketch_uniforms,
+    philox4x64,
+)
+from repro.errors import ProtocolError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.debias import (
+    debias_bit,
+    debias_bit_variance,
+    krr_cdf_variance,
+    krr_probabilities,
+)
+from repro.privacy.mechanisms import flip_probability
+from repro.privacy.rng import RngLike, ensure_rng
+
+__all__ = [
+    "SKETCH_KINDS",
+    "SketchConfig",
+    "SketchFamily",
+    "BloomSketch",
+    "VectorOfCountsSketch",
+    "HllSketch",
+    "sketch_family",
+]
+
+SKETCH_KINDS = ("bloom", "voc", "hll")
+
+# Public hash key: bucket assignment is not secret (the curator must
+# evaluate it), only fixed — a config's hash_seed pins it.
+_HASH_TAG = 0x48415348  # "HASH"
+# HLL rank cap: ranks live in {0..30}, so a register value fits int8 and
+# the k-RR domain is 31 symbols.
+_HLL_MAX_RANK = 30
+# Smallest bucket count any family accepts (below this the linear-count
+# inversion has no usable range).
+_MIN_BUCKETS = 8
+_U53 = 1.0 / 9007199254740992.0  # 2**-53, the log-argument clamp
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """One sketch family pinned to a bucket count and a public hash seed.
+
+    ``kind`` is one of :data:`SKETCH_KINDS`; ``m`` is the bucket / bit /
+    register count (``bloom`` requires a multiple of 8 so views pack into
+    whole bytes); ``hash_seed`` fixes the public bucket hash. Two caches
+    (or shards) agree on every drawn bit iff they share the config and
+    the entropy/epoch — which is why :meth:`check_compatible` style
+    comparisons use config equality.
+    """
+
+    kind: str
+    m: int
+    hash_seed: int = 0x5EEDC0DE
+
+    def __post_init__(self):
+        if self.kind not in SKETCH_KINDS:
+            raise ProtocolError(
+                f"unknown sketch kind {self.kind!r}; known: {', '.join(SKETCH_KINDS)}"
+            )
+        if self.m < _MIN_BUCKETS:
+            raise ProtocolError(
+                f"sketch needs at least {_MIN_BUCKETS} buckets, got {self.m}"
+            )
+        if self.kind == "bloom" and self.m % 8:
+            raise ProtocolError(
+                f"bloom bit count must be a multiple of 8, got {self.m}"
+            )
+
+    @property
+    def bytes_per_vertex(self) -> int:
+        """Stored view size: packed bits, float64 buckets, or uint8 registers."""
+        if self.kind == "bloom":
+            return self.m // 8
+        if self.kind == "voc":
+            return self.m * 8
+        return self.m
+
+    @staticmethod
+    def for_budget(kind: str, budget_bytes: int, hash_seed: int = 0x5EEDC0DE) -> "SketchConfig":
+        """The largest config of ``kind`` fitting ``budget_bytes`` per vertex."""
+        budget_bytes = int(budget_bytes)
+        if kind == "bloom":
+            m = budget_bytes * 8
+        elif kind == "voc":
+            m = budget_bytes // 8
+        elif kind == "hll":
+            m = budget_bytes
+        else:
+            raise ProtocolError(
+                f"unknown sketch kind {kind!r}; known: {', '.join(SKETCH_KINDS)}"
+            )
+        if m < _MIN_BUCKETS:
+            raise ProtocolError(
+                f"a {budget_bytes}-byte budget cannot hold a {kind} sketch "
+                f"(needs at least {_MIN_BUCKETS} buckets)"
+            )
+        return SketchConfig(kind=kind, m=m, hash_seed=hash_seed)
+
+
+def _hash_words(cols: np.ndarray, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Two independent 64-bit hash words per column id (public Philox hash)."""
+    cols = np.asarray(cols, dtype=np.int64)
+    counters = np.empty((cols.size, 4), dtype=np.uint64)
+    counters[:, 0] = cols.astype(np.uint64) + np.uint64(1)
+    counters[:, 1:] = np.uint64(0)
+    words = philox4x64(counters, (int(seed), _HASH_TAG))
+    return words[:, 0], words[:, 1]
+
+
+def _occupancy_variance(m: int, prob: float, d: np.ndarray) -> np.ndarray:
+    """Variance of the "buckets below threshold" count for a ``d``-set.
+
+    Each element independently lands "above threshold in bucket j" with
+    probability ``prob``; the count of clean buckets then has
+    ``Var = m(m-1)(1-2·prob)^d + m(1-prob)^d - m²(1-prob)^{2d}``
+    (Bloom occupancy is ``prob = 1/m``; HLL threshold ``t`` is
+    ``prob = 2^{-t}/m``).
+    """
+    d = np.asarray(d, dtype=np.float64)
+    prob = np.asarray(prob, dtype=np.float64)
+    one = (1.0 - prob) ** d
+    two = (1.0 - np.minimum(2.0 * prob, 1.0)) ** d
+    return np.maximum(m * (m - 1) * two + m * one - m * m * one * one, 0.0)
+
+
+class SketchFamily:
+    """Shared encode / release / estimate machinery of one sketch kind.
+
+    Subclasses fix the keyed stage, the raw/released dtypes and the
+    family's debias math; everything graph-facing (row gathering, bucket
+    hashing, keyed-vs-rng release plumbing) lives here. Views are always
+    2-D ``(num_vertices, view_width)`` arrays whose rows are the
+    per-vertex payloads a cache stores and evicts individually.
+    """
+
+    kind: ClassVar[str] = "abstract"
+    stage: ClassVar[int] = -1
+    #: Whether the intersection estimator is exactly unbiased (VoC) or
+    #: only asymptotically so through a log inversion (Bloom, HLL).
+    unbiased_intersection: ClassVar[bool] = False
+
+    def __init__(self, config: SketchConfig):
+        if config.kind != self.kind:
+            raise ProtocolError(
+                f"{type(self).__name__} cannot serve a {config.kind!r} config"
+            )
+        self.config = config
+        self.m = int(config.m)
+
+    # -- encoding ------------------------------------------------------
+    def _buckets(
+        self, graph: BipartiteGraph, layer: Layer, vertices: np.ndarray
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-edge ``(k, segment, bucket, rank)`` of the workload rows."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        sub_indptr, cols = gather_rows(*graph.adjacency_csr(layer), vertices)
+        seg = np.repeat(
+            np.arange(vertices.size, dtype=np.int64), np.diff(sub_indptr)
+        )
+        word0, word1 = _hash_words(cols, self.config.hash_seed)
+        buckets = (word0 % np.uint64(self.m)).astype(np.int64)
+        return vertices.size, seg, buckets, word1
+
+    def encode(
+        self, graph: BipartiteGraph, layer: Layer, vertices: np.ndarray
+    ) -> np.ndarray:
+        """The noiseless ``(k, m)`` sketch of every listed vertex's row."""
+        raise NotImplementedError
+
+    # -- release -------------------------------------------------------
+    def _uniforms(
+        self,
+        k: int,
+        per_vertex: int,
+        *,
+        rng: RngLike,
+        entropy: "int | None",
+        epoch: int,
+        vertices: "np.ndarray | None",
+    ) -> np.ndarray:
+        """``(k, per_vertex)`` uniforms, keyed when ``entropy`` is given."""
+        if entropy is not None:
+            if vertices is None:
+                raise ProtocolError(
+                    "keyed sketch release needs the vertex ids (they index "
+                    "the counter streams)"
+                )
+            return keyed_sketch_uniforms(
+                entropy, epoch, vertices, self.stage, per_vertex
+            )
+        return ensure_rng(rng).random((k, per_vertex))
+
+    def release(
+        self,
+        raw: np.ndarray,
+        epsilon: float,
+        *,
+        rng: RngLike = None,
+        entropy: "int | None" = None,
+        epoch: int = 0,
+        vertices: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Perturb a raw sketch block into the stored ε-LDP views."""
+        raise NotImplementedError
+
+    def encode_release(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        vertices: np.ndarray,
+        epsilon: float,
+        *,
+        rng: RngLike = None,
+        entropy: "int | None" = None,
+        epoch: int = 0,
+    ) -> np.ndarray:
+        """Encode + release in one call (the cache/engine entry point)."""
+        raw = self.encode(graph, layer, vertices)
+        return self.release(
+            raw, epsilon, rng=rng, entropy=entropy, epoch=epoch,
+            vertices=np.asarray(vertices, dtype=np.int64),
+        )
+
+    # -- estimation ----------------------------------------------------
+    def cardinality(self, views: np.ndarray, epsilon: float) -> np.ndarray:
+        """Debiased neighbor-count estimate per view row."""
+        raise NotImplementedError
+
+    def intersect(
+        self, views: np.ndarray, ia: np.ndarray, ib: np.ndarray, epsilon: float
+    ) -> np.ndarray:
+        """Debiased ``C2`` estimate for every ``(ia[i], ib[i])`` view pair."""
+        raise NotImplementedError
+
+    def intersection_variance(
+        self,
+        deg_a: np.ndarray,
+        deg_b: np.ndarray,
+        intersection: np.ndarray,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Closed-form (plug-in) variance of :meth:`intersect`.
+
+        Conservative: covariances between the cardinality and union
+        estimates (which would *reduce* the inclusion–exclusion variance)
+        are dropped, so the return upper-approximates the true variance.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(m={self.m})"
+
+    # -- shared linear-counting helpers --------------------------------
+    def _linear_count(self, mean_clean: np.ndarray, prob: float) -> np.ndarray:
+        """Invert ``E[clean fraction] = (1 - prob)^d`` with clamping."""
+        ratio = np.clip(mean_clean, 0.5 / self.m, 1.0)
+        return np.log(ratio) / math.log1p(-prob)
+
+    def _linear_count_variance(
+        self, prob: float, entry_var: float, d: np.ndarray, product: bool
+    ) -> np.ndarray:
+        """Delta-method variance of one linear-counting inversion.
+
+        ``entry_var`` is the per-bucket debias variance; a ``product``
+        estimate (union via two-sided bucket products) inflates it to
+        ``2 v + v²`` (worst case over 0/1 true indicators, independent
+        sides). Hash (occupancy) variance adds on top, and the log
+        derivative ``1 / (m F ln(1 - prob))`` squares in.
+        """
+        d = np.clip(np.asarray(d, dtype=np.float64), 0.0, None)
+        prob = np.asarray(prob, dtype=np.float64)
+        per_entry = entry_var * (2.0 + entry_var) if product else entry_var
+        var_z = self.m * per_entry + _occupancy_variance(self.m, prob, d)
+        mean_z = np.maximum(self.m * (1.0 - prob) ** d, 0.5)
+        return var_z / (mean_z * np.log1p(-prob)) ** 2
+
+
+class BloomSketch(SketchFamily):
+    """RAPPOR-style blipped Bloom filter (1 hash, per-bit Warner RR)."""
+
+    kind = "bloom"
+    stage = KEYED_STAGE_SKETCH_BLOOM
+    unbiased_intersection = False
+
+    def encode(self, graph, layer, vertices):
+        k, seg, buckets, _ = self._buckets(graph, layer, vertices)
+        bits = np.zeros(k * self.m, dtype=bool)
+        bits[seg * self.m + buckets] = True
+        return bits.reshape(k, self.m)
+
+    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0, vertices=None):
+        p = flip_probability(epsilon)
+        raw = np.asarray(raw, dtype=bool)
+        u = self._uniforms(
+            raw.shape[0], self.m,
+            rng=rng, entropy=entropy, epoch=epoch, vertices=vertices,
+        )
+        noisy = raw ^ (u < p)
+        return np.packbits(noisy, axis=1)
+
+    def _zero_indicators(self, views: np.ndarray, epsilon: float) -> np.ndarray:
+        p = flip_probability(epsilon)
+        bits = np.unpackbits(np.asarray(views, dtype=np.uint8), axis=1)[:, : self.m]
+        return 1.0 - debias_bit(bits, p)
+
+    def cardinality(self, views, epsilon):
+        zhat = self._zero_indicators(views, epsilon)
+        return self._linear_count(zhat.mean(axis=1), 1.0 / self.m)
+
+    def intersect(self, views, ia, ib, epsilon):
+        zhat = self._zero_indicators(views, epsilon)
+        ia = np.asarray(ia, dtype=np.int64)
+        ib = np.asarray(ib, dtype=np.int64)
+        card = self._linear_count(zhat.mean(axis=1), 1.0 / self.m)
+        union = self._linear_count(
+            (zhat[ia] * zhat[ib]).mean(axis=1), 1.0 / self.m
+        )
+        return card[ia] + card[ib] - union
+
+    def intersection_variance(self, deg_a, deg_b, intersection, epsilon):
+        v = debias_bit_variance(flip_probability(epsilon))
+        deg_a = np.asarray(deg_a, dtype=np.float64)
+        deg_b = np.asarray(deg_b, dtype=np.float64)
+        du = np.maximum(deg_a + deg_b - intersection, np.maximum(deg_a, deg_b))
+        prob = 1.0 / self.m
+        return (
+            self._linear_count_variance(prob, v, deg_a, product=False)
+            + self._linear_count_variance(prob, v, deg_b, product=False)
+            + self._linear_count_variance(prob, v, du, product=True)
+        )
+
+
+class VectorOfCountsSketch(SketchFamily):
+    """Hashed count buckets with per-bucket Laplace(1/ε) noise."""
+
+    kind = "voc"
+    stage = KEYED_STAGE_SKETCH_VOC
+    unbiased_intersection = True
+
+    def encode(self, graph, layer, vertices):
+        k, seg, buckets, _ = self._buckets(graph, layer, vertices)
+        counts = np.bincount(seg * self.m + buckets, minlength=k * self.m)
+        return counts.reshape(k, self.m).astype(np.float64)
+
+    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0, vertices=None):
+        raw = np.asarray(raw, dtype=np.float64)
+        scale = 1.0 / float(epsilon)
+        if entropy is not None:
+            u = self._uniforms(
+                raw.shape[0], self.m,
+                rng=rng, entropy=entropy, epoch=epoch, vertices=vertices,
+            )
+            centered = u - 0.5
+            inner = np.maximum(1.0 - 2.0 * np.abs(centered), _U53)
+            noise = -scale * np.sign(centered) * np.log(inner)
+        else:
+            noise = ensure_rng(rng).laplace(0.0, scale, size=raw.shape)
+        return raw + noise
+
+    def cardinality(self, views, epsilon):
+        return np.asarray(views, dtype=np.float64).sum(axis=1)
+
+    def intersect(self, views, ia, ib, epsilon):
+        views = np.asarray(views, dtype=np.float64)
+        ia = np.asarray(ia, dtype=np.int64)
+        ib = np.asarray(ib, dtype=np.int64)
+        card = views.sum(axis=1)
+        dot = np.einsum("ij,ij->i", views[ia], views[ib])
+        return (dot - card[ia] * card[ib] / self.m) / (1.0 - 1.0 / self.m)
+
+    def intersection_variance(self, deg_a, deg_b, intersection, epsilon):
+        deg_a = np.clip(np.asarray(deg_a, dtype=np.float64), 0.0, None)
+        deg_b = np.clip(np.asarray(deg_b, dtype=np.float64), 0.0, None)
+        s2 = 2.0 / float(epsilon) ** 2  # per-bucket Laplace variance
+        m = float(self.m)
+        dot_var = (
+            s2 * (deg_a + deg_b + (deg_a**2 + deg_b**2) / m)
+            + m * s2 * s2
+            + deg_a * deg_b / m
+        )
+        prod_var = s2 * (deg_a**2 + deg_b**2) / m
+        return dot_var / (1.0 - 1.0 / m) ** 2 + prod_var
+
+
+class HllSketch(SketchFamily):
+    """Max-rank registers released through k-ary randomized response."""
+
+    kind = "hll"
+    stage = KEYED_STAGE_SKETCH_HLL
+    # k-RR symbol count: register values live in {0 .. _HLL_MAX_RANK}.
+    num_values = _HLL_MAX_RANK + 1
+    unbiased_intersection = False
+
+    def encode(self, graph, layer, vertices):
+        k, seg, buckets, word1 = self._buckets(graph, layer, vertices)
+        # Geometric rank: 1 + trailing zeros of the second hash word,
+        # capped so a register value always fits the k-RR domain.
+        ranks = np.ones(word1.size, dtype=np.int64)
+        zeros = word1
+        for _ in range(_HLL_MAX_RANK - 1):
+            low = (zeros & np.uint64(1)) == 0
+            if not low.any():
+                break
+            ranks[low] += 1
+            zeros = zeros >> np.uint64(1)
+            zeros[~low] = np.uint64(1)  # stop counting for settled edges
+        registers = np.zeros(k * self.m, dtype=np.int64)
+        np.maximum.at(registers, seg * self.m + buckets, ranks)
+        return registers.reshape(k, self.m).astype(np.uint8)
+
+    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0, vertices=None):
+        raw = np.asarray(raw, dtype=np.int64)
+        truthful, _ = krr_probabilities(epsilon, self.num_values)
+        u = self._uniforms(
+            raw.shape[0], 2 * self.m,
+            rng=rng, entropy=entropy, epoch=epoch, vertices=vertices,
+        )
+        keep = u[:, : self.m] < truthful
+        # Replacement symbol: uniform over the other num_values - 1 values.
+        alt = np.minimum(
+            (u[:, self.m :] * (self.num_values - 1)).astype(np.int64),
+            self.num_values - 2,
+        )
+        alt = alt + (alt >= raw)
+        return np.where(keep, raw, alt).astype(np.uint8)
+
+    def _cdf_counts(self, views: np.ndarray) -> np.ndarray:
+        """``(rows, num_values)`` cumulative counts of register reports."""
+        views = np.asarray(views, dtype=np.int64)
+        rows = views.shape[0]
+        flat = (
+            np.arange(rows, dtype=np.int64)[:, None] * self.num_values + views
+        ).reshape(-1)
+        hist = np.bincount(flat, minlength=rows * self.num_values)
+        return np.cumsum(hist.reshape(rows, self.num_values), axis=1)
+
+    def _debias_cdf_grid(
+        self, counts: np.ndarray, epsilon: float
+    ) -> np.ndarray:
+        """Debiased mean CDF estimate per row × threshold from raw counts."""
+        truthful, other = krr_probabilities(epsilon, self.num_values)
+        t = np.arange(self.num_values, dtype=np.float64)
+        return (counts / self.m - (t + 1.0) * other) / (truthful - other)
+
+    def cardinality(self, views, epsilon):
+        grid = self._debias_cdf_grid(self._cdf_counts(views), epsilon)
+        t = self._choose_threshold(grid)
+        f = np.take_along_axis(grid, t[:, None], axis=1)[:, 0]
+        probs = 2.0 ** (-t.astype(np.float64)) / self.m
+        return self._linear_count_t(f, probs)
+
+    @staticmethod
+    def _choose_threshold(grid: np.ndarray) -> np.ndarray:
+        """Per-row smallest threshold whose debiased CDF reaches 1/2.
+
+        The true CDF ``(1 - 2^{-t}/m)^d`` is monotone in ``t``, so the
+        crossing point is robust to per-threshold debias noise (a
+        nearest-to-1/2 rule would instead chase noise outliers at high
+        thresholds, where the log inversion explodes). 1/2 is where the
+        inversion's signal-to-noise peaks. Deterministic post-processing
+        of the released registers — no privacy cost. Rows that never
+        cross (extreme noise) fall back to the top threshold, whose
+        debiased CDF is exactly 1.
+        """
+        above = grid >= 0.5
+        t = np.argmax(above, axis=1).astype(np.int64)
+        t[~above.any(axis=1)] = grid.shape[1] - 1
+        return t
+
+    def _linear_count_t(self, mean_clean: np.ndarray, probs: np.ndarray) -> np.ndarray:
+        ratio = np.clip(mean_clean, 0.5 / self.m, 1.0)
+        return np.log(ratio) / np.log1p(-probs)
+
+    def intersect(self, views, ia, ib, epsilon):
+        views = np.asarray(views, dtype=np.int64)
+        ia = np.asarray(ia, dtype=np.int64)
+        ib = np.asarray(ib, dtype=np.int64)
+        truthful, other = krr_probabilities(epsilon, self.num_values)
+        denom = truthful - other
+        counts = self._cdf_counts(views)  # per-vertex cumulative counts
+        # Joint cumulative counts: a union bucket is ≤ t iff the
+        # element-wise max of the two registers is — one histogram of the
+        # max array per pair.
+        joint = self._cdf_counts(np.maximum(views[ia], views[ib]))
+        t_grid = np.arange(self.num_values, dtype=np.float64)
+        a_t = (t_grid + 1.0) * other
+        # E[(Ia - a_t)(Ib - a_t)] / denom² expanded over the counts.
+        f_union = (
+            joint / self.m
+            - a_t * (counts[ia] + counts[ib]) / self.m
+            + a_t * a_t
+        ) / denom**2
+        t = self._choose_threshold(f_union)
+        probs = 2.0 ** (-t.astype(np.float64)) / self.m
+        grid = self._debias_cdf_grid(counts, epsilon)
+        fa = np.take_along_axis(grid[ia], t[:, None], axis=1)[:, 0]
+        fb = np.take_along_axis(grid[ib], t[:, None], axis=1)[:, 0]
+        fu = np.take_along_axis(f_union, t[:, None], axis=1)[:, 0]
+        card_a = self._linear_count_t(fa, probs)
+        card_b = self._linear_count_t(fb, probs)
+        union = self._linear_count_t(fu, probs)
+        return card_a + card_b - union
+
+    def intersection_variance(self, deg_a, deg_b, intersection, epsilon):
+        v = krr_cdf_variance(epsilon, self.num_values)
+        deg_a = np.clip(np.asarray(deg_a, dtype=np.float64), 0.0, None)
+        deg_b = np.clip(np.asarray(deg_b, dtype=np.float64), 0.0, None)
+        du = np.maximum(deg_a + deg_b - intersection, np.maximum(deg_a, deg_b))
+        # The adaptive threshold keeps the clean fraction near 1/2:
+        # (1 - 2^{-t}/m)^du ≈ 1/2 gives prob ≈ ln 2 / du per pair. Use the
+        # union's threshold (all three inversions share it).
+        prob = np.clip(math.log(2.0) / np.maximum(du, 1.0), _U53, 1.0 / self.m)
+        return (
+            self._linear_count_variance(prob, v, deg_a, product=False)
+            + self._linear_count_variance(prob, v, deg_b, product=False)
+            + self._linear_count_variance(prob, v, du, product=True)
+        )
+
+
+_FAMILIES = {
+    BloomSketch.kind: BloomSketch,
+    VectorOfCountsSketch.kind: VectorOfCountsSketch,
+    HllSketch.kind: HllSketch,
+}
+
+
+def sketch_family(config: SketchConfig) -> SketchFamily:
+    """The :class:`SketchFamily` instance serving ``config``."""
+    return _FAMILIES[config.kind](config)

@@ -12,14 +12,32 @@ the algorithm's rounds, verifies the budget, and returns an
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
+import numpy as np
+
 from repro.graph.bipartite import BipartiteGraph, Layer
-from repro.privacy.rng import RngLike
 from repro.protocol.session import ExecutionMode, ProtocolSession, ProtocolTranscript
+from repro.privacy.rng import RngLike
 
 __all__ = ["EstimateResult", "CommonNeighborEstimator"]
+
+
+def _plain(value: Any) -> Any:
+    """Recursively reduce a details value to JSON-able builtins."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -50,6 +68,57 @@ class EstimateResult:
             f"C2({self.u}, {self.w}) ≈ {self.value:.3f}"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able representation (numpy/enum values reduced to builtins).
+
+        Round-trips through :meth:`from_dict`; part of the registry-wide
+        estimator contract (every result must be serializable so
+        experiment manifests and the serving layer can persist answers).
+        """
+        transcript = None
+        if self.transcript is not None:
+            transcript = {
+                "rounds": int(self.transcript.rounds),
+                "upload_bytes": int(self.transcript.upload_bytes),
+                "download_bytes": int(self.transcript.download_bytes),
+                "max_epsilon_spent": float(self.transcript.max_epsilon_spent),
+                "mode": self.transcript.mode.value,
+            }
+        return {
+            "value": float(self.value),
+            "algorithm": str(self.algorithm),
+            "epsilon": float(self.epsilon),
+            "layer": self.layer.value,
+            "u": int(self.u),
+            "w": int(self.w),
+            "transcript": transcript,
+            "details": _plain(self.details),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "EstimateResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        transcript = None
+        if payload.get("transcript") is not None:
+            t = payload["transcript"]
+            transcript = ProtocolTranscript(
+                rounds=int(t["rounds"]),
+                upload_bytes=int(t["upload_bytes"]),
+                download_bytes=int(t["download_bytes"]),
+                max_epsilon_spent=float(t["max_epsilon_spent"]),
+                mode=ExecutionMode(t["mode"]),
+            )
+        return EstimateResult(
+            value=float(payload["value"]),
+            algorithm=str(payload["algorithm"]),
+            epsilon=float(payload["epsilon"]),
+            layer=Layer(payload["layer"]),
+            u=int(payload["u"]),
+            w=int(payload["w"]),
+            transcript=transcript,
+            details=dict(payload.get("details", {})),
+        )
+
 
 class CommonNeighborEstimator(abc.ABC):
     """Base class for ε-edge-LDP common-neighborhood estimators.
@@ -64,6 +133,18 @@ class CommonNeighborEstimator(abc.ABC):
     name: ClassVar[str] = "abstract"
     #: Whether the estimator is unbiased (E[f] = C2); used in reports.
     unbiased: ClassVar[bool] = True
+    #: Execution modes :meth:`estimate` accepts (the contract suite runs
+    #: each estimator under every supported mode and nothing else).
+    supported_modes: ClassVar[tuple[ExecutionMode, ...]] = (
+        ExecutionMode.AUTO,
+        ExecutionMode.MATERIALIZE,
+        ExecutionMode.SKETCH,
+    )
+    #: Declared budget use as a multiple of the requested ``epsilon``:
+    #: the transcript's ``max_epsilon_spent`` must be at most this times
+    #: the request (1.0 for everything private, 0.0 for the exact
+    #: baseline). The contract suite enforces the declaration.
+    declared_epsilon_cost: ClassVar[float] = 1.0
 
     def estimate(
         self,

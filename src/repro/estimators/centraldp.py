@@ -40,6 +40,8 @@ class CentralDPEstimator(CommonNeighborEstimator):
         rng: RngLike = None,
         mode: ExecutionMode = ExecutionMode.AUTO,
     ) -> EstimateResult:
+        if mode not in self.supported_modes:
+            raise ValueError(f"{self.name} does not support mode {mode.value}")
         if u == w:
             raise ValueError("query vertices must be distinct")
         if not math.isfinite(epsilon) or epsilon <= 0:

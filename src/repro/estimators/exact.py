@@ -18,6 +18,7 @@ class ExactCounter(CommonNeighborEstimator):
 
     name = "exact"
     unbiased = True
+    declared_epsilon_cost = 0.0
 
     def estimate(
         self,
@@ -30,6 +31,8 @@ class ExactCounter(CommonNeighborEstimator):
         rng: RngLike = None,
         mode: ExecutionMode = ExecutionMode.AUTO,
     ) -> EstimateResult:
+        if mode not in self.supported_modes:
+            raise ValueError(f"{self.name} does not support mode {mode.value}")
         if u == w:
             raise ValueError("query vertices must be distinct")
         value = graph.count_common_neighbors(layer, u, w)

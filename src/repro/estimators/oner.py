@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.estimators.base import CommonNeighborEstimator
+from repro.privacy.debias import debias_intersection_counts
 from repro.privacy.mechanisms import flip_probability
 from repro.protocol.session import ProtocolSession
 
@@ -34,14 +35,12 @@ class OneRoundEstimator(CommonNeighborEstimator):
         handle_w = session.randomized_response(session.w, session.epsilon, label)
         n1, n2 = session.naive_counts(handle_u, handle_w)
 
-        p = flip_probability(session.epsilon)
-        denom = (1.0 - 2.0 * p) ** 2
         pool = session.n_opposite
-        value = (
-            n1 * (1.0 - p) ** 2
-            - (n2 - n1) * p * (1.0 - p)
-            + (pool - n2) * p * p
-        ) / denom
+        value = float(
+            debias_intersection_counts(
+                n1, n2, pool, flip_probability(session.epsilon)
+            )
+        )
         details = {
             "noisy_intersection": n1,
             "noisy_union": n2,

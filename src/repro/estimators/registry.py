@@ -16,6 +16,11 @@ from repro.estimators.multir_ds import (
 from repro.estimators.multir_ss import MultiRoundSingleSource
 from repro.estimators.naive import NaiveEstimator
 from repro.estimators.oner import OneRoundEstimator
+from repro.estimators.sketchview import (
+    BloomViewEstimator,
+    HllViewEstimator,
+    VocViewEstimator,
+)
 
 __all__ = ["available_estimators", "get_estimator", "ESTIMATOR_FACTORIES"]
 
@@ -28,6 +33,9 @@ ESTIMATOR_FACTORIES: dict[str, Callable[..., CommonNeighborEstimator]] = {
     MultiRoundDoubleSource.name: MultiRoundDoubleSource,
     MultiRoundDoubleSourceStar.name: MultiRoundDoubleSourceStar,
     CentralDPEstimator.name: CentralDPEstimator,
+    BloomViewEstimator.name: BloomViewEstimator,
+    VocViewEstimator.name: VocViewEstimator,
+    HllViewEstimator.name: HllViewEstimator,
 }
 
 

@@ -1,0 +1,181 @@
+"""Sketch-view estimators — per-pair C2 from fixed-size private sketches.
+
+These wrap the :mod:`repro.engine.sketches` families in the standard
+:class:`CommonNeighborEstimator` interface so the registry, the experiment
+harness and the contract suite can exercise the sublinear-memory release
+path pair by pair. Each query vertex encodes its neighbor list into one
+fixed-size sketch (a blipped Bloom filter, a Laplace-noised vector of
+counts, or a k-RR-perturbed HLL register array), releases it once under
+ε-edge LDP, and the curator debiases the two views into a ``C2`` estimate
+with a closed-form variance.
+
+Like :class:`~repro.estimators.centraldp.CentralDPEstimator`, the release
+has no per-round session protocol — there is exactly one upload per
+vertex — so :meth:`estimate` bypasses :class:`ProtocolSession` and builds
+its transcript directly, charging a local
+:class:`~repro.privacy.accountant.PrivacyLedger` per vertex.
+
+The hash seed is drawn from the caller's ``rng`` per call, so the
+vector-of-counts estimator is unbiased over its own randomness (hash +
+noise); Bloom and HLL invert a nonlinear occupancy law and are
+asymptotically unbiased only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.engine.sketches import SketchConfig, sketch_family
+from repro.errors import PrivacyError, ProtocolError
+from repro.estimators.base import CommonNeighborEstimator, EstimateResult
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.privacy.accountant import PrivacyLedger
+from repro.privacy.rng import RngLike, ensure_rng
+from repro.protocol.session import ExecutionMode, ProtocolSession, ProtocolTranscript
+
+__all__ = [
+    "BloomViewEstimator",
+    "VocViewEstimator",
+    "HllViewEstimator",
+]
+
+# Default per-vertex view budget (bytes) when no explicit size is given —
+# the ISSUE's sublinear-memory target.
+_DEFAULT_VIEW_BYTES = 64
+
+
+class _SketchViewEstimator(CommonNeighborEstimator):
+    """Shared flow of the three sketch-view estimators."""
+
+    kind: ClassVar[str] = "abstract"
+    supported_modes = (ExecutionMode.AUTO, ExecutionMode.SKETCH_VIEW)
+
+    def __init__(
+        self,
+        *,
+        m: int | None = None,
+        view_bytes: int | None = None,
+    ):
+        if m is not None and view_bytes is not None:
+            raise ProtocolError("pass either m or view_bytes, not both")
+        if m is not None:
+            self.config_template = SketchConfig(self.kind, int(m))
+        else:
+            self.config_template = SketchConfig.for_budget(
+                self.kind, int(view_bytes or _DEFAULT_VIEW_BYTES)
+            )
+
+    def estimate(
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        u: int,
+        w: int,
+        epsilon: float,
+        *,
+        rng: RngLike = None,
+        mode: ExecutionMode = ExecutionMode.AUTO,
+    ) -> EstimateResult:
+        if mode not in self.supported_modes:
+            raise ProtocolError(
+                f"{self.name} answers in sketch-view mode only, got {mode.value}"
+            )
+        if u == w:
+            raise ProtocolError("query vertices must be distinct")
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        graph.degree(layer, u)  # validates the vertex indices
+        graph.degree(layer, w)
+        rng = ensure_rng(rng)
+        # A per-call hash seed: unbiasedness claims hold over hash *and*
+        # noise randomness, and a fixed caller seed still reproduces the
+        # full draw.
+        config = SketchConfig(
+            self.config_template.kind,
+            self.config_template.m,
+            hash_seed=int(rng.integers(1 << 62)),
+        )
+        family = sketch_family(config)
+        vertices = np.array([u, w], dtype=np.int64)
+        views = family.encode_release(graph, layer, vertices, epsilon, rng=rng)
+        slots = np.array([0], dtype=np.int64), np.array([1], dtype=np.int64)
+        value = float(family.intersect(views, slots[0], slots[1], epsilon)[0])
+        cards = family.cardinality(views, epsilon)
+        variance = float(
+            family.intersection_variance(
+                np.clip(cards[:1], 0.0, None),
+                np.clip(cards[1:], 0.0, None),
+                np.clip(np.array([value]), 0.0, None),
+                epsilon,
+            )[0]
+        )
+
+        # One ε-LDP release per vertex: the same parallel composition as
+        # one randomized-response round.
+        ledger = PrivacyLedger(limit=epsilon)
+        for vertex in (u, w):
+            ledger.charge(
+                f"{layer.value}:{vertex}", epsilon,
+                "sketch-release", "round1:sketch-view",
+            )
+        ledger.assert_within(epsilon)
+        transcript = ProtocolTranscript(
+            rounds=1,
+            upload_bytes=2 * config.bytes_per_vertex,
+            download_bytes=0,
+            max_epsilon_spent=ledger.max_spent(),
+            mode=ExecutionMode.SKETCH_VIEW,
+        )
+        return EstimateResult(
+            value=value,
+            algorithm=self.name,
+            epsilon=float(epsilon),
+            layer=layer,
+            u=int(u),
+            w=int(w),
+            transcript=transcript,
+            details={
+                "sketch_kind": config.kind,
+                "sketch_buckets": config.m,
+                "bytes_per_vertex": config.bytes_per_vertex,
+                "cardinality_u": float(cards[0]),
+                "cardinality_w": float(cards[1]),
+                "variance": variance,
+            },
+        )
+
+    def _run(self, session: ProtocolSession) -> tuple[float, dict[str, Any]]:
+        # Sketch views have no per-round session protocol; estimate()
+        # overrides the session flow entirely (sessions reject
+        # SKETCH_VIEW mode), so _run is unreachable in normal use but is
+        # provided for interface completeness.
+        raise ProtocolError(
+            f"{self.name} has no session protocol; call estimate()"
+        )  # pragma: no cover
+
+
+class BloomViewEstimator(_SketchViewEstimator):
+    """Blipped Bloom filter views (RAPPOR-style per-bit RR)."""
+
+    name = "bloom-view"
+    kind = "bloom"
+    unbiased = False  # linear counting inverts a nonlinear occupancy law
+
+
+class VocViewEstimator(_SketchViewEstimator):
+    """Laplace-noised vector-of-counts views (unbiased dot-product C2)."""
+
+    name = "voc-view"
+    kind = "voc"
+    unbiased = True
+
+
+class HllViewEstimator(_SketchViewEstimator):
+    """k-RR-perturbed HLL register views (debiased CDF threshold count)."""
+
+    name = "hll-view"
+    kind = "hll"
+    unbiased = False  # threshold inversion is asymptotically unbiased only

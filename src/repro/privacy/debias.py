@@ -1,0 +1,149 @@
+"""Shared randomized-response debiasing algebra.
+
+Every RR consumer in the repo needs the same three pieces of flip-
+probability algebra: the per-bit unbiased inverse ``φ(y) = (y - p)/(1-2p)``,
+the joint report law of two independently perturbed bits, and the paper's
+Theorem-3 intersection debias built from them. Before this module each
+piece lived in two or three copies (``engine/sketch.py``,
+``protocol/session.py``, ``engine/pairwise.py``, ``estimators/oner.py``,
+``mechanisms.RandomizedResponse.phi``) that could drift independently;
+they now all route through here. The sketch-view family
+(:mod:`repro.engine.sketches`) adds a fourth consumer — its blip debias
+and k-ary RR inversion live here too, so the materialized and sketched
+paths share one source of algebra by construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import PrivacyError
+
+__all__ = [
+    "debias_bit",
+    "debias_bit_variance",
+    "debias_joint",
+    "joint_report_probs",
+    "debias_intersection_counts",
+    "krr_probabilities",
+    "krr_debias_cdf",
+    "krr_cdf_variance",
+]
+
+
+def _check_flip(p: float) -> float:
+    p = float(p)
+    if not 0.0 <= p < 0.5:
+        raise PrivacyError(f"flip probability must be in [0, 0.5), got {p}")
+    return p
+
+
+def debias_bit(noisy, p: float):
+    """Unbiased inverse of one RR bit: ``φ(y) = (y - p) / (1 - 2p)``.
+
+    ``E[φ(y)] = x`` for a true bit ``x`` flipped with probability ``p``.
+    Vectorized over arrays; the estimate of the *zero* indicator is
+    ``1 - debias_bit(y, p)``.
+    """
+    p = _check_flip(p)
+    return (np.asarray(noisy, dtype=np.float64) - p) / (1.0 - 2.0 * p)
+
+
+def debias_bit_variance(p: float) -> float:
+    """``Var(φ) = p(1-p)/(1-2p)²`` — identical for true 0- and 1-bits."""
+    p = _check_flip(p)
+    return p * (1.0 - p) / (1.0 - 2.0 * p) ** 2
+
+
+def debias_joint(noisy_a, noisy_b, p: float):
+    """Unbiased estimate of ``x_a · x_b`` from two independent RR bits.
+
+    ``E[φ(y_a) φ(y_b)] = x_a x_b`` because the flips are independent;
+    this is the two-party product the pairwise sketch estimators are
+    built on.
+    """
+    return debias_bit(noisy_a, p) * debias_bit(noisy_b, p)
+
+
+def joint_report_probs(keep_a: float, keep_b: float) -> list[float]:
+    """Joint law of two independently reported bits.
+
+    ``keep_a``/``keep_b`` are the probabilities each party reports a 1
+    for the cell; the return is the 4-outcome distribution
+    ``[both, only a, only b, neither]`` consumed by the sketch-mode
+    multinomial draws (:func:`repro.engine.sketch.sketch_pair_counts`
+    and :meth:`repro.protocol.session.ProtocolSession.naive_counts`).
+    """
+    return [
+        keep_a * keep_b,
+        keep_a * (1.0 - keep_b),
+        (1.0 - keep_a) * keep_b,
+        (1.0 - keep_a) * (1.0 - keep_b),
+    ]
+
+
+def debias_intersection_counts(n1, n2, pool: int, p: float):
+    """The paper's Theorem-3 unbiased ``C2`` from ``(N1, N2)`` counts.
+
+    ``f̃2 = [N1 (1-p)² - (N2 - N1) p(1-p) + (pool - N2) p²] / (1-2p)²``
+    where ``N1``/``N2`` are the noisy intersection/union sizes and
+    ``pool`` the candidate-pool size. Vectorized over whole workloads;
+    the single-pair OneR estimator and the batch engine both call this.
+    """
+    p = _check_flip(p)
+    n1 = np.asarray(n1, dtype=np.float64)
+    n2 = np.asarray(n2, dtype=np.float64)
+    denom = (1.0 - 2.0 * p) ** 2
+    return (
+        n1 * (1.0 - p) ** 2
+        - (n2 - n1) * p * (1.0 - p)
+        + (pool - n2) * p * p
+    ) / denom
+
+
+# ----------------------------------------------------------------------
+# k-ary randomized response (the HLL register release)
+# ----------------------------------------------------------------------
+def krr_probabilities(epsilon: float, k: int) -> tuple[float, float]:
+    """``(truthful, other)`` report probabilities of k-ary RR.
+
+    A value from a ``k``-element domain is reported truthfully with
+    probability ``e^ε / (e^ε + k - 1)`` and as any *specific* other value
+    with probability ``(1 - truthful)/(k - 1)``; the mechanism is ε-DP
+    for any change of the input value.
+    """
+    if k < 2:
+        raise PrivacyError(f"k-ary RR needs a domain of at least 2, got {k}")
+    epsilon = float(epsilon)
+    if not math.isfinite(epsilon) or epsilon <= 0.0:
+        raise PrivacyError(f"epsilon must be a positive finite number, got {epsilon}")
+    e = math.exp(min(epsilon, 700.0))
+    truthful = e / (e + k - 1.0)
+    other = (1.0 - truthful) / (k - 1.0)
+    return truthful, other
+
+
+def krr_debias_cdf(reports, t: int, epsilon: float, k: int):
+    """Unbiased per-entry estimate of ``1{value <= t}`` from k-RR reports.
+
+    With truthful probability ``ρ`` and per-other probability ``u``,
+    ``P(report <= t) = ρ·1{value <= t} + (t + 1 - 1{value <= t})·u``, so
+    ``(1{report <= t} - (t + 1)·u) / (ρ - u)`` has expectation exactly
+    the true indicator. Vectorized over report arrays.
+    """
+    truthful, other = krr_probabilities(epsilon, k)
+    below = (np.asarray(reports) <= t).astype(np.float64)
+    return (below - (t + 1) * other) / (truthful - other)
+
+
+def krr_cdf_variance(epsilon: float, k: int) -> float:
+    """Worst-case variance of one :func:`krr_debias_cdf` entry.
+
+    The indicator ``1{report <= t}`` is Bernoulli, so its variance is at
+    most 1/4; dividing by ``(ρ - u)²`` bounds the debiased estimate's
+    variance for every threshold and true value.
+    """
+    truthful, other = krr_probabilities(epsilon, k)
+    return 0.25 / (truthful - other) ** 2

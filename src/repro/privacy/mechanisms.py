@@ -17,6 +17,7 @@ import math
 import numpy as np
 
 from repro.errors import PrivacyError
+from repro.privacy.debias import debias_bit, debias_bit_variance
 from repro.privacy.rng import RngLike, ensure_rng
 
 __all__ = [
@@ -104,13 +105,11 @@ class RandomizedResponse:
     # ------------------------------------------------------------------
     def phi(self, noisy_bit: float | np.ndarray) -> float | np.ndarray:
         """Unbiased de-bias transform ``phi = (A' - p) / (1 - 2p)``."""
-        p = self.flip_probability
-        return (noisy_bit - p) / (1.0 - 2.0 * p)
+        return debias_bit(noisy_bit, self.flip_probability)
 
     def phi_variance(self) -> float:
         """``Var(phi) = p (1 - p) / (1 - 2p)^2`` (same for 0- and 1-bits)."""
-        p = self.flip_probability
-        return p * (1.0 - p) / (1.0 - 2.0 * p) ** 2
+        return debias_bit_variance(self.flip_probability)
 
     def expected_noisy_degree(self, degree: int, domain_size: int) -> float:
         """Expected number of reported edges after RR on one list."""

@@ -42,6 +42,7 @@ import numpy as np
 from repro.errors import PrivacyError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.privacy.accountant import PrivacyLedger
+from repro.privacy.debias import joint_report_probs
 from repro.privacy.mechanisms import (
     LaplaceMechanism,
     RandomizedResponse,
@@ -73,10 +74,18 @@ _CLT_MIN_REPORTERS = 64
 
 
 class ExecutionMode(enum.Enum):
-    """How the session realizes randomized-response outputs."""
+    """How the session realizes randomized-response outputs.
+
+    ``SKETCH_VIEW`` is the engine-level sublinear-memory mode (each vertex
+    releases a fixed-size private sketch — see
+    :mod:`repro.engine.sketches`); it has no per-round session protocol,
+    so :class:`ProtocolSession` rejects it and ``AUTO`` never resolves to
+    it.
+    """
 
     MATERIALIZE = "materialize"
     SKETCH = "sketch"
+    SKETCH_VIEW = "sketch-view"
     AUTO = "auto"
 
 
@@ -157,6 +166,12 @@ class ProtocolSession:
     ):
         if not math.isfinite(epsilon) or epsilon <= 0:
             raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        if mode is ExecutionMode.SKETCH_VIEW:
+            raise ProtocolError(
+                "sketch-view is an engine-level mode; sessions have no "
+                "per-round protocol for it (use BatchQueryEngine or the "
+                "*-view estimators)"
+            )
         if u == w:
             raise ProtocolError("query vertices must be distinct")
         graph.degree(layer, u)  # validates the vertex indices
@@ -358,8 +373,7 @@ class ProtocolSession:
             if count <= 0:
                 continue
             both, only_a, only_b, _ = self.rng.multinomial(
-                count,
-                [q_a * q_b, q_a * (1 - q_b), (1 - q_a) * q_b, (1 - q_a) * (1 - q_b)],
+                count, joint_report_probs(q_a, q_b)
             )
             n1 += int(both)
             union += int(both + only_a + only_b)

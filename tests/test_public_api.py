@@ -18,7 +18,7 @@ class TestPackageSurface:
             assert hasattr(repro, name), name
 
     def test_available_estimators_count(self):
-        assert len(repro.available_estimators()) == 8
+        assert len(repro.available_estimators()) == 11
 
 
 class TestEstimateCommonNeighbors:
