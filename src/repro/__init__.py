@@ -63,6 +63,7 @@ from repro.estimators import (
 )
 from repro.graph import (
     BipartiteGraph,
+    DeltaLog,
     GraphBuilder,
     Layer,
     QueryPair,
@@ -88,6 +89,7 @@ __all__ = [
     "__version__",
     # graph
     "BipartiteGraph",
+    "DeltaLog",
     "Layer",
     "GraphBuilder",
     "QueryPair",

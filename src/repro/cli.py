@@ -246,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "materialize", "sketch", "sketch-view"),
         default="auto",
     )
+    p_srv.add_argument(
+        "--mutations", type=int, default=0, metavar="BURSTS",
+        help="interleave this many streaming mutation bursts: each burst "
+             "records random edge inserts/deletes, rotates the epoch "
+             "incrementally (only dirty vertices redraw), and runs "
+             "another client wave over the mutated snapshot",
+    )
+    p_srv.add_argument(
+        "--mutation-edges", type=int, default=8, metavar="OPS",
+        help="edge ops per mutation burst (~half deletes, half inserts; "
+             "default: 8)",
+    )
     p_srv.add_argument("--seed", type=int, default=None)
     p_srv.add_argument("--max-edges", type=int, default=None)
     return parser
@@ -385,9 +397,13 @@ def _cmd_plan(args) -> int:
         import numpy as np
 
         from repro.engine.planner import estimate_noisy_row_bytes
-        from repro.engine.sketches import SketchConfig
+        from repro.engine.sketches import HLL_EPSILON_FLOOR, SketchConfig
 
         config = SketchConfig.for_budget(args.sketch, args.sketch_bytes)
+        if config.kind == "hll" and eps < HLL_EPSILON_FLOOR:
+            print(f"caution         : hll is unstable below "
+                  f"epsilon={HLL_EPSILON_FLOOR:g} (required eps is "
+                  f"{eps:.4f}); prefer bloom/voc at this budget")
         mean_deg = (args.du + args.dw) / 2.0
         row = float(
             estimate_noisy_row_bytes(np.array([mean_deg]), args.pool, eps)[0]
@@ -449,6 +465,7 @@ def _cmd_serve(args) -> int:
         TenantRegistry,
         serving_report,
         simulate_clients,
+        simulate_streaming,
     )
 
     graph = load_dataset(args.dataset, args.max_edges)
@@ -486,10 +503,18 @@ def _cmd_serve(args) -> int:
             degree_epsilon=args.degree_eps,
             rng=server_rng,
         ) as server:
-            result = await simulate_clients(
-                server, args.clients, args.queries,
-                rng=client_rng, replays=args.replays,
-            )
+            if args.mutations > 0:
+                result = await simulate_streaming(
+                    server, args.clients, args.queries,
+                    rng=client_rng, replays=args.replays,
+                    bursts=args.mutations,
+                    edges_per_burst=args.mutation_edges,
+                )
+            else:
+                result = await simulate_clients(
+                    server, args.clients, args.queries,
+                    rng=client_rng, replays=args.replays,
+                )
             return serving_report(server, result)
 
     print(f"dataset         : {args.dataset} "

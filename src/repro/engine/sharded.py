@@ -91,7 +91,7 @@ from repro.engine.bulkrr import (
 from repro.engine.faults import FAULT_EXIT_CODE, FaultPlan
 from repro.engine.pairwise import choose_backend, pairwise_intersections
 from repro.engine.planner import ShardPlan
-from repro.errors import PayloadIntegrityError, ProtocolError
+from repro.errors import GraphError, PayloadIntegrityError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 
 __all__ = ["ShardDraw", "ShardedRunner", "fork_available"]
@@ -162,6 +162,7 @@ def _draw_range(
     shm_name: str | None,
     shard_index: int,
     attempt: int,
+    versions: np.ndarray | None = None,
 ) -> tuple:
     """One shard's keyed draw (runs in a worker, or inline when serial).
 
@@ -199,7 +200,8 @@ def _draw_range(
     if measure:
         tracemalloc.start()
     indptr, columns = keyed_bulk_randomized_response(
-        graph, layer, vertices, epsilon, entropy=entropy, epoch=epoch
+        graph, layer, vertices, epsilon, entropy=entropy, epoch=epoch,
+        versions=versions,
     )
     peak = 0
     if measure:
@@ -586,6 +588,24 @@ class ShardedRunner:
         )
         self._closed = True
 
+    def rebind(self, graph: BipartiteGraph) -> None:
+        """Point the runner at a new graph snapshot (post-mutation).
+
+        Workers hold the old graph through fork-time copy-on-write, so a
+        live pool cannot see the swap: the current pool is joined (its
+        workers drained under the bounded grace) and dropped, and the
+        next :meth:`draw` forks fresh workers that inherit the rebound
+        context. A no-op when ``graph`` is already the bound snapshot.
+        """
+        if graph is self.graph:
+            return
+        pool = self._pool_box[0]
+        if pool is not None:
+            _join_pool(pool)
+            self._pool_box[0] = None
+        self.graph = graph
+        _WORKER_CONTEXTS[self._token] = (graph, self.layer)
+
     def __enter__(self) -> "ShardedRunner":
         return self
 
@@ -600,6 +620,7 @@ class ShardedRunner:
         *,
         entropy: int,
         epoch: int,
+        versions: np.ndarray | None = None,
         measure_memory: bool = False,
     ) -> ShardDraw:
         """Draw every shard's keyed rows and reassemble them in shard order.
@@ -631,6 +652,13 @@ class ShardedRunner:
             # Re-open: register the context again before any pool forks.
             _WORKER_CONTEXTS[self._token] = (self.graph, self.layer)
             self._closed = False
+        if versions is not None:
+            versions = np.ascontiguousarray(versions, dtype=np.uint64)
+            if versions.shape != plan.vertices.shape:
+                raise GraphError(
+                    "versions must align with the shard plan's vertices: "
+                    f"got {versions.shape} for {plan.vertices.shape}"
+                )
         ranges = plan.ranges()
         faults = _empty_faults()
         # Earlier draws' retired pools may have finished dying since:
@@ -668,6 +696,7 @@ class ShardedRunner:
                             name,
                             s,
                             attempt,
+                            None if versions is None else versions[lo:hi],
                         )
                     except BrokenProcessPool as exc:
                         # The pool died mid-submission: the task never
@@ -752,6 +781,7 @@ class ShardedRunner:
                 None,
                 s,
                 -1,
+                None if versions is None else versions[lo:hi],
             )
             dispatches[s] += 1
             results[s] = (indptr, columns, size, peak)

@@ -49,6 +49,7 @@ under the bounded-cache contract and shard-invariant by construction.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import ClassVar
 
@@ -75,15 +76,49 @@ from repro.privacy.rng import RngLike, ensure_rng
 
 __all__ = [
     "SKETCH_KINDS",
+    "HLL_EPSILON_FLOOR",
     "SketchConfig",
     "SketchFamily",
     "BloomSketch",
     "VectorOfCountsSketch",
     "HllSketch",
     "sketch_family",
+    "check_sketch_epsilon",
 ]
 
 SKETCH_KINDS = ("bloom", "voc", "hll")
+
+# Below this budget the HLL release is statistically useless: its k-RR
+# runs over 31 register symbols, so the truthful-report probability is
+# e^eps / (e^eps + 30) — under eps ≈ 4 most reports are replacement
+# symbols and the CDF debias divides by a vanishing margin, blowing up
+# the linear-counting inversion (see ROADMAP "Adaptive sketch sizing").
+HLL_EPSILON_FLOOR = 4.0
+
+
+def check_sketch_epsilon(
+    config: "SketchConfig", epsilon: float, *, strict: bool = False
+) -> None:
+    """Warn (or refuse, when ``strict``) on unstable family/ε pairings.
+
+    Today the only floor is HLL's: selecting ``hll`` below
+    :data:`HLL_EPSILON_FLOOR` emits a :class:`RuntimeWarning` — or raises
+    :class:`~repro.errors.ProtocolError` under ``strict=True`` — because
+    the 31-symbol k-RR inversion destabilizes there. At or above the
+    floor (and for every other family) this is a no-op, so callers can
+    invoke it unconditionally wherever a config first meets a budget.
+    """
+    if config.kind != "hll" or float(epsilon) >= HLL_EPSILON_FLOOR:
+        return
+    message = (
+        f"hll sketch at epsilon={float(epsilon):g} is below the stability "
+        f"floor {HLL_EPSILON_FLOOR:g}: the {_HLL_MAX_RANK + 1}-symbol k-RR "
+        f"inversion destabilizes (truthful-report margin vanishes); use "
+        f"bloom/voc at this budget or raise epsilon"
+    )
+    if strict:
+        raise ProtocolError(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=2)
 
 # Public hash key: bucket assignment is not secret (the curator must
 # evaluate it), only fixed — a config's hash_seed pins it.
@@ -238,6 +273,7 @@ class SketchFamily:
         entropy: "int | None",
         epoch: int,
         vertices: "np.ndarray | None",
+        versions: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """``(k, per_vertex)`` uniforms, keyed when ``entropy`` is given."""
         if entropy is not None:
@@ -247,7 +283,7 @@ class SketchFamily:
                     "the counter streams)"
                 )
             return keyed_sketch_uniforms(
-                entropy, epoch, vertices, self.stage, per_vertex
+                entropy, epoch, vertices, self.stage, per_vertex, versions
             )
         return ensure_rng(rng).random((k, per_vertex))
 
@@ -260,6 +296,7 @@ class SketchFamily:
         entropy: "int | None" = None,
         epoch: int = 0,
         vertices: "np.ndarray | None" = None,
+        versions: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Perturb a raw sketch block into the stored ε-LDP views."""
         raise NotImplementedError
@@ -274,12 +311,14 @@ class SketchFamily:
         rng: RngLike = None,
         entropy: "int | None" = None,
         epoch: int = 0,
+        versions: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Encode + release in one call (the cache/engine entry point)."""
         raw = self.encode(graph, layer, vertices)
         return self.release(
             raw, epsilon, rng=rng, entropy=entropy, epoch=epoch,
             vertices=np.asarray(vertices, dtype=np.int64),
+            versions=versions,
         )
 
     # -- estimation ----------------------------------------------------
@@ -349,12 +388,14 @@ class BloomSketch(SketchFamily):
         bits[seg * self.m + buckets] = True
         return bits.reshape(k, self.m)
 
-    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0, vertices=None):
+    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0,
+                vertices=None, versions=None):
         p = flip_probability(epsilon)
         raw = np.asarray(raw, dtype=bool)
         u = self._uniforms(
             raw.shape[0], self.m,
             rng=rng, entropy=entropy, epoch=epoch, vertices=vertices,
+            versions=versions,
         )
         noisy = raw ^ (u < p)
         return np.packbits(noisy, axis=1)
@@ -403,13 +444,15 @@ class VectorOfCountsSketch(SketchFamily):
         counts = np.bincount(seg * self.m + buckets, minlength=k * self.m)
         return counts.reshape(k, self.m).astype(np.float64)
 
-    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0, vertices=None):
+    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0,
+                vertices=None, versions=None):
         raw = np.asarray(raw, dtype=np.float64)
         scale = 1.0 / float(epsilon)
         if entropy is not None:
             u = self._uniforms(
                 raw.shape[0], self.m,
                 rng=rng, entropy=entropy, epoch=epoch, vertices=vertices,
+                versions=versions,
             )
             centered = u - 0.5
             inner = np.maximum(1.0 - 2.0 * np.abs(centered), _U53)
@@ -469,12 +512,15 @@ class HllSketch(SketchFamily):
         np.maximum.at(registers, seg * self.m + buckets, ranks)
         return registers.reshape(k, self.m).astype(np.uint8)
 
-    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0, vertices=None):
+    def release(self, raw, epsilon, *, rng=None, entropy=None, epoch=0,
+                vertices=None, versions=None):
+        check_sketch_epsilon(self.config, epsilon)
         raw = np.asarray(raw, dtype=np.int64)
         truthful, _ = krr_probabilities(epsilon, self.num_values)
         u = self._uniforms(
             raw.shape[0], 2 * self.m,
             rng=rng, entropy=entropy, epoch=epoch, vertices=vertices,
+            versions=versions,
         )
         keep = u[:, : self.m] < truthful
         # Replacement symbol: uniform over the other num_values - 1 values.

@@ -2,6 +2,7 @@
 
 from repro.graph.bipartite import BipartiteGraph, Layer
 from repro.graph.builder import GraphBuilder
+from repro.graph.delta import DeltaLog
 from repro.graph.generators import (
     chung_lu_bipartite,
     configuration_bipartite,
@@ -38,6 +39,7 @@ __all__ = [
     "BipartiteGraph",
     "Layer",
     "GraphBuilder",
+    "DeltaLog",
     "random_bipartite",
     "chung_lu_bipartite",
     "configuration_bipartite",

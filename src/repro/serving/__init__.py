@@ -15,8 +15,19 @@ vertices. See ``docs/serving-guide.md`` for the tutorial.
 """
 
 from repro.serving.cache import CacheStats, NoisyViewCache
-from repro.serving.driver import SimulationResult, serving_report, simulate_clients
-from repro.serving.server import QueryServer, ServedEstimate, ServerStats
+from repro.serving.driver import (
+    SimulationResult,
+    sample_mutation_batch,
+    serving_report,
+    simulate_clients,
+    simulate_streaming,
+)
+from repro.serving.server import (
+    QueryServer,
+    ServedEstimate,
+    ServerStats,
+    Subscription,
+)
 from repro.serving.tenants import Tenant, TenantRegistry, TenantStats
 
 __all__ = [
@@ -26,9 +37,12 @@ __all__ = [
     "ServedEstimate",
     "ServerStats",
     "SimulationResult",
+    "Subscription",
     "Tenant",
     "TenantRegistry",
     "TenantStats",
+    "sample_mutation_batch",
     "simulate_clients",
+    "simulate_streaming",
     "serving_report",
 ]

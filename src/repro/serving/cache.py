@@ -74,9 +74,10 @@ from repro.engine.pairwise import pack_bitset_row
 from repro.engine.planner import plan_shards
 from repro.engine.sharded import ShardedRunner
 from repro.engine.sketch import sketch_pair_counts
-from repro.engine.sketches import SketchConfig, sketch_family
+from repro.engine.sketches import SketchConfig, check_sketch_epsilon, sketch_family
 from repro.errors import ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.graph.delta import DeltaLog
 from repro.privacy.epoch import EpochAccountant
 from repro.privacy.mechanisms import LaplaceMechanism
 from repro.privacy.rng import RngLike, ensure_rng
@@ -106,6 +107,8 @@ class CacheStats:
     evictions: int = 0  # entries dropped by the LRU budget
     recharges: int = 0  # evicted entries reconstructed on a later touch
     warm_draws: int = 0  # views pre-drawn at rotation (server warming)
+    mutations: int = 0  # edge ops recorded through mutate()
+    incremental_rotations: int = 0  # rotations that only redrew dirty vertices
 
     def hit_rate(self) -> float:
         """Fraction of vertex/pair lookups served from cache."""
@@ -188,6 +191,10 @@ class NoisyViewCache:
             raise ProtocolError(
                 "a sketch-view cache needs a SketchConfig (pass sketch=)"
             )
+        if sketch is not None:
+            # Surface the hll stability floor at construction time, before
+            # any budget is spent on views the estimator cannot invert.
+            check_sketch_epsilon(sketch, epsilon)
         if max_bytes is not None and max_bytes <= 0:
             raise ProtocolError(f"max_bytes must be positive, got {max_bytes}")
         if max_entries is not None and max_entries <= 0:
@@ -198,6 +205,14 @@ class NoisyViewCache:
         self.mode = mode
         self.domain = graph.layer_size(layer.opposite())
         self.epoch = 0
+        # The epoch word baked into keyed counters. Full rotations move it
+        # in lockstep with the logical epoch; *incremental* rotations leave
+        # it pinned and bump per-vertex version words instead, so clean
+        # vertices keep replaying the identical stream across rotations.
+        self.draw_epoch = 0
+        self._versions = np.zeros(graph.layer_size(layer), dtype=np.uint64)
+        self._pending: DeltaLog | None = None
+        self.last_rotation: dict = {}
         self.stats = CacheStats()
         self.accountant = EpochAccountant(epsilon_per_epoch)
         self.max_bytes = max_bytes
@@ -335,7 +350,8 @@ class NoisyViewCache:
             )
             drawn = self.shard_runner.draw(
                 shard_plan, self.epsilon,
-                entropy=self._entropy, epoch=self.epoch,
+                entropy=self._entropy, epoch=self.draw_epoch,
+                versions=self._versions[vertices],
             )
             self.last_shard_draw = drawn.shards
             self.last_shard_faults = drawn.faults
@@ -347,7 +363,8 @@ class NoisyViewCache:
         else:
             indptr, columns = keyed_bulk_randomized_response(
                 self.graph, self.layer, vertices, self.epsilon,
-                entropy=self._entropy, epoch=self.epoch,
+                entropy=self._entropy, epoch=self.draw_epoch,
+                versions=self._versions[vertices],
             )
         self.store_views(vertices, indptr, columns)
         return int(columns.size)
@@ -364,7 +381,8 @@ class NoisyViewCache:
             np.array([vertex], dtype=np.int64),
             self.epsilon,
             entropy=self._entropy,
-            epoch=self.epoch,
+            epoch=self.draw_epoch,
+            versions=self._versions[[vertex]],
         )
         return np.asarray(columns, dtype=np.int64)
 
@@ -495,7 +513,10 @@ class NoisyViewCache:
             key = (int(key[0]), int(key[1]))
             if self.bounded and key in self._drawn_pairs:
                 self.stats.recharges += 1
-            keyed = keyed_pair_generator(self._entropy, self.epoch, *key)
+            keyed = keyed_pair_generator(
+                self._entropy, self.draw_epoch, *key,
+                version=int(self._versions[key[0]] + self._versions[key[1]]),
+            )
             pair_n1, pair_n2, sizes = sketch_pair_counts(
                 self.graph,
                 self.layer,
@@ -571,7 +592,8 @@ class NoisyViewCache:
         if self.keyed:
             views = self._family.encode_release(
                 self.graph, self.layer, vertices, self.epsilon,
-                entropy=self._entropy, epoch=self.epoch,
+                entropy=self._entropy, epoch=self.draw_epoch,
+                versions=self._versions[vertices],
             )
         else:
             views = self._family.encode_release(
@@ -696,7 +718,8 @@ class NoisyViewCache:
                     1 for v in vertices if int(v) in self._drawn_degrees
                 )
             values = true + keyed_laplace_noise(
-                self._entropy, self.epoch, vertices, mechanism.scale
+                self._entropy, self.draw_epoch, vertices, mechanism.scale,
+                versions=self._versions[vertices],
             )
         self.store_degrees(vertices, values)
         return values
@@ -848,14 +871,77 @@ class NoisyViewCache:
         """
         return self._hot_last_epoch[: max(0, int(k))]
 
+    # ------------------------------------------------------------------
+    # Streaming mutations and epoch rotation
+    # ------------------------------------------------------------------
+    def mutate(
+        self,
+        inserts: np.ndarray | list | tuple = (),
+        deletes: np.ndarray | list | tuple = (),
+    ) -> int:
+        """Record edge mutations against the bound graph (applied at rotate).
+
+        Mutations accumulate in an out-of-place :class:`DeltaLog` — the
+        served graph snapshot is untouched until the next :meth:`rotate`,
+        which applies the log's *net* effect (last op per edge wins, so an
+        insert cancelled by a delete inside one epoch leaves no trace) and
+        redraws only the vertices the net delta actually touched. Inserts
+        are recorded before deletes within one call. Returns the number of
+        ops recorded by this call.
+
+        Raises
+        ------
+        GraphError
+            If an edge endpoint is out of range for the bound graph.
+        """
+        if self._pending is None:
+            self._pending = DeltaLog(self.graph)
+        before = len(self._pending)
+        self._pending.insert_edges(inserts)
+        self._pending.delete_edges(deletes)
+        recorded = len(self._pending) - before
+        self.stats.mutations += recorded
+        return recorded
+
+    @property
+    def pending_delta(self) -> DeltaLog | None:
+        """The delta log accumulating since the last rotation (or None)."""
+        return self._pending
+
+    def pending_dirty(self) -> np.ndarray:
+        """Serving-layer vertices the pending net delta would redraw."""
+        if self._pending is None:
+            return np.empty(0, dtype=np.int64)
+        return self._pending.dirty_vertices(self.layer)
+
+    def vertex_version(self, vertex: int) -> int:
+        """The vertex's current stream version (bumped per dirty rotation)."""
+        return int(self._versions[int(vertex)])
+
     def rotate(self) -> int:
-        """Drop every view and start the next epoch (accountant in lockstep).
+        """Start the next epoch (accountant in lockstep).
+
+        Without pending mutations this is the classic *full* rotation:
+        every view drops, and both the logical epoch and the keyed
+        ``draw_epoch`` advance, so the next query re-draws and recharges
+        whatever it touches. With a pending net-nonempty delta the
+        rotation is *incremental*: the mutated snapshot is swapped in,
+        only the net delta's dirty vertices drop their views (and bump
+        their keyed version word — their next draw is a fresh stream and
+        a fresh charge), while every clean vertex keeps its resident view
+        and its bit-identical keyed stream, charge-free. A pending delta
+        whose ops cancelled out entirely falls back to the full path —
+        indistinguishable, draws included, from never having mutated.
 
         Returns the new epoch id. Also snapshots the closed epoch's
         hottest vertices for :meth:`hottest_last_epoch`.
         """
+        pending = self._pending
+        self._pending = None
         self._hot_last_epoch = [v for v, _ in self._touches.most_common()]
         self._touches.clear()
+        if pending is not None and not pending.is_net_empty:
+            return self._rotate_incremental(pending)
         self._rows.clear()
         self._packed.clear()
         self._pair_counts.clear()
@@ -867,6 +953,56 @@ class NoisyViewCache:
         self._bytes = 0
         self.stats.rotations += 1
         self.epoch = self.accountant.rotate()
+        self.draw_epoch = self.epoch
+        self.last_rotation = {"incremental": False, "dirty": 0}
+        return self.epoch
+
+    def _rotate_incremental(self, pending: DeltaLog) -> int:
+        """Apply a net-nonempty delta and drop only its dirty vertices."""
+        new_graph = pending.apply()
+        dirty = pending.dirty_vertices(self.layer)
+        dirty_set = {int(v) for v in dirty}
+        self._versions[dirty] += np.uint64(1)
+        for v in dirty_set:
+            row = self._rows.pop(v, None)
+            if row is not None:
+                self._bytes -= row.nbytes
+            packed = self._packed.pop(v, None)
+            if packed is not None:
+                self._bytes -= packed.nbytes
+            view = self._sketch_views.pop(v, None)
+            if view is not None:
+                self._bytes -= view.nbytes
+            if self._degrees.pop(v, None) is not None:
+                self._bytes -= _DEGREE_ENTRY_BYTES
+        stale_pairs = [
+            k for k in self._pair_counts
+            if k[0] in dirty_set or k[1] in dirty_set
+        ]
+        for key in stale_pairs:
+            self._pair_counts.pop(key)
+            self._bytes -= _PAIR_ENTRY_BYTES
+        self._drawn_vertices -= dirty_set
+        self._drawn_degrees -= dirty_set
+        self._drawn_pairs = {
+            k for k in self._drawn_pairs
+            if k[0] not in dirty_set and k[1] not in dirty_set
+        }
+        self.graph = new_graph
+        if self.shard_runner is not None:
+            self.shard_runner.rebind(new_graph)
+        self.stats.rotations += 1
+        self.stats.incremental_rotations += 1
+        self.epoch = self.accountant.rotate()
+        # draw_epoch stays pinned: clean vertices replay their streams.
+        self.last_rotation = {
+            "incremental": True,
+            "dirty": len(dirty_set),
+            "dirty_vertices": np.asarray(sorted(dirty_set), dtype=np.int64),
+            "inserts": int(len(pending.net_inserts())),
+            "deletes": int(len(pending.net_deletes())),
+            "recorded": len(pending),
+        }
         return self.epoch
 
     def __repr__(self) -> str:

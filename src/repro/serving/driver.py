@@ -31,7 +31,13 @@ from repro.graph.sampling import QueryPair, sample_query_pairs
 from repro.privacy.rng import RngLike, ensure_rng, spawn_rngs
 from repro.serving.server import QueryServer, ServedEstimate
 
-__all__ = ["SimulationResult", "simulate_clients", "serving_report"]
+__all__ = [
+    "SimulationResult",
+    "sample_mutation_batch",
+    "simulate_clients",
+    "simulate_streaming",
+    "serving_report",
+]
 
 
 @dataclass(frozen=True)
@@ -143,6 +149,96 @@ async def simulate_clients(
     )
 
 
+def sample_mutation_batch(
+    graph, rng: RngLike = None, ops: int = 8
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random streaming burst: ~half edge deletes, ~half fresh inserts.
+
+    Deletes are sampled uniformly from the graph's current edges; inserts
+    are uniform absent pairs (rejection-sampled against membership), so
+    the burst is always applicable to ``graph`` as-is. Returns
+    ``(inserts, deletes)`` edge arrays, either possibly empty.
+    """
+    rng = ensure_rng(rng)
+    ops = max(1, int(ops))
+    n_del = min(ops // 2, graph.num_edges)
+    deletes = (
+        graph.edges[rng.choice(graph.num_edges, size=n_del, replace=False)]
+        if n_del
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    n_ins = ops - n_del
+    found: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(found) < n_ins and attempts < 50 * ops:
+        u = int(rng.integers(graph.num_upper))
+        l = int(rng.integers(graph.num_lower))
+        attempts += 1
+        if (u, l) in seen or graph.has_edge(u, l):
+            continue
+        seen.add((u, l))
+        found.append((u, l))
+    inserts = (
+        np.array(found, dtype=np.int64)
+        if found
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return inserts, deletes
+
+
+async def simulate_streaming(
+    server: QueryServer,
+    num_clients: int,
+    queries_per_client: int,
+    *,
+    rng: RngLike = None,
+    replays: int = 1,
+    bursts: int = 1,
+    edges_per_burst: int = 8,
+    pool: Sequence[int] | None = None,
+) -> SimulationResult:
+    """Client waves interleaved with streaming mutation bursts.
+
+    Runs one :func:`simulate_clients` wave, then ``bursts`` times: record
+    a random mutation batch (:func:`sample_mutation_batch`) against the
+    server, rotate the epoch — incrementally, so only the dirty vertices
+    redraw — and run another client wave over the mutated snapshot.
+    Results aggregate across every wave; ``elapsed_seconds`` covers the
+    whole run including rotations.
+    """
+    parent = ensure_rng(rng)
+    start = time.perf_counter()
+    waves = [
+        await simulate_clients(
+            server, num_clients, queries_per_client,
+            rng=parent, replays=replays, pool=pool,
+        )
+    ]
+    for _ in range(max(0, int(bursts))):
+        inserts, deletes = sample_mutation_batch(
+            server.graph, parent, edges_per_burst
+        )
+        server.mutate(inserts=inserts, deletes=deletes)
+        server.rotate_epoch()
+        waves.append(
+            await simulate_clients(
+                server, num_clients, queries_per_client,
+                rng=parent, replays=replays, pool=pool,
+            )
+        )
+    elapsed = time.perf_counter() - start
+    return SimulationResult(
+        estimates=[e for wave in waves for e in wave.estimates],
+        elapsed_seconds=elapsed,
+        num_clients=num_clients,
+        queries_per_client=queries_per_client * len(waves),
+        rejected=sum(w.rejected for w in waves),
+        shed=sum(w.shed for w in waves),
+        expired=sum(w.expired for w in waves),
+    )
+
+
 def serving_report(server: QueryServer, result: SimulationResult) -> str:
     """Human-readable summary of a driver run."""
     stats, cache = server.stats, server.cache
@@ -185,6 +281,27 @@ def serving_report(server: QueryServer, result: SimulationResult) -> str:
         f"across {len(server.ledger.charges)} aggregated charges",
         f"upload          : {server.comm.total_bytes():,} bytes",
     ]
+    if stats.mutations or cache.stats.incremental_rotations:
+        last = (
+            cache.last_rotation
+            if cache.last_rotation.get("incremental")
+            else {}
+        )
+        lines.append(
+            f"streaming       : {stats.mutations} edge ops, "
+            f"{cache.stats.incremental_rotations} incremental rotations"
+            + (
+                f" (last: {last['dirty']} dirty, "
+                f"+{last['inserts']}/-{last['deletes']})"
+                if last
+                else ""
+            )
+            + (
+                f", {stats.subscription_refreshes} subscription refreshes"
+                if stats.subscription_refreshes
+                else ""
+            )
+        )
     # Degraded behavior must be visible from the demo: refusals the
     # clients absorbed, plus whatever the shard resilience layer did.
     if result.shed or result.expired or stats.stalled_ticks:

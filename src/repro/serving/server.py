@@ -66,7 +66,7 @@ from repro.protocol.session import ExecutionMode, resolve_mode
 from repro.serving.cache import NoisyViewCache
 from repro.serving.tenants import TenantRegistry
 
-__all__ = ["ServedEstimate", "ServerStats", "QueryServer"]
+__all__ = ["ServedEstimate", "ServerStats", "Subscription", "QueryServer"]
 
 # Bounded grace stop() gives a tick the watchdog abandoned: the zombie
 # engine call still holds the cache and shard runner, so shutdown waits
@@ -93,6 +93,27 @@ class ServedEstimate:
 
 
 @dataclass
+class Subscription:
+    """A standing ``C2(a, b)`` query registered with :meth:`QueryServer.subscribe`.
+
+    The server keeps the latest estimate in ``last`` and refreshes it
+    after every rotation that could have changed it: a *full* rotation
+    refreshes every subscription (all streams redrew), an *incremental*
+    rotation refreshes only subscriptions touching a dirty vertex —
+    clean pairs keep their bit-identical answer, so re-serving them
+    would be a no-op. ``stale`` is True from the rotation until the
+    refresh estimate lands.
+    """
+
+    id: int
+    pair: QueryPair
+    tenant: str | None = None
+    last: ServedEstimate | None = None
+    stale: bool = False
+    refreshes: int = 0
+
+
+@dataclass
 class ServerStats:
     """Lifetime serving counters (cache counters live on the cache)."""
 
@@ -108,6 +129,8 @@ class ServerStats:
     epochs_completed: int = 0
     timed_rotations: int = 0  # rotations fired by the wall-clock timer
     warmed_vertices: int = 0  # views pre-drawn across all rotations
+    mutations: int = 0  # edge ops recorded through mutate()
+    subscription_refreshes: int = 0  # standing queries re-served post-rotation
     errors: int = 0
 
     def mean_coalesced(self) -> float:
@@ -324,7 +347,6 @@ class QueryServer:
                 epsilon_per_epoch = None
         cache.accountant.epsilon_per_epoch = epsilon_per_epoch
 
-        self.graph = graph
         self.layer = layer
         self.epsilon = float(epsilon)
         self.cache = cache
@@ -364,8 +386,16 @@ class QueryServer:
         self._tick_idle = asyncio.Event()
         self._tick_idle.set()
         self._tick_pool: ThreadPoolExecutor | None = None
+        self._subscriptions: dict[int, Subscription] = {}
+        self._next_sub_id = 1
+        self._refresh_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The served graph snapshot (swapped by incremental rotations)."""
+        return self.cache.graph
+
     @property
     def accountant(self):
         """The cache's per-vertex epoch accountant."""
@@ -407,6 +437,13 @@ class QueryServer:
         self._wake.set()
         await self._task
         self._task = None
+        if self._refresh_tasks:
+            # Subscription refreshes scheduled by a late rotation; the
+            # tick loop is gone, so they can only error — drop them.
+            for task in list(self._refresh_tasks):
+                task.cancel()
+            await asyncio.gather(*self._refresh_tasks, return_exceptions=True)
+            self._refresh_tasks.clear()
         if self._tick_busy:
             # A tick the watchdog abandoned may still be running on the
             # tick thread; give it a bounded grace to drain before the
@@ -554,12 +591,76 @@ class QueryServer:
             pair.a, pair.b, tenant=tenant, deadline_s=deadline_s
         )
 
+    def mutate(
+        self,
+        inserts: np.ndarray | list | tuple = (),
+        deletes: np.ndarray | list | tuple = (),
+    ) -> int:
+        """Record streaming edge mutations, applied at the next rotation.
+
+        The served snapshot is immutable between epochs: mutations land
+        in the cache's out-of-place delta log, and the next
+        :meth:`rotate_epoch` swaps in the mutated graph *incrementally* —
+        only the net delta's dirty vertices redraw (and recharge); clean
+        vertices keep serving their existing bit-identical views for
+        free. Returns the number of ops recorded.
+
+        Raises
+        ------
+        GraphError
+            If an edge endpoint is out of range.
+        """
+        recorded = self.cache.mutate(inserts, deletes)
+        self.stats.mutations += recorded
+        return recorded
+
+    async def subscribe(
+        self, a: int, b: int, *, tenant: str | None = None
+    ) -> Subscription:
+        """Register a standing ``C2(a, b)`` query and serve its first estimate.
+
+        The returned :class:`Subscription` is live: after every rotation
+        that could change the answer — any full rotation, or an
+        incremental rotation that dirtied ``a`` or ``b`` — the server
+        re-queries the pair and replaces ``last``. Rotations that leave
+        both endpoints clean do not refresh (the cached answer is still
+        bit-identical). Raises exactly like :meth:`query`.
+        """
+        estimate = await self.query(a, b, tenant=tenant)
+        sub = Subscription(
+            id=self._next_sub_id,
+            pair=QueryPair(self.layer, a, b),
+            tenant=tenant,
+            last=estimate,
+        )
+        self._next_sub_id += 1
+        self._subscriptions[sub.id] = sub
+        return sub
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Drop a standing query; True when it existed."""
+        return self._subscriptions.pop(int(sub_id), None) is not None
+
+    @property
+    def subscriptions(self) -> list[Subscription]:
+        """The live standing queries (registration order)."""
+        return list(self._subscriptions.values())
+
     def rotate_epoch(self) -> int:
         """Start a new epoch: views dropped, next queries re-draw and recharge.
+
+        With pending :meth:`mutate` ops whose net effect is nonempty, the
+        rotation is *incremental* (see :meth:`NoisyViewCache.rotate`):
+        the mutated snapshot is swapped in and only dirty vertices drop
+        their views; clean vertices keep serving charge-free.
 
         When ``warm_vertices > 0`` (materialize mode), the closed epoch's
         hottest vertices are immediately re-drawn — and charged — into
         the fresh epoch, server-funded: tenants see them as cache hits.
+
+        Standing subscriptions touched by the rotation (all of them on a
+        full rotation, dirty-endpoint ones on an incremental rotation)
+        are marked stale and re-queried on the event loop.
 
         Returns the new epoch id.
         """
@@ -575,7 +676,56 @@ class QueryServer:
             and not self._closing
         ):
             self._prewarm(self.cache.hottest_last_epoch(self.warm_vertices))
+        self._refresh_subscriptions(self.cache.last_rotation)
         return epoch
+
+    def _refresh_subscriptions(self, rotation: dict) -> None:
+        """Mark rotation-affected subscriptions stale and re-query them.
+
+        Outside a running event loop the subscriptions are only marked
+        stale — the next in-loop rotation (or a manual re-query) clears
+        them; refreshing needs the tick loop.
+        """
+        if not self._subscriptions:
+            return
+        if rotation.get("incremental"):
+            dirty = {int(v) for v in rotation.get("dirty_vertices", ())}
+            affected = [
+                s for s in self._subscriptions.values()
+                if s.pair.a in dirty or s.pair.b in dirty
+            ]
+        else:
+            affected = list(self._subscriptions.values())
+        if not affected:
+            return
+        for sub in affected:
+            sub.stale = True
+        if self._closing or self._task is None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        for sub in affected:
+            task = loop.create_task(self._refresh_one(sub))
+            self._refresh_tasks.add(task)
+            task.add_done_callback(self._refresh_tasks.discard)
+
+    async def _refresh_one(self, sub: Subscription) -> None:
+        if self._closing or sub.id not in self._subscriptions:
+            return
+        try:
+            estimate = await self.query_pair(sub.pair, tenant=sub.tenant)
+        except ProtocolError:
+            return  # server stopped under the refresh
+        except Exception:  # noqa: BLE001 - a standing query must not crash
+            self.stats.errors += 1
+            return
+        if sub.id in self._subscriptions:
+            sub.last = estimate
+            sub.stale = False
+            sub.refreshes += 1
+            self.stats.subscription_refreshes += 1
 
     def _prewarm(self, hot: list[int]) -> None:
         """Charge and pre-draw the given vertices into the fresh epoch."""

@@ -1,0 +1,170 @@
+"""Unit and property tests for the streaming delta layer.
+
+Covers :class:`~repro.graph.delta.DeltaLog` (last-op-wins net semantics,
+dirty-vertex extraction, cancellation) and
+:meth:`BipartiteGraph.apply_edge_delta` (the CSR-splice fast path must be
+indistinguishable from rebuilding the graph from its mutated edge list).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import BipartiteGraph, DeltaLog, Layer, random_bipartite
+
+
+def _rebuild_naive(graph, inserts, deletes):
+    """Oracle: mutate the edge list and rebuild through the constructor."""
+    edges = {(int(u), int(l)) for u, l in graph.edges}
+    edges -= {(int(u), int(l)) for u, l in np.asarray(deletes).reshape(-1, 2)}
+    edges |= {(int(u), int(l)) for u, l in np.asarray(inserts).reshape(-1, 2)}
+    return BipartiteGraph(graph.num_upper, graph.num_lower, sorted(edges))
+
+
+def _assert_graphs_equal(a: BipartiteGraph, b: BipartiteGraph) -> None:
+    assert a.num_upper == b.num_upper and a.num_lower == b.num_lower
+    np.testing.assert_array_equal(a.edges, b.edges)
+    for layer in Layer:
+        np.testing.assert_array_equal(a.degrees(layer), b.degrees(layer))
+        for v in range(a.layer_size(layer)):
+            np.testing.assert_array_equal(
+                a.neighbors(layer, v), b.neighbors(layer, v)
+            )
+
+
+class TestApplyEdgeDelta:
+    def test_insert_and_delete_roundtrip(self):
+        g = random_bipartite(12, 10, 40, rng=3)
+        absent = next(
+            (u, l)
+            for u in range(12)
+            for l in range(10)
+            if not g.has_edge(u, l)
+        )
+        g2 = g.insert_edges(np.array([absent]))
+        assert g2.has_edge(*absent) and not g.has_edge(*absent)
+        g3 = g2.delete_edges(np.array([absent]))
+        _assert_graphs_equal(g3, g)
+
+    def test_present_insert_and_absent_delete_are_noops(self):
+        g = random_bipartite(10, 8, 30, rng=4)
+        edge = tuple(int(x) for x in g.edges[0])
+        same = g.insert_edges(np.array([edge]))
+        assert same is g
+        absent = next(
+            (u, l) for u in range(10) for l in range(8) if not g.has_edge(u, l)
+        )
+        assert g.delete_edges(np.array([absent])) is g
+
+    def test_conflicting_delta_refused(self):
+        g = random_bipartite(10, 8, 30, rng=5)
+        edge = np.array([g.edges[0]], dtype=np.int64)
+        with pytest.raises(GraphError):
+            g.apply_edge_delta(edge, edge)
+
+    def test_out_of_range_refused(self):
+        g = random_bipartite(6, 5, 12, rng=6)
+        with pytest.raises(GraphError):
+            g.insert_edges(np.array([[6, 0]]))
+        with pytest.raises(GraphError):
+            g.delete_edges(np.array([[0, 5]]))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_splice_matches_naive_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        n_u, n_l = int(rng.integers(2, 20)), int(rng.integers(2, 16))
+        g = random_bipartite(
+            n_u, n_l, int(rng.integers(0, n_u * n_l // 2 + 1)), rng=rng
+        )
+        k_del = int(rng.integers(0, g.num_edges + 1))
+        deletes = (
+            g.edges[rng.choice(g.num_edges, size=k_del, replace=False)]
+            if k_del
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        absent = [
+            (u, l)
+            for u in range(n_u)
+            for l in range(n_l)
+            if not g.has_edge(u, l)
+        ]
+        k_ins = int(rng.integers(0, min(8, len(absent)) + 1))
+        inserts = (
+            np.array(
+                [absent[i] for i in rng.choice(len(absent), k_ins, replace=False)],
+                dtype=np.int64,
+            )
+            if k_ins
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        spliced = g.apply_edge_delta(inserts, deletes)
+        _assert_graphs_equal(spliced, _rebuild_naive(g, inserts, deletes))
+
+
+class TestDeltaLog:
+    def test_last_op_wins_and_cancellation(self):
+        g = random_bipartite(8, 8, 20, rng=7)
+        absent = next(
+            (u, l) for u in range(8) for l in range(8) if not g.has_edge(u, l)
+        )
+        log = DeltaLog(g)
+        log.insert(*absent)
+        log.delete(*absent)
+        assert len(log) == 2  # recorded ops include the cancelled pair
+        assert log.is_net_empty
+        assert log.dirty_vertices(Layer.UPPER).size == 0
+        assert log.apply() is g
+
+    def test_net_reflects_base_membership(self):
+        g = random_bipartite(8, 8, 20, rng=8)
+        present = tuple(int(x) for x in g.edges[0])
+        log = DeltaLog(g)
+        log.insert(*present)  # no-op: already present
+        assert log.is_net_empty
+        log.delete(*present)
+        assert not log.is_net_empty
+        np.testing.assert_array_equal(
+            log.net_deletes(), np.array([present], dtype=np.int64)
+        )
+        assert log.net_inserts().size == 0
+
+    def test_dirty_vertices_per_layer(self):
+        g = BipartiteGraph(5, 5, [(0, 0), (1, 1)])
+        log = DeltaLog(g)
+        log.delete(0, 0)
+        log.insert(2, 3)
+        np.testing.assert_array_equal(
+            log.dirty_vertices(Layer.UPPER), np.array([0, 2])
+        )
+        np.testing.assert_array_equal(
+            log.dirty_vertices(Layer.LOWER), np.array([0, 3])
+        )
+
+    def test_apply_builds_mutated_snapshot(self):
+        g = random_bipartite(10, 9, 30, rng=9)
+        log = DeltaLog(g)
+        victim = tuple(int(x) for x in g.edges[-1])
+        absent = next(
+            (u, l) for u in range(10) for l in range(9) if not g.has_edge(u, l)
+        )
+        log.delete(*victim)
+        log.insert(*absent)
+        g2 = log.apply()
+        assert g2 is not g
+        assert not g2.has_edge(*victim) and g2.has_edge(*absent)
+        _assert_graphs_equal(
+            g2, _rebuild_naive(g, np.array([absent]), np.array([victim]))
+        )
+
+    def test_out_of_range_refused(self):
+        g = BipartiteGraph(3, 3, [(0, 0)])
+        log = DeltaLog(g)
+        with pytest.raises(GraphError):
+            log.insert(3, 0)
+        with pytest.raises(GraphError):
+            log.delete(0, -1)

@@ -1,0 +1,90 @@
+"""Regression tests for the HLL epsilon stability floor.
+
+The 31-symbol k-RR inversion behind the HLL estimator destabilizes once
+the per-view budget drops below :data:`HLL_EPSILON_FLOOR` (the truthful
+report margin vanishes and register debiasing blows up). These tests pin
+the boundary exactly: at the floor everything is silent; one ulp below
+it every entry point — the check itself, ``HllSketch.release``, and
+``NoisyViewCache`` construction — warns (or refuses under ``strict``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine.sketches import (
+    HLL_EPSILON_FLOOR,
+    SketchConfig,
+    check_sketch_epsilon,
+    sketch_family,
+)
+from repro.errors import ProtocolError
+from repro.graph import Layer, random_bipartite
+from repro.serving import NoisyViewCache
+
+BELOW = float(np.nextafter(HLL_EPSILON_FLOOR, 0.0))
+
+
+def _config(kind="hll", m=16):
+    return SketchConfig(kind=kind, m=m)
+
+
+class TestCheckBoundary:
+    def test_at_floor_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            check_sketch_epsilon(_config(), HLL_EPSILON_FLOOR)
+            check_sketch_epsilon(_config(), HLL_EPSILON_FLOOR + 1.0)
+
+    def test_just_below_floor_warns(self):
+        with pytest.warns(RuntimeWarning, match="stability"):
+            check_sketch_epsilon(_config(), BELOW)
+
+    def test_strict_refuses_below_floor(self):
+        with pytest.raises(ProtocolError, match="stability"):
+            check_sketch_epsilon(_config(), BELOW, strict=True)
+        # strict mode is equally silent at the boundary itself
+        check_sketch_epsilon(_config(), HLL_EPSILON_FLOOR, strict=True)
+
+    @pytest.mark.parametrize("kind,m", [("bloom", 128), ("voc", 16)])
+    def test_other_families_have_no_floor(self, kind, m):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            check_sketch_epsilon(_config(kind, m), 0.25)
+            check_sketch_epsilon(_config(kind, m), BELOW, strict=True)
+
+
+class TestEntryPoints:
+    def test_hll_release_warns_below_floor(self):
+        family = sketch_family(_config())
+        raw = np.zeros((3, 16), dtype=np.int64)
+        with pytest.warns(RuntimeWarning, match="stability"):
+            family.release(raw, BELOW, rng=np.random.default_rng(0))
+
+    def test_hll_release_silent_at_floor(self):
+        family = sketch_family(_config())
+        raw = np.zeros((3, 16), dtype=np.int64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            family.release(
+                raw, HLL_EPSILON_FLOOR, rng=np.random.default_rng(0)
+            )
+
+    def test_cache_construction_warns_below_floor(self):
+        graph = random_bipartite(12, 10, 40, rng=21)
+        with pytest.warns(RuntimeWarning, match="stability"):
+            NoisyViewCache(
+                graph, Layer.UPPER, BELOW, max_entries=64, sketch=_config()
+            )
+
+    def test_cache_construction_silent_with_bloom(self):
+        graph = random_bipartite(12, 10, 40, rng=22)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            NoisyViewCache(
+                graph, Layer.UPPER, BELOW, max_entries=64,
+                sketch=_config("bloom", 128),
+            )

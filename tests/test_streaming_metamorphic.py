@@ -1,0 +1,177 @@
+"""Metamorphic properties of the streaming delta log.
+
+Core relation: mutations that cancel within one epoch must be
+*unobservable* — an insert-then-delete of the same edge (or any script
+followed by its exact inverse) leaves the dirty set empty, the
+accountant's charges untouched, and the next rotation's byte stream
+identical to a twin server that never mutated anything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DeltaLog, Layer, random_bipartite
+from repro.privacy.mechanisms import LaplaceMechanism
+from repro.privacy.sensitivity import degree_sensitivity
+from repro.serving import NoisyViewCache
+
+EPSILON = 2.0
+N_UPPER, N_LOWER = 24, 20
+
+
+def _graph(seed=13):
+    return random_bipartite(N_UPPER, N_LOWER, 140, rng=seed)
+
+
+def _twin_caches(graph, seed=33, **kwargs):
+    """Two caches with identical entropy: byte-level comparable."""
+    a = NoisyViewCache(
+        graph, Layer.UPPER, EPSILON, max_entries=10**6,
+        rng=np.random.default_rng(seed), **kwargs,
+    )
+    b = NoisyViewCache(
+        graph, Layer.UPPER, EPSILON, max_entries=10**6,
+        rng=np.random.default_rng(seed), **kwargs,
+    )
+    assert a._entropy == b._entropy
+    return a, b
+
+
+class TestInsertThenDelete:
+    def test_cancelled_edge_leaves_no_trace(self):
+        """Insert-then-delete of one absent edge within one epoch: empty
+        dirty set, identical accountant charges, and the next rotation's
+        draws byte-identical to never having touched the edge."""
+        graph = _graph()
+        absent = next(
+            (u, l)
+            for u in range(N_UPPER)
+            for l in range(N_LOWER)
+            if not graph.has_edge(u, l)
+        )
+        touched, untouched = _twin_caches(graph)
+        verts = np.arange(N_UPPER, dtype=np.int64)
+        for cache in (touched, untouched):
+            cache.accountant.charge_vertices(
+                Layer.UPPER, verts, EPSILON, "randomized-response", "rr"
+            )
+            cache.materialize_fresh(verts)
+
+        touched.mutate(inserts=[absent])
+        touched.mutate(deletes=[absent])
+        assert touched.pending_dirty().size == 0
+        assert touched.pending_delta.is_net_empty
+        # The cancelled ops charged nothing: per-epoch spend identical.
+        assert (
+            touched.accountant.epoch_spent(Layer.UPPER, absent[0])
+            == untouched.accountant.epoch_spent(Layer.UPPER, absent[0])
+        )
+
+        touched.rotate()
+        untouched.rotate()
+        assert not touched.last_rotation["incremental"]
+        assert touched.graph is graph  # net-empty delta: no snapshot swap
+        assert touched.epoch == untouched.epoch
+        assert touched.draw_epoch == untouched.draw_epoch
+        np.testing.assert_array_equal(touched._versions, untouched._versions)
+
+        touched.materialize_fresh(verts)
+        untouched.materialize_fresh(verts)
+        for v in verts:
+            np.testing.assert_array_equal(
+                touched.view(v), untouched.view(v)
+            )
+
+    def test_delete_then_insert_of_existing_edge_cancels(self):
+        graph = _graph(14)
+        edge = tuple(int(x) for x in graph.edges[0])
+        cache, twin = _twin_caches(graph, seed=34)
+        cache.mutate(deletes=[edge])
+        cache.mutate(inserts=[edge])
+        assert cache.pending_delta.is_net_empty
+        assert cache.pending_dirty().size == 0
+        cache.rotate()
+        twin.rotate()
+        verts = np.arange(N_UPPER, dtype=np.int64)
+        cache.materialize_fresh(verts)
+        twin.materialize_fresh(verts)
+        for v in verts:
+            np.testing.assert_array_equal(cache.view(v), twin.view(v))
+
+
+class TestScriptInverse:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_script_plus_inverse_is_identity(self, seed):
+        """Any applicable op script followed by its inverse (in reverse
+        order) nets to nothing: dirty set empty, apply() returns the base
+        snapshot itself."""
+        rng = np.random.default_rng(seed)
+        graph = _graph(int(rng.integers(100)))
+        log = DeltaLog(graph)
+        applied: list[tuple[bool, int, int]] = []
+        membership = {(int(u), int(l)) for u, l in graph.edges}
+        for _ in range(int(rng.integers(1, 12))):
+            u = int(rng.integers(N_UPPER))
+            l = int(rng.integers(N_LOWER))
+            if (u, l) in membership:
+                log.delete(u, l)
+                membership.discard((u, l))
+                applied.append((False, u, l))
+            else:
+                log.insert(u, l)
+                membership.add((u, l))
+                applied.append((True, u, l))
+        for was_insert, u, l in reversed(applied):
+            if was_insert:
+                log.delete(u, l)
+            else:
+                log.insert(u, l)
+        assert log.is_net_empty
+        assert log.dirty_vertices(Layer.UPPER).size == 0
+        assert log.dirty_vertices(Layer.LOWER).size == 0
+        assert log.apply() is graph
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_cancelled_round_draws_like_untouched_twin(self, seed):
+        """End to end on the cache: a cancelled script leaves the next
+        rotation's materialize, sketch-view and degree draws byte-identical
+        to a twin that never mutated."""
+        rng = np.random.default_rng(seed)
+        graph = _graph(int(rng.integers(100)))
+        touched, untouched = _twin_caches(graph, seed=35)
+        membership = {(int(u), int(l)) for u, l in graph.edges}
+        script: list[tuple[bool, int, int]] = []
+        for _ in range(int(rng.integers(1, 8))):
+            u = int(rng.integers(N_UPPER))
+            l = int(rng.integers(N_LOWER))
+            present = (u, l) in membership
+            if present:
+                touched.mutate(deletes=[(u, l)])
+                membership.discard((u, l))
+            else:
+                touched.mutate(inserts=[(u, l)])
+                membership.add((u, l))
+            script.append((not present, u, l))
+        for was_insert, u, l in reversed(script):
+            if was_insert:
+                touched.mutate(deletes=[(u, l)])
+            else:
+                touched.mutate(inserts=[(u, l)])
+        assert touched.pending_dirty().size == 0
+
+        touched.rotate()
+        untouched.rotate()
+        verts = np.arange(N_UPPER, dtype=np.int64)
+        mech = LaplaceMechanism(1.0, degree_sensitivity())
+        touched.materialize_fresh(verts)
+        untouched.materialize_fresh(verts)
+        td = touched.degree_fresh(verts, mech)
+        ud = untouched.degree_fresh(verts, mech)
+        np.testing.assert_array_equal(td, ud)
+        for v in verts:
+            np.testing.assert_array_equal(touched.view(v), untouched.view(v))
