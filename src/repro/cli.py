@@ -223,6 +223,23 @@ def build_parser() -> argparse.ArgumentParser:
              "range degrades to inline execution (default: 2)",
     )
     p_srv.add_argument(
+        "--transport", choices=("inline", "fork", "socket"), default=None,
+        help="where sharded miss draws run: in-process, the forked pool "
+             "(default when sharding), or a socket worker cluster "
+             "(requires --workers; byte-identical output either way)",
+    )
+    p_srv.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="comma-separated addresses of running "
+             "`python -m repro.engine.worker --listen` processes "
+             "(socket transport only)",
+    )
+    p_srv.add_argument(
+        "--warm-decay", type=float, default=0.5, metavar="ALPHA",
+        help="EWMA coefficient of the cross-epoch warm set "
+             "(1.0 = last-epoch-only; default: 0.5)",
+    )
+    p_srv.add_argument(
         "--max-pending", type=int, default=None, metavar="N",
         help="bound the admission queue; overflow sheds the "
              "oldest-deadline query without charging any tenant",
@@ -497,6 +514,13 @@ def _cmd_serve(args) -> int:
             shard_mem_bytes=args.shard_mem,
             shard_timeout_s=args.shard_timeout,
             shard_retries=args.shard_retries,
+            shard_transport=args.transport,
+            shard_workers=(
+                [w.strip() for w in args.workers.split(",") if w.strip()]
+                if args.workers
+                else None
+            ),
+            warm_decay=args.warm_decay,
             max_pending=args.max_pending,
             query_deadline_s=args.query_deadline,
             tenants=registry,

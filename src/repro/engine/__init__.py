@@ -49,8 +49,25 @@ from repro.engine.planner import (
     plan_workload,
     split_cached,
 )
-from repro.engine.sharded import ShardDraw, ShardedRunner, fork_available
+from repro.engine.sharded import (
+    ShardDraw,
+    ShardedRunner,
+    WorkloadDraw,
+    fork_available,
+)
 from repro.engine.sketch import sketch_pair_counts
+from repro.engine.transport import (
+    ForkTransport,
+    InlineTransport,
+    RetryPolicy,
+    ShardResult,
+    ShardSpec,
+    ShardTransport,
+    SocketTransport,
+    WorkerRegistry,
+    execute_spec,
+    make_transport,
+)
 from repro.engine.sketches import (
     SKETCH_KINDS,
     BloomSketch,
@@ -68,9 +85,18 @@ __all__ = [
     "EngineResult",
     "FaultAction",
     "FaultPlan",
+    "ForkTransport",
+    "InlineTransport",
+    "RetryPolicy",
     "ShardDraw",
     "ShardPlan",
+    "ShardResult",
+    "ShardSpec",
+    "ShardTransport",
     "ShardedRunner",
+    "SocketTransport",
+    "WorkerRegistry",
+    "WorkloadDraw",
     "SketchConfig",
     "SketchFamily",
     "BloomSketch",
@@ -80,7 +106,9 @@ __all__ = [
     "ViewPlan",
     "WorkloadPlan",
     "estimate_noisy_row_bytes",
+    "execute_spec",
     "fork_available",
+    "make_transport",
     "pair_keys",
     "plan_shards",
     "plan_views",

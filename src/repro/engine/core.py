@@ -38,6 +38,7 @@ from repro.engine.planner import (
     split_cached,
 )
 from repro.engine.sharded import ShardedRunner
+from repro.engine.transport import ShardTransport, make_transport
 from repro.engine.sketch import sketch_pair_counts
 from repro.engine.sketches import SketchConfig, sketch_family
 from repro.errors import PrivacyError, ProtocolError
@@ -128,6 +129,16 @@ class BatchQueryEngine:
         per-task deadline and the re-dispatch budget before a failed
         range degrades to inline execution. Whatever the resilience
         envelope did is reported in ``details["shards"]["faults"]``.
+    shard_transport, shard_workers:
+        *Where* shard work runs: a
+        :class:`~repro.engine.transport.ShardTransport` instance, or a
+        kind name (``"inline"``, ``"fork"``, ``"socket"``) resolved via
+        :func:`~repro.engine.transport.make_transport`;
+        ``shard_workers`` is the socket cluster's ``host:port`` address
+        list. Defaults to the fork pool. Giving a transport alone (no
+        ``shards``/``shard_mem_bytes``) turns sharding on with one
+        range per transport worker. Per-draw traffic accounting lands
+        in ``details["shards"]["transport"]``.
     sketch, view_mem_bytes:
         A :class:`~repro.engine.sketches.SketchConfig` turns on
         sublinear-memory sketch views. Under ``SKETCH_VIEW`` mode every
@@ -155,6 +166,8 @@ class BatchQueryEngine:
         shard_mem_bytes: int | None = None,
         shard_timeout_s: float | None = None,
         shard_retries: int = 2,
+        shard_transport: "ShardTransport | str | None" = None,
+        shard_workers: Sequence[str] | None = None,
         sketch: "SketchConfig | None" = None,
         view_mem_bytes: int | None = None,
     ):
@@ -175,6 +188,8 @@ class BatchQueryEngine:
         self.shard_mem_bytes = shard_mem_bytes
         self.shard_timeout_s = shard_timeout_s
         self.shard_retries = shard_retries
+        self.shard_transport = shard_transport
+        self.shard_workers = list(shard_workers) if shard_workers else None
         self.sketch = sketch
         self.view_mem_bytes = view_mem_bytes
         self._runner: ShardedRunner | None = None
@@ -183,7 +198,11 @@ class BatchQueryEngine:
     @property
     def sharding(self) -> bool:
         """True when this engine shards its materialize-mode draws."""
-        return self.shards is not None or self.shard_mem_bytes is not None
+        return (
+            self.shards is not None
+            or self.shard_mem_bytes is not None
+            or self.shard_transport is not None
+        )
 
     def close(self) -> None:
         """Release the sharded runner's worker pool (no-op otherwise)."""
@@ -206,15 +225,32 @@ class BatchQueryEngine:
             runner.close()
             runner = None
         if runner is None:
+            transport = self.shard_transport
+            if isinstance(transport, str):
+                transport = make_transport(
+                    transport,
+                    max_workers=self.shards,
+                    workers=self.shard_workers,
+                )
             runner = ShardedRunner(
                 graph,
                 layer,
                 max_workers=self.shards,
                 timeout_s=self.shard_timeout_s,
                 max_retries=self.shard_retries,
+                transport=transport,
             )
             self._runner = runner
         return runner
+
+    def _plan_shard_count(self, runner: ShardedRunner) -> int | None:
+        """Range count for :func:`plan_shards` (None when a mem budget rules)."""
+        if self.shard_mem_bytes is not None:
+            return None
+        if self.shards is not None:
+            return self.shards
+        # Transport-only configuration: one range per transport worker.
+        return max(1, runner.transport.workers)
 
     def estimate_pairs(
         self,
@@ -318,29 +354,28 @@ class BatchQueryEngine:
             # ranges; shard boundaries never change the drawn bits.
             # A mem budget sizes the ranges; an explicit count only
             # applies without one (it then still caps the workers).
+            runner = self._shard_runner(graph, plan.layer)
             shard_plan = plan_shards(
                 graph, plan.layer, plan.vertices, plan.epsilon,
-                shards=None if self.shard_mem_bytes is not None else self.shards,
+                shards=self._plan_shard_count(runner),
                 mem_bytes=self.shard_mem_bytes,
             )
-            runner = self._shard_runner(graph, plan.layer)
             entropy = int(rng.integers(1 << 62))
-            drawn = runner.draw(
-                shard_plan, plan.epsilon, entropy=entropy, epoch=0
+            workload = runner.run_workload(
+                shard_plan, plan.epsilon, entropy=entropy, epoch=0,
+                ia=plan.ia, ib=plan.ib, domain=domain,
             )
-            indptr, columns = drawn.indptr, drawn.columns
-            sizes = np.diff(indptr)
-            n1, block_log = runner.pairwise(
-                shard_plan, indptr, columns, plan.ia, plan.ib, domain
-            )
+            sizes = workload.sizes
+            n1 = workload.n1
             n2 = sizes[plan.ia] + sizes[plan.ib] - n1
             backend = "sharded"
             shard_details = {
                 "count": shard_plan.num_shards,
                 "mem_bytes": shard_plan.mem_bytes,
-                "draw": drawn.shards,
-                "pairwise": block_log,
-                "faults": drawn.faults,
+                "draw": workload.shards,
+                "pairwise": workload.blocks,
+                "faults": workload.faults,
+                "transport": workload.transport,
             }
         elif mode is ExecutionMode.MATERIALIZE:
             indptr, columns = bulk_randomized_response(
@@ -465,29 +500,27 @@ class BatchQueryEngine:
         if listed_slots.size:
             listed = plan.vertices[listed_slots]
             if self.sharding:
+                runner = self._shard_runner(graph, plan.layer)
                 shard_plan = plan_shards(
                     graph, plan.layer, listed, plan.epsilon,
-                    shards=(
-                        None if self.shard_mem_bytes is not None else self.shards
-                    ),
+                    shards=self._plan_shard_count(runner),
                     mem_bytes=self.shard_mem_bytes,
                 )
-                runner = self._shard_runner(graph, plan.layer)
-                drawn = runner.draw(
+                workload = runner.run_workload(
                     shard_plan, plan.epsilon,
                     entropy=int(rng.integers(1 << 62)), epoch=0,
+                    ia=ia_li, ib=ib_li, domain=domain,
                 )
-                indptr, columns = drawn.indptr, drawn.columns
-                li_n1, block_log = runner.pairwise(
-                    shard_plan, indptr, columns, ia_li, ib_li, domain
-                )
+                sizes = workload.sizes
+                li_n1 = workload.n1
                 backend = "sketch-view+sharded"
                 shard_details = {
                     "count": shard_plan.num_shards,
                     "mem_bytes": shard_plan.mem_bytes,
-                    "draw": drawn.shards,
-                    "pairwise": block_log,
-                    "faults": drawn.faults,
+                    "draw": workload.shards,
+                    "pairwise": workload.blocks,
+                    "faults": workload.faults,
+                    "transport": workload.transport,
                 }
             else:
                 indptr, columns = bulk_randomized_response(
@@ -500,14 +533,17 @@ class BatchQueryEngine:
                     indptr, columns, ia_li, ib_li, domain, backend=li_backend
                 )
                 backend = f"sketch-view+{li_backend}"
-            sizes = np.diff(indptr)
+                sizes = np.diff(indptr)
             li_n2 = sizes[ia_li] + sizes[ib_li] - li_n1
             n1[~pair_sk] = li_n1
             n2[~pair_sk] = li_n2
             values[~pair_sk] = debias_pair_counts(
                 li_n1, li_n2, domain, plan.epsilon
             )
-            listed_bytes = int(columns.size) * ID_BYTES
+            # Every listed vertex uploads its full noisy row regardless of
+            # where it was reduced, so sizes (not a fragment's columns)
+            # are the honest upload accounting.
+            listed_bytes = int(sizes.sum()) * ID_BYTES
 
         # Closed-form variance of every sketched estimate (listed slots 0),
         # from the family's conservative bound at the estimated degrees.

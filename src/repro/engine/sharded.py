@@ -1,322 +1,87 @@
-"""Process-parallel sharded execution of the keyed bulk-RR + pairwise stages.
+"""Sharded execution of the keyed bulk-RR + pairwise stages.
 
 The one-round bulk RR pass produces noisy output linear in
 ``n_vertices x domain`` expected bits, which caps the graph one worker
 can serve long before the estimator math does. PR 4's keyed Philox
 streams make the pass embarrassingly partitionable: every vertex's bits
-are a pure function of ``(entropy, epoch, vertex)``, so any split of the
-vertex block into contiguous ranges draws byte-identical rows. This
-module exploits that:
+are a pure function of ``(entropy, epoch, vertex, version)``, so any
+split of the vertex block into contiguous ranges draws byte-identical
+rows. This module exploits that:
 
 * :class:`ShardedRunner` fans a :class:`~repro.engine.planner.ShardPlan`'s
-  ranges out to forked worker processes (``ProcessPoolExecutor`` with
-  the ``fork`` start method, so the immutable CSR graph is shared
-  copy-on-write instead of pickled), streams each shard's CSR fragment
-  back as it completes, and reassembles them in shard order — the result
-  is asserted byte-identical to the serial keyed pass.
+  ranges out over a pluggable :class:`~repro.engine.transport.ShardTransport`
+  — inline, forked worker processes (the default), or remote socket
+  workers — streams each shard's CSR fragment back as it completes, and
+  reassembles them in shard order; the result is asserted byte-identical
+  to the serial keyed pass *whatever the transport*.
 * The pairwise N1 stage reduces over shard *blocks*: pairs are grouped
   by the ``(shard(a), shard(b))`` block they span, each block stacks only
   its two fragments and re-chooses the counting backend for its own
-  shape (bitset popcount and merge partials reduce by disjoint scatter;
-  the Gram backend reduces via per-block sparse products), and the
-  partial counts scatter into the global answer. The per-block backend
-  choices are surfaced in ``EngineResult.details["shards"]``.
+  shape, and the partial counts scatter into the global answer.
+  :meth:`ShardedRunner.run_workload` pushes *diagonal* blocks — pairs
+  whose endpoints live in one shard — into the workers themselves:
+  a shard touched only by diagonal pairs returns row sizes and reduced
+  ``N1`` scalars instead of its noisy fragment, which is the traffic
+  halving that makes remote workers pay on pair-dense workloads.
 
 Fault tolerance (see ``docs/resilience-guide.md``)
 --------------------------------------------------
 Because a shard task is a pure function of its arguments, a failed or
 slow task can be re-dispatched anywhere, any number of times, with zero
 privacy cost and zero result drift — retries replay the identical keyed
-draw instead of collecting fresh noise. :meth:`ShardedRunner.draw`
-therefore wraps every task in a resilience envelope:
+draw instead of collecting fresh noise. Every draw runs under the
+transport-agnostic retry driver (:func:`~repro.engine.transport.drive`):
+wave-scaled deadlines, keyed-Philox backoff jitter, CRC32 payload
+verification, fault classification, substrate recycling, and terminal
+inline degradation in the parent. Everything the envelope did is
+reported in :attr:`ShardDraw.faults` (and surfaced by the engine as
+``details["shards"]["faults"]``); lifetime counters — including
+per-transport ``"<name>:<kind>"`` breakdowns — accumulate in
+:attr:`ShardedRunner.fault_totals`. A deterministic chaos harness for
+all of it lives in :mod:`repro.engine.faults`.
 
-* a per-task deadline (``timeout_s``) bounds each fragment's
-  *execution*: a retry round waits one deadline per execution wave
-  (``ceil(tasks / max_workers)``), so a task queued behind other shards
-  is never charged for queue time and the round's total wall wait stays
-  bounded by ``waves * timeout_s``;
-* worker death (``BrokenProcessPool``), deadline expiry, transport
-  errors and payload-checksum mismatches all classify as *worker
-  faults*: the failed ranges are re-dispatched to a **rebuilt** pool
-  under capped exponential backoff whose jitter comes from the keyed
-  Philox stream (deterministic per ``(entropy, epoch, attempt)``, never
-  wall-clock randomness) — up to ``max_retries`` rounds;
-* after the retry budget is exhausted, the remaining ranges degrade to
-  inline single-process execution in the parent — the terminal fallback
-  that cannot fail the way a worker can;
-* every ``SharedMemory`` fragment name is parent-chosen and registered
-  *before* dispatch, so a worker dying between ``shm.create`` and the
-  parent's fetch cannot leak the segment: failure paths sweep the
-  registry, and :meth:`ShardedRunner.close` performs a final sweep after
-  joining any zombie workers.
-
-Everything the envelope did is reported in :attr:`ShardDraw.faults`
-(and surfaced by the engine as ``details["shards"]["faults"]``):
-re-dispatches, backoff waits, deadline expiries, worker deaths, payload
-errors, degraded ranges and reclaimed segments. A deterministic chaos
-harness for all of it lives in :mod:`repro.engine.faults`.
-
-Workers inherit the graph at fork time; only the small per-range vertex
-slices and the returned fragments cross the process boundary. Platforms
+The fork transport's workers inherit the graph at fork time; socket
+workers install it once over the wire, keyed by digest. Platforms
 without ``fork`` (and single-worker runners) execute the same code path
-inline, so the runner is always safe to use — it degrades to
-:func:`~repro.engine.bulkrr.shard_bulk_randomized_response`.
+inline, so the runner is always safe to use.
 
-See ``docs/sharding-guide.md`` for the determinism contract, the memory
-sizing model, and when *not* to shard.
+See ``docs/sharding-guide.md`` for the determinism contract and
+``docs/distributed-guide.md`` for the transport contract.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import time
-import tracemalloc
-import weakref
-import zlib
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from concurrent.futures import wait as _wait_futures
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from multiprocessing import resource_tracker, shared_memory
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.engine.bulkrr import (
-    keyed_bulk_randomized_response,
-    merge_csr_fragments,
-)
-from repro.engine.faults import FAULT_EXIT_CODE, FaultPlan
+from repro.engine.bulkrr import merge_csr_fragments
 from repro.engine.pairwise import choose_backend, pairwise_intersections
 from repro.engine.planner import ShardPlan
-from repro.errors import GraphError, PayloadIntegrityError, ProtocolError
+from repro.engine.transport import (
+    _WORKER_CONTEXTS,  # noqa: F401  (re-exported: tests and tools patch here)
+    ForkTransport,
+    InlineTransport,
+    RetryPolicy,
+    ShardSpec,
+    ShardTransport,
+    SocketTransport,
+    drive,
+    empty_faults as _empty_faults,
+    fork_available,
+    make_transport,
+)
+from repro.errors import GraphError, ProtocolError
 from repro.graph.bipartite import BipartiteGraph, Layer
 
-__all__ = ["ShardDraw", "ShardedRunner", "fork_available"]
-
-# Worker-side context registry. Entries are registered in the parent
-# *before* its pool forks, so every worker inherits them copy-on-write;
-# tasks then reference their context by token instead of pickling the
-# graph per range.
-_WORKER_CONTEXTS: dict[int, tuple[BipartiteGraph, Layer]] = {}
-_NEXT_TOKEN = 0
-
-# Keyed-stream domain tag for retry-backoff jitter ("BACK"): the jitter
-# that decorrelates retry stampedes must itself be deterministic per
-# (entropy, epoch, attempt), or reruns of the same failure schedule
-# would not be reproducible.
-_BACKOFF_TAG = 0x4241434B
-
-# Exceptions that classify as *worker faults* — transient, re-dispatchable
-# failures of the execution substrate rather than of the draw itself.
-# Anything else (a PrivacyError from bad epsilon, a GraphError) is a real
-# bug and propagates immediately after the segment sweep.
-_WORKER_FAULTS = (
-    BrokenProcessPool,
-    FutureTimeoutError,
-    TimeoutError,
-    PayloadIntegrityError,
-    OSError,
-)
-
-
-def _fault_kind(exc: BaseException) -> str:
-    """Map a caught worker fault to its ``faults`` counter key.
-
-    The deadline check precedes the transport bucket because
-    ``TimeoutError`` is an ``OSError`` subclass.
-    """
-    if isinstance(exc, (FutureTimeoutError, TimeoutError)):
-        return "timeouts"
-    if isinstance(exc, PayloadIntegrityError):
-        return "payload_errors"
-    return "worker_deaths"
-
-
-# Bounded grace for joining worker pools at close/release time. A worker
-# that never exits is exactly the stall ``timeout_s`` defends against,
-# so teardown escalates to terminate (then kill) instead of inheriting
-# the hang — close() and interpreter shutdown must stay bounded.
-_JOIN_GRACE_S = 5.0
-
-
-def fork_available() -> bool:
-    """True when the ``fork`` start method exists on this platform."""
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def _columns_checksum(columns: np.ndarray) -> int:
-    """CRC32 of a fragment's column bytes — the shm transport integrity tag."""
-    return int(zlib.crc32(np.ascontiguousarray(columns)))
-
-
-def _draw_range(
-    token: int,
-    vertices: np.ndarray,
-    epsilon: float,
-    entropy: int,
-    epoch: int,
-    measure: bool,
-    shm_name: str | None,
-    shard_index: int,
-    attempt: int,
-    versions: np.ndarray | None = None,
-) -> tuple:
-    """One shard's keyed draw (runs in a worker, or inline when serial).
-
-    Returns ``(indptr, payload, size, peak_bytes, checksum)``. In-process
-    calls (``shm_name is None``) return the columns array itself as
-    ``payload``; pool calls write the columns into a ``SharedMemory``
-    block *created under the parent-chosen name* and return that name —
-    shipping multi-MB fragments through the result pipe interleaves
-    64 KiB reads with the other workers' compute and costs ~40% of the
-    draw, while an shm handoff is one parent-side memcpy after the
-    workers finish. The parent owning the name is what makes the handoff
-    leak-proof: a worker that dies after ``create`` leaves a segment the
-    parent already knows how to unlink. ``checksum`` is the CRC32 of the
-    column bytes, verified parent-side after the copy. ``peak_bytes`` is
-    the tracemalloc high-water mark of the draw when ``measure`` is set
-    (the benchmark's per-worker memory probe), else 0.
-
-    ``shard_index``/``attempt`` identify the task to the chaos hook: a
-    :class:`~repro.engine.faults.FaultPlan` installed in the parent's
-    environment (inherited across the fork) can deterministically kill,
-    delay or poison chosen ``(shard, attempt)`` tasks. Faults apply only
-    to pool tasks — inline execution has no worker to kill and no shm
-    payload to poison, which is exactly why it is the terminal fallback.
-    """
-    graph, layer = _WORKER_CONTEXTS[token]
-    action = None
-    if shm_name is not None:
-        plan = FaultPlan.from_env()
-        if plan is not None:
-            action = plan.action_for(shard_index, attempt)
-    if action is not None and action.kind == "kill":
-        os._exit(FAULT_EXIT_CODE)
-    if action is not None and action.kind == "delay":
-        time.sleep(action.delay_s)
-    if measure:
-        tracemalloc.start()
-    indptr, columns = keyed_bulk_randomized_response(
-        graph, layer, vertices, epsilon, entropy=entropy, epoch=epoch,
-        versions=versions,
-    )
-    peak = 0
-    if measure:
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-    checksum = _columns_checksum(columns)
-    if shm_name is None:
-        return indptr, columns, int(columns.size), int(peak), checksum
-    block = shared_memory.SharedMemory(
-        create=True, name=shm_name, size=max(1, columns.nbytes)
-    )
-    np.ndarray(columns.shape, dtype=np.int64, buffer=block.buf)[:] = columns
-    if action is not None and action.kind == "poison":
-        # Corrupt the transported payload *after* the checksum was taken
-        # from the good draw, so the parent's verification must catch it.
-        if columns.nbytes:
-            view = np.ndarray(columns.shape, dtype=np.int64, buffer=block.buf)
-            view[0] = ~view[0]
-        else:
-            checksum ^= 1
-    block.close()  # parent unlinks after copying
-    if action is not None and action.kind == "kill_after_write":
-        os._exit(FAULT_EXIT_CODE)  # the leak window the registry sweep covers
-    return indptr, shm_name, int(columns.size), int(peak), checksum
-
-
-def _sweep_segments(names: set[str], *, drop_missing: bool) -> int:
-    """Unlink every registered segment that exists; return the count.
-
-    Names whose segment does not (yet) exist are kept in the registry
-    unless ``drop_missing`` — a delayed zombie worker may still create
-    its segment later, and only :meth:`ShardedRunner.close` (which joins
-    every worker first) can prove nobody ever will.
-    """
-    reclaimed = 0
-    for name in list(names):
-        try:
-            block = shared_memory.SharedMemory(name=name)
-        except FileNotFoundError:
-            if drop_missing:
-                names.discard(name)
-            continue
-        block.close()
-        try:
-            block.unlink()
-        except FileNotFoundError:  # pragma: no cover - raced another sweep
-            pass
-        names.discard(name)
-        reclaimed += 1
-    return reclaimed
-
-
-def _join_pool(pool: ProcessPoolExecutor, grace_s: float | None = None) -> None:
-    """Join a pool's workers under a bounded grace, then force the rest.
-
-    Healthy workers drain and exit within the grace; a permanently
-    wedged one — the stall ``timeout_s`` exists to defend against — is
-    terminated (and, failing that, killed) so close() and interpreter
-    shutdown never inherit the hang.
-    """
-    if grace_s is None:
-        grace_s = _JOIN_GRACE_S
-    procs = list((getattr(pool, "_processes", None) or {}).values())
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:  # pragma: no cover - broken pools may object
-        pass
-    deadline = time.monotonic() + grace_s
-    for proc in procs:
-        proc.join(timeout=max(0.0, deadline - time.monotonic()))
-    for proc in procs:
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(timeout=1.0)
-        if proc.is_alive():  # pragma: no cover - SIGTERM-immune worker
-            proc.kill()
-            proc.join(timeout=1.0)
-
-
-def _release_runner(
-    token: int, pool_box: list, retired: list, segments: set
-) -> None:
-    """Free a runner's worker pools, context registration and segments.
-
-    Shared by :meth:`ShardedRunner.close` and the runner's GC finalizer,
-    so a runner dropped without ``close()`` (pre-sharding call sites
-    never needed one) cannot pin its graph in ``_WORKER_CONTEXTS``,
-    leave worker processes behind for the interpreter's lifetime, or
-    strand ``/dev/shm`` segments created by zombie workers. Retired
-    pools (torn down with ``wait=False`` after a fault) are joined here
-    under :data:`_JOIN_GRACE_S`, with stragglers terminated, so every
-    would-be segment creator is provably gone — without an unbounded
-    wait — before the final sweep.
-    """
-    pool = pool_box[0]
-    if pool is not None:
-        _join_pool(pool)
-        pool_box[0] = None
-    for old_pool, _names in retired:
-        _join_pool(old_pool)
-    retired.clear()
-    _WORKER_CONTEXTS.pop(token, None)
-    _sweep_segments(segments, drop_missing=True)
-
-
-def _empty_faults() -> dict:
-    return {
-        "retries": 0,  # task re-dispatches to a rebuilt pool
-        "timeouts": 0,  # per-task deadline expiries
-        "worker_deaths": 0,  # BrokenProcessPool / dead workers
-        "payload_errors": 0,  # checksum mismatches on the shm handoff
-        "backoff_s": [],  # keyed-jitter waits before each retry round
-        "degraded_ranges": [],  # ranges that fell back to inline execution
-        "reclaimed_segments": 0,  # orphaned shm segments swept and unlinked
-    }
+__all__ = [
+    "ShardDraw",
+    "WorkloadDraw",
+    "ShardedRunner",
+    "fork_available",
+    "make_transport",
+]
 
 
 @dataclass
@@ -329,41 +94,53 @@ class ShardDraw:
     faults: dict = field(default_factory=_empty_faults)
 
 
+@dataclass
+class WorkloadDraw:
+    """One transport-aware workload execution: sizes, pair counts, traffic.
+
+    The in-worker-reduction counterpart of :class:`ShardDraw`: instead
+    of one reassembled CSR, it carries exactly what the engine's pair
+    pipeline needs — per-row noisy ``sizes`` (for ``N2`` and upload
+    accounting) and per-pair ``n1`` — plus the transport accounting
+    (``transport["bytes_to_parent"]`` et al.) that
+    ``details["shards"]["transport"]`` surfaces. ``indptr``/``columns``
+    are populated only when the caller asked to keep fragments.
+    """
+
+    sizes: np.ndarray
+    n1: np.ndarray
+    shards: list[dict] = field(default_factory=list)
+    faults: dict = field(default_factory=_empty_faults)
+    blocks: list[dict] = field(default_factory=list)
+    transport: dict = field(default_factory=dict)
+    indptr: np.ndarray | None = None
+    columns: np.ndarray | None = None
+
+
 class ShardedRunner:
-    """Fan a shard plan's vertex ranges out to forked worker processes.
+    """Fan a shard plan's vertex ranges out over a shard transport.
 
     Parameters
     ----------
     graph, layer:
-        The serving context the runner is bound to. The graph is
-        registered for copy-on-write inheritance before the pool forks;
-        a runner never serves a different graph.
+        The serving context the runner is bound to. The transport is
+        bound to it before any work dispatches (fork: copy-on-write
+        registration pre-fork; socket: digest-keyed install on first
+        contact); a runner never serves a different graph.
     max_workers:
-        Worker process cap. Defaults to ``os.cpu_count()``; a cap of 1
-        (or a platform without ``fork``) runs every range inline in the
-        parent — same output, no processes.
-    timeout_s:
-        Per-task execution deadline in seconds. Each retry round waits
-        one deadline per execution *wave* (``ceil(tasks /
-        max_workers)`` waves), so a task queued behind other shards is
-        not charged for its queue time and the round's wall wait is
-        bounded by ``waves * timeout_s`` rather than ``tasks *
-        timeout_s``. Tasks unfinished at the round deadline classify as
-        worker faults and are re-dispatched; ``None`` waits
-        indefinitely (the pre-resilience behavior).
-    max_retries:
-        Re-dispatch rounds against a rebuilt pool before the remaining
-        ranges degrade to inline execution. ``0`` degrades immediately
-        on the first fault.
-    backoff_base_s, backoff_cap_s:
-        Exponential backoff before retry round ``r`` waits
-        ``min(cap, base * 2**(r-1))`` scaled by a jitter factor in
-        ``[0.5, 1.0]`` drawn from the keyed Philox stream (key
-        ``[entropy ^ BACKOFF_TAG]``, counter ``[attempt, epoch]``) — the
-        schedule is deterministic per draw, not wall-clock random.
-    verify_payloads:
-        Verify the CRC32 of every fragment copied out of shared memory
-        (on by default; the benchmark's overhead knob).
+        Worker cap for the default fork transport. Defaults to
+        ``os.cpu_count()``; a cap of 1 (or a platform without ``fork``)
+        runs every range inline in the parent — same output, no
+        processes. Ignored when an explicit ``transport`` is given.
+    timeout_s, max_retries, backoff_base_s, backoff_cap_s, verify_payloads:
+        The resilience envelope's knobs — see
+        :class:`~repro.engine.transport.RetryPolicy`. They apply to
+        every transport identically.
+    transport:
+        An explicit :class:`~repro.engine.transport.ShardTransport`
+        (e.g. a :class:`~repro.engine.transport.SocketTransport` over a
+        remote cluster). The runner owns it from here: ``close()``
+        closes it, ``rebind()`` re-binds it.
 
     Raises
     ------
@@ -397,220 +174,231 @@ class ShardedRunner:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         verify_payloads: bool = True,
+        transport: ShardTransport | None = None,
     ):
-        global _NEXT_TOKEN
         if max_workers is not None and max_workers <= 0:
             raise ProtocolError(
                 f"max_workers must be positive, got {max_workers}"
             )
-        if timeout_s is not None and timeout_s <= 0:
-            raise ProtocolError(f"timeout_s must be positive, got {timeout_s}")
-        if max_retries < 0:
-            raise ProtocolError(f"max_retries must be >= 0, got {max_retries}")
-        if backoff_base_s < 0 or backoff_cap_s < 0:
-            raise ProtocolError("backoff parameters must be >= 0")
         self.graph = graph
         self.layer = layer
+        self.policy = RetryPolicy(
+            timeout_s=timeout_s,
+            max_retries=int(max_retries),
+            backoff_base_s=float(backoff_base_s),
+            backoff_cap_s=float(backoff_cap_s),
+            verify_payloads=bool(verify_payloads),
+        )
+        if transport is None:
+            transport = ForkTransport(max_workers=max_workers)
+        self.transport = transport
         self.max_workers = (
-            max_workers if max_workers is not None else (os.cpu_count() or 1)
+            max_workers if max_workers is not None else transport.workers
         )
-        self.timeout_s = timeout_s
-        self.max_retries = int(max_retries)
-        self.backoff_base_s = float(backoff_base_s)
-        self.backoff_cap_s = float(backoff_cap_s)
-        self.verify_payloads = bool(verify_payloads)
+        transport.bind(graph, layer)
         # Lifetime fault counters across every draw (the serving report
-        # reads these to make degraded behavior visible from the CLI).
+        # reads these to make degraded behavior visible from the CLI);
+        # alongside the plain keys, each count also accumulates under a
+        # "<transport>:<kind>" key so mixed-transport servers can see
+        # which substrate faulted.
         self.fault_totals: Counter = Counter()
-        # Register before any pool can fork so workers inherit the graph.
-        self._token = _NEXT_TOKEN
-        _NEXT_TOKEN += 1
-        _WORKER_CONTEXTS[self._token] = (graph, layer)
-        # The pool lives in a one-slot box so the GC finalizer can free
-        # it without holding a reference to the runner itself; pools torn
-        # down after a fault are parked in `_retired` as `(pool, names)`
-        # — the segment names their zombie workers might still create —
-        # reaped once every worker has exited, and force-joined (bounded)
-        # at close time. `_segments` holds every parent-issued shm name
-        # not yet unlinked.
-        self._pool_box: list = [None]
-        self._retired: list = []
-        self._segments: set[str] = set()
-        self._seq = 0
         self._closed = False
-        self._finalizer = weakref.finalize(
-            self,
-            _release_runner,
-            self._token,
-            self._pool_box,
-            self._retired,
-            self._segments,
-        )
 
-    # ------------------------------------------------------------------
+    # -- resilience-knob views (kept as mutable attributes of record) --
+    @property
+    def timeout_s(self) -> float | None:
+        return self.policy.timeout_s
+
+    @timeout_s.setter
+    def timeout_s(self, value: float | None) -> None:
+        self.policy = replace(self.policy, timeout_s=value)
+
+    @property
+    def max_retries(self) -> int:
+        return self.policy.max_retries
+
+    @max_retries.setter
+    def max_retries(self, value: int) -> None:
+        self.policy = replace(self.policy, max_retries=int(value))
+
+    @property
+    def backoff_base_s(self) -> float:
+        return self.policy.backoff_base_s
+
+    @backoff_base_s.setter
+    def backoff_base_s(self, value: float) -> None:
+        self.policy = replace(self.policy, backoff_base_s=float(value))
+
+    @property
+    def backoff_cap_s(self) -> float:
+        return self.policy.backoff_cap_s
+
+    @backoff_cap_s.setter
+    def backoff_cap_s(self, value: float) -> None:
+        self.policy = replace(self.policy, backoff_cap_s=float(value))
+
+    @property
+    def verify_payloads(self) -> bool:
+        return self.policy.verify_payloads
+
+    @verify_payloads.setter
+    def verify_payloads(self, value: bool) -> None:
+        self.policy = replace(self.policy, verify_payloads=bool(value))
+
+    # -- transport delegations (and fork-internals compatibility) ------
     @property
     def parallel(self) -> bool:
-        """True when draws actually fan out to worker processes."""
-        return self.max_workers > 1 and fork_available()
+        """True when draws actually fan out to workers."""
+        return self.transport.parallel
 
-    def _ensure_pool(self, num_tasks: int) -> ProcessPoolExecutor | None:
-        if not self.parallel or num_tasks <= 1:
-            return None
-        if self._pool_box[0] is None:
-            # Start the shm resource tracker *before* forking so every
-            # worker inherits it: create (worker) and unlink (parent)
-            # then talk to one tracker and nothing is reported leaked.
-            # Sized by the worker cap alone — workers fork lazily on
-            # demand, and sizing by the first draw's range count would
-            # permanently under-parallelize every later, larger draw.
-            resource_tracker.ensure_running()
-            self._pool_box[0] = ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                mp_context=multiprocessing.get_context("fork"),
-            )
-        return self._pool_box[0]
+    @property
+    def _token(self):
+        return getattr(self.transport, "_token", None)
 
-    def _retire_pool(self, zombie_names: set[str]) -> None:
-        """Tear the current pool down without waiting (it is suspect).
+    @property
+    def _segments(self) -> set:
+        return getattr(self.transport, "_segments", set())
 
-        A stuck or dead pool must not block the retry path, so teardown
-        is non-blocking; the executor is parked in ``_retired`` together
-        with ``zombie_names`` — the parent-issued segment names its
-        workers might still create. :meth:`_reap_retired` drops the pool
-        (and any of its names that never materialized) once every worker
-        has provably exited; :meth:`close` force-joins whatever is left
-        under a bounded grace.
-        """
-        pool = self._pool_box[0]
-        if pool is None:
-            return
-        self._pool_box[0] = None
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # pragma: no cover - broken pools may object
-            pass
-        self._retired.append((pool, set(zombie_names)))
+    @property
+    def _retired(self) -> list:
+        return getattr(self.transport, "_retired", [])
 
     def _reap_retired(self) -> int:
-        """Reap retired pools whose workers all exited; returns reclaimed.
-
-        Non-blocking: pools with a still-live worker are kept. A dead
-        pool can never create another segment, so whichever of its
-        registered names exist are unlinked and the still-missing ones
-        leave the registry for good — without this, a long-running
-        server with recurring worker faults would grow ``_segments``
-        without bound (one name per dispatch whose worker died before
-        ``shm.create``).
-        """
-        reclaimed = 0
-        survivors = []
-        for pool, names in self._retired:
-            procs = list((getattr(pool, "_processes", None) or {}).values())
-            if any(proc.is_alive() for proc in procs):
-                survivors.append((pool, names))
-                continue
-            doomed = names & self._segments
-            reclaimed += _sweep_segments(doomed, drop_missing=True)
-            self._segments -= names
-        self._retired[:] = survivors
-        return reclaimed
-
-    def _new_segment_name(self, shard: int, attempt: int) -> str:
-        """A fresh parent-owned shm name, registered before dispatch.
-
-        Including the attempt keeps a retry's segment distinct from one
-        a delayed zombie dispatch of the same shard may create later.
-        """
-        self._seq += 1
-        name = f"repro_{os.getpid():x}_{self._seq:x}_{shard}_{attempt}"
-        self._segments.add(name)
-        return name
-
-    def _backoff_wait(self, entropy: int, epoch: int, attempt: int) -> float:
-        """Capped exponential backoff, jittered from the keyed stream."""
-        base = min(
-            self.backoff_cap_s, self.backoff_base_s * (2 ** max(0, attempt - 1))
-        )
-        if base <= 0:
-            return 0.0
-        bitgen = np.random.Philox(
-            counter=[int(attempt), int(epoch), 0, 0],
-            key=[int(entropy) ^ _BACKOFF_TAG, _BACKOFF_TAG],
-        )
-        jitter = 0.5 + 0.5 * float(np.random.Generator(bitgen).random())
-        return base * jitter
-
-    def _fetch_verified(self, payload, size: int, checksum: int) -> np.ndarray:
-        """Materialize a task's columns, unlinking and verifying its segment.
-
-        Raises
-        ------
-        PayloadIntegrityError
-            If the copied bytes fail checksum verification (the segment
-            is already unlinked either way — a corrupt fragment must not
-            outlive its detection).
-        """
-        if isinstance(payload, np.ndarray):
-            return payload
-        block = shared_memory.SharedMemory(name=payload)
-        try:
-            columns = np.ndarray((size,), dtype=np.int64, buffer=block.buf).copy()
-        finally:
-            block.close()
-            try:
-                block.unlink()
-            except FileNotFoundError:  # pragma: no cover - raced a sweep
-                pass
-            self._segments.discard(payload)
-        if self.verify_payloads and _columns_checksum(columns) != checksum:
-            raise PayloadIntegrityError(
-                f"shard fragment {payload!r} failed checksum verification "
-                f"({size} ids)"
-            )
-        return columns
+        return self.transport.reap()
 
     def close(self) -> None:
-        """Shut every worker pool down and sweep the segment registry.
+        """Shut the transport down and sweep its resources.
 
-        Idempotent. Retired pools (torn down after faults) are joined
-        here under a bounded grace — a zombie worker still holding a
-        delayed task gets :data:`_JOIN_GRACE_S` to finish, after which
-        it is terminated — so every would-be segment creator is
-        provably gone before the final registry sweep, and a
-        permanently wedged worker cannot hang shutdown. A closed runner
-        may be used again: the next :meth:`draw` re-registers its
-        context and forks a fresh pool, so a restarted server reuses its
-        runner safely. A runner dropped *without* ``close()`` is
-        released by its GC finalizer.
+        Idempotent, and safe on a transport that never started (a
+        serve-mode runner whose first tick never arrived). A closed
+        runner may be used again: the next :meth:`draw` re-binds the
+        transport — re-registering the fork context / reconnecting
+        sockets — so a restarted server reuses its runner safely. A
+        runner dropped *without* ``close()`` is released by the fork
+        transport's GC finalizer.
         """
-        _release_runner(
-            self._token, self._pool_box, self._retired, self._segments
-        )
+        self.transport.close()
         self._closed = True
 
     def rebind(self, graph: BipartiteGraph) -> None:
         """Point the runner at a new graph snapshot (post-mutation).
 
-        Workers hold the old graph through fork-time copy-on-write, so a
-        live pool cannot see the swap: the current pool is joined (its
-        workers drained under the bounded grace) and dropped, and the
-        next :meth:`draw` forks fresh workers that inherit the rebound
-        context. A no-op when ``graph`` is already the bound snapshot.
+        Delegates to the transport: the fork pool drains and re-forks so
+        copy-on-write workers cannot serve the stale snapshot; socket
+        workers re-install lazily on digest mismatch. A no-op when
+        ``graph`` is already the bound snapshot.
         """
         if graph is self.graph:
             return
-        pool = self._pool_box[0]
-        if pool is not None:
-            _join_pool(pool)
-            self._pool_box[0] = None
         self.graph = graph
-        _WORKER_CONTEXTS[self._token] = (graph, self.layer)
+        self.transport.bind(graph, self.layer)
 
     def __enter__(self) -> "ShardedRunner":
         return self
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    def _check_versions(
+        self, plan: ShardPlan, versions: np.ndarray | None
+    ) -> np.ndarray | None:
+        if versions is None:
+            return None
+        versions = np.ascontiguousarray(versions, dtype=np.uint64)
+        if versions.shape != plan.vertices.shape:
+            raise GraphError(
+                "versions must align with the shard plan's vertices: "
+                f"got {versions.shape} for {plan.vertices.shape}"
+            )
+        return versions
+
+    def _build_specs(
+        self,
+        plan: ShardPlan,
+        epsilon: float,
+        entropy: int,
+        epoch: int,
+        versions: np.ndarray | None,
+        measure: bool,
+    ) -> list[ShardSpec]:
+        return [
+            ShardSpec(
+                shard=s,
+                lo=int(lo),
+                hi=int(hi),
+                vertices=plan.vertices[lo:hi],
+                epsilon=float(epsilon),
+                entropy=int(entropy),
+                epoch=int(epoch),
+                versions=None if versions is None else versions[lo:hi],
+                measure=measure,
+            )
+            for s, (lo, hi) in enumerate(plan.ranges())
+        ]
+
+    def _record_faults(self, faults: dict, *, degraded: bool = True) -> None:
+        ints = {k: v for k, v in faults.items() if isinstance(v, int)}
+        self.fault_totals.update(ints)
+        name = self.transport.name
+        self.fault_totals.update({f"{name}:{k}": v for k, v in ints.items()})
+        if degraded:
+            n = len(faults["degraded_ranges"])
+            self.fault_totals["degraded_ranges"] += n
+            self.fault_totals[f"{name}:degraded_ranges"] += n
+
+    def _drive(
+        self,
+        specs: list[ShardSpec],
+        entropy: int,
+        epoch: int,
+        faults: dict,
+        dispatches: Counter,
+    ) -> dict:
+        if self._closed:
+            self._closed = False
+        self.transport.bind(self.graph, self.layer)
+        try:
+            return drive(
+                self.transport,
+                self.graph,
+                self.layer,
+                specs,
+                self.policy,
+                entropy=int(entropy),
+                epoch=int(epoch),
+                faults=faults,
+                dispatches=dispatches,
+            )
+        except BaseException:
+            # A deterministic bug escaped the envelope: record what the
+            # envelope did before it died, then propagate.
+            self._record_faults(faults, degraded=False)
+            raise
+
+    def _shard_records(
+        self,
+        plan: ShardPlan,
+        results: dict,
+        dispatches: Counter,
+        faults: dict,
+    ) -> list[dict]:
+        degraded = {
+            (int(lo), int(hi)) for lo, hi in faults["degraded_ranges"]
+        }
+        return [
+            {
+                "range": (int(lo), int(hi)),
+                "vertices": int(hi - lo),
+                "noisy_ids": int(results[s].sizes.sum()),
+                "est_bytes": int(plan.est_bytes[s]),
+                "peak_bytes": int(results[s].peak_bytes),
+                "attempts": int(dispatches[s]),
+                "degraded": (int(lo), int(hi)) in degraded,
+                "reduced": results[s].columns is None,
+            }
+            for s, (lo, hi) in enumerate(plan.ranges())
+        ]
 
     # ------------------------------------------------------------------
     def draw(
@@ -625,192 +413,217 @@ class ShardedRunner:
     ) -> ShardDraw:
         """Draw every shard's keyed rows and reassemble them in shard order.
 
-        Ranges are submitted to the pool together and their CSR fragments
-        stream back as each worker finishes; the reassembled
+        Ranges are submitted to the transport together and their CSR
+        fragments stream back as each worker finishes; the reassembled
         ``(indptr, columns)`` is byte-identical to the unsharded keyed
         pass whatever the plan's boundaries (every vertex owns a private
         counter stream) — **and whatever faults occur**: a range whose
         worker dies, stalls past ``timeout_s``, or returns a corrupt
-        fragment is re-dispatched to a rebuilt pool (capped keyed-jitter
-        backoff, up to ``max_retries`` rounds) and finally drawn inline,
-        replaying the identical keyed stream each time. Per-shard
-        provenance — vertex range, drawn ids, planner byte estimate,
-        dispatch attempts, degraded flag, and (with ``measure_memory``)
-        the worker's tracemalloc peak — lands in :attr:`ShardDraw.shards`;
-        everything the resilience envelope did lands in
-        :attr:`ShardDraw.faults`.
+        fragment is re-dispatched (capped keyed-jitter backoff, up to
+        ``max_retries`` rounds) and finally drawn inline, replaying the
+        identical keyed stream each time. Per-shard provenance lands in
+        :attr:`ShardDraw.shards`; everything the resilience envelope did
+        lands in :attr:`ShardDraw.faults`.
 
         Raises
         ------
         ReproError
             Non-fault worker exceptions (a :class:`PrivacyError` from a
             bad epsilon, a :class:`GraphError`) are *not* retried: they
-            propagate after the segment sweep, because re-dispatching a
+            propagate after the resource sweep, because re-dispatching a
             deterministic bug reproduces it.
         """
-        if self._closed:
-            # Re-open: register the context again before any pool forks.
-            _WORKER_CONTEXTS[self._token] = (self.graph, self.layer)
-            self._closed = False
-        if versions is not None:
-            versions = np.ascontiguousarray(versions, dtype=np.uint64)
-            if versions.shape != plan.vertices.shape:
-                raise GraphError(
-                    "versions must align with the shard plan's vertices: "
-                    f"got {versions.shape} for {plan.vertices.shape}"
-                )
-        ranges = plan.ranges()
-        faults = _empty_faults()
-        # Earlier draws' retired pools may have finished dying since:
-        # reap them now so recurring faults cannot grow the registry.
-        faults["reclaimed_segments"] += self._reap_retired()
-        results: dict[int, tuple] = {}  # shard -> (indptr, columns, size, peak)
-        dispatches: Counter = Counter()
-        pending: dict[int, tuple[int, int]] = dict(enumerate(ranges))
-        pool = self._ensure_pool(len(ranges))
-
-        if pool is not None:
-            attempt = 0
-            while pending and attempt <= self.max_retries:
-                if attempt:
-                    wait = self._backoff_wait(entropy, epoch, attempt)
-                    faults["backoff_s"].append(round(wait, 6))
-                    faults["retries"] += len(pending)
-                    if wait > 0:
-                        time.sleep(wait)
-                    pool = self._ensure_pool(len(ranges))
-                submitted: dict[int, object] = {}
-                round_names: dict[int, str] = {}
-                failed: dict[int, tuple[int, int]] = {}
-                for s, (lo, hi) in pending.items():
-                    name = self._new_segment_name(s, attempt)
-                    try:
-                        future = pool.submit(
-                            _draw_range,
-                            self._token,
-                            plan.vertices[lo:hi],
-                            float(epsilon),
-                            int(entropy),
-                            int(epoch),
-                            measure_memory,
-                            name,
-                            s,
-                            attempt,
-                            None if versions is None else versions[lo:hi],
-                        )
-                    except BrokenProcessPool as exc:
-                        # The pool died mid-submission: the task never
-                        # reached a worker, so nobody can ever create
-                        # this segment — drop its name immediately.
-                        faults[_fault_kind(exc)] += 1
-                        self._segments.discard(name)
-                        failed[s] = (lo, hi)
-                        continue
-                    dispatches[s] += 1
-                    submitted[s] = future
-                    round_names[s] = name
-                # One wait for the whole round. The deadline bounds a
-                # task's *execution*, not its queue position: with more
-                # ranges than workers a queued task is healthy, so the
-                # round gets one timeout per execution wave the pool
-                # needs — which also caps the total wall wait at
-                # waves * timeout_s instead of tasks * timeout_s.
-                expired: set = set()
-                if submitted:
-                    if self.timeout_s is None:
-                        _wait_futures(list(submitted.values()))
-                    else:
-                        waves = -(-len(submitted) // self.max_workers)
-                        _, expired = _wait_futures(
-                            list(submitted.values()),
-                            timeout=self.timeout_s * waves,
-                        )
-                for s, future in submitted.items():
-                    if future in expired:
-                        faults["timeouts"] += 1
-                        failed[s] = pending[s]
-                        continue
-                    try:
-                        indptr, payload, size, peak, checksum = future.result()
-                        columns = self._fetch_verified(payload, size, checksum)
-                        results[s] = (indptr, columns, size, peak)
-                    except _WORKER_FAULTS as exc:
-                        faults[_fault_kind(exc)] += 1
-                        failed[s] = pending[s]
-                    except BaseException:
-                        # A deterministic bug, not a worker fault: sweep
-                        # the outstanding segments and let it propagate.
-                        faults["reclaimed_segments"] += _sweep_segments(
-                            self._segments, drop_missing=False
-                        )
-                        self.fault_totals.update(
-                            {
-                                k: v
-                                for k, v in faults.items()
-                                if isinstance(v, int)
-                            }
-                        )
-                        raise
-                if failed:
-                    # The pool is suspect (dead workers, or a stuck one
-                    # we cannot cancel): retire it with the names its
-                    # zombies might still create, rebuild next round,
-                    # and reclaim whatever orphaned segments exist now.
-                    self._retire_pool(
-                        {round_names[s] for s in failed if s in round_names}
-                    )
-                    faults["reclaimed_segments"] += _sweep_segments(
-                        self._segments, drop_missing=False
-                    )
-                    faults["reclaimed_segments"] += self._reap_retired()
-                pending = failed
-                attempt += 1
-            if pending:
-                # Terminal fallback: the remaining ranges run inline in
-                # the parent — single-process, no shm, cannot fault.
-                for s, (lo, hi) in sorted(pending.items()):
-                    faults["degraded_ranges"].append((int(lo), int(hi)))
-        for s, (lo, hi) in sorted(pending.items()):
-            indptr, columns, size, peak, _ = _draw_range(
-                self._token,
-                plan.vertices[lo:hi],
-                float(epsilon),
-                int(entropy),
-                int(epoch),
-                measure_memory,
-                None,
-                s,
-                -1,
-                None if versions is None else versions[lo:hi],
-            )
-            dispatches[s] += 1
-            results[s] = (indptr, columns, size, peak)
-
-        fragments = [
-            (results[s][0], results[s][1]) for s in range(len(ranges))
-        ]
-        indptr, columns = merge_csr_fragments(fragments)
-        degraded = {
-            (int(lo), int(hi)) for lo, hi in faults["degraded_ranges"]
-        }
-        shards = [
-            {
-                "range": (int(lo), int(hi)),
-                "vertices": int(hi - lo),
-                "noisy_ids": int(results[s][2]),
-                "est_bytes": int(plan.est_bytes[s]),
-                "peak_bytes": int(results[s][3]),
-                "attempts": int(dispatches[s]),
-                "degraded": (int(lo), int(hi)) in degraded,
-            }
-            for s, (lo, hi) in enumerate(ranges)
-        ]
-        self.fault_totals.update(
-            {k: v for k, v in faults.items() if isinstance(v, int)}
+        versions = self._check_versions(plan, versions)
+        specs = self._build_specs(
+            plan, epsilon, entropy, epoch, versions, measure_memory
         )
-        self.fault_totals["degraded_ranges"] += len(faults["degraded_ranges"])
+        faults = _empty_faults()
+        dispatches: Counter = Counter()
+        results = self._drive(specs, entropy, epoch, faults, dispatches)
+        indptr, columns = merge_csr_fragments(
+            [(results[s].indptr, results[s].columns) for s in sorted(results)]
+        )
+        shards = self._shard_records(plan, results, dispatches, faults)
+        self._record_faults(faults)
         return ShardDraw(
             indptr=indptr, columns=columns, shards=shards, faults=faults
+        )
+
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        plan: ShardPlan,
+        epsilon: float,
+        *,
+        entropy: int,
+        epoch: int,
+        ia: np.ndarray,
+        ib: np.ndarray,
+        domain: int,
+        versions: np.ndarray | None = None,
+        measure_memory: bool = False,
+        keep_fragments: bool = False,
+    ) -> WorkloadDraw:
+        """Draw + pairwise in one transport-aware pass with in-worker blocks.
+
+        The workload-shaped sibling of :meth:`draw` + :meth:`pairwise`:
+        pairs whose endpoints both live in shard ``s`` (the *diagonal*
+        block) can be reduced by whoever draws shard ``s`` — and when
+        every pair touching ``s`` is diagonal, the shard's noisy
+        fragment never needs to reach the parent at all. Each such shard
+        is dispatched with its local pair slots and
+        ``want_fragment=False``; it answers with row sizes plus reduced
+        ``N1`` scalars (a few hundred bytes) instead of its noisy CSR
+        (megabytes at scale). Shards touched by any cross-shard pair
+        still return fragments, and the parent reduces the remaining
+        blocks exactly as :meth:`pairwise` does. The split is exact —
+        every backend counts true integer intersections — so the
+        returned ``n1`` is byte-identical to the ship-everything path,
+        on every transport, faults or not.
+
+        ``keep_fragments=True`` forces every fragment back (and fills
+        :attr:`WorkloadDraw.indptr`/``columns``) for callers that also
+        need the rows. The per-transport traffic ledger — bytes that
+        actually crossed to the parent, pairs reduced in-worker, bytes
+        the reduction saved — lands in :attr:`WorkloadDraw.transport`,
+        which the engine surfaces as ``details["shards"]["transport"]``.
+        """
+        versions = self._check_versions(plan, versions)
+        ia = np.asarray(ia, dtype=np.int64)
+        ib = np.asarray(ib, dtype=np.int64)
+        if ia.shape != ib.shape:
+            raise ProtocolError("ia and ib must have the same shape")
+        specs = self._build_specs(
+            plan, epsilon, entropy, epoch, versions, measure_memory
+        )
+        num_shards = plan.num_shards
+        offsets = plan.offsets
+        if ia.size:
+            sa = plan.shard_of_rows(ia)
+            sb = plan.shard_of_rows(ib)
+            diag = sa == sb
+        else:
+            sa = sb = np.empty(0, dtype=np.int64)
+            diag = np.empty(0, dtype=bool)
+        # A shard ships its fragment iff the parent still needs its rows:
+        # a cross-shard pair touches it, or the caller wants the CSR.
+        need_fragment = np.zeros(num_shards, dtype=bool)
+        if keep_fragments or not self.transport.can_reduce:
+            need_fragment[:] = True
+        elif ia.size:
+            off = ~diag
+            need_fragment[sa[off]] = True
+            need_fragment[sb[off]] = True
+        local_pairs: dict[int, np.ndarray] = {}
+        if ia.size:
+            local_mask = diag & ~need_fragment[sa]
+            for s in np.unique(sa[local_mask]):
+                sel = np.flatnonzero(local_mask & (sa == s))
+                lo = int(offsets[s])
+                specs[s] = replace(
+                    specs[s],
+                    domain=int(domain),
+                    ia=ia[sel] - lo,
+                    ib=ib[sel] - lo,
+                    want_fragment=False,
+                )
+                local_pairs[int(s)] = sel
+        for s in range(num_shards):
+            if s not in local_pairs and not need_fragment[s]:
+                # No pairs touch this shard at all: sizes are still
+                # needed (N2, upload accounting), the rows are not.
+                specs[s] = replace(specs[s], want_fragment=False)
+
+        faults = _empty_faults()
+        dispatches: Counter = Counter()
+        results = self._drive(specs, entropy, epoch, faults, dispatches)
+
+        # -- reassemble sizes, local N1, and the parent-side blocks ----
+        n = int(plan.vertices.size)
+        sizes = np.empty(n, dtype=np.int64)
+        for s, (lo, hi) in enumerate(plan.ranges()):
+            sizes[lo:hi] = results[s].sizes
+        n1 = np.zeros(ia.size, dtype=np.int64)
+        blocks: list[dict] = []
+        reduced_pairs = 0
+        for s, sel in sorted(local_pairs.items()):
+            res = results[s]
+            n1[sel] = res.n1
+            reduced_pairs += int(sel.size)
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            blocks.append(
+                {
+                    "block": (s, s),
+                    "rows": hi - lo,
+                    "pairs": int(sel.size),
+                    "backend": res.backend or "worker",
+                    "where": "worker",
+                }
+            )
+        # Parent-side blocks over the fragments that did ship. Shards
+        # that reduced in-worker hold empty rows in this CSR; no
+        # remaining pair indexes them, by construction.
+        lengths = np.zeros(n, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for s, (lo, hi) in enumerate(plan.ranges()):
+            res = results[s]
+            if res.columns is not None:
+                lengths[lo:hi] = res.sizes
+                chunks.append(res.columns)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        columns = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        if ia.size:
+            reduced_mask = np.zeros(ia.size, dtype=bool)
+            for sel in local_pairs.values():
+                reduced_mask[sel] = True
+            rest = np.flatnonzero(~reduced_mask)
+            if rest.size:
+                rest_n1, parent_blocks = self.pairwise(
+                    plan, indptr, columns, ia[rest], ib[rest], domain
+                )
+                n1[rest] = rest_n1
+                for rec in parent_blocks:
+                    rec["where"] = "parent"
+                blocks.extend(parent_blocks)
+
+        # -- traffic ledger --------------------------------------------
+        bytes_to_parent = sum(int(r.payload_bytes) for r in results.values())
+        fragment_bytes = 0
+        saved_bytes = 0
+        for s, (lo, hi) in enumerate(plan.ranges()):
+            res = results[s]
+            full_cost = int(res.sizes.sum()) * 8 + (hi - lo + 1) * 8
+            if res.columns is None:
+                saved_bytes += max(0, full_cost - int(res.payload_bytes))
+            else:
+                fragment_bytes += int(res.payload_bytes)
+        transport_detail = {
+            **self.transport.describe(),
+            "bytes_to_parent": int(bytes_to_parent),
+            "fragment_bytes": int(fragment_bytes),
+            "bytes_saved": int(saved_bytes),
+            "reduced_pairs": int(reduced_pairs),
+            "reduced_shards": int(
+                sum(1 for r in results.values() if r.columns is None)
+            ),
+            "fragment_shards": int(
+                sum(1 for r in results.values() if r.columns is not None)
+            ),
+        }
+        shards = self._shard_records(plan, results, dispatches, faults)
+        self._record_faults(faults)
+        return WorkloadDraw(
+            sizes=sizes,
+            n1=n1,
+            shards=shards,
+            faults=faults,
+            blocks=blocks,
+            transport=transport_detail,
+            indptr=indptr if keep_fragments else None,
+            columns=columns if keep_fragments else None,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,1336 @@
+"""Pluggable shard transports: *how* a shard plan's ranges execute.
+
+PR 5 welded shard execution to one substrate — a fork pool with a
+SharedMemory fragment return — and PR 6 welded the resilience envelope
+to that pool. But nothing about either is fork-specific: a shard task is
+a pure function of ``(graph, range, epsilon, entropy, epoch, versions)``
+with a byte-identity guarantee, so *where* it runs is a deployment
+decision, not a correctness one. This module carves that decision into
+three layers:
+
+* :class:`ShardSpec` / :class:`ShardResult` / :func:`execute_spec` —
+  the work order, its answer, and the one pure compute routine every
+  substrate shares (keyed draw, row sizes, optional in-worker pairwise
+  ``N1`` reduction). Inline execution, fork workers, socket workers and
+  the terminal degradation path all call the same function, which is
+  what makes the byte-identity contract a single place to audit.
+* :class:`ShardTransport` — the substrate contract
+  (``submit(spec) -> future``, ``finalize``, ``recycle``, ``close``,
+  capability flags) with three implementations:
+  :class:`InlineTransport` (no processes),
+  :class:`ForkTransport` (the PR 5 fork + SharedMemory pool,
+  behavior- and byte-identical to the welded version), and
+  :class:`SocketTransport` (remote workers over TCP speaking the
+  length-prefixed frames of :mod:`repro.protocol.wire`, with a
+  :class:`WorkerRegistry` tracking liveness and re-dispatching ranges
+  away from dead workers).
+* :func:`drive` — the transport-agnostic retry driver: wave-scaled
+  deadlines, keyed-Philox backoff, fault classification, CRC32
+  verification and terminal inline degradation, lifted verbatim out of
+  ``ShardedRunner`` so every transport — including ones that don't
+  exist yet — inherits the whole resilience envelope unchanged.
+
+Determinism note: re-dispatch is safe on *every* transport for the same
+reason it was safe on the fork pool — a retry replays the identical
+keyed stream, so a range that bounces between a dead socket worker, a
+live one, and finally the parent's inline fallback still returns the
+same bytes. ``docs/distributed-guide.md`` is the contract document.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+import tracemalloc
+import weakref
+import zlib
+from collections import Counter
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as _wait_futures
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.engine.bulkrr import keyed_bulk_randomized_response
+from repro.engine.faults import FAULT_EXIT_CODE, FaultPlan
+from repro.engine.pairwise import choose_backend, pairwise_intersections
+from repro.errors import PayloadIntegrityError, ProtocolError
+from repro.graph.bipartite import BipartiteGraph, Layer
+from repro.protocol import wire
+
+__all__ = [
+    "ShardSpec",
+    "ShardResult",
+    "ShardTransport",
+    "InlineTransport",
+    "ForkTransport",
+    "SocketTransport",
+    "WorkerHandle",
+    "WorkerRegistry",
+    "RetryPolicy",
+    "execute_spec",
+    "drive",
+    "make_transport",
+    "fork_available",
+]
+
+# Worker-side context registry. Entries are registered in the parent
+# *before* its pool forks, so every worker inherits them copy-on-write;
+# tasks then reference their context by token instead of pickling the
+# graph per range. (Socket workers have no shared memory with the parent
+# and install the graph once over the wire instead — see
+# :meth:`SocketTransport._install`.)
+_WORKER_CONTEXTS: dict[int, tuple[BipartiteGraph, Layer]] = {}
+_NEXT_TOKEN = 0
+
+# Keyed-stream domain tag for retry-backoff jitter ("BACK"): the jitter
+# that decorrelates retry stampedes must itself be deterministic per
+# (entropy, epoch, attempt), or reruns of the same failure schedule
+# would not be reproducible.
+_BACKOFF_TAG = 0x4241434B
+
+# Exceptions that classify as *worker faults* — transient, re-dispatchable
+# failures of the execution substrate rather than of the draw itself.
+# Anything else (a PrivacyError from bad epsilon, a GraphError) is a real
+# bug and propagates immediately after the segment sweep. The tuple is
+# transport-agnostic: a dead fork pool, an expired deadline, a corrupt
+# shm fragment and a refused TCP connection all land in it.
+_WORKER_FAULTS = (
+    BrokenProcessPool,
+    FutureTimeoutError,
+    TimeoutError,
+    PayloadIntegrityError,
+    OSError,
+)
+
+# Bounded grace for joining worker pools at close/release time. A worker
+# that never exits is exactly the stall ``timeout_s`` defends against,
+# so teardown escalates to terminate (then kill) instead of inheriting
+# the hang — close() and interpreter shutdown must stay bounded.
+_JOIN_GRACE_S = 5.0
+
+_LAYER_TAGS = {Layer.UPPER: 0, Layer.LOWER: 1}
+_TAG_LAYERS = {0: Layer.UPPER, 1: Layer.LOWER}
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _fault_kind(exc: BaseException) -> str:
+    """Map a caught worker fault to its ``faults`` counter key.
+
+    The deadline check precedes the transport bucket because
+    ``TimeoutError`` is an ``OSError`` subclass.
+    """
+    if isinstance(exc, (FutureTimeoutError, TimeoutError)):
+        return "timeouts"
+    if isinstance(exc, PayloadIntegrityError):
+        return "payload_errors"
+    return "worker_deaths"
+
+
+def _columns_checksum(columns: np.ndarray) -> int:
+    """CRC32 of a fragment's column bytes — the transport integrity tag."""
+    return int(zlib.crc32(np.ascontiguousarray(columns)))
+
+
+def empty_faults() -> dict:
+    return {
+        "retries": 0,  # task re-dispatches after a fault round
+        "timeouts": 0,  # per-task deadline expiries
+        "worker_deaths": 0,  # dead pools / dead sockets / dead workers
+        "payload_errors": 0,  # checksum mismatches on the fragment handoff
+        "backoff_s": [],  # keyed-jitter waits before each retry round
+        "degraded_ranges": [],  # ranges that fell back to inline execution
+        "reclaimed_segments": 0,  # orphaned shm segments swept and unlinked
+    }
+
+
+# ----------------------------------------------------------------------
+# The work order, its answer, and the one shared compute routine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's work order: everything its keyed draw is a function of.
+
+    ``vertices`` are the range's global vertex ids; ``lo``/``hi`` locate
+    the range inside its plan (provenance only — the draw never reads
+    them). ``ia``/``ib``, when given, are *local* row slots into
+    ``vertices``: the diagonal pairs the executor should reduce to
+    ``N1`` scalars itself instead of shipping rows. ``want_fragment``
+    controls whether the noisy CSR fragment travels back at all — a
+    shard whose every pair reduces locally returns sizes + scalars only,
+    which is the whole traffic win of in-worker reduction.
+    """
+
+    shard: int
+    lo: int
+    hi: int
+    vertices: np.ndarray
+    epsilon: float
+    entropy: int
+    epoch: int
+    attempt: int = 0
+    versions: np.ndarray | None = None
+    domain: int = 0
+    ia: np.ndarray | None = None
+    ib: np.ndarray | None = None
+    want_fragment: bool = True
+    measure: bool = False
+
+
+@dataclass
+class ShardResult:
+    """One executed spec's answer plus its transport accounting.
+
+    ``sizes`` (per-row noisy id counts) always come back — they are what
+    ``N2`` and the upload accounting need. ``indptr``/``columns`` are
+    present iff the spec asked for the fragment; ``n1`` iff it carried
+    local pairs. ``payload_bytes`` counts what actually crossed the
+    transport to the parent (0 for inline execution), which is the
+    quantity ``details["shards"]["transport"]`` and the transport
+    benchmark report.
+    """
+
+    shard: int
+    attempt: int
+    sizes: np.ndarray
+    indptr: np.ndarray | None = None
+    columns: np.ndarray | None = None
+    n1: np.ndarray | None = None
+    backend: str | None = None
+    peak_bytes: int = 0
+    payload_bytes: int = 0
+
+
+def execute_spec(
+    graph: BipartiteGraph, layer: Layer, spec: ShardSpec
+) -> ShardResult:
+    """Execute one spec: keyed draw, row sizes, optional local pairwise.
+
+    The single pure compute routine behind every transport *and* the
+    terminal inline degradation — a spec executed here, in a forked
+    worker, or on a remote socket worker produces identical bytes,
+    because the draw is keyed by ``(entropy, epoch, vertex, version)``
+    and the pairwise reduction is exact integer counting under every
+    backend. ``spec.attempt`` deliberately does not participate.
+    """
+    if spec.measure:
+        tracemalloc.start()
+    indptr, columns = keyed_bulk_randomized_response(
+        graph,
+        layer,
+        spec.vertices,
+        spec.epsilon,
+        entropy=spec.entropy,
+        epoch=spec.epoch,
+        versions=spec.versions,
+    )
+    peak = 0
+    if spec.measure:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    sizes = np.diff(indptr)
+    n1 = None
+    backend = None
+    if spec.ia is not None and spec.ia.size:
+        backend = choose_backend(
+            int(spec.vertices.size), int(spec.ia.size), spec.domain
+        )
+        n1 = pairwise_intersections(
+            indptr, columns, spec.ia, spec.ib, spec.domain, backend=backend
+        )
+    return ShardResult(
+        shard=spec.shard,
+        attempt=spec.attempt,
+        sizes=sizes,
+        indptr=indptr if spec.want_fragment else None,
+        columns=columns if spec.want_fragment else None,
+        n1=n1,
+        backend=backend,
+        peak_bytes=int(peak),
+    )
+
+
+# ----------------------------------------------------------------------
+# The transport contract
+# ----------------------------------------------------------------------
+class ShardTransport:
+    """Substrate contract the retry driver runs shard specs against.
+
+    A transport answers *how work runs*: it turns a :class:`ShardSpec`
+    into a future (``submit``), turns the future's raw value into a
+    verified :class:`ShardResult` (``finalize``), recovers from a fault
+    round (``recycle``), reclaims leaked resources (``sweep`` /
+    ``reap``) and shuts down (``close`` — idempotent, and safe on a
+    transport that never started). ``parallel`` is the capability flag
+    the driver consults before fanning out at all; ``can_reduce``
+    advertises in-worker pairwise reduction.
+    """
+
+    name = "abstract"
+    can_reduce = True
+
+    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
+        """Point the transport at the serving context (idempotent)."""
+        raise NotImplementedError
+
+    @property
+    def parallel(self) -> bool:
+        """True when submit() actually fans out to workers."""
+        return False
+
+    @property
+    def workers(self) -> int:
+        """Concurrent execution slots — the driver's wave divisor."""
+        return 1
+
+    def submit(self, spec: ShardSpec) -> Future:
+        raise NotImplementedError
+
+    def finalize(
+        self, spec: ShardSpec, raw, *, verify: bool = True
+    ) -> ShardResult:
+        """Turn a future's raw value into a verified :class:`ShardResult`."""
+        return raw
+
+    def recycle(self, failed: list[ShardSpec]) -> int:
+        """Recover the substrate after a fault round; returns reclaimed.
+
+        Called with the specs that faulted this round. The fork pool
+        retires and rebuilds; the socket transport drops suspect
+        connections and refreshes liveness. Whatever orphaned resources
+        the recovery reclaims are counted for ``faults``.
+        """
+        return 0
+
+    def sweep(self) -> int:
+        """Reclaim leaked resources on the error path; returns reclaimed."""
+        return 0
+
+    def reap(self) -> int:
+        """Opportunistic start-of-draw cleanup; returns reclaimed."""
+        return 0
+
+    def close(self) -> None:
+        """Release everything. Idempotent; safe if never started."""
+
+    def describe(self) -> dict:
+        """Static identity for ``details["shards"]["transport"]``."""
+        return {"name": self.name, "workers": int(self.workers)}
+
+    def __enter__(self) -> "ShardTransport":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class InlineTransport(ShardTransport):
+    """No processes, no sockets: every spec executes in the caller.
+
+    The degenerate transport — and the terminal degradation target every
+    other transport falls back to. ``parallel`` is False, so the driver
+    never even builds a retry loop; specs run serially via
+    :func:`execute_spec` with ``attempt = -1``.
+    """
+
+    name = "inline"
+
+    def __init__(self):
+        self._graph: BipartiteGraph | None = None
+        self._layer: Layer | None = None
+
+    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
+        self._graph, self._layer = graph, layer
+
+    def submit(self, spec: ShardSpec) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(execute_spec(self._graph, self._layer, spec))
+        except BaseException as exc:  # pragma: no cover - surfaced by driver
+            future.set_exception(exc)
+        return future
+
+
+# ----------------------------------------------------------------------
+# Fork transport (the PR 5/6 pool, carved out behavior-identical)
+# ----------------------------------------------------------------------
+def _fork_run_spec(token: int, spec: ShardSpec, shm_name: str | None) -> tuple:
+    """Execute a spec in a forked worker; ship columns through shm.
+
+    Fragment results return ``("shm", indptr, name, n_ids, sizes, n1,
+    backend, peak, checksum)`` — the columns land in a ``SharedMemory``
+    block *created under the parent-chosen name* (shipping multi-MB
+    fragments through the result pipe interleaves 64 KiB reads with the
+    other workers' compute; an shm handoff is one parent-side memcpy).
+    Reduced results are small and return straight through the pipe as
+    ``("pipe", sizes, n1, backend, peak, checksum)`` with a CRC over
+    ``sizes + n1``.
+
+    The chaos hook keys on ``(spec.shard, spec.attempt)`` exactly as the
+    welded runner's did: kill/delay fire before the draw, poison
+    corrupts the transported payload *after* its checksum was taken from
+    the good draw (so parent verification must catch it), and
+    kill_after_write exits in the leak window the segment registry
+    sweep covers.
+    """
+    graph, layer = _WORKER_CONTEXTS[token]
+    plan = FaultPlan.from_env()
+    action = plan.action_for(spec.shard, spec.attempt) if plan else None
+    if action is not None and action.kind == "kill":
+        os._exit(FAULT_EXIT_CODE)
+    if action is not None and action.kind == "delay":
+        time.sleep(action.delay_s)
+    result = execute_spec(graph, layer, spec)
+    poison = action is not None and action.kind == "poison"
+    if not spec.want_fragment:
+        n1 = result.n1 if result.n1 is not None else np.empty(0, np.int64)
+        checksum = wire.reduced_checksum(result.sizes, n1)
+        if poison:
+            if n1.size:
+                n1 = n1.copy()
+                n1[0] = ~n1[0]
+            elif result.sizes.size:
+                result.sizes = result.sizes.copy()
+                result.sizes[0] = ~result.sizes[0]
+            else:
+                checksum ^= 1
+        out = (
+            "pipe", result.sizes, n1, result.backend,
+            result.peak_bytes, checksum,
+        )
+        if action is not None and action.kind == "kill_after_write":
+            os._exit(FAULT_EXIT_CODE)
+        return out
+    columns = result.columns
+    checksum = _columns_checksum(columns)
+    block = shared_memory.SharedMemory(
+        create=True, name=shm_name, size=max(1, columns.nbytes)
+    )
+    np.ndarray(columns.shape, dtype=np.int64, buffer=block.buf)[:] = columns
+    if poison:
+        if columns.nbytes:
+            view = np.ndarray(columns.shape, dtype=np.int64, buffer=block.buf)
+            view[0] = ~view[0]
+        else:
+            checksum ^= 1
+    block.close()  # parent unlinks after copying
+    if action is not None and action.kind == "kill_after_write":
+        os._exit(FAULT_EXIT_CODE)  # the leak window the registry sweep covers
+    return (
+        "shm", result.indptr, shm_name, int(columns.size), result.sizes,
+        result.n1, result.backend, result.peak_bytes, checksum,
+    )
+
+
+def _sweep_segments(names: set[str], *, drop_missing: bool) -> int:
+    """Unlink every registered segment that exists; return the count.
+
+    Names whose segment does not (yet) exist are kept in the registry
+    unless ``drop_missing`` — a delayed zombie worker may still create
+    its segment later, and only close() (which joins every worker first)
+    can prove nobody ever will.
+    """
+    reclaimed = 0
+    for name in list(names):
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            if drop_missing:
+                names.discard(name)
+            continue
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced another sweep
+            pass
+        names.discard(name)
+        reclaimed += 1
+    return reclaimed
+
+
+def _join_pool(pool: ProcessPoolExecutor, grace_s: float | None = None) -> None:
+    """Join a pool's workers under a bounded grace, then force the rest.
+
+    Healthy workers drain and exit within the grace; a permanently
+    wedged one — the stall ``timeout_s`` exists to defend against — is
+    terminated (and, failing that, killed) so close() and interpreter
+    shutdown never inherit the hang.
+    """
+    if grace_s is None:
+        grace_s = _JOIN_GRACE_S
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken pools may object
+        pass
+    deadline = time.monotonic() + grace_s
+    for proc in procs:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            proc.kill()
+            proc.join(timeout=1.0)
+
+
+def _release_fork(
+    token: int, pool_box: list, retired: list, segments: set
+) -> None:
+    """Free a fork transport's pools, context registration and segments.
+
+    Shared by :meth:`ForkTransport.close` and the transport's GC
+    finalizer, so a transport dropped without ``close()`` cannot pin its
+    graph in ``_WORKER_CONTEXTS``, leave worker processes behind for the
+    interpreter's lifetime, or strand ``/dev/shm`` segments created by
+    zombie workers. Retired pools (torn down with ``wait=False`` after a
+    fault) are joined here under :data:`_JOIN_GRACE_S`, with stragglers
+    terminated, so every would-be segment creator is provably gone —
+    without an unbounded wait — before the final sweep.
+    """
+    pool = pool_box[0]
+    if pool is not None:
+        _join_pool(pool)
+        pool_box[0] = None
+    for old_pool, _names in retired:
+        _join_pool(old_pool)
+    retired.clear()
+    _WORKER_CONTEXTS.pop(token, None)
+    _sweep_segments(segments, drop_missing=True)
+
+
+class ForkTransport(ShardTransport):
+    """The fork + SharedMemory pool, carved out of ``ShardedRunner``.
+
+    Behavior- and byte-identical to the welded PR 5/6 machinery: workers
+    inherit the graph copy-on-write at fork time through the module
+    context registry, fragments return through parent-named shm
+    segments verified by CRC32, suspect pools retire without blocking
+    and are reaped once their workers provably exited, and every
+    parent-issued segment name is registered *before* dispatch so no
+    fault window can leak ``/dev/shm``.
+    """
+
+    name = "fork"
+
+    def __init__(self, *, max_workers: int | None = None):
+        global _NEXT_TOKEN
+        if max_workers is not None and max_workers <= 0:
+            raise ProtocolError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        self._graph: BipartiteGraph | None = None
+        self._layer: Layer | None = None
+        self._token = _NEXT_TOKEN
+        _NEXT_TOKEN += 1
+        # The pool lives in a one-slot box so the GC finalizer can free
+        # it without holding a reference to the transport itself; pools
+        # torn down after a fault are parked in `_retired` as
+        # `(pool, names)` — the segment names their zombie workers might
+        # still create — reaped once every worker has exited, and
+        # force-joined (bounded) at close time. `_segments` holds every
+        # parent-issued shm name not yet unlinked.
+        self._pool_box: list = [None]
+        self._retired: list = []
+        self._segments: set[str] = set()
+        self._seq = 0
+        # (shard, attempt) -> segment name for specs in flight this round.
+        self._names: dict[tuple[int, int], str] = {}
+        self._finalizer = weakref.finalize(
+            self,
+            _release_fork,
+            self._token,
+            self._pool_box,
+            self._retired,
+            self._segments,
+        )
+
+    # -- context ------------------------------------------------------
+    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
+        """Register (or re-register) the copy-on-write worker context.
+
+        A live pool holds the previous graph through fork-time
+        inheritance and cannot see a swap, so rebinding to a different
+        snapshot joins and drops the current pool; the next submit forks
+        fresh workers that inherit the new context. A no-op when already
+        bound to the same ``(graph, layer)``.
+        """
+        prev = _WORKER_CONTEXTS.get(self._token)
+        if prev is not None and prev[0] is graph and prev[1] is layer:
+            return
+        if prev is not None:
+            pool = self._pool_box[0]
+            if pool is not None:
+                _join_pool(pool)
+                self._pool_box[0] = None
+        _WORKER_CONTEXTS[self._token] = (graph, layer)
+        self._graph, self._layer = graph, layer
+
+    @property
+    def parallel(self) -> bool:
+        return self.max_workers > 1 and fork_available()
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool_box[0] is None:
+            # Start the shm resource tracker *before* forking so every
+            # worker inherits it: create (worker) and unlink (parent)
+            # then talk to one tracker and nothing is reported leaked.
+            # Sized by the worker cap alone — workers fork lazily on
+            # demand, and sizing by one draw's range count would
+            # permanently under-parallelize every later, larger draw.
+            resource_tracker.ensure_running()
+            self._pool_box[0] = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._pool_box[0]
+
+    def _new_segment_name(self, shard: int, attempt: int) -> str:
+        """A fresh parent-owned shm name, registered before dispatch.
+
+        Including the attempt keeps a retry's segment distinct from one
+        a delayed zombie dispatch of the same shard may create later.
+        """
+        self._seq += 1
+        name = f"repro_{os.getpid():x}_{self._seq:x}_{shard}_{attempt}"
+        self._segments.add(name)
+        return name
+
+    # -- the contract --------------------------------------------------
+    def submit(self, spec: ShardSpec) -> Future:
+        pool = self._ensure_pool()
+        name = None
+        if spec.want_fragment:
+            name = self._new_segment_name(spec.shard, spec.attempt)
+        try:
+            future = pool.submit(_fork_run_spec, self._token, spec, name)
+        except BrokenProcessPool:
+            # The pool died mid-submission: the task never reached a
+            # worker, so nobody can ever create this segment — drop its
+            # name immediately.
+            if name is not None:
+                self._segments.discard(name)
+            raise
+        if name is not None:
+            self._names[(spec.shard, spec.attempt)] = name
+        return future
+
+    def finalize(
+        self, spec: ShardSpec, raw, *, verify: bool = True
+    ) -> ShardResult:
+        if raw[0] == "pipe":
+            _, sizes, n1, backend, peak, checksum = raw
+            if verify and wire.reduced_checksum(sizes, n1) != checksum:
+                raise PayloadIntegrityError(
+                    f"reduced block for shard {spec.shard} failed checksum "
+                    f"verification ({n1.size} pairs)"
+                )
+            return ShardResult(
+                shard=spec.shard,
+                attempt=spec.attempt,
+                sizes=sizes,
+                n1=n1 if spec.ia is not None else None,
+                backend=backend,
+                peak_bytes=int(peak),
+                payload_bytes=int(sizes.nbytes + n1.nbytes),
+            )
+        _, indptr, shm_name, n_ids, sizes, n1, backend, peak, checksum = raw
+        self._names.pop((spec.shard, spec.attempt), None)
+        block = shared_memory.SharedMemory(name=shm_name)
+        try:
+            columns = np.ndarray(
+                (n_ids,), dtype=np.int64, buffer=block.buf
+            ).copy()
+        finally:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - raced a sweep
+                pass
+            self._segments.discard(shm_name)
+        if verify and _columns_checksum(columns) != checksum:
+            raise PayloadIntegrityError(
+                f"shard fragment {shm_name!r} failed checksum verification "
+                f"({n_ids} ids)"
+            )
+        return ShardResult(
+            shard=spec.shard,
+            attempt=spec.attempt,
+            sizes=sizes,
+            indptr=indptr,
+            columns=columns,
+            n1=n1,
+            backend=backend,
+            peak_bytes=int(peak),
+            payload_bytes=int(columns.nbytes + sizes.nbytes),
+        )
+
+    def recycle(self, failed: list[ShardSpec]) -> int:
+        """Retire the suspect pool and reclaim orphaned segments.
+
+        The pool is torn down without waiting (a stuck worker must not
+        block the retry path) and parked with the segment names its
+        zombies might still create; dead retired pools are reaped, and
+        whatever orphaned segments exist now are unlinked.
+        """
+        zombie_names = set()
+        for spec in failed:
+            name = self._names.pop((spec.shard, spec.attempt), None)
+            if name is not None:
+                zombie_names.add(name)
+        pool = self._pool_box[0]
+        if pool is not None:
+            self._pool_box[0] = None
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pools may object
+                pass
+            self._retired.append((pool, zombie_names))
+        reclaimed = _sweep_segments(self._segments, drop_missing=False)
+        reclaimed += self.reap()
+        return reclaimed
+
+    def sweep(self) -> int:
+        return _sweep_segments(self._segments, drop_missing=False)
+
+    def reap(self) -> int:
+        """Reap retired pools whose workers all exited; returns reclaimed.
+
+        Non-blocking: pools with a still-live worker are kept. A dead
+        pool can never create another segment, so whichever of its
+        registered names exist are unlinked and the still-missing ones
+        leave the registry for good — without this, a long-running
+        server with recurring worker faults would grow ``_segments``
+        without bound (one name per dispatch whose worker died before
+        ``shm.create``).
+        """
+        reclaimed = 0
+        survivors = []
+        for pool, names in self._retired:
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            if any(proc.is_alive() for proc in procs):
+                survivors.append((pool, names))
+                continue
+            doomed = names & self._segments
+            reclaimed += _sweep_segments(doomed, drop_missing=True)
+            self._segments -= names
+        self._retired[:] = survivors
+        return reclaimed
+
+    def close(self) -> None:
+        _release_fork(
+            self._token, self._pool_box, self._retired, self._segments
+        )
+        self._names.clear()
+
+
+# ----------------------------------------------------------------------
+# Socket transport: remote workers speaking protocol/wire.py frames
+# ----------------------------------------------------------------------
+def read_frame(sock: socket.socket) -> tuple[int, object]:
+    """Read and decode exactly one wire frame from a socket.
+
+    The 5-byte header is read first and its declared length checked
+    against :data:`~repro.protocol.wire.MAX_FRAME_PAYLOAD` *before* the
+    payload is buffered, so a corrupt header cannot demand a giant
+    allocation. Raises ``ConnectionError`` (an ``OSError``, hence a
+    worker fault) on EOF mid-frame.
+    """
+    header = _read_exact(sock, wire.frame_overhead())
+    _, length = wire._HEADER.unpack(header)
+    if length > wire.MAX_FRAME_PAYLOAD:
+        raise ProtocolError(
+            f"peer declared a {length}-byte frame beyond the wire limit"
+        )
+    body = _read_exact(sock, length)
+    kind, payload, _ = wire.decode_frame(header + body)
+    return kind, payload
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("worker closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class WorkerHandle:
+    """One remote worker: its address, connection, and liveness state."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = int(port)
+        self.sock: socket.socket | None = None
+        self.lock = threading.Lock()  # serializes request/response pairs
+        self.alive = True
+        self.digest: int | None = None  # graph the worker currently holds
+        self.caps = 0
+        self.last_seen = 0.0
+        self.dispatched = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def drop(self) -> None:
+        """Close the connection (keeps the handle; reconnects lazily)."""
+        sock, self.sock, self.digest = self.sock, None, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"WorkerHandle({self.address}, {state})"
+
+
+class WorkerRegistry:
+    """Tracks a socket cluster's workers and their liveness.
+
+    The registry is what makes re-dispatch *deterministic in effect*:
+    a dead worker leaves the live list, the retry driver re-submits its
+    ranges, and placement over the survivors changes — but the keyed
+    draw makes the bytes identical wherever the range lands, so the
+    failover is invisible in the output.
+    """
+
+    def __init__(self, addresses):
+        handles = []
+        for entry in addresses:
+            if isinstance(entry, WorkerHandle):
+                handles.append(entry)
+                continue
+            if isinstance(entry, str):
+                host, _, port = entry.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ProtocolError(
+                        f"worker address {entry!r} is not host:port"
+                    )
+                handles.append(WorkerHandle(host, int(port)))
+            else:
+                host, port = entry
+                handles.append(WorkerHandle(host, int(port)))
+        if not handles:
+            raise ProtocolError("a socket transport needs at least one worker")
+        self.handles = handles
+
+    def live(self) -> list[WorkerHandle]:
+        return [h for h in self.handles if h.alive]
+
+    def mark_dead(self, handle: WorkerHandle) -> None:
+        handle.alive = False
+        handle.drop()
+
+    def describe(self) -> list[dict]:
+        return [
+            {
+                "address": h.address,
+                "alive": h.alive,
+                "dispatched": h.dispatched,
+            }
+            for h in self.handles
+        ]
+
+
+class SocketTransport(ShardTransport):
+    """Shard execution on remote workers over length-prefixed TCP frames.
+
+    Speaks the :mod:`repro.protocol.wire` shard-transport frames to
+    ``python -m repro.engine.worker`` processes: HELLO exchanges
+    capabilities and the graph digest each side holds, GRAPH installs
+    the snapshot once per worker (re-sent only when the digest moves,
+    e.g. after an incremental rotation), SHARD_SPEC carries one work
+    order, and the answer is one REDUCED frame (sizes + locally reduced
+    ``N1`` scalars) followed by a FRAGMENT frame iff the spec asked for
+    rows — both integrity-tagged with the same CRC32 checksum word the
+    fork transport's shm handoff uses, verified at decode time.
+
+    Each worker connection is serialized by its handle lock; concurrent
+    specs fan out over a thread pool and round-robin across *live*
+    workers, so a worker that dies mid-draw (detected as a connection
+    fault, or by a heartbeat PING during :meth:`recycle`) simply stops
+    receiving ranges while the retry driver re-dispatches its pending
+    ones to the survivors — byte-identically.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        workers,
+        *,
+        connect_timeout_s: float = 10.0,
+        request_timeout_s: float | None = None,
+    ):
+        self.registry = (
+            workers
+            if isinstance(workers, WorkerRegistry)
+            else WorkerRegistry(workers)
+        )
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.request_timeout_s = request_timeout_s
+        self._graph: BipartiteGraph | None = None
+        self._layer: Layer | None = None
+        self._digest: int | None = None
+        self._graph_frame: bytes | None = None
+        self._threads: ThreadPoolExecutor | None = None
+        self._seq = 0
+        self._closed = False
+
+    # -- context ------------------------------------------------------
+    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
+        if self._graph is graph and self._layer is layer:
+            return
+        self._graph, self._layer = graph, layer
+        # Lazily recomputed: workers re-install on digest mismatch at
+        # their next submit, which is how a rebind propagates.
+        self._digest = None
+        self._graph_frame = None
+
+    @property
+    def parallel(self) -> bool:
+        return not self._closed and bool(self.registry.live())
+
+    @property
+    def workers(self) -> int:
+        return max(1, len(self.registry.live()))
+
+    def _ensure_digest(self) -> int:
+        if self._digest is None:
+            graph = self._graph
+            self._graph_frame = wire.encode_graph(
+                graph.num_upper, graph.num_lower, graph.edges
+            )
+            self._digest = wire.graph_digest(
+                graph.num_upper, graph.num_lower, graph.edges
+            )
+        return self._digest
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(
+                max_workers=max(2, 2 * len(self.registry.handles)),
+                thread_name_prefix="shard-tx",
+            )
+        self._closed = False
+        return self._threads
+
+    # -- connection management ----------------------------------------
+    def _connect(self, handle: WorkerHandle) -> socket.socket:
+        sock = socket.create_connection(
+            (handle.host, handle.port), timeout=self.connect_timeout_s
+        )
+        sock.settimeout(self.request_timeout_s)
+        digest = self._ensure_digest()
+        sock.sendall(
+            wire.encode_hello(
+                wire.WIRE_VERSION,
+                wire.CAP_REDUCE | wire.CAP_VERSIONS,
+                digest,
+            )
+        )
+        kind, payload = read_frame(sock)
+        if kind != wire.KIND_HELLO:
+            raise ProtocolError(
+                f"worker {handle.address} answered HELLO with kind {kind}"
+            )
+        if payload["version"] != wire.WIRE_VERSION:
+            raise ProtocolError(
+                f"worker {handle.address} speaks wire version "
+                f"{payload['version']}, parent speaks {wire.WIRE_VERSION}"
+            )
+        handle.caps = payload["caps"]
+        handle.digest = payload["digest"]
+        handle.last_seen = time.monotonic()
+        return sock
+
+    def _install(self, handle: WorkerHandle, sock: socket.socket) -> None:
+        """Ship the bound graph to a worker that holds a different one."""
+        digest = self._ensure_digest()
+        if handle.digest == digest:
+            return
+        sock.sendall(self._graph_frame)
+        kind, payload = read_frame(sock)
+        if kind != wire.KIND_HELLO or payload["digest"] != digest:
+            raise ProtocolError(
+                f"worker {handle.address} failed to install graph "
+                f"{digest:#x}"
+            )
+        handle.digest = digest
+        handle.last_seen = time.monotonic()
+
+    def _request(self, handle: WorkerHandle, spec: ShardSpec) -> dict:
+        """One request/response exchange: SHARD_SPEC → REDUCED [+FRAGMENT]."""
+        try:
+            with handle.lock:
+                if handle.sock is None:
+                    handle.sock = self._connect(handle)
+                sock = handle.sock
+                self._install(handle, sock)
+                sock.sendall(
+                    wire.encode_shard_spec(
+                        shard=spec.shard,
+                        attempt=spec.attempt,
+                        epoch=spec.epoch,
+                        entropy=spec.entropy,
+                        epsilon=spec.epsilon,
+                        domain=spec.domain,
+                        layer=_LAYER_TAGS[self._layer],
+                        vertices=spec.vertices,
+                        versions=spec.versions,
+                        ia=spec.ia,
+                        ib=spec.ib,
+                        want_fragment=spec.want_fragment,
+                        measure=spec.measure,
+                    )
+                )
+                received = 0
+                kind, payload = read_frame(sock)
+                if kind == wire.KIND_WORKER_ERROR:
+                    # A deterministic worker-side bug, not a substrate
+                    # fault: re-dispatching it would reproduce it.
+                    raise ProtocolError(
+                        f"worker {handle.address}: {payload['message']}"
+                    )
+                if kind != wire.KIND_REDUCED:
+                    raise ProtocolError(
+                        f"worker {handle.address} answered a spec with "
+                        f"kind {kind}"
+                    )
+                reduced = payload
+                received += (
+                    wire.frame_overhead()
+                    + reduced["sizes"].nbytes
+                    + reduced["n1"].nbytes
+                    + 24
+                )
+                fragment = None
+                if spec.want_fragment:
+                    kind, fragment = read_frame(sock)
+                    if kind != wire.KIND_FRAGMENT:
+                        raise ProtocolError(
+                            f"worker {handle.address} sent kind {kind} "
+                            "instead of the requested fragment"
+                        )
+                    received += (
+                        wire.frame_overhead()
+                        + fragment["indptr"].nbytes
+                        + fragment["columns"].nbytes
+                        + 12
+                    )
+                handle.last_seen = time.monotonic()
+                handle.dispatched += 1
+                return {
+                    "reduced": reduced,
+                    "fragment": fragment,
+                    "payload_bytes": received,
+                }
+        except socket.timeout as exc:
+            # A deadline inside the socket layer is the remote analogue
+            # of a fork task outliving timeout_s.
+            handle.drop()
+            raise TimeoutError(
+                f"worker {handle.address} exceeded the request deadline"
+            ) from exc
+        except OSError:
+            handle.drop()
+            raise
+        except PayloadIntegrityError:
+            # The frame arrived but its bytes contradict the checksum
+            # word: drop the stream (it can no longer be trusted to be
+            # frame-aligned) and let the driver re-dispatch.
+            handle.drop()
+            raise
+
+    # -- the contract --------------------------------------------------
+    def submit(self, spec: ShardSpec) -> Future:
+        live = self.registry.live()
+        if not live:
+            raise ConnectionError("no live socket workers remain")
+        handle = live[(spec.shard + spec.attempt) % len(live)]
+        return self._pool().submit(self._request, handle, spec)
+
+    def finalize(
+        self, spec: ShardSpec, raw, *, verify: bool = True
+    ) -> ShardResult:
+        # Checksums were verified at frame decode time (wire.decode_frame
+        # raises PayloadIntegrityError on mismatch), so `verify` has
+        # nothing left to do here.
+        reduced = raw["reduced"]
+        fragment = raw["fragment"]
+        n1 = reduced["n1"]
+        return ShardResult(
+            shard=spec.shard,
+            attempt=spec.attempt,
+            sizes=reduced["sizes"],
+            indptr=None if fragment is None else fragment["indptr"],
+            columns=None if fragment is None else fragment["columns"],
+            n1=n1 if (spec.ia is not None and n1.size) else None,
+            backend="remote",
+            peak_bytes=reduced["peak_bytes"],
+            payload_bytes=int(raw["payload_bytes"]),
+        )
+
+    def recycle(self, failed: list[ShardSpec]) -> int:
+        """Drop every suspect connection and heartbeat the cluster.
+
+        Connections already faulted were dropped in ``_request``; the
+        remaining handles get a PING, and ones that cannot answer are
+        marked dead so the next round's round-robin skips them — the
+        deterministic re-dispatch of a dead worker's ranges.
+        """
+        self.ping()
+        return 0
+
+    def ping(self) -> int:
+        """Heartbeat every handle; mark unresponsive workers dead.
+
+        Returns the number of live workers after the sweep.
+        """
+        for handle in self.registry.handles:
+            if not handle.alive:
+                continue
+            self._seq += 1
+            nonce = self._seq & 0xFFFFFFFF
+            try:
+                with handle.lock:
+                    if handle.sock is None:
+                        handle.sock = self._connect(handle)
+                    handle.sock.sendall(wire.encode_ping(nonce))
+                    kind, payload = read_frame(handle.sock)
+                    if kind != wire.KIND_PONG or payload["nonce"] != nonce:
+                        raise ConnectionError("bad heartbeat answer")
+                handle.last_seen = time.monotonic()
+            except (OSError, ProtocolError):
+                self.registry.mark_dead(handle)
+        return len(self.registry.live())
+
+    def close(self) -> None:
+        """Drop every connection and the request thread pool. Idempotent."""
+        self._closed = True
+        if self._threads is not None:
+            self._threads.shutdown(wait=True, cancel_futures=True)
+            self._threads = None
+        for handle in self.registry.handles:
+            handle.drop()
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "workers": int(self.workers),
+            "cluster": self.registry.describe(),
+        }
+
+
+# ----------------------------------------------------------------------
+# The transport-agnostic retry driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The resilience envelope's knobs, independent of any substrate.
+
+    ``timeout_s`` bounds a task's *execution*: a retry round waits one
+    deadline per execution wave (``ceil(tasks / transport.workers)``),
+    so a task queued behind other shards is never charged for queue time
+    and the round's total wall wait stays bounded by
+    ``waves * timeout_s``. ``max_retries`` rounds re-dispatch against a
+    recycled substrate under capped exponential backoff whose jitter
+    comes from the keyed Philox stream (deterministic per
+    ``(entropy, epoch, attempt)``, never wall-clock randomness); after
+    the budget is exhausted the remaining ranges degrade to inline
+    execution in the caller — the terminal fallback that cannot fail
+    the way a worker can.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    verify_payloads: bool = True
+
+    def __post_init__(self):
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ProtocolError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ProtocolError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ProtocolError("backoff parameters must be >= 0")
+
+    def backoff_wait(self, entropy: int, epoch: int, attempt: int) -> float:
+        """Capped exponential backoff, jittered from the keyed stream."""
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2 ** max(0, attempt - 1)),
+        )
+        if base <= 0:
+            return 0.0
+        bitgen = np.random.Philox(
+            counter=[int(attempt), int(epoch), 0, 0],
+            key=[int(entropy) ^ _BACKOFF_TAG, _BACKOFF_TAG],
+        )
+        jitter = 0.5 + 0.5 * float(np.random.Generator(bitgen).random())
+        return base * jitter
+
+
+def drive(
+    transport: ShardTransport,
+    graph: BipartiteGraph,
+    layer: Layer,
+    specs: list[ShardSpec],
+    policy: RetryPolicy,
+    *,
+    entropy: int,
+    epoch: int,
+    faults: dict,
+    dispatches: Counter,
+) -> dict[int, ShardResult]:
+    """Run every spec to completion under the resilience envelope.
+
+    The loop PR 6 built for the fork pool, expressed against the
+    transport contract: submit the pending round, wait one wave-scaled
+    deadline for all of it, classify what failed (deadline expiry,
+    substrate death, payload corruption), recycle the substrate, back
+    off on the keyed-jitter schedule, and re-dispatch — up to
+    ``policy.max_retries`` rounds, after which the survivors degrade to
+    inline :func:`execute_spec` with ``attempt = -1``. Non-fault
+    exceptions (a PrivacyError from bad epsilon, a GraphError) are *not*
+    retried: they propagate after a resource sweep, because
+    re-dispatching a deterministic bug reproduces it.
+
+    Mutates ``faults`` (an :func:`empty_faults` dict) and ``dispatches``
+    (per-shard submission counts) in place; returns shard → result.
+    """
+    results: dict[int, ShardResult] = {}
+    pending: dict[int, ShardSpec] = {spec.shard: spec for spec in specs}
+    faults["reclaimed_segments"] += transport.reap()
+
+    if transport.parallel and len(specs) > 1:
+        attempt = 0
+        while pending and attempt <= policy.max_retries:
+            if attempt:
+                wait = policy.backoff_wait(entropy, epoch, attempt)
+                faults["backoff_s"].append(round(wait, 6))
+                faults["retries"] += len(pending)
+                if wait > 0:
+                    time.sleep(wait)
+            submitted: dict[int, tuple[ShardSpec, Future]] = {}
+            failed: dict[int, ShardSpec] = {}
+            for s, spec in pending.items():
+                spec_a = replace(spec, attempt=attempt)
+                try:
+                    future = transport.submit(spec_a)
+                except _WORKER_FAULTS as exc:
+                    faults[_fault_kind(exc)] += 1
+                    failed[s] = spec
+                    continue
+                dispatches[s] += 1
+                submitted[s] = (spec_a, future)
+            # One wait for the whole round. The deadline bounds a task's
+            # *execution*, not its queue position: with more ranges than
+            # workers a queued task is healthy, so the round gets one
+            # timeout per execution wave the transport needs — which
+            # also caps the total wall wait at waves * timeout_s instead
+            # of tasks * timeout_s.
+            expired: set = set()
+            if submitted:
+                futures = [f for _, f in submitted.values()]
+                if policy.timeout_s is None:
+                    _wait_futures(futures)
+                else:
+                    waves = -(-len(submitted) // max(1, transport.workers))
+                    _, expired = _wait_futures(
+                        futures, timeout=policy.timeout_s * waves
+                    )
+            for s, (spec_a, future) in submitted.items():
+                if future in expired:
+                    faults["timeouts"] += 1
+                    failed[s] = pending[s]
+                    continue
+                try:
+                    raw = future.result()
+                    results[s] = transport.finalize(
+                        spec_a, raw, verify=policy.verify_payloads
+                    )
+                except _WORKER_FAULTS as exc:
+                    faults[_fault_kind(exc)] += 1
+                    failed[s] = pending[s]
+                except BaseException:
+                    # A deterministic bug, not a worker fault: sweep the
+                    # substrate's outstanding resources and propagate.
+                    faults["reclaimed_segments"] += transport.sweep()
+                    raise
+            if failed:
+                faults["reclaimed_segments"] += transport.recycle(
+                    [replace(pending[s], attempt=attempt) for s in failed]
+                )
+            pending = failed
+            attempt += 1
+        for s, spec in sorted(pending.items()):
+            faults["degraded_ranges"].append((int(spec.lo), int(spec.hi)))
+    # Terminal fallback — and the whole path for serial transports or
+    # single-spec draws: execute inline in the caller. attempt = -1
+    # keeps a chaos plan keyed on pool attempts from firing here (inline
+    # execution has no worker to kill and no payload to poison, which is
+    # exactly why it is the terminal fallback).
+    for s, spec in sorted(pending.items()):
+        result = execute_spec(graph, layer, replace(spec, attempt=-1))
+        dispatches[s] += 1
+        results[s] = result
+    return results
+
+
+# ----------------------------------------------------------------------
+def make_transport(
+    kind: str,
+    *,
+    max_workers: int | None = None,
+    workers=None,
+) -> ShardTransport:
+    """Build a transport by name: ``inline``, ``fork`` or ``socket``.
+
+    ``max_workers`` sizes the fork pool; ``workers`` is the socket
+    cluster's address list (``["host:port", ...]``). The CLI's
+    ``serve --transport`` flag resolves through here.
+    """
+    if kind == "inline":
+        return InlineTransport()
+    if kind == "fork":
+        return ForkTransport(max_workers=max_workers)
+    if kind == "socket":
+        if not workers:
+            raise ProtocolError(
+                "a socket transport needs --workers host:port[,host:port...]"
+            )
+        return SocketTransport(workers)
+    raise ProtocolError(
+        f"unknown transport {kind!r} (expected inline, fork or socket)"
+    )

@@ -73,6 +73,7 @@ from repro.engine.bulkrr import (
 from repro.engine.pairwise import pack_bitset_row
 from repro.engine.planner import plan_shards
 from repro.engine.sharded import ShardedRunner
+from repro.engine.transport import ShardTransport
 from repro.engine.sketch import sketch_pair_counts
 from repro.engine.sketches import SketchConfig, check_sketch_epsilon, sketch_family
 from repro.errors import ProtocolError
@@ -105,6 +106,7 @@ class CacheStats:
     degree_misses: int = 0
     rotations: int = 0
     evictions: int = 0  # entries dropped by the LRU budget
+    eviction_batches: int = 0  # victim selections (a shard range = 1 batch)
     recharges: int = 0  # evicted entries reconstructed on a later touch
     warm_draws: int = 0  # views pre-drawn at rotation (server warming)
     mutations: int = 0  # edge ops recorded through mutate()
@@ -151,7 +153,10 @@ class NoisyViewCache:
         reproducible serving runs). Unused — and never consumed — when
         the cache is unbounded and unsharded.
     shard_runner, shard_mem_bytes:
-        A :class:`~repro.engine.sharded.ShardedRunner` turns every
+        A :class:`~repro.engine.sharded.ShardedRunner` — or a bare
+        :class:`~repro.engine.transport.ShardTransport` (inline, fork, or
+        socket), which the cache wraps in a runner bound to its own
+        graph/layer — turns every
         materialize-mode miss block into a sharded draw: the block is
         split into contiguous ranges (sized by ``shard_mem_bytes``
         expected noisy payload per shard, or byte-balanced over the
@@ -163,7 +168,19 @@ class NoisyViewCache:
         distribution-identical) bits are drawn. The last sharded draw's
         per-shard log is kept in :attr:`last_shard_draw` and its
         resilience log (retries, degraded ranges, reclaimed segments) in
-        :attr:`last_shard_faults`.
+        :attr:`last_shard_faults`. A *sharded bounded* cache also evicts
+        at shard-range granularity: victims leave with their whole last
+        drawn range in one batch (``stats.eviction_batches`` counts the
+        scans), so trimming a big over-budget working set costs one LRU
+        scan per range instead of one per vertex.
+    warm_decay:
+        EWMA coefficient for the cross-epoch warm set (``0 < alpha <=
+        1``): at every rotation each vertex's heat becomes ``alpha *
+        this_epoch_touches + (1 - alpha) * previous_heat``, and
+        :meth:`hottest_last_epoch` ranks by that heat. ``1.0`` recovers
+        the old last-epoch-only ordering; the 0.5 default keeps a stable
+        hot set warm through one-epoch blips while still tracking a
+        drifted hot set within about two epochs.
 
     Raises
     ------
@@ -182,9 +199,10 @@ class NoisyViewCache:
         max_bytes: int | None = None,
         max_entries: int | None = None,
         rng: RngLike = None,
-        shard_runner: "ShardedRunner | None" = None,
+        shard_runner: "ShardedRunner | ShardTransport | None" = None,
         shard_mem_bytes: int | None = None,
         sketch: "SketchConfig | None" = None,
+        warm_decay: float = 0.5,
     ):
         mode = resolve_mode(graph, layer, mode)
         if mode is ExecutionMode.SKETCH_VIEW and sketch is None:
@@ -199,6 +217,10 @@ class NoisyViewCache:
             raise ProtocolError(f"max_bytes must be positive, got {max_bytes}")
         if max_entries is not None and max_entries <= 0:
             raise ProtocolError(f"max_entries must be positive, got {max_entries}")
+        if not 0.0 < warm_decay <= 1.0:
+            raise ProtocolError(
+                f"warm_decay must be in (0, 1], got {warm_decay}"
+            )
         self.graph = graph
         self.layer = layer
         self.epsilon = float(epsilon)
@@ -218,6 +240,11 @@ class NoisyViewCache:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.bounded = max_bytes is not None or max_entries is not None
+        if isinstance(shard_runner, ShardTransport):
+            # A bare transport says *where* shard work runs; the cache
+            # supplies the what (its own graph/layer) by wrapping it in
+            # a runner it then owns like any other.
+            shard_runner = ShardedRunner(graph, layer, transport=shard_runner)
         if shard_runner is not None and (
             shard_runner.graph is not graph or shard_runner.layer is not layer
         ):
@@ -256,9 +283,17 @@ class NoisyViewCache:
         self._drawn_vertices: set[int] = set()
         self._drawn_pairs: set[tuple[int, int]] = set()
         self._drawn_degrees: set[int] = set()
-        # Touch counts feed the warm pre-draw at rotation.
+        # Touch counts feed the warm pre-draw at rotation, smoothed
+        # across epochs by an EWMA so one quiet (or bursty) epoch does
+        # not wipe out — or hijack — the warm set.
+        self.warm_decay = float(warm_decay)
         self._touches: Counter[int] = Counter()
+        self._touch_ewma: dict[int, float] = {}
         self._hot_last_epoch: list[int] = []
+        # Last drawn shard range per vertex (sharded caches only): the
+        # eviction batch key for shard-aware trimming.
+        self._shard_group: dict[int, int] = {}
+        self._shard_group_seq = 0
 
     # ------------------------------------------------------------------
     # Materialize mode: per-vertex noisy neighbor lists
@@ -356,6 +391,15 @@ class NoisyViewCache:
             self.last_shard_draw = drawn.shards
             self.last_shard_faults = drawn.faults
             indptr, columns = drawn.indptr, drawn.columns
+            # Remember which shard range each vertex last arrived in:
+            # bounded eviction drops whole ranges at once (see
+            # evict_to_budget), so co-drawn vertices leave together and
+            # their recharge comes back as one vectorized sharded draw.
+            for lo, hi in shard_plan.ranges():
+                self._shard_group_seq += 1
+                group = self._shard_group_seq
+                for v in vertices[lo:hi]:
+                    self._shard_group[int(v)] = group
         elif not self.keyed:
             indptr, columns = bulk_randomized_response(
                 self.graph, self.layer, vertices, self.epsilon, ensure_rng(rng)
@@ -766,6 +810,15 @@ class NoisyViewCache:
         its degree. A fully pinned cache can stay over budget: the bound
         is a soft cap. Returns the number of entries evicted. No-op on
         an unbounded cache.
+
+        A *sharded* cache evicts rows at shard-range granularity: the
+        LRU victim takes every unpinned resident vertex of its last
+        drawn shard range with it in one batch. Co-drawn vertices age
+        together (they arrived in one draw and are typically re-touched
+        together), and their eventual recharge is one vectorized sharded
+        draw instead of per-vertex dribble; trimming a large over-budget
+        working set costs one LRU scan per *range* instead of one per
+        vertex (``stats.eviction_batches`` counts the scans).
         """
         if not self.bounded:
             return 0
@@ -781,6 +834,7 @@ class NoisyViewCache:
         else:
             store = self._pair_counts
         while self.over_budget():
+            self.stats.eviction_batches += 1
             victim = next(
                 (v for v in self._degrees if v not in pinned_vertices), None
             )
@@ -793,12 +847,24 @@ class NoisyViewCache:
             if victim is None:
                 break
             if store is self._rows:
-                row = store.pop(victim)
-                self._bytes -= row.nbytes
-                packed = self._packed.pop(victim, None)
-                if packed is not None:
-                    self._bytes -= packed.nbytes
-            elif store is self._sketch_views:
+                group = self._shard_group.get(victim)
+                batch = (
+                    [victim]
+                    if group is None
+                    else [
+                        v for v in store
+                        if v not in pin and self._shard_group.get(v) == group
+                    ]
+                )
+                for v in batch:
+                    row = store.pop(v)
+                    self._bytes -= row.nbytes
+                    packed = self._packed.pop(v, None)
+                    if packed is not None:
+                        self._bytes -= packed.nbytes
+                evicted += len(batch)
+                continue
+            if store is self._sketch_views:
                 view = store.pop(victim)
                 self._bytes -= view.nbytes
             else:
@@ -862,12 +928,16 @@ class NoisyViewCache:
         return len(self._pair_counts)
 
     def hottest_last_epoch(self, k: int) -> list[int]:
-        """The ``k`` most-touched vertices of the epoch closed by the
-        latest :meth:`rotate` call (most-touched first).
+        """The ``k`` hottest vertices as of the latest :meth:`rotate`
+        call (hottest first), by the cross-epoch EWMA of touch counts.
 
         Feeds the server's warm pre-draw: re-drawing these immediately
         after rotation keeps the first post-rotation tick from stampeding
-        on the hot pool. Empty before the first rotation.
+        on the hot pool. Heat is ``warm_decay * last_epoch_touches +
+        (1 - warm_decay) * previous_heat``, so one anomalous epoch can
+        neither evict a stable hot set from the warm list nor park a
+        one-off burst in it — while a genuinely drifted hot set takes
+        over within about two epochs. Empty before the first rotation.
         """
         return self._hot_last_epoch[: max(0, int(k))]
 
@@ -938,7 +1008,25 @@ class NoisyViewCache:
         """
         pending = self._pending
         self._pending = None
-        self._hot_last_epoch = [v for v, _ in self._touches.most_common()]
+        # Fold the closed epoch's touch counts into the cross-epoch EWMA
+        # and rank the warm set by the smoothed heat. Iterating the old
+        # heat first, then most_common() (count-desc, first-touch order
+        # on ties), keeps the ranking stable and deterministic: Python's
+        # sort preserves that insertion order among equal heats.
+        alpha = self.warm_decay
+        heat: dict[int, float] = {
+            v: (1.0 - alpha) * h for v, h in self._touch_ewma.items()
+        }
+        for v, count in self._touches.most_common():
+            heat[v] = heat.get(v, 0.0) + alpha * count
+        # Drop vertices whose heat decayed to noise so the EWMA map does
+        # not grow without bound across many epochs.
+        self._touch_ewma = {v: h for v, h in heat.items() if h > 1e-9}
+        self._hot_last_epoch = [
+            v for v, _ in sorted(
+                self._touch_ewma.items(), key=lambda item: -item[1]
+            )
+        ]
         self._touches.clear()
         if pending is not None and not pending.is_net_empty:
             return self._rotate_incremental(pending)
@@ -950,6 +1038,7 @@ class NoisyViewCache:
         self._drawn_vertices.clear()
         self._drawn_pairs.clear()
         self._drawn_degrees.clear()
+        self._shard_group.clear()
         self._bytes = 0
         self.stats.rotations += 1
         self.epoch = self.accountant.rotate()

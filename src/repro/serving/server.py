@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.engine.core import BatchQueryEngine
 from repro.engine.sharded import ShardedRunner
+from repro.engine.transport import ShardTransport, make_transport
 from repro.engine.sketches import SketchConfig
 from repro.errors import (
     GraphError,
@@ -195,6 +196,20 @@ class QueryServer:
         Resilience knobs forwarded to the sharded runner: the per-task
         deadline and the re-dispatch budget before a failed range
         degrades to inline execution (see ``docs/resilience-guide.md``).
+    shard_transport, shard_workers:
+        *Where* sharded serving runs: a
+        :class:`~repro.engine.transport.ShardTransport` instance, or a
+        kind name (``"inline"``, ``"fork"``, ``"socket"``);
+        ``shard_workers`` lists the socket cluster's ``host:port``
+        addresses. Defaults to the fork pool. Giving a transport alone
+        turns sharding on with one range per transport worker. See
+        ``docs/distributed-guide.md``.
+    warm_decay:
+        EWMA coefficient of the cross-epoch warm set (forwarded to the
+        cache): each rotation folds the closed epoch's touch counts into
+        a smoothed heat, so the warmed vertices track the *persistent*
+        hot set instead of whatever the last epoch happened to touch.
+        ``1.0`` recovers last-epoch-only warming.
     max_pending:
         Bound on the admission queue. When a new query would push the
         queue past the bound, the query with the *oldest deadline* is
@@ -268,6 +283,9 @@ class QueryServer:
         shard_mem_bytes: int | None = None,
         shard_timeout_s: float | None = None,
         shard_retries: int = 2,
+        shard_transport: "ShardTransport | str | None" = None,
+        shard_workers: list[str] | tuple[str, ...] | None = None,
+        warm_decay: float = 0.5,
         max_pending: int | None = None,
         query_deadline_s: float | None = None,
         tick_watchdog_s: float | None = None,
@@ -316,14 +334,26 @@ class QueryServer:
             raise ProtocolError("sketch-view serving needs sketch_bits")
         self.rng = ensure_rng(rng)
         runner = None
-        if shards is not None or shard_mem_bytes is not None:
+        if (
+            shards is not None
+            or shard_mem_bytes is not None
+            or shard_transport is not None
+        ):
             if resolve_mode(graph, layer, mode) is ExecutionMode.MATERIALIZE:
+                transport = shard_transport
+                if isinstance(transport, str):
+                    transport = make_transport(
+                        transport,
+                        max_workers=shards,
+                        workers=shard_workers,
+                    )
                 runner = ShardedRunner(
                     graph,
                     layer,
                     max_workers=shards,
                     timeout_s=shard_timeout_s,
                     max_retries=shard_retries,
+                    transport=transport,
                 )
         self._shard_runner = runner
         cache = NoisyViewCache(
@@ -335,6 +365,7 @@ class QueryServer:
             shard_runner=runner,
             shard_mem_bytes=shard_mem_bytes,
             sketch=sketch,
+            warm_decay=warm_decay,
         )
         if epsilon_per_epoch == "auto":
             # Vertex-granular modes never exceed one release per vertex

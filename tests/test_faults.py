@@ -281,9 +281,9 @@ def test_close_is_bounded_with_a_wedged_worker(graph, plan, monkeypatch):
     """Regression: close() used to join retired pools with ``wait=True``,
     so a permanently stuck worker hung shutdown forever. The bounded
     join terminates stragglers instead."""
-    import repro.engine.sharded as sharded_mod
+    import repro.engine.transport as transport_mod
 
-    monkeypatch.setattr(sharded_mod, "_JOIN_GRACE_S", 0.3)
+    monkeypatch.setattr(transport_mod, "_JOIN_GRACE_S", 0.3)
     with ShardedRunner(
         graph, Layer.UPPER,
         max_workers=2, timeout_s=0.2, max_retries=0, backoff_base_s=0.0,

@@ -2,18 +2,43 @@
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import ProtocolError
+from repro.errors import PayloadIntegrityError, ProtocolError
 from repro.protocol.wire import (
+    CAP_REDUCE,
+    CAP_VERSIONS,
     KIND_ESTIMATE,
+    KIND_FRAGMENT,
+    KIND_GRAPH,
+    KIND_HELLO,
     KIND_NOISY_DEGREE,
     KIND_NOISY_EDGES,
+    KIND_PING,
+    KIND_PONG,
+    KIND_REDUCED,
+    KIND_SHARD_SPEC,
+    KIND_WORKER_ERROR,
+    MAX_FRAME_PAYLOAD,
+    WIRE_VERSION,
     decode_frame,
+    encode_fragment,
+    encode_graph,
+    encode_hello,
     encode_noisy_edges,
+    encode_ping,
+    encode_pong,
+    encode_reduced,
     encode_scalar,
+    encode_shard_spec,
+    encode_worker_error,
     frame_overhead,
+    graph_digest,
     payload_bytes,
 )
 
@@ -105,3 +130,332 @@ class TestFraming:
         bogus = struct.pack("<BI", KIND_ESTIMATE, 4) + b"\x00" * 4
         with pytest.raises(ProtocolError):
             decode_frame(bogus)
+
+class TestShardTransportFrames:
+    """Round trips of the parent<->worker frame kinds."""
+
+    def test_hello_round_trip(self):
+        frame = encode_hello(WIRE_VERSION, CAP_REDUCE | CAP_VERSIONS, 0xDEAD)
+        kind, payload, rest = decode_frame(frame)
+        assert kind == KIND_HELLO
+        assert payload == {
+            "version": WIRE_VERSION,
+            "caps": CAP_REDUCE | CAP_VERSIONS,
+            "digest": 0xDEAD,
+        }
+        assert rest == b""
+
+    def test_ping_pong_echo_nonce(self):
+        kind, payload, _ = decode_frame(encode_ping(7))
+        assert kind == KIND_PING and payload["nonce"] == 7
+        kind, payload, _ = decode_frame(encode_pong(7))
+        assert kind == KIND_PONG and payload["nonce"] == 7
+
+    def test_graph_round_trip_and_digest(self):
+        edges = np.array([[0, 1], [2, 0], [1, 1]], dtype=np.int64)
+        frame = encode_graph(3, 2, edges)
+        kind, payload, _ = decode_frame(frame)
+        assert kind == KIND_GRAPH
+        assert payload["n_upper"] == 3 and payload["n_lower"] == 2
+        np.testing.assert_array_equal(payload["edges"], edges)
+        assert payload["digest"] == graph_digest(3, 2, edges)
+
+    def test_graph_digest_tracks_content(self):
+        edges = np.array([[0, 1], [2, 0]], dtype=np.int64)
+        base = graph_digest(3, 2, edges)
+        assert graph_digest(4, 2, edges) != base
+        assert graph_digest(3, 2, edges[:1]) != base
+
+    def test_corrupted_graph_payload_rejected(self):
+        frame = bytearray(encode_graph(3, 2, np.array([[0, 1]], dtype=np.int64)))
+        frame[-1] ^= 0xFF
+        with pytest.raises(PayloadIntegrityError):
+            decode_frame(bytes(frame))
+
+    def test_shard_spec_round_trip_full(self):
+        frame = encode_shard_spec(
+            shard=2, attempt=1, epoch=5, entropy=12345, epsilon=1.5,
+            domain=60, layer=1,
+            vertices=np.array([4, 9, 11], dtype=np.int64),
+            versions=np.array([0, 2, 0], dtype=np.uint64),
+            ia=np.array([0, 1], dtype=np.int64),
+            ib=np.array([2, 2], dtype=np.int64),
+            want_fragment=False, measure=True,
+        )
+        kind, spec, _ = decode_frame(frame)
+        assert kind == KIND_SHARD_SPEC
+        assert spec["shard"] == 2 and spec["attempt"] == 1
+        assert spec["epoch"] == 5 and spec["entropy"] == 12345
+        assert spec["epsilon"] == pytest.approx(1.5)
+        assert spec["domain"] == 60 and spec["layer"] == 1
+        np.testing.assert_array_equal(spec["vertices"], [4, 9, 11])
+        np.testing.assert_array_equal(spec["versions"], [0, 2, 0])
+        np.testing.assert_array_equal(spec["ia"], [0, 1])
+        np.testing.assert_array_equal(spec["ib"], [2, 2])
+        assert spec["want_fragment"] is False
+        assert spec["measure"] is True
+
+    def test_shard_spec_minimal(self):
+        frame = encode_shard_spec(
+            shard=0, attempt=0, epoch=0, entropy=1, epsilon=2.0,
+            domain=10, layer=0, vertices=np.array([1], dtype=np.int64),
+        )
+        _, spec, _ = decode_frame(frame)
+        assert spec["versions"] is None
+        assert spec["ia"] is None and spec["ib"] is None
+        assert spec["want_fragment"] is True and spec["measure"] is False
+
+    def test_shard_spec_refuses_lone_pair_side(self):
+        with pytest.raises(ProtocolError):
+            encode_shard_spec(
+                shard=0, attempt=0, epoch=0, entropy=1, epsilon=2.0,
+                domain=10, layer=0, vertices=np.array([1], dtype=np.int64),
+                ia=np.array([0], dtype=np.int64),
+            )
+
+    def test_shard_spec_refuses_misaligned_versions(self):
+        with pytest.raises(ProtocolError):
+            encode_shard_spec(
+                shard=0, attempt=0, epoch=0, entropy=1, epsilon=2.0,
+                domain=10, layer=0, vertices=np.array([1, 2], dtype=np.int64),
+                versions=np.array([0], dtype=np.uint64),
+            )
+
+    def test_fragment_round_trip(self):
+        indptr = np.array([0, 2, 2, 5], dtype=np.int64)
+        columns = np.array([1, 4, 0, 2, 9], dtype=np.int64)
+        frame = encode_fragment(3, 1, indptr, columns)
+        kind, payload, _ = decode_frame(frame)
+        assert kind == KIND_FRAGMENT
+        assert payload["shard"] == 3 and payload["attempt"] == 1
+        np.testing.assert_array_equal(payload["indptr"], indptr)
+        np.testing.assert_array_equal(payload["columns"], columns)
+
+    def test_fragment_checksum_flip_detected(self):
+        frame = bytearray(
+            encode_fragment(
+                0, 0, np.array([0, 3], dtype=np.int64),
+                np.array([1, 2, 3], dtype=np.int64),
+            )
+        )
+        frame[-1] ^= 0x01  # flip one bit in the last column word
+        with pytest.raises(PayloadIntegrityError):
+            decode_frame(bytes(frame))
+
+    def test_fragment_refuses_inconsistent_csr(self):
+        with pytest.raises(ProtocolError):
+            encode_fragment(
+                0, 0, np.array([0, 5], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )
+
+    def test_reduced_round_trip(self):
+        sizes = np.array([7, 0, 3], dtype=np.int64)
+        n1 = np.array([2, 1], dtype=np.int64)
+        frame = encode_reduced(1, 2, sizes, n1, peak_bytes=4096)
+        kind, payload, _ = decode_frame(frame)
+        assert kind == KIND_REDUCED
+        assert payload["shard"] == 1 and payload["attempt"] == 2
+        assert payload["peak_bytes"] == 4096
+        np.testing.assert_array_equal(payload["sizes"], sizes)
+        np.testing.assert_array_equal(payload["n1"], n1)
+
+    def test_reduced_checksum_flip_detected(self):
+        frame = bytearray(
+            encode_reduced(
+                0, 0, np.array([5], dtype=np.int64),
+                np.array([2], dtype=np.int64),
+            )
+        )
+        frame[-9] ^= 0x10
+        with pytest.raises(PayloadIntegrityError):
+            decode_frame(bytes(frame))
+
+    def test_worker_error_round_trip(self):
+        kind, payload, _ = decode_frame(encode_worker_error("bad epsilon"))
+        assert kind == KIND_WORKER_ERROR
+        assert payload["message"] == "bad epsilon"
+
+    def test_oversized_length_rejected_before_allocation(self):
+        bogus = struct.pack("<BI", KIND_FRAGMENT, MAX_FRAME_PAYLOAD + 1)
+        with pytest.raises(ProtocolError, match="wire limit"):
+            decode_frame(bogus)
+
+
+# ----------------------------------------------------------------------
+# Property fuzz: every frame kind must either round-trip exactly or be
+# rejected with a typed error — never crash, never silently mis-decode.
+# ----------------------------------------------------------------------
+_WIRE_ERRORS = (ProtocolError, PayloadIntegrityError)
+
+ids_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**62), min_size=0, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+@st.composite
+def csr_fragments(draw):
+    lengths = draw(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=12)
+    )
+    indptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    columns = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=int(indptr[-1]), max_size=int(indptr[-1]),
+        )
+    )
+    return indptr, np.array(columns, dtype=np.int64)
+
+
+@st.composite
+def shard_specs(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    vertices = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=2**40), min_size=n, max_size=n
+            )
+        ),
+        dtype=np.int64,
+    )
+    versions = None
+    if draw(st.booleans()):
+        versions = np.array(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=2**30),
+                    min_size=n, max_size=n,
+                )
+            ),
+            dtype=np.uint64,
+        )
+    ia = ib = None
+    if n and draw(st.booleans()):
+        m = draw(st.integers(min_value=0, max_value=16))
+        slots = st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m
+        )
+        ia = np.array(draw(slots), dtype=np.int64)
+        ib = np.array(draw(slots), dtype=np.int64)
+    return dict(
+        shard=draw(st.integers(min_value=0, max_value=1000)),
+        attempt=draw(st.integers(min_value=-1, max_value=5)),
+        epoch=draw(st.integers(min_value=0, max_value=2**40)),
+        entropy=draw(st.integers(min_value=0, max_value=2**62)),
+        epsilon=draw(
+            st.floats(
+                min_value=1e-3, max_value=16.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        ),
+        domain=draw(st.integers(min_value=0, max_value=2**40)),
+        layer=draw(st.integers(min_value=0, max_value=1)),
+        vertices=vertices,
+        versions=versions,
+        ia=ia,
+        ib=ib,
+        want_fragment=draw(st.booleans()),
+        measure=draw(st.booleans()),
+    )
+
+
+class TestWireFuzz:
+    @given(ids=ids_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_noisy_edges_round_trip(self, ids):
+        kind, decoded, rest = decode_frame(encode_noisy_edges(ids))
+        assert kind == KIND_NOISY_EDGES
+        np.testing.assert_array_equal(decoded, ids)
+        assert rest == b""
+
+    @given(spec=shard_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_shard_spec_round_trip(self, spec):
+        _, decoded, rest = decode_frame(encode_shard_spec(**spec))
+        assert rest == b""
+        np.testing.assert_array_equal(decoded["vertices"], spec["vertices"])
+        if spec["versions"] is None:
+            assert decoded["versions"] is None
+        else:
+            np.testing.assert_array_equal(decoded["versions"], spec["versions"])
+        if spec["ia"] is None or spec["ia"].size == 0:
+            # Zero pairs and no pairs are the same wire statement.
+            assert decoded["ia"] is None or decoded["ia"].size == 0
+        else:
+            np.testing.assert_array_equal(decoded["ia"], spec["ia"])
+            np.testing.assert_array_equal(decoded["ib"], spec["ib"])
+        for key in ("shard", "attempt", "epoch", "entropy", "domain", "layer",
+                    "want_fragment", "measure"):
+            assert decoded[key] == spec[key]
+        assert decoded["epsilon"] == pytest.approx(spec["epsilon"])
+
+    @given(frag=csr_fragments())
+    @settings(max_examples=60, deadline=None)
+    def test_fragment_round_trip(self, frag):
+        indptr, columns = frag
+        _, decoded, _ = decode_frame(encode_fragment(1, 0, indptr, columns))
+        np.testing.assert_array_equal(decoded["indptr"], indptr)
+        np.testing.assert_array_equal(decoded["columns"], columns)
+
+    @given(frag=csr_fragments(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_always_rejected(self, frag, data):
+        indptr, columns = frag
+        frame = encode_fragment(1, 0, indptr, columns)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(_WIRE_ERRORS):
+            decode_frame(frame[:cut])
+
+    @given(frag=csr_fragments(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_column_byte_flip_always_detected(self, frag, data):
+        indptr, columns = frag
+        if columns.size == 0:
+            return  # nothing to corrupt
+        frame = bytearray(encode_fragment(1, 0, indptr, columns))
+        col_start = len(frame) - columns.size * 8
+        pos = data.draw(
+            st.integers(min_value=col_start, max_value=len(frame) - 1)
+        )
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        frame[pos] ^= flip
+        with pytest.raises(_WIRE_ERRORS):
+            decode_frame(bytes(frame))
+
+    @given(
+        sizes=ids_arrays, n1=ids_arrays, data=st.data()
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reduced_round_trip_and_flip(self, sizes, n1, data):
+        frame = encode_reduced(0, 0, sizes, n1)
+        _, decoded, _ = decode_frame(frame)
+        np.testing.assert_array_equal(decoded["sizes"], sizes)
+        np.testing.assert_array_equal(decoded["n1"], n1)
+        payload = sizes.size + n1.size
+        if payload:
+            corrupt = bytearray(frame)
+            pos = data.draw(
+                st.integers(
+                    min_value=len(frame) - payload * 8,
+                    max_value=len(frame) - 1,
+                )
+            )
+            corrupt[pos] ^= data.draw(st.integers(min_value=1, max_value=255))
+            with pytest.raises(_WIRE_ERRORS):
+                decode_frame(bytes(corrupt))
+
+    @given(
+        kind=st.integers(min_value=0, max_value=255),
+        length=st.integers(min_value=0, max_value=2**32 - 1),
+        body=st.binary(max_size=256),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_headers_never_crash(self, kind, length, body):
+        data = struct.pack("<BI", kind, length) + body
+        try:
+            decoded_kind, _, _ = decode_frame(data)
+        except _WIRE_ERRORS:
+            return
+        assert decoded_kind == kind

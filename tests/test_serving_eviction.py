@@ -18,6 +18,7 @@ import pytest
 from scipy import stats as sps
 
 from repro.engine.core import BatchQueryEngine
+from repro.engine.sharded import ShardedRunner
 from repro.errors import ProtocolError
 from repro.graph.bipartite import Layer
 from repro.graph.generators import random_bipartite
@@ -370,3 +371,141 @@ class TestBoundedCacheUnit:
         cache.rotate()
         assert cache.hottest_last_epoch(2) == [0, 1]
         assert cache.hottest_last_epoch(0) == []
+
+
+class TestShardRangeEviction:
+    """The satellite acceptance: a sharded bounded cache evicts whole
+    shard ranges, so trimming a large over-budget working set costs one
+    LRU scan per *range* instead of one per vertex."""
+
+    def test_eviction_batches_scale_with_ranges_not_vertices(self, graph):
+        with ShardedRunner(graph, Layer.UPPER, max_workers=1) as runner:
+            cache = NoisyViewCache(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE,
+                max_entries=4, rng=5,
+                shard_runner=runner, shard_mem_bytes=4_000,
+            )
+            cache.materialize_fresh(np.arange(60, dtype=np.int64))
+            ranges = len(cache.last_shard_draw)
+            assert ranges >= 2  # the budget split the draw into ranges
+            evicted = cache.evict_to_budget()
+        assert evicted >= 56  # trimmed back under the 4-entry budget
+        # The speed assertion: one victim-selection scan per evicted
+        # range (plus at most one final check), never one per vertex.
+        assert cache.stats.eviction_batches <= ranges + 1
+        assert cache.stats.eviction_batches < cache.stats.evictions
+
+    def test_unsharded_cache_still_evicts_per_vertex(self, graph):
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            mode=ExecutionMode.MATERIALIZE, max_entries=3, rng=5,
+        )
+        cache.materialize_fresh(np.arange(10, dtype=np.int64))
+        evicted = cache.evict_to_budget()
+        assert evicted == 7
+        assert cache.stats.eviction_batches == cache.stats.evictions
+
+    def test_range_evicted_views_redraw_byte_identically(self, graph):
+        """Batch eviction must not break the recharge contract: every
+        vertex the range took down redraws its epoch bytes exactly."""
+        with ShardedRunner(graph, Layer.UPPER, max_workers=1) as runner:
+            cache = NoisyViewCache(
+                graph, Layer.UPPER, EPSILON,
+                mode=ExecutionMode.MATERIALIZE,
+                max_entries=4, rng=6,
+                shard_runner=runner, shard_mem_bytes=4_000,
+            )
+            verts = np.arange(30, dtype=np.int64)
+            cache.materialize_fresh(verts)
+            originals = {int(v): cache.view(int(v)).copy() for v in verts}
+            cache.evict_to_budget()
+            gone = np.array(
+                [v for v in verts if not cache.has_view(int(v))],
+                dtype=np.int64,
+            )
+            assert gone.size > 0
+            cache.materialize_fresh(gone)
+            for v in gone:
+                np.testing.assert_array_equal(
+                    cache.view(int(v)), originals[int(v)]
+                )
+            assert cache.uncharged(verts).size == 0  # recharge-free
+
+
+class TestWarmSetEwma:
+    """The satellite acceptance: rotation warming ranks vertices by an
+    exponentially weighted touch average, so a drifting hot set is
+    tracked within two epochs and a one-epoch blip cannot hijack it."""
+
+    def touch(self, cache, vertices, times):
+        cache.gather_views(
+            np.array(list(vertices) * times, dtype=np.int64)
+        )
+
+    def test_drifting_hot_set_tracked_within_two_epochs(self, graph):
+        cache = NoisyViewCache(graph, Layer.UPPER, EPSILON,
+                               mode=ExecutionMode.MATERIALIZE)
+        cache.materialize_fresh(np.arange(6, dtype=np.int64), rng=2)
+        # Epoch 0: {0, 1, 2} is the hot set.
+        self.touch(cache, [0, 1, 2], 5)
+        cache.rotate()
+        assert cache.hottest_last_epoch(3) == [0, 1, 2]
+        # Epoch 1: traffic drifts to {3, 4, 5} with the same intensity —
+        # the new set must already outrank the decayed old one.
+        cache.materialize_fresh(np.arange(6, dtype=np.int64))
+        self.touch(cache, [3, 4, 5], 5)
+        cache.rotate()
+        assert cache.hottest_last_epoch(3) == [3, 4, 5]
+        # Epoch 2: drift sustained; the old set's residual heat decays
+        # below everything still being touched.
+        cache.materialize_fresh(np.arange(6, dtype=np.int64))
+        self.touch(cache, [3, 4, 5], 5)
+        cache.rotate()
+        assert set(cache.hottest_last_epoch(3)) == {3, 4, 5}
+
+    def test_one_epoch_blip_does_not_displace_sustained_heat(self, graph):
+        cache = NoisyViewCache(graph, Layer.UPPER, EPSILON,
+                               mode=ExecutionMode.MATERIALIZE)
+        cache.materialize_fresh(np.arange(4, dtype=np.int64), rng=3)
+        for _ in range(3):  # vertex 0 is steadily hot
+            self.touch(cache, [0], 4)
+            cache.rotate()
+            cache.materialize_fresh(np.arange(4, dtype=np.int64))
+        # One anomalous epoch: vertex 1 spikes just past vertex 0.
+        self.touch(cache, [0], 4)
+        self.touch(cache, [1], 5)
+        cache.rotate()
+        cache.materialize_fresh(np.arange(4, dtype=np.int64))
+        # The next ordinary epoch restores the sustained vertex on top.
+        self.touch(cache, [0], 4)
+        cache.rotate()
+        assert cache.hottest_last_epoch(2) == [0, 1]
+
+    def test_warm_decay_one_reduces_to_last_epoch_counts(self, graph):
+        """alpha = 1 is the pre-EWMA behavior: history is forgotten."""
+        cache = NoisyViewCache(graph, Layer.UPPER, EPSILON,
+                               mode=ExecutionMode.MATERIALIZE, warm_decay=1.0)
+        cache.materialize_fresh(np.arange(4, dtype=np.int64), rng=4)
+        self.touch(cache, [0, 1], 5)
+        cache.rotate()
+        cache.materialize_fresh(np.arange(4, dtype=np.int64))
+        self.touch(cache, [2], 1)
+        cache.rotate()
+        assert cache.hottest_last_epoch(4) == [2]
+
+    def test_invalid_warm_decay_refused(self, graph):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ProtocolError, match="warm_decay"):
+                NoisyViewCache(graph, Layer.UPPER, EPSILON,
+                               mode=ExecutionMode.MATERIALIZE,
+                               warm_decay=bad)
+
+    def test_server_threads_warm_decay_through(self, graph):
+        async def script(server):
+            return server.cache.warm_decay
+
+        decay = run_server(
+            graph, script, mode=ExecutionMode.MATERIALIZE, warm_decay=0.8
+        )
+        assert decay == pytest.approx(0.8)
