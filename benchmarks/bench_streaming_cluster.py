@@ -1,0 +1,188 @@
+"""Streaming ingest over the wire: delta pushes vs graph re-ship.
+
+The distributed streaming contract this benchmark pins: when a serving
+cache on a socket cluster rotates a mutation batch in, the workers are
+carried to the new snapshot by MUTATE delta frames — sized by the *dirty
+set*, not the graph — instead of re-shipping the full GRAPH frame. On a
+realistic churn profile (~1% of the upper layer dirtied per rotation)
+the delta frames must beat the re-ship by at least
+:data:`DELTA_FLOOR` (10x) in bytes on the wire, the traffic win that
+makes streaming to remote workers pay. The ingest ledger also has to
+show zero divergences (every push landed; nobody fell back to a full
+install after the seed) — a delta path that silently re-ships graphs
+would still serve correct bits, but would erase exactly the win this
+benchmark exists to measure.
+
+Run directly (``python benchmarks/bench_streaming_cluster.py``) or via
+pytest (``pytest benchmarks/bench_streaming_cluster.py -s``).
+``REPRO_BENCH_QUICK=1`` shrinks the workload to a seconds-long smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.sharded import ShardedRunner
+from repro.engine.transport import SocketTransport
+from repro.graph.bipartite import Layer
+from repro.graph.generators import random_bipartite
+from repro.serving import NoisyViewCache
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+if QUICK:
+    N_UPPER, N_LOWER, N_EDGES, ROUNDS = 2_000, 400, 12_000, 3
+else:
+    N_UPPER, N_LOWER, N_EDGES, ROUNDS = 8_000, 800, 60_000, 5
+EPSILON = 2.0
+WORKERS = 2
+DIRTY_FRAC = 0.01  # share of the upper layer churned per rotation
+# The acceptance floor: delta frames must be at least this many times
+# cheaper than re-shipping the GRAPH frame for every rotation.
+DELTA_FLOOR = 10.0
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def launch_worker():
+    """Start one loopback worker; return (process, "host:port")."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.engine.worker",
+            "--listen",
+            "127.0.0.1:0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise RuntimeError(f"worker never announced itself: {line!r}")
+    return proc, line.split(" ", 1)[1]
+
+
+def _churn_batch(graph, rng, count):
+    """Toggle one edge on each of ``count`` distinct upper vertices."""
+    inserts, deletes = [], []
+    for v in rng.choice(N_UPPER, size=count, replace=False):
+        l = int(rng.integers(N_LOWER))
+        (deletes if graph.has_edge(int(v), l) else inserts).append(
+            (int(v), l)
+        )
+    return inserts, deletes
+
+
+def run_streaming_cluster_bench() -> tuple[str, dict]:
+    graph = random_bipartite(N_UPPER, N_LOWER, N_EDGES, rng=20260808)
+    verts = np.arange(N_UPPER, dtype=np.int64)
+    rng = np.random.default_rng(7)
+    dirty_target = max(2, int(N_UPPER * DIRTY_FRAC))
+
+    procs = [launch_worker() for _ in range(WORKERS)]
+    try:
+        transport = SocketTransport([addr for _, addr in procs])
+        runner = ShardedRunner(
+            graph, Layer.UPPER, max_workers=WORKERS, transport=transport
+        )
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            rng=np.random.default_rng(20260808), shard_runner=runner,
+        )
+        try:
+            start = time.perf_counter()
+            cache.materialize_fresh(verts)
+            t_seed = time.perf_counter() - start
+
+            round_times = []
+            for _ in range(ROUNDS):
+                inserts, deletes = _churn_batch(
+                    cache.graph, rng, dirty_target
+                )
+                cache.mutate(inserts=inserts, deletes=deletes)
+                start = time.perf_counter()
+                cache.rotate()
+                assert cache.last_rotation["incremental"]
+                missing = np.array(
+                    [v for v in range(N_UPPER) if not cache.has_view(v)],
+                    dtype=np.int64,
+                )
+                cache.materialize_fresh(missing)
+                round_times.append(time.perf_counter() - start)
+            ingest = transport.describe()["ingest"]
+        finally:
+            runner.close()
+    finally:
+        for proc, _ in procs:
+            proc.terminate()
+        for proc, _ in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+
+    reship = ingest["delta_bytes"] + ingest["delta_saved_bytes"]
+    factor = reship / max(1, ingest["delta_bytes"])
+    rows = {
+        "rounds": ROUNDS,
+        "dirty_per_round": dirty_target,
+        "seed_s": t_seed,
+        "round_s": float(np.median(round_times)),
+        "delta_pushes": ingest["delta_pushes"],
+        "delta_bytes": ingest["delta_bytes"],
+        "delta_saved_bytes": ingest["delta_saved_bytes"],
+        "graph_installs": ingest["graph_installs"],
+        "graph_bytes": ingest["graph_bytes"],
+        "diverged": ingest["diverged"],
+        "delta_factor": factor,
+    }
+    lines = [
+        f"{ROUNDS} streaming rotations, {dirty_target} dirty vertices "
+        f"(~{100 * DIRTY_FRAC:.0f}%) each, on {N_UPPER} x {N_LOWER} "
+        f"({N_EDGES} edges) over {WORKERS} loopback workers, "
+        f"epsilon={EPSILON}" + (" [QUICK]" if QUICK else ""),
+        "",
+        f"seed draw (full install + layer):   {t_seed:>8.3f} s",
+        f"median incremental round:           {rows['round_s']:>8.3f} s",
+        "",
+        f"{'ingest path':<26} {'frames':>7} {'bytes':>14}",
+        f"{'full GRAPH installs (seed)':<26} "
+        f"{ingest['graph_installs']:>7} {ingest['graph_bytes']:>14,}",
+        f"{'MUTATE delta pushes':<26} "
+        f"{ingest['delta_pushes']:>7} {ingest['delta_bytes']:>14,}",
+        "",
+        f"re-shipping the graph instead would have cost {reship:,} bytes "
+        f"— deltas are {factor:.0f}x cheaper (floor {DELTA_FLOOR:.0f}x), "
+        f"{ingest['diverged']} divergences",
+    ]
+    return "\n".join(lines), rows
+
+
+def test_streaming_cluster_bench(emit):
+    text, rows = run_streaming_cluster_bench()
+    emit("streaming_cluster", text)
+    # Every rotation reached both workers as a delta; nobody needed a
+    # second full install and no push was refused.
+    assert rows["delta_pushes"] >= rows["rounds"]
+    assert rows["graph_installs"] == WORKERS
+    assert rows["diverged"] == 0
+    # The headline: delta push beats graph re-ship on ~1%-dirty churn.
+    assert rows["delta_factor"] >= DELTA_FLOOR, (
+        f"delta frames only {rows['delta_factor']:.1f}x cheaper than "
+        f"re-shipping the graph (floor {DELTA_FLOOR:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    text, _ = run_streaming_cluster_bench()
+    print(text)

@@ -280,18 +280,22 @@ class ShardedRunner:
         self.transport.close()
         self._closed = True
 
-    def rebind(self, graph: BipartiteGraph) -> None:
+    def rebind(self, graph: BipartiteGraph, *, delta=None) -> None:
         """Point the runner at a new graph snapshot (post-mutation).
 
         Delegates to the transport: the fork pool drains and re-forks so
         copy-on-write workers cannot serve the stale snapshot; socket
-        workers re-install lazily on digest mismatch. A no-op when
-        ``graph`` is already the bound snapshot.
+        workers resync lazily on digest mismatch — as one MUTATE delta
+        push when ``delta`` (the :class:`~repro.graph.delta.DeltaLog`
+        that carried the old snapshot to ``graph``) is given and the
+        worker's digest is still on the transport's chain, else a full
+        GRAPH re-install. A no-op when ``graph`` is already the bound
+        snapshot.
         """
         if graph is self.graph:
             return
         self.graph = graph
-        self.transport.bind(graph, self.layer)
+        self.transport.bind(graph, self.layer, delta=delta)
 
     def __enter__(self) -> "ShardedRunner":
         return self

@@ -47,7 +47,7 @@ import time
 import tracemalloc
 import weakref
 import zlib
-from collections import Counter
+from collections import Counter, OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures import wait as _wait_futures
@@ -279,8 +279,15 @@ class ShardTransport:
     name = "abstract"
     can_reduce = True
 
-    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
-        """Point the transport at the serving context (idempotent)."""
+    def bind(self, graph: BipartiteGraph, layer: Layer, *, delta=None) -> None:
+        """Point the transport at the serving context (idempotent).
+
+        ``delta``, when given, is the :class:`~repro.graph.delta.DeltaLog`
+        that carries the *previous* bound graph to ``graph`` — a hint
+        transports with remote state (the socket cluster) use to push an
+        edge delta instead of re-shipping the snapshot. Transports whose
+        workers see the parent's memory directly ignore it.
+        """
         raise NotImplementedError
 
     @property
@@ -349,7 +356,7 @@ class InlineTransport(ShardTransport):
         self._graph: BipartiteGraph | None = None
         self._layer: Layer | None = None
 
-    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
+    def bind(self, graph: BipartiteGraph, layer: Layer, *, delta=None) -> None:
         self._graph, self._layer = graph, layer
 
     def submit(self, spec: ShardSpec) -> Future:
@@ -560,14 +567,15 @@ class ForkTransport(ShardTransport):
         )
 
     # -- context ------------------------------------------------------
-    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
+    def bind(self, graph: BipartiteGraph, layer: Layer, *, delta=None) -> None:
         """Register (or re-register) the copy-on-write worker context.
 
         A live pool holds the previous graph through fork-time
         inheritance and cannot see a swap, so rebinding to a different
         snapshot joins and drops the current pool; the next submit forks
         fresh workers that inherit the new context. A no-op when already
-        bound to the same ``(graph, layer)``.
+        bound to the same ``(graph, layer)``. ``delta`` is ignored:
+        forked workers inherit the new snapshot for free.
         """
         prev = _WORKER_CONTEXTS.get(self._token)
         if prev is not None and prev[0] is graph and prev[1] is layer:
@@ -790,6 +798,8 @@ class WorkerHandle:
         self.caps = 0
         self.last_seen = 0.0
         self.dispatched = 0
+        self.delta_pushes = 0  # MUTATE frames this worker absorbed
+        self.diverged = 0  # delta pushes refused → full re-install
 
     @property
     def address(self) -> str:
@@ -852,6 +862,9 @@ class WorkerRegistry:
                 "address": h.address,
                 "alive": h.alive,
                 "dispatched": h.dispatched,
+                "digest": h.digest,
+                "delta_pushes": h.delta_pushes,
+                "diverged": h.diverged,
             }
             for h in self.handles
         ]
@@ -876,9 +889,24 @@ class SocketTransport(ShardTransport):
     fault, or by a heartbeat PING during :meth:`recycle`) simply stops
     receiving ranges while the retry driver re-dispatches its pending
     ones to the survivors — byte-identically.
+
+    **Streaming ingest.** A ``bind(..., delta=log)`` records the edge
+    delta that carried the previous snapshot to the new one in a bounded
+    per-snapshot chain; a worker whose installed digest is on the chain
+    absorbs the rotation as one MUTATE frame (net inserts + deletes)
+    instead of a full GRAPH re-ship, verified end-to-end by the target
+    content digest in its DELTA_ACK. A worker off the chain — it died
+    and rejoined mid-stream, or fell behind the chain cap — diverges and
+    falls back to the full install. The ``ingest`` traffic ledger in
+    :meth:`describe` counts both paths and the bytes the deltas saved.
     """
 
     name = "socket"
+
+    # Historical snapshots a delta chain reaches back to. Matches the
+    # worker's GRAPH_CACHE_LIMIT: a base older than the worker could
+    # still hold is a guaranteed UNKNOWN_BASE round trip.
+    CHAIN_LIMIT = 8
 
     def __init__(
         self,
@@ -901,11 +929,47 @@ class SocketTransport(ShardTransport):
         self._threads: ThreadPoolExecutor | None = None
         self._seq = 0
         self._closed = False
+        # base content digest -> {edge: final-membership} ops reaching
+        # the *current* graph; oldest bases evicted at CHAIN_LIMIT.
+        self._chain: OrderedDict[int, dict] = OrderedDict()
+        self._mutate_frames: dict[int, bytes] = {}
+        self._ingest = {
+            "delta_pushes": 0,  # rotations absorbed as MUTATE frames
+            "delta_bytes": 0,  # what the MUTATE frames cost
+            "delta_saved_bytes": 0,  # graph re-ships those frames avoided
+            "graph_installs": 0,  # full GRAPH frames shipped
+            "graph_bytes": 0,  # what the full installs cost
+            "diverged": 0,  # delta pushes refused by the worker
+        }
 
     # -- context ------------------------------------------------------
-    def bind(self, graph: BipartiteGraph, layer: Layer) -> None:
+    def bind(self, graph: BipartiteGraph, layer: Layer, *, delta=None) -> None:
         if self._graph is graph and self._layer is layer:
             return
+        ops = None
+        if (
+            delta is not None
+            and self._graph is not None
+            and delta.base is self._graph
+            and self._layer is layer
+        ):
+            ops = delta.net_ops()
+        if ops:
+            # Extend every historical chain entry (last-op-wins overlay,
+            # the same composition DeltaLog.compose performs) so workers
+            # several snapshots behind still resync with one push, then
+            # record the new hop under the outgoing snapshot's digest.
+            prev_digest = self._ensure_digest()
+            for base, chained in self._chain.items():
+                self._chain[base] = {**chained, **ops}
+            self._chain[prev_digest] = dict(ops)
+            while len(self._chain) > self.CHAIN_LIMIT:
+                self._chain.popitem(last=False)
+        else:
+            # Not an incremental hop (fresh bind, or a delta recorded
+            # against some other snapshot): no chain can be trusted.
+            self._chain.clear()
+        self._mutate_frames.clear()
         self._graph, self._layer = graph, layer
         # Lazily recomputed: workers re-install on digest mismatch at
         # their next submit, which is how a rebind propagates.
@@ -969,10 +1033,69 @@ class SocketTransport(ShardTransport):
         handle.last_seen = time.monotonic()
         return sock
 
+    def _mutate_frame(self, base: int) -> bytes:
+        """The (memoized) MUTATE frame carrying ``base`` to the bound graph."""
+        frame = self._mutate_frames.get(base)
+        if frame is None:
+            ops = self._chain[base]
+            inserts = sorted(e for e, op in ops.items() if op)
+            deletes = sorted(e for e, op in ops.items() if not op)
+            frame = wire.encode_mutate(
+                base,
+                self._ensure_digest(),
+                np.array(inserts, dtype=np.int64).reshape(-1, 2),
+                np.array(deletes, dtype=np.int64).reshape(-1, 2),
+            )
+            self._mutate_frames[base] = frame
+        return frame
+
+    def _push_delta(
+        self, handle: WorkerHandle, sock: socket.socket, digest: int
+    ) -> bool:
+        """Try to carry a worker to ``digest`` with one MUTATE frame.
+
+        True on an OK ack for the target digest; False (after counting
+        the divergence) when the worker refused — unknown base, digest
+        mismatch — in which case the stream is still frame-aligned and
+        the caller falls back to the full GRAPH install.
+        """
+        frame = self._mutate_frame(handle.digest)
+        sock.sendall(frame)
+        kind, payload = read_frame(sock)
+        if kind != wire.KIND_DELTA_ACK:
+            raise ProtocolError(
+                f"worker {handle.address} answered a delta push with "
+                f"kind {kind}"
+            )
+        if payload["status"] == wire.DELTA_OK and payload["digest"] == digest:
+            handle.digest = digest
+            handle.last_seen = time.monotonic()
+            handle.delta_pushes += 1
+            self._ingest["delta_pushes"] += 1
+            self._ingest["delta_bytes"] += len(frame)
+            self._ingest["delta_saved_bytes"] += max(
+                0, len(self._graph_frame) - len(frame)
+            )
+            return True
+        handle.diverged += 1
+        self._ingest["diverged"] += 1
+        return False
+
     def _install(self, handle: WorkerHandle, sock: socket.socket) -> None:
-        """Ship the bound graph to a worker that holds a different one."""
+        """Carry a worker holding a different snapshot to the bound one.
+
+        A worker whose digest sits on the delta chain gets the rotation
+        as one MUTATE push; everyone else — including a pushed worker
+        that refused its delta — gets the full GRAPH frame.
+        """
         digest = self._ensure_digest()
         if handle.digest == digest:
+            return
+        if (
+            handle.digest in self._chain
+            and handle.caps & wire.CAP_MUTATE
+            and self._push_delta(handle, sock, digest)
+        ):
             return
         sock.sendall(self._graph_frame)
         kind, payload = read_frame(sock)
@@ -983,6 +1106,8 @@ class SocketTransport(ShardTransport):
             )
         handle.digest = digest
         handle.last_seen = time.monotonic()
+        self._ingest["graph_installs"] += 1
+        self._ingest["graph_bytes"] += len(self._graph_frame)
 
     def _request(self, handle: WorkerHandle, spec: ShardSpec) -> dict:
         """One request/response exchange: SHARD_SPEC → REDUCED [+FRAGMENT]."""
@@ -1110,11 +1235,16 @@ class SocketTransport(ShardTransport):
     def ping(self) -> int:
         """Heartbeat every handle; mark unresponsive workers dead.
 
-        Returns the number of live workers after the sweep.
+        Dead handles are *probed* rather than skipped: a replacement
+        worker listening on the same address (or the original, restarted
+        mid-stream) answers the probe's HELLO and revives its handle —
+        the rejoin path of the streaming cluster. A rejoined worker's
+        digest comes from its HELLO, so its next dispatch resyncs it
+        through :meth:`_install` (delta push when its digest is still on
+        the chain, full install otherwise). Returns the number of live
+        workers after the sweep.
         """
         for handle in self.registry.handles:
-            if not handle.alive:
-                continue
             self._seq += 1
             nonce = self._seq & 0xFFFFFFFF
             try:
@@ -1126,6 +1256,7 @@ class SocketTransport(ShardTransport):
                     if kind != wire.KIND_PONG or payload["nonce"] != nonce:
                         raise ConnectionError("bad heartbeat answer")
                 handle.last_seen = time.monotonic()
+                handle.alive = True
             except (OSError, ProtocolError):
                 self.registry.mark_dead(handle)
         return len(self.registry.live())
@@ -1144,6 +1275,7 @@ class SocketTransport(ShardTransport):
             "name": self.name,
             "workers": int(self.workers),
             "cluster": self.registry.describe(),
+            "ingest": dict(self._ingest),
         }
 
 

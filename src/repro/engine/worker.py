@@ -25,6 +25,15 @@ length-prefixed frames of :mod:`repro.protocol.wire`. The lifecycle
    frame (row sizes + locally reduced pairwise ``N1`` scalars), then a
    FRAGMENT frame iff the spec asked for rows; both carry the CRC32
    checksum word. Heartbeat PINGs answer with PONGs at any point.
+5. **Ingest.** MUTATE frames push an edge delta against a base snapshot
+   the worker already holds: the worker applies the net inserts/deletes
+   through :meth:`BipartiteGraph.apply_edge_delta`, verifies the result
+   hashes to the frame's target digest, caches it (the install cache is
+   bounded — oldest snapshots evicted at :data:`GRAPH_CACHE_LIMIT`), and
+   answers DELTA_ACK. A worker that does not hold the base (it died and
+   rejoined mid-stream, or fell off the parent's compacted chain)
+   answers ``DELTA_UNKNOWN_BASE`` and the parent falls back to a full
+   GRAPH install — the digest-divergence path the chaos suite exercises.
 
 A deterministic chaos plan (``REPRO_FAULT_PLAN`` in the worker's
 environment, keyed on ``(shard, attempt)`` exactly like the fork pool's)
@@ -58,7 +67,19 @@ from repro.protocol import wire
 
 __all__ = ["WorkerState", "serve", "main"]
 
-WORKER_CAPS = wire.CAP_REDUCE | wire.CAP_VERSIONS
+WORKER_CAPS = wire.CAP_REDUCE | wire.CAP_VERSIONS | wire.CAP_MUTATE
+
+# Installed snapshots kept per process. A long-running ingest stream
+# retires snapshots every rotation; without a bound the worker would pin
+# every historical graph it ever served. Oldest-installed is evicted
+# first — the parent's delta chain is capped the same way, so a base old
+# enough to be evicted here is one the parent would full-install anyway.
+GRAPH_CACHE_LIMIT = 8
+
+# Chaos sentinel: fault-plan entries with this shard id key on mutation
+# pushes instead of shard draws; ``attempt`` counts the worker's MUTATE
+# frames (0-based, across all connections).
+MUTATE_FAULT_SHARD = -2
 
 
 class WorkerState:
@@ -68,16 +89,40 @@ class WorkerState:
         self.graphs: dict[int, BipartiteGraph] = {}
         self.lock = threading.Lock()
         self.served = 0
+        self.mutations = 0
+
+    def _put(self, digest: int, graph: BipartiteGraph) -> None:
+        self.graphs.pop(digest, None)
+        self.graphs[digest] = graph  # newest last; latest_digest relies on it
+        while len(self.graphs) > GRAPH_CACHE_LIMIT:
+            self.graphs.pop(next(iter(self.graphs)))
 
     def install(self, payload: dict) -> int:
         """Install a decoded GRAPH frame; returns its digest."""
         digest = int(payload["digest"])
         with self.lock:
-            if digest not in self.graphs:
-                self.graphs[digest] = BipartiteGraph(
-                    payload["n_upper"], payload["n_lower"], payload["edges"]
+            if digest in self.graphs:
+                self.graphs[digest] = self.graphs.pop(digest)
+            else:
+                self._put(
+                    digest,
+                    BipartiteGraph(
+                        payload["n_upper"], payload["n_lower"], payload["edges"]
+                    ),
                 )
         return digest
+
+    def install_graph(self, digest: int, graph: BipartiteGraph) -> None:
+        """Cache a delta-applied snapshot under its verified digest."""
+        with self.lock:
+            self._put(int(digest), graph)
+
+    def next_mutation(self) -> int:
+        """The 0-based sequence number of the next MUTATE push."""
+        with self.lock:
+            seq = self.mutations
+            self.mutations += 1
+            return seq
 
     def latest_digest(self) -> int:
         with self.lock:
@@ -181,6 +226,48 @@ def _handle_spec(
         os._exit(FAULT_EXIT_CODE)
 
 
+def _handle_mutate(
+    conn: socket.socket, state: WorkerState, payload: dict, digest: int
+) -> int:
+    """Apply one MUTATE push; returns the digest this connection serves.
+
+    The delta only lands if the worker holds the base snapshot *and* the
+    applied result hashes to the frame's target digest — anything else
+    leaves the installed state untouched and tells the parent exactly
+    which digest the worker still holds, so the fallback is always a
+    clean full install rather than serving silently wrong bits.
+    """
+    base = int(payload["base_digest"])
+    target = int(payload["target_digest"])
+    graph = state.graph_for(base)
+    if graph is None:
+        conn.sendall(
+            wire.encode_delta_ack(wire.DELTA_UNKNOWN_BASE, state.latest_digest())
+        )
+        return digest
+    seq = state.next_mutation()
+    plan = FaultPlan.from_env()
+    action = plan.action_for(MUTATE_FAULT_SHARD, seq) if plan else None
+    if action is not None:
+        _apply_prelude_chaos(action)
+    try:
+        mutated = graph.apply_edge_delta(payload["inserts"], payload["deletes"])
+    except ReproError:
+        conn.sendall(wire.encode_delta_ack(wire.DELTA_DIGEST_MISMATCH, base))
+        return digest
+    actual = wire.graph_digest(
+        mutated.num_upper, mutated.num_lower, mutated.edges
+    )
+    if actual != target:
+        conn.sendall(wire.encode_delta_ack(wire.DELTA_DIGEST_MISMATCH, base))
+        return digest
+    state.install_graph(actual, mutated)
+    conn.sendall(wire.encode_delta_ack(wire.DELTA_OK, actual))
+    if action is not None and action.kind == "kill_after_write":
+        os._exit(FAULT_EXIT_CODE)
+    return actual
+
+
 def _serve_connection(conn: socket.socket, state: WorkerState) -> None:
     """One parent connection's frame loop (runs on its own thread)."""
     # The digest this connection serves: set by HELLO, updated by GRAPH.
@@ -225,6 +312,8 @@ def _serve_connection(conn: socket.socket, state: WorkerState) -> None:
                             wire.WIRE_VERSION, WORKER_CAPS, digest
                         )
                     )
+                elif kind == wire.KIND_MUTATE:
+                    digest = _handle_mutate(conn, state, payload, digest)
                 elif kind == wire.KIND_SHARD_SPEC:
                     try:
                         _handle_spec(conn, state, payload, digest)

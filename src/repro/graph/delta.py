@@ -20,6 +20,17 @@ rotation's byte stream identical to never having touched the graph.
 :meth:`BipartiteGraph.apply_edge_delta`, which splices only the dirty
 CSR rows instead of re-sorting the whole edge list, so applying a small
 delta to a huge graph is O(m) memcpy plus O(dirty) merge work.
+
+Long-running ingest adds two more needs (``docs/streaming-guide.md``):
+
+* :meth:`DeltaLog.compact` shrinks a log to its *net* entries — the
+  edges whose membership actually changes — so a log that absorbed a
+  million churning ops over many epochs holds memory bounded by the
+  dirty edge set, not the op count;
+* :meth:`DeltaLog.compose` overlays a later log (recorded against the
+  earlier log's applied graph) onto an earlier one, last-op-wins, so a
+  parent can keep one compacted delta chain per historical snapshot and
+  resync a worker that is several epochs behind with a single push.
 """
 
 from __future__ import annotations
@@ -134,6 +145,60 @@ class DeltaLog:
             [self.net_inserts()[:, column], self.net_deletes()[:, column]]
         )
         return np.unique(touched)
+
+    def net_ops(self) -> dict[tuple[int, int], bool]:
+        """Net edge → final-membership map (True = present after apply).
+
+        Only membership-changing entries appear; the transport layer
+        ships exactly these as a MUTATE frame's insert/delete lists.
+        """
+        return {
+            (u, v): op
+            for (u, v), op in self._last.items()
+            if self._base.has_edge(u, v) is not op
+        }
+
+    # ------------------------------------------------------------------
+    # Compaction and cross-epoch composition
+    # ------------------------------------------------------------------
+    def compact(self) -> "DeltaLog":
+        """A new log holding only this log's net effect.
+
+        Cancelled churn (insert-then-delete of an absent edge, repeated
+        flips that land back on the base's membership) is dropped, so
+        the compacted log's memory is bounded by the number of edges —
+        and hence vertices — actually dirtied, never by how many ops the
+        stream recorded. ``len()`` of the compacted log counts the kept
+        entries.
+        """
+        out = DeltaLog(self._base)
+        out._last = self.net_ops()
+        out._recorded = len(out._last)
+        return out
+
+    @classmethod
+    def compose(cls, earlier: "DeltaLog", later: "DeltaLog") -> "DeltaLog":
+        """Overlay ``later`` (recorded against ``earlier.apply()``) onto
+        ``earlier``, producing one log against ``earlier.base``.
+
+        Last-op-wins across the epoch boundary: an edge the later log
+        touches takes the later verdict; everything else keeps the
+        earlier one. Ops that net out against the original base (e.g.
+        a later re-insert of an earlier delete) simply vanish from
+        ``net_inserts()``/``net_deletes()``, so composing a chain and
+        applying it lands on the same graph as applying each hop.
+        """
+        if (
+            later.base.num_upper != earlier.base.num_upper
+            or later.base.num_lower != earlier.base.num_lower
+        ):
+            raise GraphError(
+                "cannot compose delta logs across different layer sizes"
+            )
+        out = cls(earlier.base)
+        out._last = {**earlier._last, **later._last}
+        out._recorded = earlier._recorded + later._recorded
+        return out
 
     # ------------------------------------------------------------------
     # Materialization

@@ -28,7 +28,15 @@ the same frame idiom with the parent↔worker message kinds:
 * ``reduced`` — a shard's row sizes plus locally reduced pairwise
   ``N1`` scalars (the frames that replace fragments on pair-dense
   workloads), under the same checksum word;
-* ``worker-error`` — a worker-side failure message.
+* ``worker-error`` — a worker-side failure message;
+* ``mutate`` — an edge-delta push (net inserts + net deletes against a
+  base snapshot the worker already holds, tagged with the base and
+  target digests plus a CRC32 over the op bytes), the frame that lets a
+  long-running worker track a mutating graph without re-receiving it;
+* ``delta-ack`` — the worker's verdict on a mutate: applied (and the
+  digest now installed), unknown base (the parent must fall back to a
+  full ``graph`` install), or digest mismatch (the applied result did
+  not hash to the promised target).
 
 Every frame is ``[kind: 1 byte][length: 4 bytes LE][payload]``; payloads
 round-trip exactly (tests in ``tests/test_protocol_wire.py``), frames
@@ -60,9 +68,15 @@ __all__ = [
     "KIND_FRAGMENT",
     "KIND_REDUCED",
     "KIND_WORKER_ERROR",
+    "KIND_MUTATE",
+    "KIND_DELTA_ACK",
     "WIRE_VERSION",
     "CAP_REDUCE",
     "CAP_VERSIONS",
+    "CAP_MUTATE",
+    "DELTA_OK",
+    "DELTA_UNKNOWN_BASE",
+    "DELTA_DIGEST_MISMATCH",
     "MAX_FRAME_PAYLOAD",
     "encode_noisy_edges",
     "encode_scalar",
@@ -74,10 +88,13 @@ __all__ = [
     "encode_fragment",
     "encode_reduced",
     "encode_worker_error",
+    "encode_mutate",
+    "encode_delta_ack",
     "decode_frame",
     "payload_bytes",
     "frame_overhead",
     "graph_digest",
+    "delta_checksum",
 ]
 
 KIND_NOISY_EDGES = 1
@@ -91,6 +108,8 @@ KIND_SHARD_SPEC = 8
 KIND_FRAGMENT = 9
 KIND_REDUCED = 10
 KIND_WORKER_ERROR = 11
+KIND_MUTATE = 12
+KIND_DELTA_ACK = 13
 
 # Shard-transport protocol version, carried in every HELLO. Bumped on any
 # incompatible frame-layout change; peers refuse mismatched versions.
@@ -99,6 +118,12 @@ WIRE_VERSION = 1
 # HELLO capability bits.
 CAP_REDUCE = 1  # the worker can reduce pairwise N1 blocks locally
 CAP_VERSIONS = 2  # the worker understands per-vertex stream versions
+CAP_MUTATE = 4  # the worker can apply MUTATE deltas to its installed graph
+
+# DELTA_ACK statuses.
+DELTA_OK = 0  # delta applied; ack digest is the freshly installed target
+DELTA_UNKNOWN_BASE = 1  # worker does not hold the base snapshot
+DELTA_DIGEST_MISMATCH = 2  # applied result did not hash to the target
 
 # Largest payload a frame may declare. The header's length field is
 # unsigned 32-bit; without this cap a single malicious (or corrupt)
@@ -117,6 +142,10 @@ _SPEC_HEAD = struct.Struct("<iiQQdQBBII")
 _FRAG_HEAD = struct.Struct("<iiII")  # shard, attempt, checksum, n_rows
 # shard, attempt, checksum, n_rows, n_pairs, peak_bytes
 _REDUCED_HEAD = struct.Struct("<iiIIIQ")
+# base digest, target digest, op checksum, n_inserts, n_deletes
+_MUTATE_HEAD = struct.Struct("<QQIII")
+_DELTA_ACK = struct.Struct("<BQ")  # status, installed digest
+_DELTA_STATUSES = (DELTA_OK, DELTA_UNKNOWN_BASE, DELTA_DIGEST_MISMATCH)
 
 _SPEC_HAS_VERSIONS = 1
 _SPEC_WANT_FRAGMENT = 2
@@ -362,6 +391,77 @@ def encode_worker_error(message: str) -> bytes:
     return _frame(KIND_WORKER_ERROR, str(message).encode("utf-8"))
 
 
+def delta_checksum(inserts: np.ndarray, deletes: np.ndarray) -> int:
+    """CRC32 over a mutate frame's insert + delete edge bytes.
+
+    The integrity word a MUTATE carries alongside its digests: a flipped
+    op byte surfaces as :class:`~repro.errors.PayloadIntegrityError` at
+    decode, before the worker touches its installed graph.
+    """
+    crc = zlib.crc32(
+        np.ascontiguousarray(inserts, dtype=np.int64).tobytes()
+    )
+    crc = zlib.crc32(
+        np.ascontiguousarray(deletes, dtype=np.int64).tobytes(), crc
+    )
+    return int(crc)
+
+
+def encode_mutate(
+    base_digest: int,
+    target_digest: int,
+    inserts: np.ndarray,
+    deletes: np.ndarray,
+    *,
+    checksum: int | None = None,
+) -> bytes:
+    """Encode an edge-delta push against an installed base snapshot.
+
+    ``inserts``/``deletes`` are ``(k, 2)`` net edge arrays (the
+    :meth:`DeltaLog.net_inserts` / ``net_deletes`` shape); the worker
+    applies them to the graph it holds under ``base_digest`` and must
+    end up with a graph whose content digest equals ``target_digest``.
+    ``checksum`` defaults to the true CRC of the op bytes; an explicit
+    value exists for chaos tests that need contradictory frames.
+    """
+    inserts = np.ascontiguousarray(
+        np.asarray(inserts, dtype=np.int64).reshape(-1, 2)
+    )
+    deletes = np.ascontiguousarray(
+        np.asarray(deletes, dtype=np.int64).reshape(-1, 2)
+    )
+    if (inserts.size and inserts.min() < 0) or (
+        deletes.size and deletes.min() < 0
+    ):
+        raise ProtocolError("edge endpoints must be non-negative")
+    if checksum is None:
+        checksum = delta_checksum(inserts, deletes)
+    payload = (
+        _MUTATE_HEAD.pack(
+            int(base_digest),
+            int(target_digest),
+            int(checksum) & 0xFFFFFFFF,
+            int(inserts.shape[0]),
+            int(deletes.shape[0]),
+        )
+        + inserts.astype("<i8").tobytes()
+        + deletes.astype("<i8").tobytes()
+    )
+    return _frame(KIND_MUTATE, payload)
+
+
+def encode_delta_ack(status: int, digest: int) -> bytes:
+    """Encode the worker's verdict on a MUTATE: status + installed digest.
+
+    On :data:`DELTA_OK` the digest is the freshly installed target; on
+    :data:`DELTA_UNKNOWN_BASE` / :data:`DELTA_DIGEST_MISMATCH` it is the
+    digest the worker still holds, so the parent knows what to re-ship.
+    """
+    if int(status) not in _DELTA_STATUSES:
+        raise ProtocolError(f"unknown delta-ack status {status}")
+    return _frame(KIND_DELTA_ACK, _DELTA_ACK.pack(int(status), int(digest)))
+
+
 # ----------------------------------------------------------------------
 # Decoding
 # ----------------------------------------------------------------------
@@ -497,6 +597,42 @@ def _decode_graph(body: bytes) -> dict:
     }
 
 
+def _decode_mutate(body: bytes) -> dict:
+    if len(body) < _MUTATE_HEAD.size:
+        raise ProtocolError("truncated mutate payload")
+    base, target, checksum, n_ins, n_del = _MUTATE_HEAD.unpack_from(body)
+    offset = _MUTATE_HEAD.size
+    if len(body) - offset != (n_ins + n_del) * 16:
+        raise ProtocolError("mutate payload does not match its header")
+    inserts = (
+        np.frombuffer(body, dtype="<i8", count=n_ins * 2, offset=offset)
+        .astype(np.int64)
+        .reshape(-1, 2)
+    )
+    offset += n_ins * 16
+    deletes = (
+        np.frombuffer(body, dtype="<i8", count=n_del * 2, offset=offset)
+        .astype(np.int64)
+        .reshape(-1, 2)
+    )
+    if (inserts.size and inserts.min() < 0) or (
+        deletes.size and deletes.min() < 0
+    ):
+        raise ProtocolError("mutate edge endpoints must be non-negative")
+    if delta_checksum(inserts, deletes) != checksum:
+        raise PayloadIntegrityError(
+            f"mutate delta against base {base:#x} failed checksum "
+            f"verification ({n_ins} inserts, {n_del} deletes)"
+        )
+    return {
+        "base_digest": base,
+        "target_digest": target,
+        "checksum": checksum,
+        "inserts": inserts,
+        "deletes": deletes,
+    }
+
+
 def decode_frame(data: bytes) -> tuple[int, object, bytes]:
     """Decode one frame; returns ``(kind, payload, remaining_bytes)``.
 
@@ -548,6 +684,15 @@ def decode_frame(data: bytes) -> tuple[int, object, bytes]:
         return kind, _decode_reduced(body), rest
     if kind == KIND_WORKER_ERROR:
         return kind, {"message": body.decode("utf-8", "replace")}, rest
+    if kind == KIND_MUTATE:
+        return kind, _decode_mutate(body), rest
+    if kind == KIND_DELTA_ACK:
+        if length != _DELTA_ACK.size:
+            raise ProtocolError("delta-ack payload must be status+digest")
+        status, digest = _DELTA_ACK.unpack(body)
+        if status not in _DELTA_STATUSES:
+            raise ProtocolError(f"unknown delta-ack status {status}")
+        return kind, {"status": status, "digest": digest}, rest
     raise ProtocolError(f"unknown frame kind {kind}")
 
 

@@ -1079,7 +1079,11 @@ class NoisyViewCache:
         }
         self.graph = new_graph
         if self.shard_runner is not None:
-            self.shard_runner.rebind(new_graph)
+            # The delta rides along so a socket transport can resync its
+            # workers with one MUTATE push instead of re-shipping the
+            # whole snapshot (compacted: net ops only).
+            self.shard_runner.rebind(new_graph, delta=pending.compact())
+
         self.stats.rotations += 1
         self.stats.incremental_rotations += 1
         self.epoch = self.accountant.rotate()

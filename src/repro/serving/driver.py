@@ -302,6 +302,15 @@ def serving_report(server: QueryServer, result: SimulationResult) -> str:
                 else ""
             )
         )
+    ingest = server.ingest_ledger()
+    if ingest and (ingest["delta_pushes"] or ingest["graph_installs"]):
+        lines.append(
+            f"ingest          : {ingest['delta_pushes']} delta pushes "
+            f"({ingest['delta_bytes']:,} B, saved "
+            f"{ingest['delta_saved_bytes']:,} B vs graph re-ship), "
+            f"{ingest['graph_installs']} full installs, "
+            f"{ingest['diverged']} diverged"
+        )
     # Degraded behavior must be visible from the demo: refusals the
     # clients absorbed, plus whatever the shard resilience layer did.
     if result.shed or result.expired or stats.stalled_ticks:

@@ -645,6 +645,20 @@ class QueryServer:
         self.stats.mutations += recorded
         return recorded
 
+    def ingest_ledger(self) -> dict | None:
+        """The shard transport's streaming-ingest traffic ledger, if any.
+
+        A socket cluster absorbing :meth:`mutate` rotations reports what
+        each resync cost: MUTATE delta pushes (and the bytes they saved
+        against re-shipping the snapshot), full GRAPH installs, and
+        pushes workers refused because their delta chain diverged.
+        ``None`` when the server is not sharded or its transport keeps
+        no such ledger (inline / fork).
+        """
+        if self._shard_runner is None:
+            return None
+        return self._shard_runner.transport.describe().get("ingest")
+
     async def subscribe(
         self, a: int, b: int, *, tenant: str | None = None
     ) -> Subscription:

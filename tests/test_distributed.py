@@ -284,6 +284,50 @@ class TestCluster:
         np.testing.assert_array_equal(ref_first.columns, first.columns)
         np.testing.assert_array_equal(ref_second.columns, second.columns)
 
+    def test_rebind_with_delta_pushes_mutate_not_graph(self, graph, cluster):
+        """A rebind carrying the rotation's delta log resyncs installed
+        workers with MUTATE frames — no second GRAPH ship — and the
+        draws on the mutated snapshot stay byte-identical to inline."""
+        from repro.graph import DeltaLog
+
+        transport = SocketTransport(cluster)
+        with ShardedRunner(
+            graph, Layer.UPPER, max_workers=2, transport=transport
+        ) as runner:
+            first_plan = plan_shards(
+                graph, Layer.UPPER, np.arange(70, dtype=np.int64), EPS,
+                shards=2,
+            )
+            runner.draw(first_plan, EPS, entropy=ENTROPY, epoch=0)
+            installs = transport.describe()["ingest"]["graph_installs"]
+            log = DeltaLog(graph)
+            log.delete(*(int(x) for x in graph.edges[0]))
+            log.insert(
+                *next(
+                    (u, l)
+                    for u in range(70)
+                    for l in range(50)
+                    if not graph.has_edge(u, l)
+                )
+            )
+            mutated = log.apply()
+            runner.rebind(mutated, delta=log.compact())
+            second_plan = plan_shards(
+                mutated, Layer.UPPER, np.arange(70, dtype=np.int64), EPS,
+                shards=2,
+            )
+            second = runner.draw(second_plan, EPS, entropy=ENTROPY, epoch=1)
+            ingest = transport.describe()["ingest"]
+        assert ingest["delta_pushes"] >= 1
+        assert ingest["delta_saved_bytes"] > 0
+        assert ingest["graph_installs"] == installs  # nobody re-shipped
+        with ShardedRunner(
+            mutated, Layer.UPPER, transport=InlineTransport()
+        ) as runner:
+            ref = runner.draw(second_plan, EPS, entropy=ENTROPY, epoch=1)
+        np.testing.assert_array_equal(ref.indptr, second.indptr)
+        np.testing.assert_array_equal(ref.columns, second.columns)
+
     def test_repeat_draws_reuse_the_installed_graph(self, graph, plan, cluster):
         """The GRAPH frame ships once per worker per digest, not per
         draw: repeated draws on one runner keep the same bytes."""

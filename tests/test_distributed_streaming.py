@@ -1,0 +1,373 @@
+"""Cluster-differential harness for distributed streaming ingest.
+
+The streaming acceptance across the wire: hypothesis mutation scripts
+replayed against a real loopback socket cluster must leave every served
+view **byte-identical** to both the single-process incremental path and
+a from-scratch keyed rebuild over the mutated graph — whatever the shard
+tiling (1/2/4 ranges over 2 workers), and even while a chaos plan kills
+a worker mid-mutation-push. Rotations travel as MUTATE delta frames, so
+the tests also pin the ingest ledger: deltas must actually be pushed,
+must cost fewer bytes than re-shipping the graph, and a worker that
+falls off the chain (a rejoined replacement) must resync through one
+full install before riding deltas again.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.bulkrr import keyed_bulk_randomized_response
+from repro.engine.faults import FAULT_PLAN_ENV, FaultPlan
+from repro.engine.sharded import ShardedRunner
+from repro.engine.transport import SocketTransport
+from repro.engine.worker import MUTATE_FAULT_SHARD
+from repro.graph import Layer, random_bipartite
+from repro.serving import NoisyViewCache
+
+EPSILON = 2.0
+N_UPPER, N_LOWER, N_EDGES = 30, 24, 180
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def launch_worker(extra_env: dict | None = None, listen: str = "127.0.0.1:0"):
+    """Start one worker subprocess; return (process, "host:port")."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(FAULT_PLAN_ENV, None)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.engine.worker", "--listen", listen],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise RuntimeError(f"worker never announced itself: {line!r}")
+    return proc, line.split(" ", 1)[1]
+
+
+def stop_worker(proc) -> None:
+    proc.terminate()
+    try:
+        proc.wait(timeout=5)
+    except subprocess.TimeoutExpired:  # pragma: no cover - wedged worker
+        proc.kill()
+        proc.wait(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """Two healthy loopback workers, shared by the whole module."""
+    workers = [launch_worker() for _ in range(2)]
+    yield [addr for _, addr in workers]
+    for proc, _ in workers:
+        stop_worker(proc)
+
+
+# Mutation scripts: rounds of coordinate-level ops whose net effect
+# (insert / delete / no-op) depends on the evolving membership — the
+# same shape as the single-process differential harness, so the two
+# suites disagree only if the wire path does.
+ops = st.tuples(
+    st.booleans(),  # True = insert, False = delete
+    st.integers(0, N_UPPER - 1),
+    st.integers(0, N_LOWER - 1),
+)
+scripts = st.lists(
+    st.lists(ops, min_size=1, max_size=10), min_size=1, max_size=3
+)
+
+
+def _graph(seed: int = 11):
+    return random_bipartite(N_UPPER, N_LOWER, N_EDGES, rng=seed)
+
+
+def _refill(cache: NoisyViewCache) -> None:
+    missing = np.array(
+        [v for v in range(N_UPPER) if not cache.has_view(v)], dtype=np.int64
+    )
+    if missing.size:
+        cache.materialize_fresh(missing)
+
+
+def _absent_edges(graph, count: int):
+    """``count`` absent edges on distinct upper vertices, so every
+    round dirties enough vertices to keep the draws genuinely sharded
+    (a single-spec draw degrades to the parent's inline path)."""
+    out = []
+    for u in range(N_UPPER):
+        for l in range(N_LOWER):
+            if not graph.has_edge(u, l):
+                out.append((u, l))
+                break
+        if len(out) == count:
+            return out
+    raise AssertionError("graph too dense for the test")  # pragma: no cover
+
+
+def _assert_matches_rebuild(cache: NoisyViewCache) -> None:
+    """Every resident view equals a from-scratch keyed draw over the
+    cache's own (entropy, draw_epoch, versions) on the mutated graph."""
+    verts = np.arange(N_UPPER, dtype=np.int64)
+    ref_ip, ref_cols = keyed_bulk_randomized_response(
+        cache.graph, Layer.UPPER, verts, EPSILON,
+        entropy=cache._entropy, epoch=cache.draw_epoch,
+        versions=cache._versions[verts],
+    )
+    for i, v in enumerate(verts):
+        np.testing.assert_array_equal(
+            cache.view(v), ref_cols[ref_ip[i] : ref_ip[i + 1]]
+        )
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: socket cluster ≡ single-process incremental ≡ rebuild
+# ----------------------------------------------------------------------
+class TestClusterDifferential:
+    @given(script=scripts)
+    @settings(max_examples=5, deadline=None)
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_cluster_matches_single_process_and_rebuild(
+        self, shards, cluster, script
+    ):
+        """Replay one script through a socket-sharded cache and a plain
+        single-process cache built from the same seed: every rotation,
+        version word, and served byte must agree — and the cluster state
+        must equal a from-scratch keyed rebuild."""
+        verts = np.arange(N_UPPER, dtype=np.int64)
+        graph = _graph()
+        runner = ShardedRunner(
+            graph, Layer.UPPER, max_workers=shards,
+            transport=SocketTransport(cluster),
+        )
+        clustered = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            rng=np.random.default_rng(21), shard_runner=runner,
+        )
+        solo = NoisyViewCache(
+            _graph(), Layer.UPPER, EPSILON, max_entries=10**6,
+            rng=np.random.default_rng(21),
+        )
+        # Identical seeds make the keyed entropies identical, which is
+        # what licenses byte-comparison between the two caches.
+        assert clustered._entropy == solo._entropy
+        try:
+            expect_push = False
+            for cache in (clustered, solo):
+                cache.materialize_fresh(verts)
+            for round_ops in script:
+                inserts = [(u, l) for ins, u, l in round_ops if ins]
+                deletes = [(u, l) for ins, u, l in round_ops if not ins]
+                for cache in (clustered, solo):
+                    cache.mutate(inserts=inserts, deletes=deletes)
+                dirty = clustered.pending_dirty().size
+                for cache in (clustered, solo):
+                    cache.rotate()
+                    _refill(cache)
+                # A single-spec draw is executed inline in the parent
+                # (the resilience envelope's degenerate case), so wire
+                # pushes only happen when the refill genuinely sharded.
+                expect_push |= bool(
+                    clustered.last_rotation["incremental"]
+                    and dirty
+                    and len(clustered.last_shard_draw) > 1
+                )
+
+            # The two incremental paths agree on everything observable.
+            assert clustered.draw_epoch == solo.draw_epoch
+            np.testing.assert_array_equal(
+                clustered.graph.edges, solo.graph.edges
+            )
+            np.testing.assert_array_equal(
+                clustered._versions, solo._versions
+            )
+            for v in verts:
+                np.testing.assert_array_equal(
+                    clustered.view(v), solo.view(v)
+                )
+            _assert_matches_rebuild(clustered)
+
+            # Incremental rotations with dirty vertices travelled as
+            # MUTATE frames, each cheaper than re-shipping the graph.
+            ingest = runner.transport.describe()["ingest"]
+            if expect_push:
+                assert ingest["delta_pushes"] >= 1
+                assert ingest["delta_saved_bytes"] > 0
+                assert (
+                    ingest["delta_bytes"]
+                    < ingest["delta_bytes"] + ingest["delta_saved_bytes"]
+                )
+        finally:
+            runner.close()
+
+    def test_multi_epoch_chain_composes_to_one_push(self, cluster):
+        """Three rotations with no draws in between: each worker is three
+        snapshots behind at the next draw, yet resyncs with ONE composed
+        MUTATE push — no full graph re-ship."""
+        verts = np.arange(N_UPPER, dtype=np.int64)
+        graph = _graph(17)
+        transport = SocketTransport(cluster)
+        runner = ShardedRunner(
+            graph, Layer.UPPER, max_workers=2, transport=transport
+        )
+        cache = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            rng=np.random.default_rng(33), shard_runner=runner,
+        )
+        try:
+            cache.materialize_fresh(verts)
+            installs_after_seed = transport.describe()["ingest"][
+                "graph_installs"
+            ]
+            fresh = _absent_edges(graph, 6)
+            for k in range(3):
+                cache.mutate(inserts=fresh[2 * k : 2 * k + 2])
+                cache.rotate()
+                assert cache.last_rotation["incremental"]
+            assert transport.describe()["ingest"]["delta_pushes"] == 0
+            _refill(cache)
+            ingest = transport.describe()["ingest"]
+            # Every worker that drew resynced by delta; nobody needed a
+            # second full install despite being three epochs stale.
+            assert 1 <= ingest["delta_pushes"] <= 2
+            assert ingest["graph_installs"] == installs_after_seed
+            assert ingest["diverged"] == 0
+            digest = transport._ensure_digest()
+            for row in transport.registry.describe():
+                if row["delta_pushes"]:
+                    assert row["digest"] == digest
+            _assert_matches_rebuild(cache)
+        finally:
+            runner.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: chaos mid-mutation-batch, then rejoin and resync
+# ----------------------------------------------------------------------
+class TestStreamingChaos:
+    def test_kill_mid_mutation_push_is_invisible_in_the_bits(self):
+        """One worker dies executing its first MUTATE frame. The driver
+        must mark it dead, re-dispatch its ranges to the survivor, and
+        the served views must stay byte-identical to a same-seed
+        single-process cache. A replacement worker then rebinds the dead
+        address, is revived by the heartbeat, resyncs through one full
+        install (its digest diverged off the chain), and rides delta
+        pushes from the next rotation on."""
+        chaos_env = {
+            FAULT_PLAN_ENV: FaultPlan.kill_shards(
+                [MUTATE_FAULT_SHARD]
+            ).to_json()
+        }
+        chaos_proc, chaos_addr = launch_worker(chaos_env)
+        healthy_proc, healthy_addr = launch_worker()
+        replacement = None
+        verts = np.arange(N_UPPER, dtype=np.int64)
+        graph = _graph(29)
+        transport = SocketTransport([chaos_addr, healthy_addr])
+        runner = ShardedRunner(
+            graph, Layer.UPPER, max_workers=2, transport=transport
+        )
+        clustered = NoisyViewCache(
+            graph, Layer.UPPER, EPSILON,
+            rng=np.random.default_rng(47), shard_runner=runner,
+        )
+        solo = NoisyViewCache(
+            _graph(29), Layer.UPPER, EPSILON, max_entries=10**6,
+            rng=np.random.default_rng(47),
+        )
+        try:
+            for cache in (clustered, solo):
+                cache.materialize_fresh(verts)
+            fresh = _absent_edges(graph, 4)
+
+            # Round 1: the delta push kills the chaos worker mid-frame.
+            for cache in (clustered, solo):
+                cache.mutate(inserts=fresh[:2])
+                cache.rotate()
+                assert cache.last_rotation["incremental"]
+                _refill(cache)
+            for v in verts:
+                np.testing.assert_array_equal(
+                    clustered.view(v), solo.view(v)
+                )
+            _assert_matches_rebuild(clustered)
+            described = {
+                w["address"]: w for w in transport.registry.describe()
+            }
+            assert described[chaos_addr]["alive"] is False
+            assert described[healthy_addr]["alive"] is True
+            assert runner.fault_totals.get("socket:worker_deaths", 0) >= 1
+
+            # A replacement binds the dead worker's address; the next
+            # heartbeat revives the handle. Its HELLO digest is off the
+            # chain, so resync is a full install, not a delta.
+            chaos_proc.wait(timeout=5)
+            replacement, _ = launch_worker(listen=chaos_addr)
+            assert transport.ping() == 2
+            installs_before = transport.describe()["ingest"][
+                "graph_installs"
+            ]
+
+            # Round 2: both workers draw; the replacement takes the full
+            # install, then everyone is current.
+            for cache in (clustered, solo):
+                cache.mutate(inserts=fresh[2:])
+                cache.rotate()
+                assert cache.last_rotation["incremental"]
+                _refill(cache)
+            for v in verts:
+                np.testing.assert_array_equal(
+                    clustered.view(v), solo.view(v)
+                )
+            _assert_matches_rebuild(clustered)
+            ingest = transport.describe()["ingest"]
+            assert ingest["graph_installs"] >= installs_before + 1
+            digest = transport._ensure_digest()
+            described = {
+                w["address"]: w for w in transport.registry.describe()
+            }
+            assert described[chaos_addr]["alive"] is True
+            assert described[chaos_addr]["digest"] == digest
+
+            # Round 3: the rejoined worker now rides the delta chain.
+            pushes_before = {
+                w["address"]: w["delta_pushes"]
+                for w in transport.registry.describe()
+            }
+            for cache in (clustered, solo):
+                cache.mutate(deletes=fresh[2:])
+                cache.rotate()
+                _refill(cache)
+            for v in verts:
+                np.testing.assert_array_equal(
+                    clustered.view(v), solo.view(v)
+                )
+            _assert_matches_rebuild(clustered)
+            described = {
+                w["address"]: w for w in transport.registry.describe()
+            }
+            drew = [
+                a
+                for a, w in described.items()
+                if w["delta_pushes"] > pushes_before[a]
+            ]
+            assert drew, "no worker absorbed the rotation as a delta"
+        finally:
+            runner.close()
+            stop_worker(healthy_proc)
+            if replacement is not None:
+                stop_worker(replacement)
+            if chaos_proc.poll() is None:  # pragma: no cover - no kill
+                stop_worker(chaos_proc)

@@ -104,6 +104,18 @@ class TestFaultPlan:
         assert plan.action_for(1, 0).kind == "delay"
         assert plan.action_for(0, 3).kind == "kill"
 
+    def test_mutation_sentinel_is_disjoint_from_shard_tasks(self):
+        """A plan keyed on the MUTATE sentinel fires only for mutation
+        pushes (the worker looks it up under shard -2, sequence as the
+        attempt) and never intercepts ordinary shard dispatches."""
+        from repro.engine.worker import MUTATE_FAULT_SHARD
+
+        plan = FaultPlan.kill_shards([MUTATE_FAULT_SHARD])
+        assert plan.action_for(MUTATE_FAULT_SHARD, 0).kind == "kill"
+        assert plan.action_for(MUTATE_FAULT_SHARD, 1) is None
+        for shard in range(4):  # real shard tasks are untouched
+            assert plan.action_for(shard, 0) is None
+
     def test_json_round_trip(self):
         plan = FaultPlan(
             (

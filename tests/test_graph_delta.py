@@ -168,3 +168,104 @@ class TestDeltaLog:
             log.insert(3, 0)
         with pytest.raises(GraphError):
             log.delete(0, -1)
+
+
+# Random mutation scripts over a small fixed graph shape: each op is
+# (is_insert, upper, lower). Small endpoint ranges force repeated
+# touches of the same edge — the cancellation / last-op-wins paths.
+_N_UP, _N_LO = 10, 8
+op_scripts = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=_N_UP - 1),
+        st.integers(min_value=0, max_value=_N_LO - 1),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def _record(log, script):
+    for is_insert, u, v in script:
+        (log.insert if is_insert else log.delete)(u, v)
+
+
+class TestCompaction:
+    @given(script=op_scripts, seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=80, deadline=None)
+    def test_compact_preserves_net_effect(self, script, seed):
+        """compact(log) ≡ net-of-ops: same nets, same applied graph."""
+        g = random_bipartite(_N_UP, _N_LO, 25, rng=seed)
+        log = DeltaLog(g)
+        _record(log, script)
+        compacted = log.compact()
+        assert compacted.base is g
+        np.testing.assert_array_equal(
+            compacted.net_inserts(), log.net_inserts()
+        )
+        np.testing.assert_array_equal(
+            compacted.net_deletes(), log.net_deletes()
+        )
+        for layer in Layer:
+            np.testing.assert_array_equal(
+                compacted.dirty_vertices(layer), log.dirty_vertices(layer)
+            )
+        _assert_graphs_equal(compacted.apply(), log.apply())
+
+    @given(script=op_scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_full_cancellation_compacts_to_nothing(self, script):
+        """A script followed by its exact inverse nets to the base."""
+        g = random_bipartite(_N_UP, _N_LO, 25, rng=5)
+        log = DeltaLog(g)
+        _record(log, script)
+        # Undo every touched edge back to its base membership.
+        for u, v in {(u, v) for _, u, v in script}:
+            (log.insert if g.has_edge(u, v) else log.delete)(u, v)
+        compacted = log.compact()
+        assert compacted.is_net_empty
+        assert len(compacted) == 0
+        assert compacted.apply() is g
+
+    def test_compacted_memory_bounded_by_dirty_edges_not_ops(self):
+        """10k churning ops over 3 edges compact to at most 3 entries."""
+        g = random_bipartite(_N_UP, _N_LO, 25, rng=6)
+        edges = [(0, 0), (3, 5), (7, 2)]
+        log = DeltaLog(g)
+        for i in range(10_000):
+            u, v = edges[i % len(edges)]
+            (log.insert if i % 2 else log.delete)(u, v)
+        assert len(log) == 10_000
+        compacted = log.compact()
+        assert len(compacted) <= len(edges)
+        # The kept entries are exactly the net ops — dirty vertices, not
+        # op history, bound the compacted footprint.
+        assert len(compacted) == (
+            compacted.net_inserts().shape[0] + compacted.net_deletes().shape[0]
+        )
+
+    @given(first=op_scripts, second=op_scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_compose_matches_sequential_application(self, first, second):
+        """compose(earlier, later).apply() ≡ apply each epoch in turn."""
+        g = random_bipartite(_N_UP, _N_LO, 25, rng=11)
+        earlier = DeltaLog(g)
+        _record(earlier, first)
+        mid = earlier.apply()
+        later = DeltaLog(mid)
+        _record(later, second)
+        sequential = later.apply()
+        composed = DeltaLog.compose(earlier, later)
+        assert composed.base is g
+        _assert_graphs_equal(composed.apply(), sequential)
+        # Composition survives compaction on either side.
+        _assert_graphs_equal(
+            DeltaLog.compose(earlier.compact(), later.compact()).apply(),
+            sequential,
+        )
+
+    def test_compose_refuses_mismatched_layer_sizes(self):
+        a = DeltaLog(BipartiteGraph(3, 3, [(0, 0)]))
+        b = DeltaLog(BipartiteGraph(4, 3, [(0, 0)]))
+        with pytest.raises(GraphError):
+            DeltaLog.compose(a, b)

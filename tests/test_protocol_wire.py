@@ -11,12 +11,18 @@ from hypothesis import strategies as st
 
 from repro.errors import PayloadIntegrityError, ProtocolError
 from repro.protocol.wire import (
+    CAP_MUTATE,
     CAP_REDUCE,
     CAP_VERSIONS,
+    DELTA_DIGEST_MISMATCH,
+    DELTA_OK,
+    DELTA_UNKNOWN_BASE,
+    KIND_DELTA_ACK,
     KIND_ESTIMATE,
     KIND_FRAGMENT,
     KIND_GRAPH,
     KIND_HELLO,
+    KIND_MUTATE,
     KIND_NOISY_DEGREE,
     KIND_NOISY_EDGES,
     KIND_PING,
@@ -27,9 +33,12 @@ from repro.protocol.wire import (
     MAX_FRAME_PAYLOAD,
     WIRE_VERSION,
     decode_frame,
+    delta_checksum,
+    encode_delta_ack,
     encode_fragment,
     encode_graph,
     encode_hello,
+    encode_mutate,
     encode_noisy_edges,
     encode_ping,
     encode_pong,
@@ -282,6 +291,77 @@ class TestShardTransportFrames:
             decode_frame(bogus)
 
 
+class TestMutateFrames:
+    """Round trips and typed rejections of the streaming-ingest kinds."""
+
+    def test_mutate_round_trip(self):
+        inserts = np.array([[0, 3], [2, 1]], dtype=np.int64)
+        deletes = np.array([[1, 1]], dtype=np.int64)
+        frame = encode_mutate(0xBA5E, 0x7A26E7, inserts, deletes)
+        kind, payload, rest = decode_frame(frame)
+        assert kind == KIND_MUTATE
+        assert payload["base_digest"] == 0xBA5E
+        assert payload["target_digest"] == 0x7A26E7
+        assert payload["checksum"] == delta_checksum(inserts, deletes)
+        np.testing.assert_array_equal(payload["inserts"], inserts)
+        np.testing.assert_array_equal(payload["deletes"], deletes)
+        assert rest == b""
+
+    def test_mutate_empty_sides(self):
+        empty = np.empty((0, 2), dtype=np.int64)
+        frame = encode_mutate(1, 2, empty, np.array([[4, 5]], dtype=np.int64))
+        _, payload, _ = decode_frame(frame)
+        assert payload["inserts"].shape == (0, 2)
+        np.testing.assert_array_equal(payload["deletes"], [[4, 5]])
+
+    def test_mutate_negative_endpoints_rejected(self):
+        empty = np.empty((0, 2), dtype=np.int64)
+        with pytest.raises(ProtocolError):
+            encode_mutate(1, 2, np.array([[-1, 0]], dtype=np.int64), empty)
+
+    def test_mutate_checksum_flip_detected(self):
+        frame = bytearray(
+            encode_mutate(
+                1, 2,
+                np.array([[0, 1]], dtype=np.int64),
+                np.empty((0, 2), dtype=np.int64),
+            )
+        )
+        frame[-1] ^= 0x40  # flip one bit in the last op word
+        with pytest.raises(PayloadIntegrityError):
+            decode_frame(bytes(frame))
+
+    def test_mutate_header_op_count_mismatch_rejected(self):
+        frame = bytearray(
+            encode_mutate(
+                1, 2,
+                np.array([[0, 1], [2, 3]], dtype=np.int64),
+                np.empty((0, 2), dtype=np.int64),
+            )
+        )
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame[:-16]))  # drop one edge, keep header
+
+    def test_delta_ack_round_trip(self):
+        for status in (DELTA_OK, DELTA_UNKNOWN_BASE, DELTA_DIGEST_MISMATCH):
+            kind, payload, rest = decode_frame(encode_delta_ack(status, 0xF00D))
+            assert kind == KIND_DELTA_ACK
+            assert payload == {"status": status, "digest": 0xF00D}
+            assert rest == b""
+
+    def test_delta_ack_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_delta_ack(7, 0)
+        bogus = struct.pack("<BI", KIND_DELTA_ACK, 9) + struct.pack("<BQ", 9, 1)
+        with pytest.raises(ProtocolError):
+            decode_frame(bogus)
+
+    def test_oversized_mutate_length_rejected_before_allocation(self):
+        bogus = struct.pack("<BI", KIND_MUTATE, MAX_FRAME_PAYLOAD + 1)
+        with pytest.raises(ProtocolError, match="wire limit"):
+            decode_frame(bogus)
+
+
 # ----------------------------------------------------------------------
 # Property fuzz: every frame kind must either round-trip exactly or be
 # rejected with a typed error — never crash, never silently mis-decode.
@@ -359,6 +439,23 @@ def shard_specs(draw):
         want_fragment=draw(st.booleans()),
         measure=draw(st.booleans()),
     )
+
+
+@st.composite
+def edge_deltas(draw):
+    pairs = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**40),
+            st.integers(min_value=0, max_value=2**40),
+        ),
+        min_size=0,
+        max_size=24,
+    )
+
+    def arr(rows):
+        return np.array(rows, dtype=np.int64).reshape(-1, 2)
+
+    return arr(draw(pairs)), arr(draw(pairs))
 
 
 class TestWireFuzz:
@@ -445,6 +542,40 @@ class TestWireFuzz:
             corrupt[pos] ^= data.draw(st.integers(min_value=1, max_value=255))
             with pytest.raises(_WIRE_ERRORS):
                 decode_frame(bytes(corrupt))
+
+    @given(delta=edge_deltas())
+    @settings(max_examples=60, deadline=None)
+    def test_mutate_round_trip(self, delta):
+        inserts, deletes = delta
+        _, decoded, rest = decode_frame(encode_mutate(3, 9, inserts, deletes))
+        assert rest == b""
+        np.testing.assert_array_equal(decoded["inserts"], inserts)
+        np.testing.assert_array_equal(decoded["deletes"], deletes)
+
+    @given(delta=edge_deltas(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_mutate_truncation_always_rejected(self, delta, data):
+        inserts, deletes = delta
+        frame = encode_mutate(3, 9, inserts, deletes)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(_WIRE_ERRORS):
+            decode_frame(frame[:cut])
+
+    @given(delta=edge_deltas(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_mutate_op_byte_flip_always_detected(self, delta, data):
+        inserts, deletes = delta
+        payload = inserts.size + deletes.size
+        if payload == 0:
+            return  # nothing to corrupt
+        frame = bytearray(encode_mutate(3, 9, inserts, deletes))
+        pos = data.draw(
+            st.integers(min_value=len(frame) - payload * 8,
+                        max_value=len(frame) - 1)
+        )
+        frame[pos] ^= data.draw(st.integers(min_value=1, max_value=255))
+        with pytest.raises(_WIRE_ERRORS):
+            decode_frame(bytes(frame))
 
     @given(
         kind=st.integers(min_value=0, max_value=255),

@@ -410,3 +410,77 @@ class TestDegreeStratifiedAfterMutation:
                 f"{name}-degree stratum variance off the closed form "
                 f"by x{ratio:.2f} after mutation burst"
             )
+
+
+# ----------------------------------------------------------------------
+# 4. Streaming spend: the accountant's closed form under adversarial churn
+# ----------------------------------------------------------------------
+class TestStreamingSpendAccounting:
+    """Per-vertex spend under an adversarial repeated-update sequence.
+
+    The incremental-rotation contract in budget terms: a vertex's
+    lifetime spend is ``eps x (1 + number of incremental rotations in
+    which it was dirty and then re-served)`` — the initial charge plus
+    one recharge per fresh keyed stream. Clean vertices replay their
+    resident streams across every rotation, charge-free, however many
+    epochs pass. The sequence is adversarial two ways: one vertex's
+    membership is flipped every single round (maximum recharge rate),
+    while another is "updated" every round with an insert+delete pair
+    that cancels inside the epoch — net nothing, so it must stay as flat
+    as a vertex never touched at all.
+    """
+
+    EPSILON = 2.0
+    ROUNDS = 5
+    N_UP, N_LO = 24, 20
+
+    def test_lifetime_spend_matches_closed_form(self):
+        graph = random_bipartite(self.N_UP, self.N_LO, 140, rng=19)
+        churn = next(  # absent edge on vertex 0: flipped every round
+            (0, l) for l in range(self.N_LO) if not graph.has_edge(0, l)
+        )
+        decoy = next(  # absent edge on vertex 7: cancelled every round
+            (7, l) for l in range(self.N_LO) if not graph.has_edge(7, l)
+        )
+        pairs = [(v, v + 1) for v in range(0, self.N_UP, 2)]
+
+        async def run():
+            recharges = np.zeros(self.N_UP, dtype=np.int64)
+            async with QueryServer(
+                graph, Layer.UPPER, self.EPSILON,
+                mode=ExecutionMode.MATERIALIZE, rng=13,
+            ) as server:
+                for u, w in pairs:  # epoch 0: everyone charged once
+                    await server.query(u, w)
+                for r in range(self.ROUNDS):
+                    present = server.graph.has_edge(*churn)
+                    server.mutate(
+                        inserts=([decoy] if present else [churn, decoy]),
+                        deletes=([churn, decoy] if present else [decoy]),
+                    )
+                    server.rotate_epoch()
+                    assert server.cache.last_rotation["incremental"]
+                    dirty = server.cache.last_rotation["dirty_vertices"]
+                    for u, w in pairs:  # re-serve the whole layer
+                        await server.query(u, w)
+                    recharges[dirty] += 1
+                spend = np.array(
+                    [
+                        server.accountant.lifetime_spent(Layer.UPPER, v)
+                        for v in range(self.N_UP)
+                    ]
+                )
+                peak = server.accountant.max_epoch_spent()
+            return recharges, spend, peak
+
+        recharges, spend, peak = asyncio.run(run())
+        # The flipped vertex recharged every round; the cancelled-update
+        # decoy (and everyone else) never did.
+        assert recharges[0] == self.ROUNDS
+        assert recharges[1:].sum() == 0
+        # Closed form, vertex by vertex.
+        np.testing.assert_allclose(
+            spend, self.EPSILON * (1 + recharges), rtol=1e-12
+        )
+        # No epoch ever charged a vertex more than once.
+        assert peak == pytest.approx(self.EPSILON)
